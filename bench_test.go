@@ -1,0 +1,440 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark runs the corresponding harness experiment once per
+// b.N and reports domain-specific metrics through b.ReportMetric, so
+// `go test -bench=. -benchmem` prints the paper's quantities alongside Go's
+// timing. The per-experiment index lives in DESIGN.md; paper-vs-measured
+// values are recorded in EXPERIMENTS.md.
+package lethe_test
+
+import (
+	"testing"
+	"time"
+
+	"lethe"
+	"lethe/internal/costmodel"
+	"lethe/internal/harness"
+	"lethe/internal/workload"
+)
+
+// benchCfg is the default scaled-down experiment configuration (see
+// harness.Quick for the geometry rationale).
+func benchCfg() harness.Config {
+	cfg := harness.Quick()
+	// Trim for bench cadence: every experiment still spans 3 disk levels.
+	cfg.KeySpace = 24000
+	cfg.Ops = 20000
+	cfg.BufferBytes = 2048
+	return cfg
+}
+
+// BenchmarkTable2CostModel evaluates the analytical model (Table 2, E1).
+func BenchmarkTable2CostModel(b *testing.B) {
+	p := costmodel.Reference()
+	for i := 0; i < b.N; i++ {
+		for _, pol := range []costmodel.Policy{costmodel.Leveling, costmodel.Tiering} {
+			rows := p.Table2(pol)
+			if len(rows) != 13 {
+				b.Fatal("table 2 must have 13 rows")
+			}
+		}
+	}
+	lev := p.Table2(costmodel.Leveling)
+	// Row 12: secondary range delete speedup = h.
+	b.ReportMetric(lev[11].Values[costmodel.SoA]/lev[11].Values[costmodel.Lethe], "srd-speedup")
+	b.ReportMetric(lev[5].Values[costmodel.SoA], "soa-persistence-s")
+	b.ReportMetric(lev[5].Values[costmodel.Lethe], "lethe-persistence-s")
+}
+
+// BenchmarkFig6A_SpaceAmp reproduces Fig. 6A (E2): space amplification at
+// 10% deletes, baseline vs Lethe.
+func BenchmarkFig6A_SpaceAmp(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.DeleteSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunDeleteSweep(cfg, []float64{0.10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case "RocksDB":
+			b.ReportMetric(r.SpaceAmp, "spaceamp-rocksdb")
+		case "Lethe/25%":
+			b.ReportMetric(r.SpaceAmp, "spaceamp-lethe25")
+		}
+	}
+}
+
+// BenchmarkFig6B_CompactionCount reproduces Fig. 6B (E3).
+func BenchmarkFig6B_CompactionCount(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.DeleteSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunDeleteSweep(cfg, []float64{0.02})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case "RocksDB":
+			b.ReportMetric(float64(r.Compactions), "compactions-rocksdb")
+		case "Lethe/25%":
+			b.ReportMetric(float64(r.Compactions), "compactions-lethe25")
+		}
+	}
+}
+
+// BenchmarkFig6C_BytesCompacted reproduces Fig. 6C (E4).
+func BenchmarkFig6C_BytesCompacted(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.DeleteSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunDeleteSweep(cfg, []float64{0.06})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case "RocksDB":
+			b.ReportMetric(r.DataWrittenMB, "writtenMB-rocksdb")
+		case "Lethe/50%":
+			b.ReportMetric(r.DataWrittenMB, "writtenMB-lethe50")
+		}
+	}
+}
+
+// BenchmarkFig6D_ReadThroughput reproduces Fig. 6D (E5).
+func BenchmarkFig6D_ReadThroughput(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.DeleteSweepRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunDeleteSweep(cfg, []float64{0.10})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case "RocksDB":
+			b.ReportMetric(r.ReadThroughput, "reads/s-rocksdb")
+		case "Lethe/25%":
+			b.ReportMetric(r.ReadThroughput, "reads/s-lethe25")
+		}
+	}
+}
+
+// BenchmarkFig6E_TombstoneAge reproduces Fig. 6E (E6): the tombstone age
+// distribution and Dth compliance.
+func BenchmarkFig6E_TombstoneAge(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.TombstoneAgeRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunTombstoneAges(cfg, 0.10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == "Lethe/25%" && r.Age == cfg.Runtime(cfg.Ops) {
+			b.ReportMetric(float64(r.Cumulative), "tombstones-lethe25")
+			b.ReportMetric(r.MaxAge.Seconds(), "maxage-s-lethe25")
+		}
+		if r.System == "RocksDB" && r.Age == cfg.Runtime(cfg.Ops) {
+			b.ReportMetric(float64(r.Cumulative), "tombstones-rocksdb")
+		}
+	}
+}
+
+// BenchmarkFig6F_WriteAmpOverTime reproduces Fig. 6F (E7).
+func BenchmarkFig6F_WriteAmpOverTime(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.WriteAmpRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunWriteAmpOverTime(cfg, 0.25, 0.75, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].NormalizedBytes, "normalized-first")
+	b.ReportMetric(rows[len(rows)-1].NormalizedBytes, "normalized-last")
+}
+
+// BenchmarkFig6G_Scaling reproduces Fig. 6G (E8): latency vs data size.
+func BenchmarkFig6G_Scaling(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.ScalingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunScaling(cfg, []int{cfg.Ops / 4, cfg.Ops})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == "Lethe" {
+			b.ReportMetric(float64(r.MixedLatency.Microseconds()), "mixed-us-lethe")
+		} else {
+			b.ReportMetric(float64(r.MixedLatency.Microseconds()), "mixed-us-rocksdb")
+		}
+	}
+}
+
+// BenchmarkFig6H_FullPageDrops reproduces Fig. 6H (E9).
+func BenchmarkFig6H_FullPageDrops(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.FullPageDropRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunFullPageDrops(cfg, []int{1, 16}, []float64{0.05, 0.25})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.TilePages == 16 && r.SelectivityPct == 25 {
+			b.ReportMetric(r.FullDropPct, "fulldrop%-h16")
+		}
+		if r.TilePages == 1 && r.SelectivityPct == 25 {
+			b.ReportMetric(r.FullDropPct, "fulldrop%-h1")
+		}
+	}
+}
+
+// BenchmarkFig6I_LookupVsTileSize reproduces Fig. 6I (E10).
+func BenchmarkFig6I_LookupVsTileSize(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.LookupCostRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunLookupVsTileSize(cfg, []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.TilePages {
+		case 1:
+			b.ReportMetric(r.NonZeroIOs, "lookup-io-h1")
+		case 8:
+			b.ReportMetric(r.NonZeroIOs, "lookup-io-h8")
+		}
+	}
+}
+
+// BenchmarkFig6J_OptimalLayout reproduces Fig. 6J (E11).
+func BenchmarkFig6J_OptimalLayout(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.OptimalLayoutRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunOptimalLayout(cfg, []int{1, 8}, []float64{0.05}, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.TilePages {
+		case 1:
+			b.ReportMetric(r.AvgIOsPerOp, "io/op-h1")
+		case 8:
+			b.ReportMetric(r.AvgIOsPerOp, "io/op-h8")
+		}
+	}
+}
+
+// BenchmarkFig6K_CPUvsIO reproduces Fig. 6K (E12).
+func BenchmarkFig6K_CPUvsIO(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.CPUIORow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunCPUvsIO(cfg, []int{1, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.TilePages {
+		case 1:
+			b.ReportMetric(r.SRDIOTime.Seconds()*1000, "srd-ms-h1")
+		case 8:
+			b.ReportMetric(r.SRDIOTime.Seconds()*1000, "srd-ms-h8")
+			b.ReportMetric(r.HashTime.Seconds()*1000, "hash-ms-h8")
+		}
+	}
+}
+
+// BenchmarkFig6L_Correlation reproduces Fig. 6L (E13).
+func BenchmarkFig6L_Correlation(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.CorrelationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunCorrelation(cfg, []int{1, 8}, []float64{0, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Correlation == 0 && r.TilePages == 8 {
+			b.ReportMetric(r.SRDCostIOs, "srd-io-h8-uncorr")
+		}
+		if r.Correlation == 1 && r.TilePages == 1 {
+			b.ReportMetric(r.FullDropPct, "fulldrop%-h1-corr")
+		}
+	}
+}
+
+// BenchmarkFig1B_Frontier reproduces Fig. 1B (E14): the persistence
+// latency/cost frontier.
+func BenchmarkFig1B_Frontier(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.FrontierRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunFrontier(cfg, 0.06, []float64{0.5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.System {
+		case "state-of-the-art + full compaction":
+			b.ReportMetric(r.PeakCompactionMB, "peakMB-fullcomp")
+		case "Lethe":
+			b.ReportMetric(r.PeakCompactionMB, "peakMB-lethe")
+			b.ReportMetric(r.MaxObservedAge.Seconds(), "maxage-s-lethe")
+		}
+	}
+}
+
+// BenchmarkBlindDeletes reproduces the §4.1.5 blind-delete mitigation (E15).
+func BenchmarkBlindDeletes(b *testing.B) {
+	cfg := benchCfg()
+	var rows []harness.BlindDeleteRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = harness.RunBlindDeletes(cfg, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.TombstonesSuppressed > 0 {
+			b.ReportMetric(float64(r.TombstonesSuppressed), "suppressed")
+			b.ReportMetric(float64(r.LiveTombstones), "tombstones-with-probe")
+		} else {
+			b.ReportMetric(float64(r.LiveTombstones), "tombstones-no-probe")
+		}
+	}
+}
+
+// BenchmarkEngineOps measures raw engine operation costs (not a paper
+// figure; a regression guard for the reproduction itself).
+func BenchmarkEngineOps(b *testing.B) {
+	cfg := benchCfg()
+	env, err := harness.NewEnv(cfg, harness.LetheSystem("Lethe", time.Hour, 4),
+		workloadYCSB())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	if err := env.Preload(cfg.KeySpace / 2); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := env.Apply(env.Gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// workloadYCSB returns the paper's YCSB-A variant mix for BenchmarkEngineOps.
+func workloadYCSB() workload.Config {
+	return workload.Config{Mix: workload.YCSBAWithDeletes(0.05)}
+}
+
+// BenchmarkAblationModes compares the full Lethe policy (DD trigger + SD
+// selection) against the ModeLetheSO ablation (DD trigger + the baseline's
+// overlap-driven selection) — isolating how much of FADE's effect comes from
+// the trigger versus the file picking (the design choice DESIGN.md §4.5
+// calls out).
+func BenchmarkAblationModes(b *testing.B) {
+	cfg := benchCfg()
+	runtime := cfg.Runtime(cfg.Ops)
+	for _, mode := range []struct {
+		name string
+		sys  harness.System
+	}{
+		{"lethe-DD-SD", harness.LetheSystem("Lethe", runtime/4, 1)},
+		{"lethe-DD-SO", func() harness.System {
+			s := harness.LetheSystem("LetheSO", runtime/4, 1)
+			s.Mode = lethe.ModeLetheSO
+			return s
+		}()},
+		{"baseline-SO", harness.Baseline()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env, err := harness.NewEnv(cfg, mode.sys, workload.Config{
+					Mix:          workload.Mix{Inserts: 940, PointDeletes: 60},
+					FreshInserts: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := env.Run(cfg.Ops); err != nil {
+					b.Fatal(err)
+				}
+				st := env.DB.Stats()
+				b.ReportMetric(float64(st.TotalBytesWritten)/(1<<20), "writtenMB")
+				b.ReportMetric(float64(st.LivePointTombstones), "tombstones")
+				b.ReportMetric(env.DB.MaxTombstoneAge().Seconds(), "maxage-s")
+				env.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTiering compares leveling and tiering under the same
+// delete-heavy workload (Table 2's two columns, measured).
+func BenchmarkAblationTiering(b *testing.B) {
+	cfg := benchCfg()
+	for _, tiered := range []bool{false, true} {
+		name := "leveling"
+		if tiered {
+			name = "tiering"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := harness.LetheSystem("Lethe", cfg.Runtime(cfg.Ops)/2, 1)
+				sys.Tiering = tiered
+				env, err := harness.NewEnv(cfg, sys, workload.Config{
+					Mix:          workload.Mix{Inserts: 940, PointDeletes: 60},
+					FreshInserts: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				io0 := env.FS.Stats.Snapshot()
+				if err := env.Run(cfg.Ops); err != nil {
+					b.Fatal(err)
+				}
+				d := env.FS.Stats.Snapshot().Sub(io0)
+				b.ReportMetric(float64(d.PagesWritten), "pages-written")
+				b.ReportMetric(float64(d.PagesRead), "pages-read")
+				env.Close()
+			}
+		})
+	}
+}

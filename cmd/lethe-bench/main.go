@@ -1,0 +1,170 @@
+// Command lethe-bench regenerates the paper's tables and figures. Each
+// experiment prints the rows the corresponding panel of Fig. 6 (or Fig. 1B /
+// Table 2) plots.
+//
+// Usage:
+//
+//	lethe-bench [-scale quick|paper] <experiment>
+//
+// Experiments: table2, fig6a-d, fig6e, fig6f, fig6g, fig6h, fig6i, fig6j,
+// fig6k, fig6l, fig1b, blind, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lethe/internal/costmodel"
+	"lethe/internal/harness"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "experiment scale: quick or paper")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lethe-bench [-scale quick|paper] <experiment>\n\n")
+		fmt.Fprintf(os.Stderr, "experiments:\n")
+		fmt.Fprintf(os.Stderr, "  table2   analytical cost model (Table 2)\n")
+		fmt.Fprintf(os.Stderr, "  fig6a-d  space amp, compactions, bytes written, read throughput vs %%deletes\n")
+		fmt.Fprintf(os.Stderr, "  fig6e    tombstone age distribution\n")
+		fmt.Fprintf(os.Stderr, "  fig6f    normalized bytes written over time\n")
+		fmt.Fprintf(os.Stderr, "  fig6g    latency vs data size\n")
+		fmt.Fprintf(os.Stderr, "  fig6h    %%full page drops vs SRD selectivity\n")
+		fmt.Fprintf(os.Stderr, "  fig6i    lookup cost vs delete-tile granularity\n")
+		fmt.Fprintf(os.Stderr, "  fig6j    optimal layout vs SRD selectivity\n")
+		fmt.Fprintf(os.Stderr, "  fig6k    CPU (hashing) vs I/O trade-off\n")
+		fmt.Fprintf(os.Stderr, "  fig6l    sort/delete key correlation effects\n")
+		fmt.Fprintf(os.Stderr, "  fig1b    delete persistence latency/cost frontier\n")
+		fmt.Fprintf(os.Stderr, "  blind    blind-delete suppression\n")
+		fmt.Fprintf(os.Stderr, "  all      everything above\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := harness.Quick()
+	if *scale == "paper" {
+		// Closer to the paper's data volume; minutes, not seconds.
+		cfg.KeySpace = 1 << 17
+		cfg.Ops = 400_000
+		cfg.ValueSize = 128
+		cfg.BufferBytes = 128 * 1024
+		cfg.FilePages = 64
+		cfg.SizeRatio = 10
+	}
+
+	if err := run(flag.Arg(0), cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "lethe-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, cfg harness.Config) error {
+	out := os.Stdout
+	hdr := func(title string) { fmt.Fprintf(out, "\n=== %s ===\n", title) }
+	switch exp {
+	case "table2":
+		hdr("Table 2 — analytical cost model")
+		p := costmodel.Reference()
+		fmt.Fprint(out, costmodel.Format(costmodel.Leveling, p.Table2(costmodel.Leveling)))
+		fmt.Fprint(out, costmodel.Format(costmodel.Tiering, p.Table2(costmodel.Tiering)))
+	case "fig6a-d":
+		hdr("Fig. 6A–D — delete sweep")
+		rows, err := harness.RunDeleteSweep(cfg, []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10})
+		if err != nil {
+			return err
+		}
+		harness.PrintDeleteSweep(out, rows)
+	case "fig6e":
+		hdr("Fig. 6E — tombstone age distribution")
+		rows, err := harness.RunTombstoneAges(cfg, 0.10)
+		if err != nil {
+			return err
+		}
+		harness.PrintTombstoneAges(out, rows)
+	case "fig6f":
+		hdr("Fig. 6F — normalized bytes written over time (Dth = runtime/15, paper's worst case)")
+		rows, err := harness.RunWriteAmpOverTime(cfg, 0.06, 1.0/15, 5)
+		if err != nil {
+			return err
+		}
+		harness.PrintWriteAmp(out, rows)
+		hdr("Fig. 6F' — amortizing regime (25% deletes, Dth = 75% of runtime)")
+		rows, err = harness.RunWriteAmpOverTime(cfg, 0.25, 0.75, 5)
+		if err != nil {
+			return err
+		}
+		harness.PrintWriteAmp(out, rows)
+	case "fig6g":
+		hdr("Fig. 6G — latency vs data size")
+		rows, err := harness.RunScaling(cfg, []int{cfg.Ops / 8, cfg.Ops / 4, cfg.Ops / 2, cfg.Ops})
+		if err != nil {
+			return err
+		}
+		harness.PrintScaling(out, rows)
+	case "fig6h":
+		hdr("Fig. 6H — %full page drops")
+		rows, err := harness.RunFullPageDrops(cfg, []int{1, 4, 8, 16, 32},
+			[]float64{0.01, 0.02, 0.03, 0.04, 0.05})
+		if err != nil {
+			return err
+		}
+		harness.PrintFullPageDrops(out, rows)
+	case "fig6i":
+		hdr("Fig. 6I — lookup cost vs delete-tile granularity")
+		rows, err := harness.RunLookupVsTileSize(cfg, []int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		harness.PrintLookupCost(out, rows)
+	case "fig6j":
+		hdr("Fig. 6J — optimal storage layout")
+		rows, err := harness.RunOptimalLayout(cfg, []int{1, 2, 4, 8, 16},
+			[]float64{0.01, 0.03, 0.05}, 1000)
+		if err != nil {
+			return err
+		}
+		harness.PrintOptimalLayout(out, rows)
+	case "fig6k":
+		hdr("Fig. 6K — CPU vs I/O trade-off")
+		rows, err := harness.RunCPUvsIO(cfg, []int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		harness.PrintCPUIO(out, rows)
+	case "fig6l":
+		hdr("Fig. 6L — sort/delete key correlation")
+		rows, err := harness.RunCorrelation(cfg, []int{1, 2, 4, 8, 16, 32}, []float64{0, 1})
+		if err != nil {
+			return err
+		}
+		harness.PrintCorrelation(out, rows)
+	case "fig1b":
+		hdr("Fig. 1B — persistence latency/cost frontier")
+		rows, err := harness.RunFrontier(cfg, 0.06, []float64{1.0 / 6, 0.25, 0.5})
+		if err != nil {
+			return err
+		}
+		harness.PrintFrontier(out, rows)
+	case "blind":
+		hdr("Blind-delete suppression (§4.1.5)")
+		rows, err := harness.RunBlindDeletes(cfg, 2000)
+		if err != nil {
+			return err
+		}
+		harness.PrintBlindDeletes(out, rows)
+	case "all":
+		for _, e := range []string{"table2", "fig6a-d", "fig6e", "fig6f", "fig6g",
+			"fig6h", "fig6i", "fig6j", "fig6k", "fig6l", "fig1b", "blind"} {
+			if err := run(e, cfg); err != nil {
+				return fmt.Errorf("%s: %w", e, err)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (try: all)", exp)
+	}
+	return nil
+}

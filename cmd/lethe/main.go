@@ -1,0 +1,192 @@
+// Command lethe is a small interactive shell over a Lethe database, for
+// poking at the engine: puts, gets, deletes (point, range, and secondary
+// range), scans, and statistics.
+//
+// Usage:
+//
+//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES]
+//
+// Commands (one per line):
+//
+//	put <key> <deletekey> <value>
+//	get <key>
+//	del <key>
+//	rangedel <start> <end>
+//	srd <dlo> <dhi>
+//	scan [start [end]]
+//	dscan <dlo> <dhi>
+//	stats | levels | flush | maintain | compactall | quit
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lethe"
+)
+
+func main() {
+	path := flag.String("path", "", "database directory (default: in-memory)")
+	dth := flag.Duration("dth", time.Hour, "delete persistence threshold (0 = baseline mode)")
+	tiles := flag.Int("h", 4, "delete tile granularity (pages per tile)")
+	flag.Parse()
+
+	opts := lethe.Options{Dth: *dth, TilePages: *tiles}
+	if *path == "" {
+		opts.InMemory = true
+		fmt.Println("in-memory database (use -path to persist)")
+	} else {
+		opts.Path = *path
+	}
+	db, err := lethe.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "open:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		if done := execute(db, strings.Fields(sc.Text())); done {
+			return
+		}
+		fmt.Print("> ")
+	}
+}
+
+func execute(db *lethe.DB, args []string) (quit bool) {
+	if len(args) == 0 {
+		return false
+	}
+	fail := func(err error) {
+		fmt.Println("error:", err)
+	}
+	parseD := func(s string) lethe.DeleteKey {
+		v, _ := strconv.ParseUint(s, 10, 64)
+		return lethe.DeleteKey(v)
+	}
+	switch args[0] {
+	case "put":
+		if len(args) < 4 {
+			fmt.Println("usage: put <key> <deletekey> <value>")
+			return false
+		}
+		if err := db.Put([]byte(args[1]), parseD(args[2]), []byte(strings.Join(args[3:], " "))); err != nil {
+			fail(err)
+		}
+	case "get":
+		if len(args) != 2 {
+			fmt.Println("usage: get <key>")
+			return false
+		}
+		v, d, err := db.GetWithDeleteKey([]byte(args[1]))
+		switch {
+		case errors.Is(err, lethe.ErrNotFound):
+			fmt.Println("(not found)")
+		case err != nil:
+			fail(err)
+		default:
+			fmt.Printf("%s (deletekey=%d)\n", v, d)
+		}
+	case "del":
+		if len(args) != 2 {
+			fmt.Println("usage: del <key>")
+			return false
+		}
+		if err := db.Delete([]byte(args[1])); err != nil {
+			fail(err)
+		}
+	case "rangedel":
+		if len(args) != 3 {
+			fmt.Println("usage: rangedel <start> <end>")
+			return false
+		}
+		if err := db.RangeDelete([]byte(args[1]), []byte(args[2])); err != nil {
+			fail(err)
+		}
+	case "srd":
+		if len(args) != 3 {
+			fmt.Println("usage: srd <dlo> <dhi>")
+			return false
+		}
+		st, err := db.SecondaryRangeDelete(parseD(args[1]), parseD(args[2]))
+		if err != nil {
+			fail(err)
+			return false
+		}
+		fmt.Printf("dropped %d entries (%d full page drops, %d partial, %d pages skipped by fences)\n",
+			st.EntriesDropped, st.FullPageDrops, st.PartialPageDrops, st.PagesUntouched)
+	case "scan":
+		var start, end []byte
+		if len(args) > 1 {
+			start = []byte(args[1])
+		}
+		if len(args) > 2 {
+			end = []byte(args[2])
+		}
+		n := 0
+		err := db.Scan(start, end, func(k []byte, d lethe.DeleteKey, v []byte) bool {
+			fmt.Printf("%s = %s (deletekey=%d)\n", k, v, d)
+			n++
+			return n < 100
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("(%d entries)\n", n)
+	case "dscan":
+		if len(args) != 3 {
+			fmt.Println("usage: dscan <dlo> <dhi>")
+			return false
+		}
+		items, err := db.SecondaryRangeScan(parseD(args[1]), parseD(args[2]))
+		if err != nil {
+			fail(err)
+			return false
+		}
+		for _, it := range items {
+			fmt.Printf("%s = %s (deletekey=%d)\n", it.Key, it.Value, it.DKey)
+		}
+		fmt.Printf("(%d entries)\n", len(items))
+	case "stats":
+		st := db.Stats()
+		fmt.Printf("entries=%d buffer=%d tombstones=%d\n", st.TreeEntries, st.BufferEntries, st.LivePointTombstones)
+		fmt.Printf("flushes=%d compactions=%d (ttl=%d sat=%d trivial=%d full-tree=%d)\n",
+			st.Flushes, st.Compactions, st.CompactionsTTL, st.CompactionsSaturation,
+			st.TrivialMoves, st.FullTreeCompactions)
+		fmt.Printf("written: flush=%dB compaction=%dB total=%dB (w-amp %.2f)\n",
+			st.BytesFlushed, st.CompactionBytesWritten, st.TotalBytesWritten, st.WriteAmplification())
+		fmt.Printf("page drops: full=%d partial=%d; blind deletes suppressed=%d\n",
+			st.FullPageDrops, st.PartialPageDrops, st.BlindDeletesSuppressed)
+		fmt.Printf("max tombstone age: %v (TTLs: %v)\n", db.MaxTombstoneAge(), db.TTLs())
+	case "levels":
+		for i, l := range db.Stats().Levels {
+			fmt.Printf("L%d: runs=%d files=%d bytes=%d entries=%d tombstones=%d\n",
+				i+1, l.Runs, l.Files, l.LiveBytes, l.Entries, l.PointTombstones)
+		}
+	case "flush":
+		if err := db.Flush(); err != nil {
+			fail(err)
+		}
+	case "maintain":
+		if err := db.Maintain(); err != nil {
+			fail(err)
+		}
+	case "compactall":
+		if err := db.FullTreeCompact(); err != nil {
+			fail(err)
+		}
+	case "quit", "exit":
+		return true
+	default:
+		fmt.Println("commands: put get del rangedel srd scan dscan stats levels flush maintain compactall quit")
+	}
+	return false
+}

@@ -1,0 +1,97 @@
+package lethe_test
+
+import (
+	"fmt"
+	"time"
+
+	"lethe"
+)
+
+// ExampleOpen shows the minimal lifecycle: open, write, read, close.
+func ExampleOpen() {
+	db, err := lethe.Open(lethe.Options{InMemory: true, DisableWAL: true})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("greeting"), lethe.DeleteKey(time.Now().Unix()), []byte("hello"))
+	v, _ := db.Get([]byte("greeting"))
+	fmt.Println(string(v))
+	// Output: hello
+}
+
+// ExampleDB_SecondaryRangeDelete demonstrates a retention purge on the
+// secondary delete key without a full-tree compaction.
+func ExampleDB_SecondaryRangeDelete() {
+	db, _ := lethe.Open(lethe.Options{InMemory: true, DisableWAL: true, TilePages: 4})
+	defer db.Close()
+
+	// Documents keyed by id, expiring by day-of-creation.
+	for day := 0; day < 10; day++ {
+		for i := 0; i < 20; i++ {
+			key := fmt.Sprintf("doc-%02d-%02d", day, i)
+			db.Put([]byte(key), lethe.DeleteKey(day), []byte("payload"))
+		}
+	}
+	// Retention: drop everything older than day 7.
+	stats, _ := db.SecondaryRangeDelete(0, 7)
+	fmt.Println("entries dropped:", stats.EntriesDropped)
+
+	live := 0
+	db.Scan(nil, nil, func([]byte, lethe.DeleteKey, []byte) bool { live++; return true })
+	fmt.Println("entries live:", live)
+	// Output:
+	// entries dropped: 140
+	// entries live: 60
+}
+
+// ExampleDB_NewIter iterates a consistent snapshot of a key range.
+func ExampleDB_NewIter() {
+	db, _ := lethe.Open(lethe.Options{InMemory: true, DisableWAL: true})
+	defer db.Close()
+	for _, k := range []string{"ant", "bee", "cat", "dog"} {
+		db.Put([]byte(k), 0, []byte("animal"))
+	}
+	it, _ := db.NewIter([]byte("b"), []byte("d"))
+	for it.Next() {
+		fmt.Println(string(it.Key()))
+	}
+	// Output:
+	// bee
+	// cat
+}
+
+// ExampleOptimalTileSize reproduces the paper's §4.3 worked example.
+func ExampleOptimalTileSize() {
+	h := lethe.OptimalTileSize(lethe.TuningParams{
+		Entries:           400e9 / 4096, // 400GB of 4KB pages, one unit per page
+		EntriesPerPage:    1,
+		FalsePositiveRate: 0.02,
+		Levels:            8,
+	}, lethe.WorkloadProfile{
+		EmptyPointLookups:     25e6,
+		PointLookups:          25e6,
+		ShortRangeLookups:     1e4,
+		SecondaryRangeDeletes: 1,
+	})
+	fmt.Println(h > 50 && h < 150) // the paper derives h ≈ 100
+	// Output: true
+}
+
+// ExampleBatch applies several operations atomically.
+func ExampleBatch() {
+	db, _ := lethe.Open(lethe.Options{InMemory: true, DisableWAL: true})
+	defer db.Close()
+
+	b := lethe.NewBatch().
+		Put([]byte("a"), 1, []byte("va")).
+		Put([]byte("b"), 2, []byte("vb")).
+		Delete([]byte("a"))
+	db.Apply(b)
+
+	_, errA := db.Get([]byte("a"))
+	vb, _ := db.Get([]byte("b"))
+	fmt.Println(errA == lethe.ErrNotFound, string(vb))
+	// Output: true vb
+}

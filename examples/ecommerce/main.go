@@ -1,0 +1,109 @@
+// Ecommerce reproduces the paper's Scenario 1 (EComp, §1): an order store
+// sorted by order id that must honor right-to-be-forgotten requests with a
+// hard persistence deadline.
+//
+// A user-deletion request becomes point and range deletes on the sort key;
+// FADE's TTL-driven compactions guarantee the data is physically gone within
+// Dth, which the example verifies by inspecting tombstone ages after
+// advancing the (simulated) clock.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"lethe"
+)
+
+func orderKey(user, order int) []byte {
+	// Orders cluster by user so one user's history is a contiguous range.
+	return []byte(fmt.Sprintf("order/%05d/%07d", user, order))
+}
+
+func main() {
+	clock := lethe.NewManualClock(time.Unix(1_700_000_000, 0))
+	const dth = 6 * time.Hour // the privacy SLA: deletes persist within 6h
+
+	db, err := lethe.Open(lethe.Options{
+		InMemory:    true,
+		Clock:       clock,
+		Dth:         dth,
+		BufferBytes: 8 << 10,
+		PageSize:    1 << 10,
+		FilePages:   16,
+		SizeRatio:   10,
+		DisableWAL:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Years of order history for 40 users.
+	fmt.Println("ingesting order history...")
+	for user := 0; user < 40; user++ {
+		for order := 0; order < 200; order++ {
+			ts := lethe.DeleteKey(clock.Now().Unix())
+			payload := []byte(fmt.Sprintf(`{"user":%d,"order":%d,"total":%d}`, user, order, order*7))
+			if err := db.Put(orderKey(user, order), ts, payload); err != nil {
+				log.Fatal(err)
+			}
+			clock.Advance(time.Second)
+		}
+	}
+
+	// User 17 invokes the right to be forgotten: one range delete covers
+	// their whole clustered history.
+	fmt.Println("user 17 requests deletion (GDPR article 17)...")
+	requested := clock.Now()
+	if err := db.RangeDelete(orderKey(17, 0), orderKey(17, 1<<24)); err != nil {
+		log.Fatal(err)
+	}
+
+	// The data is logically gone immediately.
+	if _, err := db.Get(orderKey(17, 42)); !errors.Is(err, lethe.ErrNotFound) {
+		log.Fatalf("order 17/42 still readable: %v", err)
+	}
+
+	// Physical persistence: the store keeps serving new orders while FADE's
+	// TTL-driven compactions push the tombstones to the last level within
+	// the SLA.
+	nextOrder := 200
+	for elapsed := time.Duration(0); elapsed < dth; elapsed += 30 * time.Minute {
+		clock.Advance(30 * time.Minute)
+		for user := 0; user < 40; user += 8 { // ongoing traffic
+			ts := lethe.DeleteKey(clock.Now().Unix())
+			if err := db.Put(orderKey(user, nextOrder), ts, []byte(`{"new":true}`)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		nextOrder++
+		if err := db.Maintain(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Maintain(); err != nil {
+		log.Fatal(err)
+	}
+
+	oldest := db.MaxTombstoneAge()
+	fmt.Printf("SLA check %v after the request:\n", clock.Now().Sub(requested))
+	fmt.Printf("  oldest tombstone in the tree: %v (Dth = %v)\n", oldest, dth)
+	if oldest > dth {
+		log.Fatal("SLA violated: tombstone older than Dth survives")
+	}
+	st := db.Stats()
+	fmt.Printf("  ttl-compactions=%d tombstones-persisted=%d range-covered=%d\n",
+		st.CompactionsTTL, st.TombstonesDropped, st.RangeCovered)
+
+	// Everyone else's data is intact.
+	if _, err := db.Get(orderKey(16, 42)); err != nil {
+		log.Fatal("neighbor data lost!")
+	}
+	fmt.Println("  user 16's orders intact; user 17 physically forgotten ✓")
+}

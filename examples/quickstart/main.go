@@ -1,0 +1,61 @@
+// Quickstart: open an in-memory Lethe database, write, read, delete, scan.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lethe"
+)
+
+func main() {
+	// A Lethe database with a 24-hour delete persistence guarantee: every
+	// delete is physically purged from storage within Dth of being issued.
+	db, err := lethe.Open(lethe.Options{
+		InMemory: true,
+		Dth:      24 * time.Hour,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Put(key, deleteKey, value): deleteKey is the secondary attribute
+	// (here a creation timestamp) that secondary range deletes select on.
+	now := lethe.DeleteKey(time.Now().Unix())
+	if err := db.Put([]byte("user:1001"), now, []byte(`{"name":"ada"}`)); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Put([]byte("user:1002"), now, []byte(`{"name":"grace"}`)); err != nil {
+		log.Fatal(err)
+	}
+
+	value, err := db.Get([]byte("user:1001"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("user:1001 = %s\n", value)
+
+	// Point delete: inserts a tombstone that FADE guarantees to persist
+	// within Dth.
+	if err := db.Delete([]byte("user:1001")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Get([]byte("user:1001")); err == lethe.ErrNotFound {
+		fmt.Println("user:1001 deleted")
+	}
+
+	// Range scan over what's left.
+	err = db.Scan([]byte("user:"), []byte("user:~"), func(k []byte, _ lethe.DeleteKey, v []byte) bool {
+		fmt.Printf("scan: %s = %s\n", k, v)
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := db.Stats()
+	fmt.Printf("flushes=%d compactions=%d tree-entries=%d\n",
+		st.Flushes, st.Compactions, st.TreeEntries)
+}

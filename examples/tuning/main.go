@@ -1,0 +1,58 @@
+// Tuning demonstrates Eq. 3 (§4.2.6): choosing the delete-tile granularity h
+// from the workload composition, including the paper's own worked example
+// (§4.3: a 400GB database where h ≈ 100 is optimal), and shows how the
+// optimum shifts as reads or deletes dominate.
+package main
+
+import (
+	"fmt"
+
+	"lethe"
+)
+
+func main() {
+	// The paper's worked example: 400GB database, 4KB pages, and between
+	// two secondary range deletes: 50M point queries, 10K short range
+	// queries, FPR ≈ 0.02, L = log_T(N/B) ≈ 8 levels.
+	pagesInDB := 400e9 / 4096
+	params := lethe.TuningParams{
+		Entries:           pagesInDB, // expressed as N/B units
+		EntriesPerPage:    1,
+		FalsePositiveRate: 0.02,
+		Levels:            8,
+	}
+	paper := lethe.WorkloadProfile{
+		EmptyPointLookups:     25e6,
+		PointLookups:          25e6,
+		ShortRangeLookups:     1e4,
+		SecondaryRangeDeletes: 1,
+	}
+	fmt.Printf("paper's worked example (§4.3): optimal h = %d (paper: ≈100)\n\n",
+		lethe.OptimalTileSize(params, paper))
+
+	fmt.Println("how the optimum moves with the workload:")
+	fmt.Printf("%-44s %8s\n", "workload", "h*")
+	rows := []struct {
+		name string
+		w    lethe.WorkloadProfile
+	}{
+		{"no secondary deletes at all", lethe.WorkloadProfile{PointLookups: 1e6}},
+		{"1 SRD per 100M point lookups", lethe.WorkloadProfile{
+			PointLookups: 50e6, EmptyPointLookups: 50e6, SecondaryRangeDeletes: 1}},
+		{"1 SRD per 50M point lookups (paper)", paper},
+		{"1 SRD per 5M point lookups", lethe.WorkloadProfile{
+			PointLookups: 2.5e6, EmptyPointLookups: 2.5e6,
+			ShortRangeLookups: 1e3, SecondaryRangeDeletes: 1}},
+		{"range-scan heavy (1M short ranges per SRD)", lethe.WorkloadProfile{
+			PointLookups: 1e6, ShortRangeLookups: 1e6, SecondaryRangeDeletes: 1}},
+		{"delete-dominated archive (reads rare)", lethe.WorkloadProfile{
+			PointLookups: 1e3, SecondaryRangeDeletes: 1}},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-44s %8d\n", r.name, lethe.OptimalTileSize(params, r.w))
+	}
+
+	fmt.Println("\nh = 1 is the classical LSM layout (fastest reads, full-tree")
+	fmt.Println("compaction for secondary deletes); larger h trades bounded read")
+	fmt.Println("overhead for secondary deletes that drop whole pages without I/O.")
+}

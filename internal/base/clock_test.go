@@ -1,0 +1,71 @@
+package base
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestManualClock(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewManualClock(start)
+	if !c.Now().Equal(start) {
+		t.Fatal("initial time")
+	}
+	c.Advance(5 * time.Second)
+	if !c.Now().Equal(start.Add(5 * time.Second)) {
+		t.Fatal("advance")
+	}
+	c.Set(start.Add(time.Minute))
+	if !c.Now().Equal(start.Add(time.Minute)) {
+		t.Fatal("set")
+	}
+}
+
+func TestManualClockBackwardsPanics(t *testing.T) {
+	c := NewManualClock(time.Unix(1000, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic moving time backwards")
+		}
+	}()
+	c.Set(time.Unix(999, 0))
+}
+
+func TestManualClockNegativeAdvancePanics(t *testing.T) {
+	c := NewManualClock(time.Unix(1000, 0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative advance")
+		}
+	}()
+	c.Advance(-time.Second)
+}
+
+func TestManualClockConcurrent(t *testing.T) {
+	c := NewManualClock(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Nanosecond)
+				_ = c.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); !got.Equal(time.Unix(0, 8000)) {
+		t.Fatalf("lost advances: %v", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	var c Clock = RealClock{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatal("real clock went backwards")
+	}
+}

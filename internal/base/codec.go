@@ -1,0 +1,96 @@
+package base
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrCorrupt is returned when a decoder encounters malformed bytes. Callers
+// wrap it with context identifying the file or record.
+var ErrCorrupt = errors.New("base: corrupt encoding")
+
+// AppendUvarint appends x in unsigned varint encoding.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// AppendBytes appends a length-prefixed byte slice.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendUint64 appends x in fixed-width little-endian encoding.
+func AppendUint64(dst []byte, x uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, x)
+}
+
+// Uvarint decodes an unsigned varint from b, returning the value and the
+// remainder of the buffer.
+func Uvarint(b []byte) (uint64, []byte, error) {
+	x, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, ErrCorrupt
+	}
+	return x, b[n:], nil
+}
+
+// Bytes decodes a length-prefixed byte slice, returning a sub-slice of b
+// (no copy) and the remainder.
+func Bytes(b []byte) ([]byte, []byte, error) {
+	n, rest, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint64(len(rest)) < n {
+		return nil, nil, ErrCorrupt
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// Uint64 decodes a fixed-width little-endian uint64.
+func Uint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, ErrCorrupt
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// AppendEntry serializes an entry: trailer, dkey, user key, value. The
+// format is shared by the WAL and by sstable data pages.
+func AppendEntry(dst []byte, e Entry) []byte {
+	dst = AppendUvarint(dst, uint64(e.Key.Trailer))
+	dst = AppendUvarint(dst, uint64(e.DKey))
+	dst = AppendBytes(dst, e.Key.UserKey)
+	dst = AppendBytes(dst, e.Value)
+	return dst
+}
+
+// DecodeEntry parses an entry previously written by AppendEntry. The
+// returned entry aliases b; use Entry.Clone to retain it.
+func DecodeEntry(b []byte) (Entry, []byte, error) {
+	var e Entry
+	trailer, b, err := Uvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	dkey, b, err := Uvarint(b)
+	if err != nil {
+		return e, nil, err
+	}
+	userKey, b, err := Bytes(b)
+	if err != nil {
+		return e, nil, err
+	}
+	value, b, err := Bytes(b)
+	if err != nil {
+		return e, nil, err
+	}
+	e.Key = InternalKey{UserKey: userKey, Trailer: Trailer(trailer)}
+	if !e.Key.Kind().Valid() {
+		return e, nil, ErrCorrupt
+	}
+	e.DKey = DeleteKey(dkey)
+	e.Value = value
+	return e, b, nil
+}

@@ -1,0 +1,103 @@
+package base
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	entries := []Entry{
+		MakeEntry([]byte("alpha"), 1, KindSet, 100, []byte("value-1")),
+		MakeEntry([]byte(""), 2, KindSet, 0, []byte("")),
+		MakeEntry([]byte("tomb"), 3, KindDelete, 55, nil),
+		MakeEntry([]byte("ra"), 4, KindRangeDelete, 7, []byte("rz")),
+		MakeEntry(bytes.Repeat([]byte{0xff}, 300), SeqNum(1<<40), KindSet, 1<<63, bytes.Repeat([]byte{0}, 1024)),
+	}
+	var buf []byte
+	for _, e := range entries {
+		buf = AppendEntry(buf, e)
+	}
+	rest := buf
+	for i, want := range entries {
+		var got Entry
+		var err error
+		got, rest, err = DecodeEntry(rest)
+		if err != nil {
+			t.Fatalf("entry %d: %v", i, err)
+		}
+		if got.Key.Compare(want.Key) != 0 || got.DKey != want.DKey || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("entry %d: got %v want %v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestEntryCodecQuick(t *testing.T) {
+	f := func(key, value []byte, seq uint32, dkey uint64, kindRaw uint8) bool {
+		kind := Kind(kindRaw % uint8(numKinds))
+		e := MakeEntry(key, SeqNum(seq), kind, DeleteKey(dkey), value)
+		buf := AppendEntry(nil, e)
+		got, rest, err := DecodeEntry(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got.Key.Compare(e.Key) == 0 && got.DKey == e.DKey && bytes.Equal(got.Value, e.Value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeEntryCorrupt(t *testing.T) {
+	e := MakeEntry([]byte("key"), 1, KindSet, 2, []byte("value"))
+	buf := AppendEntry(nil, e)
+	// Every strict prefix of a valid encoding must fail (or decode cleanly
+	// to something shorter — but for a single entry a prefix is corrupt).
+	for i := 0; i < len(buf); i++ {
+		if _, _, err := DecodeEntry(buf[:i]); err == nil {
+			t.Fatalf("prefix of length %d decoded without error", i)
+		}
+	}
+	// An invalid kind must be rejected.
+	bad := AppendUvarint(nil, uint64(MakeTrailer(1, Kind(99))))
+	bad = AppendUvarint(bad, 0)
+	bad = AppendBytes(bad, []byte("k"))
+	bad = AppendBytes(bad, nil)
+	if _, _, err := DecodeEntry(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestScalarCodecs(t *testing.T) {
+	buf := AppendUvarint(nil, 300)
+	buf = AppendUint64(buf, 0xdeadbeef)
+	buf = AppendBytes(buf, []byte("hello"))
+
+	v, rest, err := Uvarint(buf)
+	if err != nil || v != 300 {
+		t.Fatalf("uvarint: %d %v", v, err)
+	}
+	u, rest, err := Uint64(rest)
+	if err != nil || u != 0xdeadbeef {
+		t.Fatalf("uint64: %x %v", u, err)
+	}
+	b, rest, err := Bytes(rest)
+	if err != nil || string(b) != "hello" || len(rest) != 0 {
+		t.Fatalf("bytes: %q %v", b, err)
+	}
+
+	if _, _, err := Uvarint(nil); err == nil {
+		t.Fatal("empty uvarint must fail")
+	}
+	if _, _, err := Uint64([]byte{1, 2}); err == nil {
+		t.Fatal("short uint64 must fail")
+	}
+	short := AppendUvarint(nil, 10)
+	if _, _, err := Bytes(append(short, 'x')); err == nil {
+		t.Fatal("short bytes must fail")
+	}
+}

@@ -1,0 +1,164 @@
+package base
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrailerRoundTrip(t *testing.T) {
+	cases := []struct {
+		seq  SeqNum
+		kind Kind
+	}{
+		{0, KindSet},
+		{1, KindDelete},
+		{12345, KindRangeDelete},
+		{MaxSeqNum, KindSet},
+	}
+	for _, c := range cases {
+		tr := MakeTrailer(c.seq, c.kind)
+		if tr.SeqNum() != c.seq {
+			t.Errorf("seq: got %d want %d", tr.SeqNum(), c.seq)
+		}
+		if tr.Kind() != c.kind {
+			t.Errorf("kind: got %v want %v", tr.Kind(), c.kind)
+		}
+	}
+}
+
+func TestTrailerRoundTripQuick(t *testing.T) {
+	f := func(seq uint64, kindRaw uint8) bool {
+		seq &= uint64(MaxSeqNum)
+		kind := Kind(kindRaw % uint8(numKinds))
+		tr := MakeTrailer(SeqNum(seq), kind)
+		return tr.SeqNum() == SeqNum(seq) && tr.Kind() == kind
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindSet.String() != "SET" || KindDelete.String() != "DEL" || KindRangeDelete.String() != "RANGEDEL" {
+		t.Fatal("unexpected Kind strings")
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Fatalf("got %s", Kind(200).String())
+	}
+	if Kind(200).Valid() {
+		t.Fatal("Kind(200) should be invalid")
+	}
+}
+
+func TestInternalKeyOrdering(t *testing.T) {
+	// Same user key: newer sequence numbers sort first.
+	a := MakeInternalKey([]byte("k"), 10, KindSet)
+	b := MakeInternalKey([]byte("k"), 5, KindSet)
+	if a.Compare(b) >= 0 {
+		t.Fatalf("newer version must sort first: %v vs %v", a, b)
+	}
+	// Same user key and seq: tombstone (higher kind) sorts before set.
+	c := MakeInternalKey([]byte("k"), 5, KindDelete)
+	if c.Compare(b) >= 0 {
+		t.Fatalf("tombstone must sort before set at equal seq: %v vs %v", c, b)
+	}
+	// Different user keys: byte order dominates.
+	d := MakeInternalKey([]byte("a"), 1, KindSet)
+	e := MakeInternalKey([]byte("b"), 100, KindSet)
+	if d.Compare(e) >= 0 {
+		t.Fatal("user key order must dominate")
+	}
+	if d.Compare(d) != 0 {
+		t.Fatal("key must equal itself")
+	}
+}
+
+func TestInternalKeyCompareTotalOrder(t *testing.T) {
+	// Property: Compare is antisymmetric and transitive over random keys.
+	f := func(k1, k2, k3 []byte, s1, s2, s3 uint16) bool {
+		a := MakeInternalKey(k1, SeqNum(s1), KindSet)
+		b := MakeInternalKey(k2, SeqNum(s2), KindDelete)
+		c := MakeInternalKey(k3, SeqNum(s3), KindSet)
+		if a.Compare(b) != -b.Compare(a) {
+			return false
+		}
+		keys := []InternalKey{a, b, c}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+		return keys[0].Compare(keys[1]) <= 0 && keys[1].Compare(keys[2]) <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInternalKeyClone(t *testing.T) {
+	buf := []byte("mutable")
+	k := MakeInternalKey(buf, 7, KindSet)
+	c := k.Clone()
+	buf[0] = 'X'
+	if string(c.UserKey) != "mutable" {
+		t.Fatalf("clone aliased source buffer: %q", c.UserKey)
+	}
+	if c.SeqNum() != 7 || c.Kind() != KindSet {
+		t.Fatal("clone lost trailer")
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := MakeInternalKey([]byte("abc"), 9, KindDelete)
+	if got := k.String(); got != `"abc"#9,DEL` {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestRangeTombstone(t *testing.T) {
+	rt := RangeTombstone{Start: []byte("b"), End: []byte("d"), Seq: 100}
+	if !rt.Contains([]byte("b")) {
+		t.Fatal("start is inclusive")
+	}
+	if !rt.Contains([]byte("c")) {
+		t.Fatal("interior key covered")
+	}
+	if rt.Contains([]byte("d")) {
+		t.Fatal("end is exclusive")
+	}
+	if rt.Contains([]byte("a")) {
+		t.Fatal("key before range not covered")
+	}
+	if !rt.Covers([]byte("c"), 99) {
+		t.Fatal("older entry in range must be covered")
+	}
+	if rt.Covers([]byte("c"), 100) {
+		t.Fatal("entry at tombstone seq must not be covered")
+	}
+	if rt.Covers([]byte("c"), 101) {
+		t.Fatal("newer entry must not be covered")
+	}
+}
+
+func TestEntryHelpers(t *testing.T) {
+	e := MakeEntry([]byte("key"), 3, KindSet, 42, []byte("value"))
+	if e.IsTombstone() {
+		t.Fatal("set entry is not a tombstone")
+	}
+	if e.Size() != 3+8+8+5 {
+		t.Fatalf("size: got %d", e.Size())
+	}
+	d := MakeEntry([]byte("key"), 4, KindDelete, 0, nil)
+	if !d.IsTombstone() {
+		t.Fatal("delete entry is a tombstone")
+	}
+	r := MakeEntry([]byte("a"), 5, KindRangeDelete, 0, []byte("z"))
+	if !r.IsTombstone() {
+		t.Fatal("range delete is a tombstone")
+	}
+
+	src := MakeEntry([]byte("k"), 1, KindSet, 9, []byte("v"))
+	cl := src.Clone()
+	src.Key.UserKey[0] = 'X'
+	src.Value[0] = 'Y'
+	if string(cl.Key.UserKey) != "k" || string(cl.Value) != "v" || cl.DKey != 9 {
+		t.Fatal("clone aliased source")
+	}
+}

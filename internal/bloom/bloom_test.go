@@ -1,0 +1,147 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 1000} {
+		keys := make([][]byte, n)
+		for i := range keys {
+			keys[i] = []byte(fmt.Sprintf("key-%06d", i))
+		}
+		f := New(keys, 10)
+		for _, k := range keys {
+			if !f.MayContain(k) {
+				t.Fatalf("n=%d: false negative on %q", n, k)
+			}
+		}
+	}
+}
+
+func TestNoFalseNegativesQuick(t *testing.T) {
+	f := func(keys [][]byte) bool {
+		filter := New(keys, 10)
+		for _, k := range keys {
+			if !filter.MayContain(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	const n = 10000
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("present-%06d", i))
+	}
+	f := New(keys, 10)
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%06d", i))) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	want := TheoreticalFPR(10) // ≈ 0.0082
+	if got > 3*want+0.005 {
+		t.Fatalf("FPR too high: got %f want ≈%f", got, want)
+	}
+}
+
+func TestEmptyAndNilFilter(t *testing.T) {
+	var f Filter
+	if !f.MayContain([]byte("x")) {
+		t.Fatal("nil filter must not prove absence")
+	}
+	if !Filter([]byte{1}).MayContain([]byte("x")) {
+		t.Fatal("degenerate filter must not prove absence")
+	}
+}
+
+func TestBitsPerKeyClamped(t *testing.T) {
+	f := New([][]byte{[]byte("a")}, 0) // clamped to 1 bit/key
+	if !f.MayContain([]byte("a")) {
+		t.Fatal("false negative at minimum size")
+	}
+}
+
+func TestHashOpsCounting(t *testing.T) {
+	before := HashOps.Load()
+	f := New([][]byte{[]byte("a"), []byte("b")}, 10)
+	f.MayContain([]byte("c"))
+	delta := HashOps.Load() - before
+	// 2 keys added + 1 probe = 3 digests; the single-digest trick means
+	// probes cost one hash regardless of k.
+	if delta != 3 {
+		t.Fatalf("hash ops: got %d want 3", delta)
+	}
+}
+
+func TestTheoreticalFPR(t *testing.T) {
+	if got := TheoreticalFPR(10); math.Abs(got-0.00819) > 0.0005 {
+		t.Fatalf("FPR(10) = %f", got)
+	}
+	if TheoreticalFPR(0) != 1 {
+		t.Fatal("FPR(0) must be 1")
+	}
+}
+
+func TestMurmurReferenceVectors(t *testing.T) {
+	// Sanity properties: determinism, seed sensitivity, length sensitivity,
+	// and avalanche on small changes across all tail lengths.
+	for n := 0; n <= 33; n++ {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i * 7)
+		}
+		a1, a2 := hash128(data, 1)
+		b1, b2 := hash128(data, 1)
+		if a1 != b1 || a2 != b2 {
+			t.Fatalf("n=%d: non-deterministic", n)
+		}
+		c1, c2 := hash128(data, 2)
+		if n > 0 && a1 == c1 && a2 == c2 {
+			t.Fatalf("n=%d: seed-insensitive", n)
+		}
+		if n > 0 {
+			mut := append([]byte(nil), data...)
+			mut[n/2] ^= 0x01
+			d1, d2 := hash128(mut, 1)
+			if d1 == a1 && d2 == a2 {
+				t.Fatalf("n=%d: no avalanche on bit flip", n)
+			}
+		}
+	}
+}
+
+func TestMurmurKnownAnswer(t *testing.T) {
+	// Reference value for MurmurHash3 x64_128("hello", seed=0) computed with
+	// the canonical C++ implementation.
+	h1, h2 := hash128([]byte("hello"), 0)
+	if h1 != 0xcbd8a7b341bd9b02 || h2 != 0x5b1e906a48ae1d19 {
+		t.Fatalf("murmur3 mismatch: %x %x", h1, h2)
+	}
+}
+
+func BenchmarkFilterProbe(b *testing.B) {
+	keys := make([][]byte, 4)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%06d", i))
+	}
+	f := New(keys, 10)
+	probe := []byte("probe-key")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.MayContain(probe)
+	}
+}

@@ -1,0 +1,186 @@
+// Package compaction implements the sort-merge machinery and the FADE
+// compaction policies (§4.1): the saturation- and TTL-driven triggers and the
+// SO / SD / DD file selection strategies with the paper's tie-breaking rules.
+package compaction
+
+import (
+	"container/heap"
+
+	"lethe/internal/base"
+)
+
+// Iterator yields entries in strictly increasing (userKey, -seq) order.
+// sstable.Iter and slice-backed iterators both satisfy it.
+type Iterator interface {
+	Next() (base.Entry, bool)
+	Error() error
+}
+
+// SliceIter iterates a pre-sorted in-memory entry slice (used for memtable
+// flushes and in tests).
+type SliceIter struct {
+	entries []base.Entry
+	pos     int
+}
+
+// NewSliceIter wraps entries, which must already be sorted.
+func NewSliceIter(entries []base.Entry) *SliceIter {
+	return &SliceIter{entries: entries}
+}
+
+// Next implements Iterator.
+func (it *SliceIter) Next() (base.Entry, bool) {
+	if it.pos >= len(it.entries) {
+		return base.Entry{}, false
+	}
+	e := it.entries[it.pos]
+	it.pos++
+	return e, true
+}
+
+// Error implements Iterator.
+func (it *SliceIter) Error() error { return nil }
+
+// ---------------------------------------------------------------------------
+// K-way merge
+
+type mergeItem struct {
+	entry base.Entry
+	src   int // input index; lower index = newer source, breaks seq ties
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if c := base.CompareUserKeys(h[i].entry.Key.UserKey, h[j].entry.Key.UserKey); c != 0 {
+		return c < 0
+	}
+	si, sj := h[i].entry.Key.SeqNum(), h[j].entry.Key.SeqNum()
+	if si != sj {
+		return si > sj // newer first
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// MergeConfig controls what the merging iterator drops.
+type MergeConfig struct {
+	// LastLevel marks a compaction whose output is the tree's last level
+	// and whose inputs include every run of that level: point and range
+	// tombstones are discarded after doing their work (§3.1.1: "a tombstone
+	// is discarded during its compaction with the last level").
+	LastLevel bool
+	// RangeTombstones are all range tombstones from the compaction's inputs;
+	// entries they cover (older sequence numbers within the range) are
+	// dropped during the merge.
+	RangeTombstones []base.RangeTombstone
+}
+
+// MergeStats reports what a merge consolidated, feeding the engine's write-
+// amplification and delete-persistence accounting.
+type MergeStats struct {
+	// EntriesIn counts entries pulled from the inputs.
+	EntriesIn int
+	// EntriesOut counts entries emitted.
+	EntriesOut int
+	// ObsoleteDropped counts older versions superseded by newer entries.
+	ObsoleteDropped int
+	// TombstonesDropped counts point tombstones discarded at the last level.
+	TombstonesDropped int
+	// RangeCovered counts entries dropped because a range tombstone covered
+	// them.
+	RangeCovered int
+}
+
+// MergeIter merges k inputs, consolidating duplicate user keys (newest
+// version wins), applying range tombstones, and discarding tombstones at the
+// last level.
+type MergeIter struct {
+	h     mergeHeap
+	srcs  []Iterator
+	cfg   MergeConfig
+	stats MergeStats
+	err   error
+}
+
+// NewMergeIter builds a merging iterator over the inputs. Input index order
+// breaks sequence-number ties: inputs must be passed newest-source-first.
+func NewMergeIter(cfg MergeConfig, inputs ...Iterator) *MergeIter {
+	m := &MergeIter{srcs: inputs, cfg: cfg}
+	for i, src := range inputs {
+		if e, ok := src.Next(); ok {
+			m.h = append(m.h, mergeItem{entry: e, src: i})
+		} else if err := src.Error(); err != nil {
+			m.err = err
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+func (m *MergeIter) advance(src int) {
+	if e, ok := m.srcs[src].Next(); ok {
+		heap.Push(&m.h, mergeItem{entry: e, src: src})
+	} else if err := m.srcs[src].Error(); err != nil && m.err == nil {
+		m.err = err
+	}
+}
+
+func (m *MergeIter) coveredByRange(e base.Entry) bool {
+	for _, rt := range m.cfg.RangeTombstones {
+		if rt.Covers(e.Key.UserKey, e.Key.SeqNum()) {
+			return true
+		}
+	}
+	return false
+}
+
+// Next returns the next surviving entry of the merge.
+func (m *MergeIter) Next() (base.Entry, bool) {
+	for m.err == nil && len(m.h) > 0 {
+		top := m.h[0].entry
+		src := m.h[0].src
+		heap.Pop(&m.h)
+		m.advance(src)
+		m.stats.EntriesIn++
+
+		// Swallow older versions of the same user key.
+		for len(m.h) > 0 && base.CompareUserKeys(m.h[0].entry.Key.UserKey, top.Key.UserKey) == 0 {
+			s := m.h[0].src
+			heap.Pop(&m.h)
+			m.advance(s)
+			m.stats.EntriesIn++
+			m.stats.ObsoleteDropped++
+		}
+
+		if m.coveredByRange(top) {
+			m.stats.RangeCovered++
+			continue
+		}
+		if top.Key.Kind() == base.KindDelete && m.cfg.LastLevel {
+			// The tombstone has consumed everything it shadows; at the last
+			// level it is persisted (discarded).
+			m.stats.TombstonesDropped++
+			continue
+		}
+		m.stats.EntriesOut++
+		return top, true
+	}
+	return base.Entry{}, false
+}
+
+// Error returns the first input error.
+func (m *MergeIter) Error() error { return m.err }
+
+// Stats returns the merge's consolidation counters (valid after the iterator
+// is exhausted).
+func (m *MergeIter) Stats() MergeStats { return m.stats }

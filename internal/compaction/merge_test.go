@@ -1,0 +1,183 @@
+package compaction
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lethe/internal/base"
+)
+
+func e(key string, seq base.SeqNum, kind base.Kind, val string) base.Entry {
+	return base.MakeEntry([]byte(key), seq, kind, 0, []byte(val))
+}
+
+func drain(t *testing.T, m *MergeIter) []base.Entry {
+	t.Helper()
+	var out []base.Entry
+	for {
+		entry, ok := m.Next()
+		if !ok {
+			break
+		}
+		out = append(out, entry)
+	}
+	if err := m.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMergeConsolidatesDuplicates(t *testing.T) {
+	newer := NewSliceIter([]base.Entry{e("a", 10, base.KindSet, "new"), e("c", 11, base.KindSet, "c")})
+	older := NewSliceIter([]base.Entry{e("a", 5, base.KindSet, "old"), e("b", 6, base.KindSet, "b")})
+	m := NewMergeIter(MergeConfig{}, newer, older)
+	out := drain(t, m)
+	if len(out) != 3 {
+		t.Fatalf("merged %d entries: %v", len(out), out)
+	}
+	if string(out[0].Value) != "new" {
+		t.Fatalf("newest version must win: %v", out[0])
+	}
+	st := m.Stats()
+	if st.ObsoleteDropped != 1 || st.EntriesIn != 4 || st.EntriesOut != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMergeTombstoneShadowsAndPersists(t *testing.T) {
+	upper := NewSliceIter([]base.Entry{e("k", 20, base.KindDelete, "")})
+	lower := NewSliceIter([]base.Entry{e("k", 3, base.KindSet, "v")})
+
+	// Intermediate level: tombstone retained, value dropped.
+	m := NewMergeIter(MergeConfig{LastLevel: false}, upper, lower)
+	out := drain(t, m)
+	if len(out) != 1 || out[0].Key.Kind() != base.KindDelete {
+		t.Fatalf("intermediate merge: %v", out)
+	}
+
+	// Last level: tombstone discarded too — the delete is persisted.
+	upper2 := NewSliceIter([]base.Entry{e("k", 20, base.KindDelete, "")})
+	lower2 := NewSliceIter([]base.Entry{e("k", 3, base.KindSet, "v")})
+	m2 := NewMergeIter(MergeConfig{LastLevel: true}, upper2, lower2)
+	out2 := drain(t, m2)
+	if len(out2) != 0 {
+		t.Fatalf("last-level merge: %v", out2)
+	}
+	if m2.Stats().TombstonesDropped != 1 {
+		t.Fatalf("stats: %+v", m2.Stats())
+	}
+}
+
+func TestMergeSeqTieBreakBySource(t *testing.T) {
+	// Identical (key, seq) in two inputs: the earlier (newer) source wins.
+	a := NewSliceIter([]base.Entry{e("k", 5, base.KindSet, "from-a")})
+	b := NewSliceIter([]base.Entry{e("k", 5, base.KindSet, "from-b")})
+	out := drain(t, NewMergeIter(MergeConfig{}, a, b))
+	if len(out) != 1 || string(out[0].Value) != "from-a" {
+		t.Fatalf("tie-break: %v", out)
+	}
+}
+
+func TestMergeRangeTombstoneApplication(t *testing.T) {
+	input := NewSliceIter([]base.Entry{
+		e("a", 1, base.KindSet, "va"),
+		e("b", 2, base.KindSet, "vb"),
+		e("c", 99, base.KindSet, "vc"), // newer than the tombstone: survives
+		e("d", 3, base.KindSet, "vd"),
+	})
+	cfg := MergeConfig{RangeTombstones: []base.RangeTombstone{
+		{Start: []byte("b"), End: []byte("d"), Seq: 50},
+	}}
+	m := NewMergeIter(cfg, input)
+	out := drain(t, m)
+	var keys []string
+	for _, entry := range out {
+		keys = append(keys, string(entry.Key.UserKey))
+	}
+	want := []string{"a", "c", "d"}
+	if fmt.Sprint(keys) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", keys, want)
+	}
+	if m.Stats().RangeCovered != 1 {
+		t.Fatalf("stats: %+v", m.Stats())
+	}
+}
+
+func TestMergeEmptyInputs(t *testing.T) {
+	m := NewMergeIter(MergeConfig{}, NewSliceIter(nil), NewSliceIter(nil))
+	if out := drain(t, m); len(out) != 0 {
+		t.Fatalf("empty merge produced %v", out)
+	}
+	m2 := NewMergeIter(MergeConfig{})
+	if out := drain(t, m2); len(out) != 0 {
+		t.Fatal("no-input merge must be empty")
+	}
+}
+
+// Property: merging k random sorted streams equals deduplicating the sorted
+// union by newest sequence number.
+func TestMergeQuickEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nSrc := 1 + rng.Intn(5)
+		type versioned struct {
+			key string
+			seq base.SeqNum
+		}
+		var model = map[string]base.Entry{}
+		var inputs []Iterator
+		seq := base.SeqNum(1000) // newest source gets the biggest seqs
+		for s := 0; s < nSrc; s++ {
+			n := rng.Intn(30)
+			seen := map[string]bool{}
+			var entries []base.Entry
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("k%02d", rng.Intn(20))
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				entry := e(key, seq, base.KindSet, fmt.Sprintf("s%d", s))
+				entries = append(entries, entry)
+				if _, ok := model[key]; !ok {
+					model[key] = entry // first (newest) source wins
+				}
+			}
+			seq -= 100 // deeper sources are older
+			sort.Slice(entries, func(i, j int) bool {
+				return base.CompareUserKeys(entries[i].Key.UserKey, entries[j].Key.UserKey) < 0
+			})
+			inputs = append(inputs, NewSliceIter(entries))
+		}
+		m := NewMergeIter(MergeConfig{}, inputs...)
+		got := map[string]base.Entry{}
+		var prev []byte
+		for {
+			entry, ok := m.Next()
+			if !ok {
+				break
+			}
+			if prev != nil && base.CompareUserKeys(prev, entry.Key.UserKey) >= 0 {
+				return false // output must be strictly sorted
+			}
+			prev = append([]byte(nil), entry.Key.UserKey...)
+			got[string(entry.Key.UserKey)] = entry
+		}
+		if len(got) != len(model) {
+			return false
+		}
+		for k, want := range model {
+			g, ok := got[k]
+			if !ok || string(g.Value) != string(want.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

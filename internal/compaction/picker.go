@@ -1,0 +1,322 @@
+package compaction
+
+import (
+	"math"
+	"time"
+
+	"lethe/internal/base"
+	"lethe/internal/sstable"
+)
+
+// Mode selects the compaction policy family.
+type Mode int
+
+const (
+	// ModeBaseline is the state of the art (the paper's "RocksDB" role):
+	// saturation-driven trigger, overlap-driven file selection (SO). It
+	// never looks at tombstone metadata and gives no persistence guarantee.
+	ModeBaseline Mode = iota
+	// ModeLethe is FADE: TTL-expiry preempts saturation (DD); saturation-
+	// driven compactions use delete-driven selection (SD). This is the
+	// configuration the paper evaluates as "Lethe".
+	ModeLethe
+	// ModeLetheSO is an ablation: FADE's TTL trigger, but saturation-driven
+	// compactions keep the baseline's overlap-driven selection — isolates
+	// the trigger's contribution from the selection's.
+	ModeLetheSO
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline-SO"
+	case ModeLethe:
+		return "lethe-DD/SD"
+	case ModeLetheSO:
+		return "lethe-DD/SO"
+	default:
+		return "unknown"
+	}
+}
+
+// TriggerKind records why a compaction fired.
+type TriggerKind int
+
+const (
+	// TriggerSaturation means the level exceeded its capacity.
+	TriggerSaturation TriggerKind = iota
+	// TriggerTTL means a file's tombstones exceeded the level's cumulative
+	// time-to-live (FADE's delete-driven trigger).
+	TriggerTTL
+)
+
+// String implements fmt.Stringer.
+func (t TriggerKind) String() string {
+	if t == TriggerTTL {
+		return "ttl"
+	}
+	return "saturation"
+}
+
+// LevelTTLs computes the cumulative per-level TTL thresholds D[i] from the
+// delete persistence threshold Dth, the size ratio T, and the number of disk
+// levels L (§4.1.2): d_0 = Dth·(T−1)/(T^L−1), d_i = T·d_{i−1}; D[i] = Σ d_j.
+// A tombstone at level i must be compacted onward once its age exceeds D[i],
+// which guarantees it reaches (and is discarded at) the last level within
+// Dth. Recomputed whenever the tree height changes — the "Updating d_i" step
+// in Fig. 4.
+func LevelTTLs(dth time.Duration, sizeRatio, levels int) []time.Duration {
+	if levels <= 0 {
+		return nil
+	}
+	t := float64(sizeRatio)
+	var d0 float64
+	if sizeRatio <= 1 {
+		d0 = dth.Seconds() / float64(levels)
+	} else {
+		d0 = dth.Seconds() * (t - 1) / (math.Pow(t, float64(levels)) - 1)
+	}
+	out := make([]time.Duration, levels)
+	cum := 0.0
+	di := d0
+	for i := 0; i < levels; i++ {
+		cum += di
+		out[i] = time.Duration(cum * float64(time.Second))
+		di *= t
+	}
+	// Guard against floating point drift: the last cumulative threshold is
+	// exactly Dth.
+	out[levels-1] = dth
+	return out
+}
+
+// FileRef identifies one file inside the tree structure.
+type FileRef struct {
+	// Level is the disk level index (0 = first disk level).
+	Level int
+	// Run is the run index within the level (0 = newest).
+	Run int
+	// Index is the file's position within the run.
+	Index int
+	// Meta is the file's metadata.
+	Meta *sstable.Meta
+}
+
+// Tree is the picker's read-only view of the LSM structure.
+type Tree struct {
+	// Levels[l][r] lists run r of level l, S-ordered.
+	Levels [][][]*sstable.Meta
+	// CapacityBytes[l] is the nominal capacity of level l (M·T^(l+1)).
+	CapacityBytes []int64
+	// LiveBytes[l] is the current live byte count of level l.
+	LiveBytes []int64
+	// TreeEntries is the total number of entries in the tree (for the rd_f
+	// estimate inside b_f).
+	TreeEntries int
+	// TieredRunLimit, when positive, switches the saturation trigger to
+	// tiering semantics: a level saturates when it accumulates this many
+	// runs (the size ratio T), rather than when it exceeds its byte
+	// capacity.
+	TieredRunLimit int
+}
+
+// saturated reports whether level l needs a saturation-driven compaction.
+func (tree *Tree) saturated(l int) bool {
+	if tree.TieredRunLimit > 0 {
+		return len(tree.Levels[l]) >= tree.TieredRunLimit
+	}
+	return tree.LiveBytes[l] > tree.CapacityBytes[l]
+}
+
+// Decision is the picker's output: which level to compact and which file(s)
+// of that level to use as the compaction's upper input.
+type Decision struct {
+	Trigger TriggerKind
+	Level   int
+	// Files are the chosen source files. For the first disk level (which
+	// holds overlapping runs, as RocksDB's L0 does) the picker returns the
+	// whole level.
+	Files []FileRef
+}
+
+// Pick decides whether a compaction is needed and what it should compact,
+// per §4.1.4. TTL expiry takes priority over saturation ("FADE triggers a
+// compaction in a level that has at least one file with expired TTL
+// regardless of its saturation"); ties among levels choose the smaller
+// level; ties among files follow the per-mode rules.
+func Pick(tree *Tree, mode Mode, ttls []time.Duration, now time.Time) (Decision, bool) {
+	if mode != ModeBaseline {
+		if d, ok := pickTTL(tree, ttls, now); ok {
+			return d, true
+		}
+	}
+	return pickSaturation(tree, mode, now)
+}
+
+// pickTTL finds the smallest level containing an expired file and selects
+// the expired file with the oldest tombstone (DD: delete-driven trigger,
+// delete-driven selection; ties by most tombstones).
+func pickTTL(tree *Tree, ttls []time.Duration, now time.Time) (Decision, bool) {
+	for l := 0; l < len(tree.Levels); l++ {
+		if l >= len(ttls) {
+			break
+		}
+		var best *FileRef
+		for r, run := range tree.Levels[l] {
+			for i, meta := range run {
+				if !meta.HasTombstones() {
+					continue
+				}
+				if meta.AMax(now) <= ttls[l] {
+					continue
+				}
+				ref := FileRef{Level: l, Run: r, Index: i, Meta: meta}
+				if best == nil || ddBetter(meta, best.Meta) {
+					cp := ref
+					best = &cp
+				}
+			}
+		}
+		if best != nil {
+			if l == 0 {
+				// First disk level: runs overlap; compact the whole level.
+				return Decision{Trigger: TriggerTTL, Level: 0, Files: levelRefs(tree, 0)}, true
+			}
+			return Decision{Trigger: TriggerTTL, Level: l, Files: []FileRef{*best}}, true
+		}
+	}
+	return Decision{}, false
+}
+
+// ddBetter reports whether a should be preferred over b under DD selection:
+// older oldest-tombstone wins; ties by more point tombstones.
+func ddBetter(a, b *sstable.Meta) bool {
+	if !a.OldestTombstone.Equal(b.OldestTombstone) {
+		return a.OldestTombstone.Before(b.OldestTombstone)
+	}
+	return a.NumPointTombstones > b.NumPointTombstones
+}
+
+// pickSaturation finds the smallest saturated level and selects files by the
+// mode's saturation-time strategy: SO (min overlap — ties by most
+// tombstones) for the baseline, SD (max b — ties by oldest tombstone) for
+// Lethe.
+func pickSaturation(tree *Tree, mode Mode, _ time.Time) (Decision, bool) {
+	for l := 0; l < len(tree.Levels); l++ {
+		if !tree.saturated(l) {
+			continue
+		}
+		if levelFileCount(tree, l) == 0 {
+			continue
+		}
+		if l == 0 || tree.TieredRunLimit > 0 {
+			// The first disk level's runs overlap (and under tiering every
+			// saturation merges the whole level), so the whole level is the
+			// compaction input.
+			return Decision{Trigger: TriggerSaturation, Level: l, Files: levelRefs(tree, l)}, true
+		}
+		var best *FileRef
+		var bestOverlap int64
+		useSD := false
+		if mode == ModeLethe {
+			// SD is meaningful only when some file carries delete weight;
+			// with no tombstones anywhere in the level, Lethe behaves
+			// exactly like the state of the art ("in the absence of
+			// deletes, Lethe performs compactions triggered by
+			// level-saturation, choosing files with minimal overlap").
+			for _, run := range tree.Levels[l] {
+				for _, meta := range run {
+					if meta.EstimatedInvalidated(tree.TreeEntries) > 0 {
+						useSD = true
+					}
+				}
+			}
+		}
+		for r, run := range tree.Levels[l] {
+			for i, meta := range run {
+				ref := FileRef{Level: l, Run: r, Index: i, Meta: meta}
+				if useSD {
+					if best == nil || sdBetter(meta, best.Meta, tree.TreeEntries) {
+						cp := ref
+						best = &cp
+					}
+				} else { // SO: ModeBaseline, ModeLetheSO, or SD fallback
+					ov := overlapBytes(tree, l+1, meta)
+					if best == nil || ov < bestOverlap ||
+						(ov == bestOverlap && meta.NumPointTombstones > best.Meta.NumPointTombstones) {
+						cp := ref
+						best = &cp
+						bestOverlap = ov
+					}
+				}
+			}
+		}
+		return Decision{Trigger: TriggerSaturation, Level: l, Files: []FileRef{*best}}, true
+	}
+	return Decision{}, false
+}
+
+// sdBetter reports whether a beats b under SD selection: larger estimated
+// invalidation count b_f wins; ties by older oldest-tombstone.
+func sdBetter(a, b *sstable.Meta, treeEntries int) bool {
+	ba, bb := a.EstimatedInvalidated(treeEntries), b.EstimatedInvalidated(treeEntries)
+	if ba != bb {
+		return ba > bb
+	}
+	at, bt := a.OldestTombstone, b.OldestTombstone
+	switch {
+	case at.IsZero():
+		return false
+	case bt.IsZero():
+		return true
+	default:
+		return at.Before(bt)
+	}
+}
+
+// overlapBytes sums the sizes of files in targetLevel overlapping meta's S
+// range — SO's minimization objective.
+func overlapBytes(tree *Tree, targetLevel int, meta *sstable.Meta) int64 {
+	if targetLevel >= len(tree.Levels) {
+		return 0
+	}
+	var total int64
+	for _, run := range tree.Levels[targetLevel] {
+		for _, m := range run {
+			if Overlaps(meta, m) {
+				total += m.Size
+			}
+		}
+	}
+	return total
+}
+
+// Overlaps reports whether two files' S ranges intersect.
+func Overlaps(a, b *sstable.Meta) bool {
+	if len(a.MinS) == 0 && len(a.MaxS) == 0 {
+		return false
+	}
+	if len(b.MinS) == 0 && len(b.MaxS) == 0 {
+		return false
+	}
+	return base.CompareUserKeys(a.MinS, b.MaxS) <= 0 && base.CompareUserKeys(b.MinS, a.MaxS) <= 0
+}
+
+func levelRefs(tree *Tree, l int) []FileRef {
+	var refs []FileRef
+	for r, run := range tree.Levels[l] {
+		for i, meta := range run {
+			refs = append(refs, FileRef{Level: l, Run: r, Index: i, Meta: meta})
+		}
+	}
+	return refs
+}
+
+func levelFileCount(tree *Tree, l int) int {
+	n := 0
+	for _, run := range tree.Levels[l] {
+		n += len(run)
+	}
+	return n
+}

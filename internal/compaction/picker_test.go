@@ -1,0 +1,240 @@
+package compaction
+
+import (
+	"testing"
+	"time"
+
+	"lethe/internal/sstable"
+)
+
+func meta(minS, maxS string, size int64, tombs int, oldest time.Time) *sstable.Meta {
+	m := &sstable.Meta{
+		MinS:               []byte(minS),
+		MaxS:               []byte(maxS),
+		Size:               size,
+		NumEntries:         int(size / 10),
+		NumPointTombstones: tombs,
+		OldestTombstone:    oldest,
+	}
+	return m
+}
+
+func TestLevelTTLs(t *testing.T) {
+	dth := 100 * time.Second
+	ttls := LevelTTLs(dth, 10, 3)
+	if len(ttls) != 3 {
+		t.Fatalf("levels: %v", ttls)
+	}
+	// d0 = 100·9/999 ≈ 0.9009s; D = [0.9, 9.9, 100].
+	if ttls[2] != dth {
+		t.Fatalf("last cumulative TTL must equal Dth: %v", ttls[2])
+	}
+	if !(ttls[0] < ttls[1] && ttls[1] < ttls[2]) {
+		t.Fatalf("cumulative TTLs must ascend: %v", ttls)
+	}
+	d0 := ttls[0].Seconds()
+	d1 := ttls[1].Seconds() - d0
+	if d1/d0 < 9.9 || d1/d0 > 10.1 {
+		t.Fatalf("d_i must grow by T: d0=%f d1=%f", d0, d1)
+	}
+
+	// T = 1 degenerates to equal slices.
+	eq := LevelTTLs(90*time.Second, 1, 3)
+	if eq[0] != 30*time.Second || eq[2] != 90*time.Second {
+		t.Fatalf("T=1 TTLs: %v", eq)
+	}
+	if LevelTTLs(time.Second, 10, 0) != nil {
+		t.Fatal("zero levels")
+	}
+}
+
+func TestPickSaturationSO(t *testing.T) {
+	now := time.Unix(1000, 0)
+	// Level 2 (index 1) over capacity; file "c..d" overlaps nothing below,
+	// file "a..b" overlaps a big file below: SO must choose "c..d".
+	tree := &Tree{
+		Levels: [][][]*sstable.Meta{
+			{},
+			{{meta("a", "b", 100, 0, time.Time{}), meta("c", "d", 100, 0, time.Time{})}},
+			{{meta("a", "b", 500, 0, time.Time{})}},
+		},
+		CapacityBytes: []int64{1000, 150, 10000},
+		LiveBytes:     []int64{0, 200, 500},
+	}
+	d, ok := Pick(tree, ModeBaseline, nil, now)
+	if !ok || d.Trigger != TriggerSaturation || d.Level != 1 {
+		t.Fatalf("decision: %+v ok=%v", d, ok)
+	}
+	if len(d.Files) != 1 || string(d.Files[0].Meta.MinS) != "c" {
+		t.Fatalf("SO must pick the min-overlap file: %+v", d.Files)
+	}
+}
+
+func TestPickSaturationSOTieBreakByTombstones(t *testing.T) {
+	now := time.Unix(1000, 0)
+	// Both files overlap nothing; the one with more tombstones wins the tie.
+	tree := &Tree{
+		Levels: [][][]*sstable.Meta{
+			{},
+			{{meta("a", "b", 100, 1, now), meta("c", "d", 100, 7, now)}},
+		},
+		CapacityBytes: []int64{1000, 150},
+		LiveBytes:     []int64{0, 200},
+	}
+	d, ok := Pick(tree, ModeBaseline, nil, now)
+	if !ok || d.Files[0].Meta.NumPointTombstones != 7 {
+		t.Fatalf("tie-break: %+v", d)
+	}
+}
+
+func TestPickSaturationSD(t *testing.T) {
+	now := time.Unix(1000, 0)
+	// SD (ModeLethe saturation path) picks the file with the highest b.
+	tree := &Tree{
+		Levels: [][][]*sstable.Meta{
+			{},
+			{{meta("a", "b", 100, 2, now.Add(-time.Hour)), meta("c", "d", 100, 9, now)}},
+		},
+		CapacityBytes: []int64{1000, 150},
+		LiveBytes:     []int64{0, 200},
+		TreeEntries:   1000,
+	}
+	d, ok := Pick(tree, ModeLethe, []time.Duration{time.Hour * 100, time.Hour * 100}, now)
+	if !ok || d.Trigger != TriggerSaturation {
+		t.Fatalf("decision: %+v", d)
+	}
+	if d.Files[0].Meta.NumPointTombstones != 9 {
+		t.Fatalf("SD must pick max-b file: %+v", d.Files[0].Meta)
+	}
+}
+
+func TestPickSDTieBreakByOldestTombstone(t *testing.T) {
+	now := time.Unix(10000, 0)
+	older := now.Add(-2 * time.Hour)
+	tree := &Tree{
+		Levels: [][][]*sstable.Meta{
+			{},
+			{{meta("a", "b", 100, 5, older), meta("c", "d", 100, 5, now.Add(-time.Minute))}},
+		},
+		CapacityBytes: []int64{1000, 150},
+		LiveBytes:     []int64{0, 200},
+	}
+	d, ok := Pick(tree, ModeLethe, []time.Duration{time.Hour * 999, time.Hour * 999}, now)
+	if !ok || !d.Files[0].Meta.OldestTombstone.Equal(older) {
+		t.Fatalf("SD tie-break: %+v", d)
+	}
+}
+
+func TestPickTTLPreemptsSaturation(t *testing.T) {
+	now := time.Unix(100000, 0)
+	expired := now.Add(-time.Hour)
+	// Level 3 (index 2) has an expired file; level 2 is saturated. TTL wins,
+	// and among levels with expired files the smallest level is chosen.
+	tree := &Tree{
+		Levels: [][][]*sstable.Meta{
+			{},
+			{{meta("a", "b", 500, 0, time.Time{})}},
+			{{meta("a", "b", 100, 3, expired), meta("c", "d", 100, 1, now.Add(-time.Second))}},
+		},
+		CapacityBytes: []int64{1000, 100, 100000},
+		LiveBytes:     []int64{0, 500, 200},
+	}
+	ttls := []time.Duration{time.Minute, 10 * time.Minute, 30 * time.Minute}
+	d, ok := Pick(tree, ModeLethe, ttls, now)
+	if !ok || d.Trigger != TriggerTTL || d.Level != 2 {
+		t.Fatalf("decision: %+v ok=%v", d, ok)
+	}
+	if len(d.Files) != 1 || d.Files[0].Meta.NumPointTombstones != 3 {
+		t.Fatalf("DD must pick the expired file: %+v", d.Files)
+	}
+
+	// Baseline ignores TTLs entirely.
+	d, ok = Pick(tree, ModeBaseline, ttls, now)
+	if !ok || d.Trigger != TriggerSaturation || d.Level != 1 {
+		t.Fatalf("baseline decision: %+v", d)
+	}
+}
+
+func TestPickTTLSelectsOldestTombstone(t *testing.T) {
+	now := time.Unix(100000, 0)
+	oldest := now.Add(-3 * time.Hour)
+	tree := &Tree{
+		Levels: [][][]*sstable.Meta{
+			{},
+			{{meta("a", "b", 100, 1, now.Add(-2*time.Hour)), meta("c", "d", 100, 1, oldest)}},
+		},
+		CapacityBytes: []int64{1000, 100000},
+		LiveBytes:     []int64{0, 200},
+	}
+	d, ok := Pick(tree, ModeLethe, []time.Duration{time.Minute, time.Hour}, now)
+	if !ok || d.Trigger != TriggerTTL {
+		t.Fatalf("decision: %+v", d)
+	}
+	if !d.Files[0].Meta.OldestTombstone.Equal(oldest) {
+		t.Fatalf("DD must prefer the oldest tombstone: %+v", d.Files[0].Meta)
+	}
+}
+
+func TestPickFirstLevelCompactsWholeLevel(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tree := &Tree{
+		Levels: [][][]*sstable.Meta{
+			{{meta("a", "m", 100, 0, time.Time{})}, {meta("b", "z", 100, 0, time.Time{})}},
+		},
+		CapacityBytes: []int64{100},
+		LiveBytes:     []int64{200},
+	}
+	d, ok := Pick(tree, ModeBaseline, nil, now)
+	if !ok || d.Level != 0 || len(d.Files) != 2 {
+		t.Fatalf("first level decision: %+v", d)
+	}
+}
+
+func TestPickNothingToDo(t *testing.T) {
+	tree := &Tree{
+		Levels:        [][][]*sstable.Meta{{{meta("a", "b", 10, 0, time.Time{})}}},
+		CapacityBytes: []int64{1000},
+		LiveBytes:     []int64{10},
+	}
+	if _, ok := Pick(tree, ModeLethe, []time.Duration{time.Hour}, time.Unix(0, 1)); ok {
+		t.Fatal("no trigger should fire")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := meta("b", "d", 0, 0, time.Time{})
+	cases := []struct {
+		minS, maxS string
+		want       bool
+	}{
+		{"a", "b", true},  // touches start
+		{"d", "e", true},  // touches end
+		{"c", "c", true},  // inside
+		{"a", "a", false}, // before
+		{"e", "f", false}, // after
+		{"a", "z", true},  // contains
+	}
+	for _, c := range cases {
+		b := meta(c.minS, c.maxS, 0, 0, time.Time{})
+		if got := Overlaps(a, b); got != c.want {
+			t.Errorf("Overlaps([b,d],[%s,%s]) = %v want %v", c.minS, c.maxS, got, c.want)
+		}
+		if got := Overlaps(b, a); got != c.want {
+			t.Errorf("Overlaps symmetric ([%s,%s]) = %v", c.minS, c.maxS, got)
+		}
+	}
+	empty := &sstable.Meta{}
+	if Overlaps(empty, a) || Overlaps(a, empty) {
+		t.Error("empty file overlaps nothing")
+	}
+}
+
+func TestModeAndTriggerStrings(t *testing.T) {
+	if ModeBaseline.String() == "" || ModeLethe.String() == "" || ModeLetheSO.String() == "" ||
+		Mode(99).String() != "unknown" {
+		t.Fatal("mode strings")
+	}
+	if TriggerTTL.String() != "ttl" || TriggerSaturation.String() != "saturation" {
+		t.Fatal("trigger strings")
+	}
+}

@@ -1,0 +1,289 @@
+// Package costmodel implements the analytical model of §3.2 and Table 2:
+// closed-form (dominant-term) costs for the state of the art, FADE, KiWi,
+// and Lethe, under both leveling and tiering. The benchmark harness prints
+// the model next to measured values; tests assert the orderings the paper's
+// ▲/▼/• annotations encode.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Params are the model inputs, following Table 1's notation.
+type Params struct {
+	// N is the number of entries inserted (tombstones included).
+	N float64
+	// NDelta (N_δ) is the entry count once deletes are persisted.
+	NDelta float64
+	// T is the size ratio.
+	T float64
+	// L is the number of disk levels holding N entries; LDelta holds NDelta.
+	L, LDelta float64
+	// P is the buffer size in pages, B entries per page, E bytes per entry.
+	P, B, E float64
+	// Lambda (λ) is tombstone size / key-value size.
+	Lambda float64
+	// I is the unique-insert rate (entries/second).
+	I float64
+	// MBits is the total memory allotted to Bloom filters, in bits.
+	MBits float64
+	// H is KiWi's pages per delete tile.
+	H float64
+	// S is the selectivity of a long range lookup.
+	S float64
+	// DthSeconds is the delete persistence threshold.
+	DthSeconds float64
+	// KeyBytes and DKeyBytes size the fence-pointer metadata.
+	KeyBytes, DKeyBytes float64
+}
+
+// Reference returns Table 1's reference configuration.
+func Reference() Params {
+	n := math.Pow(2, 20)
+	return Params{
+		N: n, NDelta: 0.9 * n,
+		T: 10, L: 3, LDelta: 3,
+		P: 512, B: 4, E: 1024,
+		Lambda: 0.1, I: 1024,
+		MBits: 10 * 1024 * 1024 * 8, // Table 1: m = 10MB of filters
+		H:     16, S: 0.001, DthSeconds: 3600,
+		KeyBytes: 8, DKeyBytes: 8,
+	}
+}
+
+// Design identifies a column of Table 2.
+type Design int
+
+// The four designs Table 2 compares.
+const (
+	SoA Design = iota
+	FADE
+	KiWi
+	Lethe
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	return [...]string{"state-of-the-art", "FADE", "KiWi", "Lethe"}[d]
+}
+
+func (d Design) timely() bool { return d == FADE || d == Lethe } // bounded persistence
+func (d Design) woven() bool  { return d == KiWi || d == Lethe } // delete-tile layout
+
+// Policy selects leveling or tiering columns.
+type Policy int
+
+// The two merge policies.
+const (
+	Leveling Policy = iota
+	Tiering
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == Tiering {
+		return "tiering"
+	}
+	return "leveling"
+}
+
+// n and l return the effective entry count and level count: designs with
+// timely persistence operate on the smaller N_δ tree.
+func (p Params) n(d Design) float64 {
+	if d.timely() {
+		return p.NDelta
+	}
+	return p.N
+}
+
+func (p Params) l(d Design) float64 {
+	if d.timely() {
+		return p.LDelta
+	}
+	return p.L
+}
+
+func (p Params) h(d Design) float64 {
+	if d.woven() {
+		return p.H
+	}
+	return 1
+}
+
+// fpr is the Bloom filter false positive rate e^(−(m/n)·ln2²) (§3.2.2).
+func (p Params) fpr(d Design) float64 {
+	return math.Exp(-p.MBits / p.n(d) * math.Ln2 * math.Ln2)
+}
+
+// EntriesInTree returns the live entry count (Table 2 row 1).
+func (p Params) EntriesInTree(d Design, _ Policy) float64 { return p.n(d) }
+
+// SpaceAmpNoDeletes returns s_amp for an insert/update-only workload:
+// O(1/T) leveling, O(T) tiering (§3.2.1).
+func (p Params) SpaceAmpNoDeletes(_ Design, pol Policy) float64 {
+	if pol == Tiering {
+		return p.T
+	}
+	return 1 / p.T
+}
+
+// SpaceAmpWithDeletes returns s_amp with deletes: the state of the art keeps
+// invalidated entries — O(((1−λ)N+1)/(λT)) leveling, O(N/(1−λ)) tiering —
+// while timely designs return to the no-delete bound (§3.2.1, §4.1.5).
+func (p Params) SpaceAmpWithDeletes(d Design, pol Policy) float64 {
+	if d.timely() {
+		return p.SpaceAmpNoDeletes(d, pol)
+	}
+	if pol == Tiering {
+		return p.N / (1 - p.Lambda)
+	}
+	return ((1-p.Lambda)*p.N + 1) / (p.Lambda * p.T)
+}
+
+// TotalBytesWritten returns O(N·E·L·T) for leveling, O(N·E·L) for tiering
+// (Table 2 row 4), on the effective tree.
+func (p Params) TotalBytesWritten(d Design, pol Policy) float64 {
+	base := p.n(d) * p.E * p.l(d)
+	if pol == Leveling {
+		base *= p.T
+	}
+	return base
+}
+
+// WriteAmp returns O(L·T) leveling / O(L) tiering (§3.2.3).
+func (p Params) WriteAmp(d Design, pol Policy) float64 {
+	if pol == Tiering {
+		return p.l(d)
+	}
+	return p.l(d) * p.T
+}
+
+// DeletePersistenceLatency returns the worst-case seconds until a delete is
+// persistent: unbounded-by-data for the state of the art — O(T^(L−1)·P·B/I)
+// leveling, O(T^L·P·B/I) tiering — and Dth for FADE/Lethe (§3.2.4, §4.1.5).
+func (p Params) DeletePersistenceLatency(d Design, pol Policy) float64 {
+	if d.timely() {
+		return p.DthSeconds
+	}
+	exp := p.L - 1
+	if pol == Tiering {
+		exp = p.L
+	}
+	return math.Pow(p.T, exp) * p.P * p.B / p.I
+}
+
+// ZeroResultLookupCost returns expected I/Os for a lookup on a missing key:
+// O(h·e^(−m/N)) leveling, ×T tiering (Table 2 row 7).
+func (p Params) ZeroResultLookupCost(d Design, pol Policy) float64 {
+	c := p.h(d) * p.fpr(d)
+	if pol == Tiering {
+		c *= p.T
+	}
+	return c
+}
+
+// NonZeroResultLookupCost returns expected I/Os for a lookup on an existing
+// key: 1 + the zero-result cost (Table 2 row 8).
+func (p Params) NonZeroResultLookupCost(d Design, pol Policy) float64 {
+	return 1 + p.ZeroResultLookupCost(d, pol)
+}
+
+// ShortRangeLookupCost returns O(h·L) leveling / O(h·L·T) tiering I/Os.
+func (p Params) ShortRangeLookupCost(d Design, pol Policy) float64 {
+	c := p.h(d) * p.l(d)
+	if pol == Tiering {
+		c *= p.T
+	}
+	return c
+}
+
+// LongRangeLookupCost returns O(s·N/B) leveling / O(T·s·N/B) tiering I/Os —
+// tile weaving amortizes out for long ranges (§4.2.5).
+func (p Params) LongRangeLookupCost(d Design, pol Policy) float64 {
+	c := p.S * p.n(d) / p.B
+	if pol == Tiering {
+		c *= p.T
+	}
+	return c
+}
+
+// InsertUpdateCost returns the amortized I/O per insert: O(L·T/B) leveling,
+// O(L/B) tiering (Table 2 row 11).
+func (p Params) InsertUpdateCost(d Design, pol Policy) float64 {
+	c := p.l(d) / p.B
+	if pol == Leveling {
+		c *= p.T
+	}
+	return c
+}
+
+// SecondaryRangeDeleteCost returns O(N/B) page I/Os for the state of the
+// art (a full-tree rewrite regardless of selectivity, §3.3) and O(N/(B·h))
+// with the woven layout (§4.2.5).
+func (p Params) SecondaryRangeDeleteCost(d Design, _ Policy) float64 {
+	return p.n(d) / (p.B * p.h(d))
+}
+
+// MemoryFootprintBits returns filter memory plus fence-pointer metadata
+// (Table 2 row 13): classical designs keep one fence per page (N/B keys);
+// KiWi keeps one S fence per tile (N/(B·h)) plus one D fence per page (N/B).
+func (p Params) MemoryFootprintBits(d Design, _ Policy) float64 {
+	bits := p.MBits
+	if d.woven() {
+		bits += p.n(d) / (p.B * p.h(d)) * p.KeyBytes * 8 // S fences per tile
+		bits += p.n(d) / p.B * p.DKeyBytes * 8           // delete fences per page
+	} else {
+		bits += p.n(d) / p.B * p.KeyBytes * 8 // S fences per page
+	}
+	return bits
+}
+
+// Row is one rendered line of Table 2.
+type Row struct {
+	Metric string
+	Values [4]float64 // indexed by Design
+}
+
+// Table2 evaluates every row of Table 2 for the given policy.
+func (p Params) Table2(pol Policy) []Row {
+	metrics := []struct {
+		name string
+		fn   func(Design, Policy) float64
+	}{
+		{"entries in tree", p.EntriesInTree},
+		{"space amp (no deletes)", p.SpaceAmpNoDeletes},
+		{"space amp (with deletes)", p.SpaceAmpWithDeletes},
+		{"total bytes written", p.TotalBytesWritten},
+		{"write amplification", p.WriteAmp},
+		{"delete persistence latency (s)", p.DeletePersistenceLatency},
+		{"zero-result point lookup (I/O)", p.ZeroResultLookupCost},
+		{"non-zero point lookup (I/O)", p.NonZeroResultLookupCost},
+		{"short range lookup (I/O)", p.ShortRangeLookupCost},
+		{"long range lookup (I/O)", p.LongRangeLookupCost},
+		{"insert/update cost (I/O)", p.InsertUpdateCost},
+		{"secondary range delete (I/O)", p.SecondaryRangeDeleteCost},
+		{"memory footprint (bits)", p.MemoryFootprintBits},
+	}
+	rows := make([]Row, len(metrics))
+	for i, m := range metrics {
+		rows[i].Metric = m.name
+		for _, d := range []Design{SoA, FADE, KiWi, Lethe} {
+			rows[i].Values[d] = m.fn(d, pol)
+		}
+	}
+	return rows
+}
+
+// Format renders the table for terminal output.
+func Format(pol Policy, rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 2 (%s): analytical costs\n", pol)
+	fmt.Fprintf(&sb, "%-34s %14s %14s %14s %14s\n", "metric", "state-of-art", "FADE", "KiWi", "Lethe")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-34s %14.4g %14.4g %14.4g %14.4g\n",
+			r.Metric, r.Values[SoA], r.Values[FADE], r.Values[KiWi], r.Values[Lethe])
+	}
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable2Orderings asserts the ▲/▼/• relations of Table 2: for every
+// metric, the direction in which each design differs from the state of the
+// art matches the paper's annotations.
+func TestTable2Orderings(t *testing.T) {
+	p := Reference()
+	for _, pol := range []Policy{Leveling, Tiering} {
+		// Entries in tree: FADE/Lethe better (smaller), KiWi same.
+		if !(p.EntriesInTree(FADE, pol) < p.EntriesInTree(SoA, pol)) {
+			t.Errorf("%v: FADE must hold fewer entries", pol)
+		}
+		if p.EntriesInTree(KiWi, pol) != p.EntriesInTree(SoA, pol) {
+			t.Errorf("%v: KiWi entry count must match SoA", pol)
+		}
+
+		// Space amp with deletes: FADE/Lethe dramatically better.
+		if !(p.SpaceAmpWithDeletes(FADE, pol) < p.SpaceAmpWithDeletes(SoA, pol)) {
+			t.Errorf("%v: FADE space amp must improve", pol)
+		}
+		if p.SpaceAmpWithDeletes(KiWi, pol) > p.SpaceAmpWithDeletes(SoA, pol) {
+			t.Errorf("%v: KiWi must not worsen space amp", pol)
+		}
+		// Space amp without deletes: all equal.
+		for _, d := range []Design{FADE, KiWi, Lethe} {
+			if p.SpaceAmpNoDeletes(d, pol) != p.SpaceAmpNoDeletes(SoA, pol) {
+				t.Errorf("%v/%v: no-delete space amp must be unchanged", pol, d)
+			}
+		}
+
+		// Delete persistence: FADE/Lethe bounded by Dth; KiWi unbounded.
+		if p.DeletePersistenceLatency(FADE, pol) != p.DthSeconds {
+			t.Errorf("%v: FADE persistence must be Dth", pol)
+		}
+		if p.DeletePersistenceLatency(KiWi, pol) != p.DeletePersistenceLatency(SoA, pol) {
+			t.Errorf("%v: KiWi persistence must match SoA", pol)
+		}
+
+		// Lookups: KiWi pays h×; FADE gains from the smaller tree.
+		if !(p.ZeroResultLookupCost(KiWi, pol) > p.ZeroResultLookupCost(SoA, pol)) {
+			t.Errorf("%v: KiWi zero-result lookups must cost more", pol)
+		}
+		if !(p.ZeroResultLookupCost(FADE, pol) < p.ZeroResultLookupCost(SoA, pol)) {
+			t.Errorf("%v: FADE zero-result lookups must cost less", pol)
+		}
+		if !(p.ShortRangeLookupCost(KiWi, pol) > p.ShortRangeLookupCost(SoA, pol)) {
+			t.Errorf("%v: KiWi short ranges must cost more", pol)
+		}
+		// Long ranges: KiWi same as SoA (amortized), FADE better.
+		if p.LongRangeLookupCost(KiWi, pol) != p.LongRangeLookupCost(SoA, pol) {
+			t.Errorf("%v: KiWi long ranges must match SoA", pol)
+		}
+		if !(p.LongRangeLookupCost(FADE, pol) < p.LongRangeLookupCost(SoA, pol)) {
+			t.Errorf("%v: FADE long ranges must cost less", pol)
+		}
+
+		// Secondary range deletes: the woven layout wins by h.
+		soa := p.SecondaryRangeDeleteCost(SoA, pol)
+		kiwi := p.SecondaryRangeDeleteCost(KiWi, pol)
+		if kiwi >= soa {
+			t.Errorf("%v: KiWi SRD must be cheaper: %f vs %f", pol, kiwi, soa)
+		}
+		ratio := soa / kiwi
+		if ratio < p.H*0.99 || ratio > p.H*1.01 {
+			t.Errorf("%v: SRD speedup must be ≈h: %f", pol, ratio)
+		}
+
+		// Memory: KiWi's per-tile S fences + per-page D fences ≈ SoA when
+		// sizeof(S) = sizeof(D); strictly less when D is smaller.
+		small := p
+		small.DKeyBytes = 4
+		if !(small.MemoryFootprintBits(KiWi, pol) < small.MemoryFootprintBits(SoA, pol)) {
+			t.Errorf("%v: smaller D keys must shrink KiWi metadata", pol)
+		}
+	}
+}
+
+func TestLevelingVsTiering(t *testing.T) {
+	p := Reference()
+	// Writes: leveling costs T× more; reads: tiering costs T× more.
+	if !(p.WriteAmp(SoA, Leveling) > p.WriteAmp(SoA, Tiering)) {
+		t.Error("leveling write amp must exceed tiering")
+	}
+	if !(p.ZeroResultLookupCost(SoA, Tiering) > p.ZeroResultLookupCost(SoA, Leveling)) {
+		t.Error("tiering lookups must exceed leveling")
+	}
+	if !(p.DeletePersistenceLatency(SoA, Tiering) > p.DeletePersistenceLatency(SoA, Leveling)) {
+		t.Error("tiering persistence latency must exceed leveling")
+	}
+}
+
+func TestFPRMatchesFormula(t *testing.T) {
+	p := Reference()
+	// 10MB of filters over 2^20 entries = 80 bits/entry → tiny FPR; over
+	// fewer entries (N_δ) the FPR only improves.
+	if !(p.fpr(FADE) <= p.fpr(SoA)) {
+		t.Error("FADE's FPR must not exceed SoA's")
+	}
+	if p.fpr(SoA) <= 0 || p.fpr(SoA) >= 1 {
+		t.Errorf("FPR out of range: %g", p.fpr(SoA))
+	}
+}
+
+func TestTable2Render(t *testing.T) {
+	p := Reference()
+	rows := p.Table2(Leveling)
+	if len(rows) != 13 {
+		t.Fatalf("Table 2 must have 13 rows, got %d", len(rows))
+	}
+	out := Format(Leveling, rows)
+	for _, want := range []string{"space amp", "secondary range delete", "Lethe", "FADE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if Leveling.String() != "leveling" || Tiering.String() != "tiering" {
+		t.Fatal("policy names")
+	}
+	if SoA.String() == "" || Lethe.String() == "" {
+		t.Fatal("design names")
+	}
+}
+
+func TestLetheCombinesBoth(t *testing.T) {
+	p := Reference()
+	for _, pol := range []Policy{Leveling, Tiering} {
+		// Lethe = FADE's tree size + KiWi's layout.
+		if p.EntriesInTree(Lethe, pol) != p.EntriesInTree(FADE, pol) {
+			t.Error("Lethe entry count must match FADE")
+		}
+		if p.SecondaryRangeDeleteCost(Lethe, pol) > p.SecondaryRangeDeleteCost(KiWi, pol) {
+			t.Error("Lethe SRD must be at least as good as KiWi")
+		}
+		if p.DeletePersistenceLatency(Lethe, pol) != p.DthSeconds {
+			t.Error("Lethe persistence must be Dth")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package costmodel
+
+// This file implements §4.2.6's navigable-design analysis: Eq. 1 compares a
+// whole workload's cost under Lethe's woven layout against the state of the
+// art, and Eq. 2/3 solve it for the largest beneficial delete-tile
+// granularity. The public package re-exposes the Eq. 3 solver as
+// lethe.OptimalTileSize; this model-level version exists so the analytical
+// table and the engine agree on one formula and can be cross-checked.
+
+// Workload holds the §4.2.6 operation frequencies: f_EPQ, f_PQ, f_SRQ,
+// f_LRQ, f_SRD, f_I. Only ratios matter.
+type Workload struct {
+	EmptyPointQueries     float64 // f_EPQ
+	PointQueries          float64 // f_PQ
+	ShortRangeQueries     float64 // f_SRQ
+	LongRangeQueries      float64 // f_LRQ
+	SecondaryRangeDeletes float64 // f_SRD
+	Inserts               float64 // f_I
+}
+
+// WorkloadCost evaluates the left side of Eq. 1: the expected I/O cost of
+// one workload unit under the given design with delete-tile granularity h
+// (h is p.H for woven designs, 1 otherwise; pass a Params with the H you
+// want to evaluate).
+func (p Params) WorkloadCost(d Design, pol Policy, w Workload) float64 {
+	return w.EmptyPointQueries*p.ZeroResultLookupCost(d, pol) +
+		w.PointQueries*p.NonZeroResultLookupCost(d, pol) +
+		w.ShortRangeQueries*p.ShortRangeLookupCost(d, pol) +
+		w.LongRangeQueries*p.LongRangeLookupCost(d, pol) +
+		w.SecondaryRangeDeletes*p.SecondaryRangeDeleteCost(d, pol) +
+		w.Inserts*p.InsertUpdateCost(d, pol)
+}
+
+// LetheBeatsSoA evaluates Eq. 1's inequality: does the woven layout with
+// p.H pages per tile cost no more than the classical layout for this
+// workload?
+func (p Params) LetheBeatsSoA(pol Policy, w Workload) bool {
+	return p.WorkloadCost(Lethe, pol, w) <= p.WorkloadCost(SoA, pol, w)
+}
+
+// OptimalH solves Eq. 3 for the largest h whose lookup penalty the
+// secondary-range-delete savings still cover:
+//
+//	h ≤ (N/B) / ( (f_EPQ+f_PQ)/f_SRD · FPR + f_SRQ/f_SRD · L )
+//
+// It returns at least 1. This is the same formula the public
+// lethe.OptimalTileSize exposes; tests assert the two agree.
+func (p Params) OptimalH(w Workload) float64 {
+	if w.SecondaryRangeDeletes <= 0 {
+		return 1
+	}
+	denom := (w.EmptyPointQueries+w.PointQueries)/w.SecondaryRangeDeletes*p.fpr(SoA) +
+		w.ShortRangeQueries/w.SecondaryRangeDeletes*p.L
+	if denom <= 0 {
+		return p.N / p.B
+	}
+	h := p.N / p.B / denom
+	if h < 1 {
+		return 1
+	}
+	return h
+}

@@ -1,0 +1,87 @@
+package costmodel
+
+import (
+	"testing"
+
+	"lethe"
+)
+
+func TestWorkloadCostComponents(t *testing.T) {
+	p := Reference()
+	// A pure-insert workload costs exactly the insert term.
+	w := Workload{Inserts: 10}
+	if got, want := p.WorkloadCost(SoA, Leveling, w), 10*p.InsertUpdateCost(SoA, Leveling); got != want {
+		t.Fatalf("insert-only: %f want %f", got, want)
+	}
+	// Adding SRDs increases SoA cost far more than Lethe's.
+	w.SecondaryRangeDeletes = 1
+	soa := p.WorkloadCost(SoA, Leveling, w)
+	leth := p.WorkloadCost(Lethe, Leveling, w)
+	if !(leth < soa) {
+		t.Fatalf("SRD-bearing workload must favor Lethe: %f vs %f", leth, soa)
+	}
+}
+
+func TestEq1Crossover(t *testing.T) {
+	p := Reference() // H = 16
+	// SRD-heavy: the weave wins.
+	heavy := Workload{PointQueries: 1000, SecondaryRangeDeletes: 1}
+	if !p.LetheBeatsSoA(Leveling, heavy) {
+		t.Fatal("SRD-heavy workload must favor the weave")
+	}
+	// Read-only: the weave only costs.
+	readOnly := Workload{PointQueries: 1e9, ShortRangeQueries: 1e7}
+	if p.LetheBeatsSoA(Leveling, readOnly) {
+		t.Fatal("read-only workload must favor the classical layout")
+	}
+	// There is a crossover in between: increasing the lookups-per-SRD ratio
+	// flips the verdict exactly once.
+	flips := 0
+	prev := true
+	for ratio := 1.0; ratio <= 1e12; ratio *= 10 {
+		w := Workload{PointQueries: ratio, ShortRangeQueries: ratio / 1000, SecondaryRangeDeletes: 1}
+		cur := p.LetheBeatsSoA(Leveling, w)
+		if cur != prev {
+			flips++
+			if cur {
+				t.Fatal("verdict must flip from Lethe to SoA, not back")
+			}
+		}
+		prev = cur
+	}
+	if flips != 1 {
+		t.Fatalf("expected exactly one crossover, got %d", flips)
+	}
+}
+
+func TestOptimalHMatchesPublicAPI(t *testing.T) {
+	p := Reference()
+	w := Workload{
+		EmptyPointQueries:     25e6,
+		PointQueries:          25e6,
+		ShortRangeQueries:     1e4,
+		SecondaryRangeDeletes: 1,
+	}
+	modelH := p.OptimalH(w)
+	apiH := lethe.OptimalTileSize(lethe.TuningParams{
+		Entries:           p.N,
+		EntriesPerPage:    p.B,
+		FalsePositiveRate: p.fpr(SoA),
+		Levels:            p.L,
+	}, lethe.WorkloadProfile{
+		EmptyPointLookups:     w.EmptyPointQueries,
+		PointLookups:          w.PointQueries,
+		ShortRangeLookups:     w.ShortRangeQueries,
+		SecondaryRangeDeletes: w.SecondaryRangeDeletes,
+	})
+	if int(modelH) != apiH {
+		t.Fatalf("model h=%f vs API h=%d must agree", modelH, apiH)
+	}
+	// Degenerate cases.
+	if p.OptimalH(Workload{PointQueries: 1}) != 1 {
+		t.Fatal("no SRDs → h=1")
+	}
+	if got := p.OptimalH(Workload{SecondaryRangeDeletes: 1}); got != p.N/p.B {
+		t.Fatalf("read-free → page count, got %f", got)
+	}
+}

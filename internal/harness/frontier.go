@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"time"
+
+	"lethe/internal/workload"
+)
+
+// FrontierRow is one Fig. 1B point: a system's position on the delete
+// persistence latency vs. persistence cost plane.
+type FrontierRow struct {
+	System string
+	// PersistenceBound is the guaranteed worst-case delete persistence
+	// latency (∞ is reported as 0 for the unbounded baseline).
+	PersistenceBound time.Duration
+	// MaxObservedAge is the oldest tombstone actually left in the tree.
+	MaxObservedAge time.Duration
+	// CostMBWritten is the total data (de)written to honor that bound.
+	CostMBWritten float64
+	// WriteAmp is total bytes written / user bytes.
+	WriteAmp float64
+	// PeakCompactionMB is the largest single compaction event — the
+	// latency-spike proxy: full-tree compactions stall on the whole
+	// database at once, FADE never does (§1, §3.1.3).
+	PeakCompactionMB float64
+}
+
+// RunFrontier reproduces Fig. 1B qualitatively: the baseline with no
+// guarantee (cheap, unbounded), the baseline forced to bound persistence
+// with periodic full-tree compactions (expensive — each compaction rewrites
+// the whole preloaded database), and Lethe across several Dth values
+// navigating the space in between. Costs count only the measured phase,
+// after a common preload.
+func RunFrontier(cfg Config, deletePct float64, dthFracs []float64) ([]FrontierRow, error) {
+	runtime := cfg.Runtime(cfg.Ops)
+	deletes := int(deletePct * 1000)
+	// The motivating scenario (§1, X-Engine quote): a large existing
+	// database, ongoing delete-bearing ingest, and a persistence deadline.
+	// The database is preloaded (unmeasured), then the measured phase
+	// ingests inserts + deletes. The baseline's full-tree compaction
+	// rewrites the whole database every Dth; FADE moves only the
+	// tombstone-bearing files.
+	wl := workload.Config{Mix: workload.Mix{Inserts: 1000 - deletes, PointDeletes: deletes},
+		FreshInserts: true}
+	var rows []FrontierRow
+
+	setup := func(sys System) (*Env, int64, error) {
+		env, err := NewEnv(cfg, sys, wl)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := env.Preload(cfg.KeySpace); err != nil {
+			env.Close()
+			return nil, 0, err
+		}
+		return env, env.DB.Stats().TotalBytesWritten, nil
+	}
+	report := func(env *Env, base int64, name string, bound time.Duration) FrontierRow {
+		st := env.DB.Stats()
+		return FrontierRow{
+			System:           name,
+			PersistenceBound: bound,
+			MaxObservedAge:   env.DB.MaxTombstoneAge(),
+			CostMBWritten:    float64(st.TotalBytesWritten-base) / (1 << 20),
+			WriteAmp:         st.WriteAmplification(),
+			PeakCompactionMB: float64(st.MaxCompactionBytes) / (1 << 20),
+		}
+	}
+
+	// Baseline, no guarantee.
+	env, base0, err := setup(Baseline())
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Run(cfg.Ops); err != nil {
+		env.Close()
+		return nil, err
+	}
+	rows = append(rows, report(env, base0, "state-of-the-art (unbounded)", 0))
+	env.Close()
+
+	// Baseline + periodic full-tree compaction at each Dth.
+	for _, frac := range dthFracs {
+		dth := time.Duration(float64(runtime) * frac)
+		env, base0, err := setup(Baseline())
+		if err != nil {
+			return nil, err
+		}
+		opsPerPeriod := int(float64(cfg.Ops) * frac)
+		if opsPerPeriod < 1 {
+			opsPerPeriod = 1
+		}
+		done := 0
+		for done < cfg.Ops {
+			n := min(opsPerPeriod, cfg.Ops-done)
+			if err := env.Run(n); err != nil {
+				env.Close()
+				return nil, err
+			}
+			if err := env.DB.FullTreeCompact(); err != nil {
+				env.Close()
+				return nil, err
+			}
+			done += n
+		}
+		rows = append(rows, report(env, base0, "state-of-the-art + full compaction", dth))
+		env.Close()
+	}
+
+	// Lethe at each Dth.
+	for _, frac := range dthFracs {
+		dth := time.Duration(float64(runtime) * frac)
+		sys := LetheSystem("Lethe", dth, 1)
+		env, base0, err := setup(sys)
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Run(cfg.Ops); err != nil {
+			env.Close()
+			return nil, err
+		}
+		if err := env.DB.Maintain(); err != nil {
+			env.Close()
+			return nil, err
+		}
+		rows = append(rows, report(env, base0, "Lethe", dth))
+		env.Close()
+	}
+	return rows, nil
+}
+
+// BlindDeleteRow reports the §4.1.5 blind-delete mitigation: how many
+// tombstones a delete-heavy workload inserts with and without the filter
+// pre-probe.
+type BlindDeleteRow struct {
+	System               string
+	DeletesIssued        int
+	TombstonesSuppressed int64
+	LiveTombstones       int
+}
+
+// RunBlindDeletes issues deletes where most targets do not exist and
+// reports the tombstone population each policy ends up carrying.
+func RunBlindDeletes(cfg Config, deletes int) ([]BlindDeleteRow, error) {
+	var rows []BlindDeleteRow
+	for _, suppress := range []bool{false, true} {
+		sys := LetheSystem("Lethe", cfg.Runtime(cfg.Ops), 1)
+		sys.SuppressBlindDeletes = suppress
+		if !suppress {
+			sys.Name = "Lethe (no BF pre-probe)"
+		}
+		env, err := NewEnv(cfg, sys, workload.Config{Mix: workload.Mix{Inserts: 1000}})
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Preload(cfg.KeySpace / 4); err != nil {
+			env.Close()
+			return nil, err
+		}
+		// Delete across the whole key domain: ~75% of targets don't exist.
+		for i := 0; i < deletes; i++ {
+			if err := env.DB.Delete(workload.Key((i * 101) % cfg.KeySpace)); err != nil {
+				env.Close()
+				return nil, err
+			}
+		}
+		if err := env.DB.Flush(); err != nil {
+			env.Close()
+			return nil, err
+		}
+		st := env.DB.Stats()
+		rows = append(rows, BlindDeleteRow{
+			System:               sys.Name,
+			DeletesIssued:        deletes,
+			TombstonesSuppressed: st.BlindDeletesSuppressed,
+			LiveTombstones:       st.LivePointTombstones,
+		})
+		env.Close()
+	}
+	return rows, nil
+}

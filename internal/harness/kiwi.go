@@ -1,0 +1,306 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"lethe"
+	"lethe/internal/base"
+	"lethe/internal/workload"
+)
+
+// preloadedEnv builds an engine populated with cfg.KeySpace write-once
+// entries whose delete keys follow the given S/D correlation — the setup
+// for all the KiWi experiments (§5.2).
+func preloadedEnv(cfg Config, h int, correlation float64) (*Env, error) {
+	sys := System{Name: fmt.Sprintf("Lethe/h=%d", h), Mode: lethe.ModeLethe,
+		Dth: cfg.Runtime(cfg.Ops), TilePages: h}
+	env, err := NewEnv(cfg, sys, workload.Config{
+		Correlation: correlation,
+		Mix:         workload.Mix{Inserts: 1000},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Preload(cfg.KeySpace); err != nil {
+		env.Close()
+		return nil, err
+	}
+	return env, nil
+}
+
+// FullPageDropRow is one Fig. 6H cell: the share of SRD-affected pages that
+// were dropped whole, for a delete selectivity and tile size.
+type FullPageDropRow struct {
+	TilePages      int
+	SelectivityPct float64
+	FullDropPct    float64
+	FullDrops      int
+	PartialDrops   int
+}
+
+// RunFullPageDrops reproduces Fig. 6H: vary the secondary range delete
+// selectivity and the delete-tile granularity; report the percentage of
+// affected pages dropped without I/O. Larger h ⇒ more full drops; higher
+// selectivity per operation count ⇒ relatively fewer.
+func RunFullPageDrops(cfg Config, hs []int, selectivities []float64) ([]FullPageDropRow, error) {
+	var rows []FullPageDropRow
+	for _, h := range hs {
+		for _, sel := range selectivities {
+			env, err := preloadedEnv(cfg, h, 0)
+			if err != nil {
+				return nil, err
+			}
+			span := base.DeleteKey(float64(cfg.KeySpace) * sel)
+			if span < 1 {
+				span = 1
+			}
+			st, err := env.DB.SecondaryRangeDelete(0, span)
+			env.Close()
+			if err != nil {
+				return nil, err
+			}
+			row := FullPageDropRow{TilePages: h, SelectivityPct: sel * 100,
+				FullDrops: st.FullPageDrops, PartialDrops: st.PartialPageDrops}
+			if touched := st.FullPageDrops + st.PartialPageDrops; touched > 0 {
+				row.FullDropPct = 100 * float64(st.FullPageDrops) / float64(touched)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// LookupCostRow is one Fig. 6I point: average I/Os per point lookup at a
+// tile size, for zero-result and non-zero-result lookups.
+type LookupCostRow struct {
+	TilePages  int
+	NonZeroIOs float64
+	ZeroIOs    float64
+}
+
+// RunLookupVsTileSize reproduces Fig. 6I: lookup cost grows linearly with h
+// because each tile holds h overlapping pages guarded only by their Bloom
+// filters. h = 1 is the RocksDB-equivalent point.
+func RunLookupVsTileSize(cfg Config, hs []int) ([]LookupCostRow, error) {
+	const lookups = 2000
+	var rows []LookupCostRow
+	for _, h := range hs {
+		env, err := preloadedEnv(cfg, h, 0)
+		if err != nil {
+			return nil, err
+		}
+		row := LookupCostRow{TilePages: h}
+
+		// Non-zero-result lookups on existing keys.
+		io0 := env.FS.Stats.Snapshot()
+		for i := 0; i < lookups; i++ {
+			key := workload.Key((i * 37) % cfg.KeySpace)
+			if _, err := env.DB.Get(key); err != nil && err != lethe.ErrNotFound {
+				env.Close()
+				return nil, err
+			}
+		}
+		row.NonZeroIOs = float64(env.FS.Stats.Snapshot().Sub(io0).PagesRead) / lookups
+
+		// Zero-result lookups on keys inside the domain that don't exist
+		// (between two real keys), so tile fences admit them and only the
+		// Bloom filters stand between the probe and a wasted I/O — the
+		// paper's zero-result case.
+		io1 := env.FS.Stats.Snapshot()
+		for i := 0; i < lookups; i++ {
+			key := append(workload.Key((i*37)%cfg.KeySpace), 'x')
+			if _, err := env.DB.Get(key); err != nil && err != lethe.ErrNotFound {
+				env.Close()
+				return nil, err
+			}
+		}
+		row.ZeroIOs = float64(env.FS.Stats.Snapshot().Sub(io1).PagesRead) / lookups
+		env.Close()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// OptimalLayoutRow is one Fig. 6J cell: average I/Os per operation for a
+// mixed workload at a given SRD selectivity and tile size.
+type OptimalLayoutRow struct {
+	TilePages      int
+	SelectivityPct float64
+	AvgIOsPerOp    float64
+}
+
+// RunOptimalLayout reproduces Fig. 6J: a workload mixing point lookups with
+// rare secondary range deletes (the paper's ratio is one SRD per 0.1M
+// lookups; scaled here) shifts its optimal h as SRD selectivity grows —
+// h = 1 wins at 1% selectivity, larger tiles win beyond.
+func RunOptimalLayout(cfg Config, hs []int, selectivities []float64, lookupsPerSRD int) ([]OptimalLayoutRow, error) {
+	var rows []OptimalLayoutRow
+	for _, sel := range selectivities {
+		for _, h := range hs {
+			env, err := preloadedEnv(cfg, h, 0)
+			if err != nil {
+				return nil, err
+			}
+			io0 := env.FS.Stats.Snapshot()
+			ops := 0
+			span := base.DeleteKey(float64(cfg.KeySpace) * sel)
+			if span < 1 {
+				span = 1
+			}
+			// One SRD followed by lookupsPerSRD point lookups.
+			if _, err := env.DB.SecondaryRangeDelete(base.DeleteKey(cfg.KeySpace/2), base.DeleteKey(cfg.KeySpace/2)+span); err != nil {
+				env.Close()
+				return nil, err
+			}
+			ops++
+			for i := 0; i < lookupsPerSRD; i++ {
+				key := workload.Key((i * 13) % cfg.KeySpace)
+				if _, err := env.DB.Get(key); err != nil && err != lethe.ErrNotFound {
+					env.Close()
+					return nil, err
+				}
+				ops++
+			}
+			d := env.FS.Stats.Snapshot().Sub(io0)
+			rows = append(rows, OptimalLayoutRow{
+				TilePages:      h,
+				SelectivityPct: sel * 100,
+				AvgIOsPerOp:    float64(d.PagesRead+d.PagesWritten) / float64(ops),
+			})
+			env.Close()
+		}
+	}
+	return rows, nil
+}
+
+// CPUIORow is one Fig. 6K cell: simulated hashing time versus I/O time for
+// the mixed workload with one large secondary range delete, with the SRD's
+// own I/O reported separately.
+type CPUIORow struct {
+	System    string
+	TilePages int
+	HashTime  time.Duration
+	IOTime    time.Duration
+	// SRDIOTime is the I/O attributable to the secondary range delete
+	// itself — the quantity KiWi's page drops shrink. With h = 1
+	// (baseline-equivalent layout) the page D fences span the whole domain,
+	// so the SRD reads and rewrites essentially every page: the cost of the
+	// filtered full-tree rewrite the state of the art performs.
+	SRDIOTime time.Duration
+	Total     time.Duration
+}
+
+// RunCPUvsIO reproduces Fig. 6K: the workload is 50% point queries, 1%
+// range queries, 49% inserts, plus a single secondary range delete covering
+// 1/7 of the database ("deleting all data older than 7 days"). Hashing cost
+// rises linearly with h but is three orders of magnitude cheaper per
+// operation than a page I/O; larger tiles shrink the SRD's I/O.
+func RunCPUvsIO(cfg Config, hs []int) ([]CPUIORow, error) {
+	mix := workload.Mix{PointLookups: 500, RangeLookups: 10, Inserts: 490}
+	var rows []CPUIORow
+	for _, h := range hs {
+		name := fmt.Sprintf("Lethe/h=%d", h)
+		if h == 1 {
+			name = "RocksDB-layout/h=1"
+		}
+		env, err := NewEnv(cfg, LetheSystem(name, cfg.Runtime(cfg.Ops), h),
+			workload.Config{Mix: mix})
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Preload(cfg.KeySpace); err != nil {
+			env.Close()
+			return nil, err
+		}
+		io0 := env.FS.Stats.Snapshot()
+		h0 := env.HashOps()
+		if err := env.Run(cfg.Ops / 4); err != nil {
+			env.Close()
+			return nil, err
+		}
+		srd0 := env.FS.Stats.Snapshot()
+		if _, err := env.DB.SecondaryRangeDelete(0, base.DeleteKey(cfg.KeySpace/7)); err != nil {
+			env.Close()
+			return nil, err
+		}
+		srdIO := env.FS.Stats.Snapshot().Sub(srd0)
+		if err := env.Run(cfg.Ops / 4); err != nil {
+			env.Close()
+			return nil, err
+		}
+		io := env.FS.Stats.Snapshot().Sub(io0)
+		hashes := env.HashOps() - h0
+		row := CPUIORow{
+			System:    name,
+			TilePages: h,
+			HashTime:  time.Duration(hashes) * HashLatency,
+			IOTime:    time.Duration(io.PagesRead+io.PagesWritten) * PageIOLatency,
+			SRDIOTime: time.Duration(srdIO.PagesRead+srdIO.PagesWritten) * PageIOLatency,
+		}
+		row.Total = row.HashTime + row.IOTime
+		rows = append(rows, row)
+		env.Close()
+	}
+	return rows, nil
+}
+
+// CorrelationRow is one Fig. 6L cell: range query and secondary range
+// delete costs at a tile size under a given S/D correlation.
+type CorrelationRow struct {
+	Correlation   float64
+	TilePages     int
+	RangeQueryIOs float64 // avg pages per short range query
+	SRDCostIOs    float64 // pages read+written by the SRD
+	FullDropPct   float64
+}
+
+// RunCorrelation reproduces Fig. 6L: with uncorrelated S and D keys, larger
+// tiles trade range-query cost for drastically cheaper secondary deletes;
+// with correlation ≈ 1 the weave is unnecessary (h = 1 already clusters
+// qualifying entries) and delete tiles stop mattering.
+func RunCorrelation(cfg Config, hs []int, correlations []float64) ([]CorrelationRow, error) {
+	const rangeQueries = 300
+	var rows []CorrelationRow
+	for _, corr := range correlations {
+		for _, h := range hs {
+			env, err := preloadedEnv(cfg, h, corr)
+			if err != nil {
+				return nil, err
+			}
+			// Short range queries.
+			io0 := env.FS.Stats.Snapshot()
+			for i := 0; i < rangeQueries; i++ {
+				lo := (i * 53) % cfg.KeySpace
+				err := env.DB.Scan(workload.Key(lo), workload.Key(lo+16),
+					func([]byte, base.DeleteKey, []byte) bool { return true })
+				if err != nil {
+					env.Close()
+					return nil, err
+				}
+			}
+			rq := float64(env.FS.Stats.Snapshot().Sub(io0).PagesRead) / rangeQueries
+
+			// One secondary range delete of 10% of the D domain.
+			io1 := env.FS.Stats.Snapshot()
+			st, err := env.DB.SecondaryRangeDelete(0, base.DeleteKey(cfg.KeySpace/10))
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			d := env.FS.Stats.Snapshot().Sub(io1)
+			row := CorrelationRow{
+				Correlation:   corr,
+				TilePages:     h,
+				RangeQueryIOs: rq,
+				SRDCostIOs:    float64(d.PagesRead + d.PagesWritten),
+			}
+			if touched := st.FullPageDrops + st.PartialPageDrops; touched > 0 {
+				row.FullDropPct = 100 * float64(st.FullPageDrops) / float64(touched)
+			}
+			rows = append(rows, row)
+			env.Close()
+		}
+	}
+	return rows, nil
+}

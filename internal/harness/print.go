@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// PrintDeleteSweep renders Fig. 6A–D rows as one table.
+func PrintDeleteSweep(w io.Writer, rows []DeleteSweepRow) {
+	fmt.Fprintf(w, "%-12s %8s %10s %12s %14s %16s %12s\n",
+		"system", "%deletes", "spaceamp", "compactions", "written(MB)", "reads(ops/s)", "tombstones")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %7.0f%% %10.4f %12d %14.2f %16.0f %12d\n",
+			r.System, r.DeletePct*100, r.SpaceAmp, r.Compactions,
+			r.DataWrittenMB, r.ReadThroughput, r.LiveTombstones)
+	}
+}
+
+// PrintTombstoneAges renders Fig. 6E rows.
+func PrintTombstoneAges(w io.Writer, rows []TombstoneAgeRow) {
+	fmt.Fprintf(w, "%-12s %12s %14s %14s\n", "system", "age<=", "cum.tombs", "max age")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %12s %14d %14s\n",
+			r.System, r.Age.Round(time.Millisecond), r.Cumulative, r.MaxAge.Round(time.Millisecond))
+	}
+}
+
+// PrintWriteAmp renders Fig. 6F rows.
+func PrintWriteAmp(w io.Writer, rows []WriteAmpRow) {
+	fmt.Fprintf(w, "%-9s %12s %14s %12s %12s\n", "snapshot", "elapsed", "baseline(MB)", "lethe(MB)", "normalized")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9d %12s %14.2f %12.2f %12.3f\n",
+			r.Snapshot, r.Elapsed.Round(time.Millisecond), r.BaselineMB, r.LetheMB, r.NormalizedBytes)
+	}
+}
+
+// PrintScaling renders Fig. 6G rows.
+func PrintScaling(w io.Writer, rows []ScalingRow) {
+	fmt.Fprintf(w, "%-10s %14s %16s %16s\n", "system", "data(bytes)", "write lat", "mixed lat")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %14d %16s %16s\n",
+			r.System, r.DataBytes, r.WriteLatency, r.MixedLatency)
+	}
+}
+
+// PrintFullPageDrops renders Fig. 6H rows.
+func PrintFullPageDrops(w io.Writer, rows []FullPageDropRow) {
+	fmt.Fprintf(w, "%6s %13s %12s %10s %10s\n", "h", "selectivity", "%fulldrops", "full", "partial")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %12.1f%% %11.1f%% %10d %10d\n",
+			r.TilePages, r.SelectivityPct, r.FullDropPct, r.FullDrops, r.PartialDrops)
+	}
+}
+
+// PrintLookupCost renders Fig. 6I rows.
+func PrintLookupCost(w io.Writer, rows []LookupCostRow) {
+	fmt.Fprintf(w, "%6s %16s %16s\n", "h", "nonzero(I/O)", "zero(I/O)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %16.3f %16.3f\n", r.TilePages, r.NonZeroIOs, r.ZeroIOs)
+	}
+}
+
+// PrintOptimalLayout renders Fig. 6J rows.
+func PrintOptimalLayout(w io.Writer, rows []OptimalLayoutRow) {
+	fmt.Fprintf(w, "%6s %13s %16s\n", "h", "selectivity", "avg I/O per op")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %12.1f%% %16.4f\n", r.TilePages, r.SelectivityPct, r.AvgIOsPerOp)
+	}
+}
+
+// PrintCPUIO renders Fig. 6K rows.
+func PrintCPUIO(w io.Writer, rows []CPUIORow) {
+	fmt.Fprintf(w, "%-20s %6s %14s %14s %14s %14s\n", "system", "h", "hash time", "io time", "srd io", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %6d %14s %14s %14s %14s\n",
+			r.System, r.TilePages, r.HashTime.Round(time.Microsecond),
+			r.IOTime.Round(time.Microsecond), r.SRDIOTime.Round(time.Microsecond),
+			r.Total.Round(time.Microsecond))
+	}
+}
+
+// PrintCorrelation renders Fig. 6L rows.
+func PrintCorrelation(w io.Writer, rows []CorrelationRow) {
+	fmt.Fprintf(w, "%12s %6s %16s %14s %12s\n", "correlation", "h", "rangeq(I/O)", "srd(I/O)", "%fulldrops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12.1f %6d %16.3f %14.0f %11.1f%%\n",
+			r.Correlation, r.TilePages, r.RangeQueryIOs, r.SRDCostIOs, r.FullDropPct)
+	}
+}
+
+// PrintFrontier renders Fig. 1B rows.
+func PrintFrontier(w io.Writer, rows []FrontierRow) {
+	fmt.Fprintf(w, "%-36s %14s %14s %14s %10s %10s\n", "system", "bound", "max obs. age", "written(MB)", "w-amp", "peak(MB)")
+	for _, r := range rows {
+		bound := "none"
+		if r.PersistenceBound > 0 {
+			bound = r.PersistenceBound.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(w, "%-36s %14s %14s %14.2f %10.2f %10.2f\n",
+			r.System, bound, r.MaxObservedAge.Round(time.Millisecond), r.CostMBWritten, r.WriteAmp, r.PeakCompactionMB)
+	}
+}
+
+// PrintBlindDeletes renders the blind-delete mitigation rows.
+func PrintBlindDeletes(w io.Writer, rows []BlindDeleteRow) {
+	fmt.Fprintf(w, "%-26s %10s %12s %14s\n", "system", "deletes", "suppressed", "tombstones")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s %10d %12d %14d\n",
+			r.System, r.DeletesIssued, r.TombstonesSuppressed, r.LiveTombstones)
+	}
+}

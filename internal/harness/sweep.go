@@ -1,0 +1,314 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"lethe"
+	"lethe/internal/workload"
+)
+
+// DeleteSweepRow is one point of the Fig. 6A–D experiment family: one
+// (system, delete-percentage) cell with every metric those four panels plot.
+type DeleteSweepRow struct {
+	System    string
+	DeletePct float64
+	DthFrac   float64 // Dth as a fraction of experiment runtime (0 = none)
+	// SpaceAmp is Fig. 6A's y-axis.
+	SpaceAmp float64
+	// Compactions is Fig. 6B's y-axis.
+	Compactions int64
+	// DataWrittenMB is Fig. 6C's y-axis (total bytes compacted + flushed).
+	DataWrittenMB float64
+	// ReadThroughput is Fig. 6D's y-axis: point lookups per second of
+	// simulated device time.
+	ReadThroughput float64
+	// LiveTombstones is the tombstone population at snapshot time.
+	LiveTombstones int
+}
+
+// DeleteSweepSystems returns the paper's four lines: RocksDB plus Lethe at
+// Dth = 16.67%, 25%, and 50% of the experiment runtime.
+func DeleteSweepSystems(runtime time.Duration, h int) []struct {
+	System  System
+	DthFrac float64
+} {
+	mk := func(name string, frac float64) struct {
+		System  System
+		DthFrac float64
+	} {
+		if frac == 0 {
+			return struct {
+				System  System
+				DthFrac float64
+			}{Baseline(), 0}
+		}
+		return struct {
+			System  System
+			DthFrac float64
+		}{LetheSystem(name, time.Duration(float64(runtime)*frac), h), frac}
+	}
+	return []struct {
+		System  System
+		DthFrac float64
+	}{
+		mk("RocksDB", 0),
+		mk("Lethe/16%", 1.0/6),
+		mk("Lethe/25%", 0.25),
+		mk("Lethe/50%", 0.50),
+	}
+}
+
+// RunDeleteSweep reproduces Fig. 6A–D: for each delete percentage and each
+// system, ingest the workload (inserts with the given delete fraction,
+// §5.1's setup), snapshot the compaction metrics, then measure read
+// throughput with point lookups on existing (possibly deleted) keys.
+func RunDeleteSweep(cfg Config, deletePcts []float64) ([]DeleteSweepRow, error) {
+	runtime := cfg.Runtime(cfg.Ops)
+	var rows []DeleteSweepRow
+	for _, pct := range deletePcts {
+		// §5.1 evaluates FADE alone: Lethe differs from the baseline only
+		// in compaction trigger and file picking, so the layout stays h = 1.
+		for _, sc := range DeleteSweepSystems(runtime, 1) {
+			row, err := runDeleteCell(cfg, sc.System, sc.DthFrac, pct)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s at %.0f%% deletes: %w", sc.System.Name, pct*100, err)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func runDeleteCell(cfg Config, sys System, dthFrac, pct float64) (DeleteSweepRow, error) {
+	row := DeleteSweepRow{System: sys.Name, DeletePct: pct, DthFrac: dthFrac}
+	deletes := int(pct * 1000)
+	env, err := NewEnv(cfg, sys, workload.Config{
+		Mix:          workload.Mix{Inserts: 1000 - deletes, PointDeletes: deletes},
+		FreshInserts: true, // deleted keys never reappear (EComp semantics)
+	})
+	if err != nil {
+		return row, err
+	}
+	defer env.Close()
+
+	if err := env.Run(cfg.Ops); err != nil {
+		return row, err
+	}
+	if err := env.DB.Flush(); err != nil {
+		return row, err
+	}
+	if err := env.DB.Maintain(); err != nil {
+		return row, err
+	}
+
+	st := env.DB.Stats()
+	row.Compactions = st.Compactions
+	row.DataWrittenMB = float64(st.TotalBytesWritten) / (1 << 20)
+	row.LiveTombstones = st.LivePointTombstones
+	if row.SpaceAmp, err = env.DB.SpaceAmp(); err != nil {
+		return row, err
+	}
+
+	// Read phase (Fig. 6D): lookups on keys that were inserted, some since
+	// deleted ("the lookups may be on entries [that] have been deleted").
+	const lookups = 2000
+	ioBefore := env.FS.Stats.Snapshot()
+	hashBefore := env.HashOps()
+	rgen := workload.New(workload.Config{Seed: cfg.Seed + 7, KeySpace: cfg.KeySpace,
+		Mix: workload.Mix{PointLookups: 1}})
+	for i := 0; i < lookups; i++ {
+		op := rgen.Next()
+		if _, err := env.DB.Get(op.Key); err != nil && err != lethe.ErrNotFound {
+			return row, err
+		}
+	}
+	elapsed := SimulatedTime(env.FS.Stats.Snapshot().Sub(ioBefore), env.HashOps()-hashBefore)
+	if elapsed > 0 {
+		row.ReadThroughput = float64(lookups) / elapsed.Seconds()
+	}
+	return row, nil
+}
+
+// TombstoneAgeRow is one Fig. 6E series point: cumulative tombstones in
+// files no older than Age.
+type TombstoneAgeRow struct {
+	System     string
+	DthFrac    float64
+	Age        time.Duration
+	Cumulative int
+	// MaxAge is the oldest tombstone in the tree (the paper's compliance
+	// check: Lethe keeps MaxAge ≤ Dth).
+	MaxAge time.Duration
+}
+
+// RunTombstoneAges reproduces Fig. 6E: ingest with deletes, snapshot the
+// per-file tombstone age distribution, and report the cumulative counts at
+// 5%, 25%, and 100% of the runtime (the paper's 90s/450s/1800s buckets).
+func RunTombstoneAges(cfg Config, deletePct float64) ([]TombstoneAgeRow, error) {
+	runtime := cfg.Runtime(cfg.Ops)
+	buckets := []time.Duration{runtime / 20, runtime / 4, runtime}
+	var rows []TombstoneAgeRow
+	for _, sc := range DeleteSweepSystems(runtime, 1) {
+		deletes := int(deletePct * 1000)
+		env, err := NewEnv(cfg, sc.System, workload.Config{
+			Mix:          workload.Mix{Inserts: 1000 - deletes, PointDeletes: deletes},
+			FreshInserts: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := env.Run(cfg.Ops); err != nil {
+			env.Close()
+			return nil, err
+		}
+		if err := env.DB.Flush(); err != nil {
+			env.Close()
+			return nil, err
+		}
+		if err := env.DB.Maintain(); err != nil {
+			env.Close()
+			return nil, err
+		}
+		ages := env.DB.TombstoneAges()
+		maxAge := env.DB.MaxTombstoneAge()
+		for _, b := range buckets {
+			cum := 0
+			for _, a := range ages {
+				if a.Age <= b {
+					cum += a.Tombstones
+				}
+			}
+			rows = append(rows, TombstoneAgeRow{
+				System: sc.System.Name, DthFrac: sc.DthFrac, Age: b,
+				Cumulative: cum, MaxAge: maxAge,
+			})
+		}
+		env.Close()
+	}
+	return rows, nil
+}
+
+// WriteAmpRow is one Fig. 6F snapshot: cumulative bytes written by Lethe
+// normalized to the baseline at the same simulated instant.
+type WriteAmpRow struct {
+	Snapshot        int
+	Elapsed         time.Duration
+	BaselineMB      float64
+	LetheMB         float64
+	NormalizedBytes float64
+}
+
+// RunWriteAmpOverTime reproduces Fig. 6F: both engines consume the same
+// operation stream and cumulative bytes written are sampled at fixed
+// intervals. Early snapshots show Lethe's eager-merge spike; later ones its
+// amortization as the purged tree makes subsequent compactions cheaper. The
+// paper sets Dth to runtime/15 ("to model the worst case"); dthFrac exposes
+// that knob.
+func RunWriteAmpOverTime(cfg Config, deletePct, dthFrac float64, snapshots int) ([]WriteAmpRow, error) {
+	runtime := cfg.Runtime(cfg.Ops)
+	deletes := int(deletePct * 1000)
+	wl := workload.Config{Mix: workload.Mix{Inserts: 1000 - deletes, PointDeletes: deletes},
+		FreshInserts: true}
+
+	baseEnv, err := NewEnv(cfg, Baseline(), wl)
+	if err != nil {
+		return nil, err
+	}
+	defer baseEnv.Close()
+	letheEnv, err := NewEnv(cfg, LetheSystem("Lethe", time.Duration(float64(runtime)*dthFrac), 1), wl)
+	if err != nil {
+		return nil, err
+	}
+	defer letheEnv.Close()
+
+	opsPerSnap := cfg.Ops / snapshots
+	var rows []WriteAmpRow
+	for s := 1; s <= snapshots; s++ {
+		// Both envs share the same generator seed, so the op streams match.
+		if err := baseEnv.Run(opsPerSnap); err != nil {
+			return nil, err
+		}
+		if err := letheEnv.Run(opsPerSnap); err != nil {
+			return nil, err
+		}
+		bst, lst := baseEnv.DB.Stats(), letheEnv.DB.Stats()
+		row := WriteAmpRow{
+			Snapshot:   s,
+			Elapsed:    cfg.Runtime(s * opsPerSnap),
+			BaselineMB: float64(bst.TotalBytesWritten) / (1 << 20),
+			LetheMB:    float64(lst.TotalBytesWritten) / (1 << 20),
+		}
+		if bst.TotalBytesWritten > 0 {
+			row.NormalizedBytes = float64(lst.TotalBytesWritten) / float64(bst.TotalBytesWritten)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScalingRow is one Fig. 6G point: average simulated per-op latency for the
+// write-only and mixed workloads at a given data size.
+type ScalingRow struct {
+	System       string
+	DataBytes    int64
+	WriteLatency time.Duration
+	MixedLatency time.Duration
+}
+
+// RunScaling reproduces Fig. 6G: latency versus data volume for a
+// write-only workload and the mixed YCSB-A variant, for both systems.
+func RunScaling(cfg Config, opsScales []int) ([]ScalingRow, error) {
+	runtime := cfg.Runtime(cfg.Ops)
+	var rows []ScalingRow
+	for _, ops := range opsScales {
+		for _, sys := range []System{Baseline(), LetheSystem("Lethe", runtime/4, 1)} {
+			row := ScalingRow{System: sys.Name}
+			// Write-only.
+			wEnv, err := NewEnv(cfg, sys, workload.Config{Mix: workload.Mix{Inserts: 1000}})
+			if err != nil {
+				return nil, err
+			}
+			io0 := wEnv.FS.Stats.Snapshot()
+			h0 := wEnv.HashOps()
+			if err := wEnv.Run(ops); err != nil {
+				wEnv.Close()
+				return nil, err
+			}
+			row.WriteLatency = SimulatedTime(wEnv.FS.Stats.Snapshot().Sub(io0), wEnv.HashOps()-h0) / time.Duration(ops)
+			st := wEnv.DB.Stats()
+			row.DataBytes = 0
+			for _, l := range st.Levels {
+				row.DataBytes += l.LiveBytes
+			}
+			wEnv.Close()
+
+			// Mixed (YCSB-A with 5% deletes).
+			mEnv, err := NewEnv(cfg, sys, workload.Config{Mix: workload.YCSBAWithDeletes(0.05)})
+			if err != nil {
+				return nil, err
+			}
+			if err := mEnv.Preload(min(ops, cfg.KeySpace)); err != nil {
+				mEnv.Close()
+				return nil, err
+			}
+			io1 := mEnv.FS.Stats.Snapshot()
+			h1 := mEnv.HashOps()
+			if err := mEnv.Run(ops); err != nil {
+				mEnv.Close()
+				return nil, err
+			}
+			row.MixedLatency = SimulatedTime(mEnv.FS.Stats.Snapshot().Sub(io1), mEnv.HashOps()-h1) / time.Duration(ops)
+			mEnv.Close()
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,450 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+
+	"lethe/internal/base"
+	"lethe/internal/compaction"
+	"lethe/internal/sstable"
+)
+
+// Maintain runs compactions until no trigger fires: every TTL-expired file
+// has been pushed onward and every level is within capacity. It is invoked
+// automatically after buffer flushes; experiments also call it after
+// advancing the simulated clock.
+func (db *DB) Maintain() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.maintainLocked()
+}
+
+func (db *DB) maintainLocked() error {
+	for {
+		tree := db.pickerTree()
+		decision, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now())
+		if !ok {
+			break
+		}
+		if err := db.runCompactionLocked(decision); err != nil {
+			return err
+		}
+	}
+	// §4.1.5: tombstones may linger in the WAL past Dth if the buffer is
+	// quiet. The dedicated routine rewrites any live segment older than Dth,
+	// keeping only records not yet durable in sstables.
+	if db.wal != nil && db.opts.Dth > 0 {
+		flushed := db.flushedSeq
+		if _, err := db.wal.PurgeExpired(db.opts.Dth, func(e base.Entry) bool {
+			return e.Key.SeqNum() > flushed
+		}); err != nil {
+			return err
+		}
+		// The live segment itself may have outlived Dth while the buffer
+		// sat below its flush threshold: flush to seal and release it.
+		if db.wal.LiveAge() > db.opts.Dth && !db.mem.Empty() {
+			if err := db.flushLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// pickerTree builds the picker's read-only view of the current structure.
+func (db *DB) pickerTree() *compaction.Tree {
+	tree := &compaction.Tree{TreeEntries: db.treeEntries()}
+	if db.opts.Tiering {
+		tree.TieredRunLimit = db.opts.SizeRatio
+	}
+	for l, runs := range db.levels {
+		var lvl [][]*sstable.Meta
+		for _, r := range runs {
+			var metas []*sstable.Meta
+			for _, h := range r {
+				metas = append(metas, h.meta)
+			}
+			lvl = append(lvl, metas)
+		}
+		tree.Levels = append(tree.Levels, lvl)
+		tree.CapacityBytes = append(tree.CapacityBytes, db.capacityBytes(l))
+		tree.LiveBytes = append(tree.LiveBytes, db.liveBytes(l))
+	}
+	return tree
+}
+
+// runCompactionLocked executes one compaction decided by the picker.
+//
+// Leveling (§2 "Partial Compaction"): the chosen source file(s) merge with
+// the overlapping files of the next level's single run; outputs replace the
+// overlapped region. Tiering: the source level's runs merge into one new run
+// appended to the next level. When the destination is the tree's last level
+// and every run of that level participates, tombstones are discarded — the
+// deletes persist (§3.1.1).
+func (db *DB) runCompactionLocked(d compaction.Decision) error {
+	src := d.Level
+	if db.opts.Tiering {
+		return db.runTieredCompactionLocked(d)
+	}
+
+	lastLevel := len(db.levels) - 1
+	if src == lastLevel && d.Trigger == compaction.TriggerTTL {
+		// A TTL-expired file already at the last level is rewritten in
+		// place, discarding its tombstones and everything they shadow.
+		return db.rewriteLastLevelFileLocked(d)
+	}
+
+	target := src + 1
+	if target >= len(db.levels) {
+		db.levels = append(db.levels, nil)
+		db.recomputeTTLs() // tree height changed (Fig. 4 step 1)
+	}
+	if len(db.levels[target]) == 0 {
+		db.levels[target] = []run{nil}
+	}
+
+	srcHandles := db.refsToHandles(d.Files)
+	minS, maxS := keyRangeOf(srcHandles)
+	targetRun := db.levels[target][0]
+	var overlap, keep run
+	for _, h := range targetRun {
+		if overlapsRange(h.meta, minS, maxS) {
+			overlap = append(overlap, h)
+		} else {
+			keep = append(keep, h)
+		}
+	}
+
+	isLast := target == len(db.levels)-1
+	if len(overlap) == 0 && !(isLast && anyTombstones(srcHandles)) && src != 0 {
+		// Trivial move (§4.1.3: "when a compaction simply moves a file from
+		// one disk level to the next without physical sort-merging"): no
+		// overlapping keys below, so the file descends without I/O. Skipped
+		// when tombstones reach the last level (they must be discarded,
+		// which needs a rewrite) and for the multi-run first level.
+		return db.trivialMoveLocked(d, srcHandles, target)
+	}
+	outputs, err := db.mergeFilesLocked(srcHandles, overlap, isLast, d.Trigger)
+	if err != nil {
+		return err
+	}
+
+	// Install: outputs join the survivors of the target run, in S order.
+	newRun := append(keep, outputs...)
+	sort.Slice(newRun, func(i, j int) bool {
+		return base.CompareUserKeys(newRun[i].meta.MinS, newRun[j].meta.MinS) < 0
+	})
+	db.levels[target][0] = newRun
+	db.removeHandlesLocked(d.Files)
+	if err := db.commitManifest(); err != nil {
+		return err
+	}
+	return db.deleteFilesLocked(append(srcHandles, overlap...))
+}
+
+// runTieredCompactionLocked merges all runs of the source level into a
+// single run appended to the next level (classic tiering: a level
+// accumulates T runs, then they sort-merge into one run of the level below,
+// growing the tree from the last level). Tombstones are discarded only when
+// the destination is the last level and holds no other runs — the only
+// point where all older versions are guaranteed to be in the merge.
+func (db *DB) runTieredCompactionLocked(d compaction.Decision) error {
+	src := d.Level
+	var inputs run
+	for _, r := range db.levels[src] {
+		inputs = append(inputs, r...)
+	}
+	if len(inputs) == 0 {
+		return nil
+	}
+	target := src + 1
+	if target >= len(db.levels) {
+		db.levels = append(db.levels, nil)
+		db.recomputeTTLs()
+	}
+	isLast := target == len(db.levels)-1 && len(db.levels[target]) == 0
+	outputs, err := db.mergeFilesLocked(inputs, nil, isLast, d.Trigger)
+	if err != nil {
+		return err
+	}
+	// The merged run is newest relative to existing runs of the target.
+	db.levels[target] = append([]run{outputs}, db.levels[target]...)
+	db.levels[src] = nil
+	if err := db.commitManifest(); err != nil {
+		return err
+	}
+	return db.deleteFilesLocked(inputs)
+}
+
+// rewriteLastLevelFileLocked compacts the chosen last-level file(s) with
+// themselves, persisting their tombstones. Point tombstones are safe to
+// drop in a single-file rewrite (keys are unique across a run), but a file
+// carrying range tombstones may shadow entries in sibling files, so the
+// whole level joins the merge in that case.
+func (db *DB) rewriteLastLevelFileLocked(d compaction.Decision) error {
+	handles := db.refsToHandles(d.Files)
+	l := d.Level
+	expand := false
+	for _, h := range handles {
+		if h.meta.NumRangeTombstones > 0 {
+			expand = true
+		}
+	}
+	if expand || len(db.levels[l]) > 1 {
+		handles = nil
+		for _, r := range db.levels[l] {
+			handles = append(handles, r...)
+		}
+	}
+	outputs, err := db.mergeFilesLocked(handles, nil, true, d.Trigger)
+	if err != nil {
+		return err
+	}
+	var newRun run
+	drop := map[uint64]bool{}
+	for _, h := range handles {
+		drop[h.meta.FileNum] = true
+	}
+	for _, r := range db.levels[l] {
+		for _, h := range r {
+			if !drop[h.meta.FileNum] {
+				newRun = append(newRun, h)
+			}
+		}
+	}
+	newRun = append(newRun, outputs...)
+	sort.Slice(newRun, func(i, j int) bool {
+		return base.CompareUserKeys(newRun[i].meta.MinS, newRun[j].meta.MinS) < 0
+	})
+	db.levels[l] = []run{newRun}
+	if err := db.commitManifest(); err != nil {
+		return err
+	}
+	return db.deleteFilesLocked(handles)
+}
+
+// mergeFilesLocked sort-merges upper (newer) and lower (older) inputs into
+// new files at the configured file size, applying the merge rules. It
+// updates the engine's compaction counters.
+func (db *DB) mergeFilesLocked(upper, lower run, lastLevel bool, trigger compaction.TriggerKind) (run, error) {
+	var iters []compaction.Iterator
+	var rts []base.RangeTombstone
+	var bytesIn int64
+	for _, h := range append(append(run{}, upper...), lower...) {
+		iters = append(iters, h.r.NewIter())
+		rts = append(rts, h.r.RangeTombstones...)
+		bytesIn += h.r.LiveBytesOf()
+	}
+	merged := compaction.NewMergeIter(compaction.MergeConfig{
+		LastLevel:       lastLevel,
+		RangeTombstones: rts,
+	}, iters...)
+
+	var entries []base.Entry
+	for {
+		e, ok := merged.Next()
+		if !ok {
+			break
+		}
+		entries = append(entries, e.Clone())
+	}
+	if err := merged.Error(); err != nil {
+		return nil, fmt.Errorf("lsm: compaction merge: %w", err)
+	}
+
+	// Range tombstones survive the merge unless this was a last-level
+	// compaction.
+	var keepRTs []base.RangeTombstone
+	if !lastLevel {
+		keepRTs = rts
+	}
+
+	outputs, _, err := db.writeRun(entries, keepRTs)
+	if err != nil {
+		return nil, err
+	}
+
+	st := merged.Stats()
+	var eventBytes int64 = bytesIn
+	for _, h := range outputs {
+		eventBytes += h.meta.Size
+	}
+	if eventBytes > db.m.maxCompactionBytes.Load() {
+		db.m.maxCompactionBytes.Set(eventBytes)
+	}
+	db.m.compactions.Add(1)
+	if trigger == compaction.TriggerTTL {
+		db.m.compactionsTTL.Add(1)
+	} else {
+		db.m.compactionsSaturation.Add(1)
+	}
+	db.m.compactionBytesIn.Add(bytesIn)
+	for _, h := range outputs {
+		db.m.compactionBytesOut.Add(h.meta.Size)
+	}
+	db.m.entriesDroppedObsolete.Add(int64(st.ObsoleteDropped))
+	db.m.tombstonesDropped.Add(int64(st.TombstonesDropped))
+	db.m.rangeCovered.Add(int64(st.RangeCovered))
+	return outputs, nil
+}
+
+// FullTreeCompact merges the entire tree (buffer included) into a single run
+// at the last level — the state of the art's only way to bound delete
+// persistence latency and to execute secondary range deletes (§3.1.3). It
+// stalls everything else, which is exactly the behavior the paper's baseline
+// exhibits.
+func (db *DB) FullTreeCompact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	var inputs run
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			inputs = append(inputs, r...)
+		}
+	}
+	if len(inputs) == 0 {
+		return nil
+	}
+	outputs, err := db.mergeFilesLocked(inputs, nil, true, compaction.TriggerSaturation)
+	if err != nil {
+		return err
+	}
+	db.m.fullTreeCompactions.Add(1)
+
+	// Size the tree so the merged data sits in its last level.
+	levels := 1
+	var outBytes int64
+	for _, h := range outputs {
+		outBytes += h.meta.Size
+	}
+	for db.capacityBytes(levels-1) < outBytes {
+		levels++
+	}
+	db.levels = make([][]run, levels)
+	for l := 0; l < levels-1; l++ {
+		db.levels[l] = nil
+	}
+	db.levels[levels-1] = []run{outputs}
+	db.recomputeTTLs()
+	if err := db.commitManifest(); err != nil {
+		return err
+	}
+	return db.deleteFilesLocked(inputs)
+}
+
+// trivialMoveLocked reassigns files to the target level without I/O.
+func (db *DB) trivialMoveLocked(d compaction.Decision, handles run, target int) error {
+	db.removeHandlesLocked(d.Files)
+	if len(db.levels[target]) == 0 {
+		db.levels[target] = []run{nil}
+	}
+	newRun := append(append(run{}, db.levels[target][0]...), handles...)
+	sort.Slice(newRun, func(i, j int) bool {
+		return base.CompareUserKeys(newRun[i].meta.MinS, newRun[j].meta.MinS) < 0
+	})
+	db.levels[target][0] = newRun
+	db.m.compactions.Add(1)
+	db.m.trivialMoves.Add(1)
+	if d.Trigger == compaction.TriggerTTL {
+		db.m.compactionsTTL.Add(1)
+	} else {
+		db.m.compactionsSaturation.Add(1)
+	}
+	return db.commitManifest()
+}
+
+func anyTombstones(handles run) bool {
+	for _, h := range handles {
+		if h.meta.HasTombstones() {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+func (db *DB) refsToHandles(refs []compaction.FileRef) run {
+	var out run
+	for _, ref := range refs {
+		for _, h := range db.levels[ref.Level][ref.Run] {
+			if h.meta.FileNum == ref.Meta.FileNum {
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}
+
+// removeHandlesLocked detaches the given refs from the level structure,
+// dropping runs that become empty.
+func (db *DB) removeHandlesLocked(refs []compaction.FileRef) {
+	drop := map[uint64]bool{}
+	for _, ref := range refs {
+		drop[ref.Meta.FileNum] = true
+	}
+	for l := range db.levels {
+		var runs []run
+		for _, r := range db.levels[l] {
+			var kept run
+			for _, h := range r {
+				if !drop[h.meta.FileNum] {
+					kept = append(kept, h)
+				}
+			}
+			if len(kept) > 0 {
+				runs = append(runs, kept)
+			}
+		}
+		db.levels[l] = runs
+	}
+}
+
+// deleteFilesLocked closes and removes obsolete files after the manifest no
+// longer references them.
+func (db *DB) deleteFilesLocked(handles run) error {
+	for _, h := range handles {
+		if err := h.r.Close(); err != nil {
+			return err
+		}
+		if err := db.opts.FS.Remove(db.fileName(h.meta.FileNum)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func keyRangeOf(handles run) (minS, maxS []byte) {
+	for _, h := range handles {
+		if len(h.meta.MinS) == 0 && len(h.meta.MaxS) == 0 {
+			continue
+		}
+		if minS == nil || base.CompareUserKeys(h.meta.MinS, minS) < 0 {
+			minS = h.meta.MinS
+		}
+		if maxS == nil || base.CompareUserKeys(h.meta.MaxS, maxS) > 0 {
+			maxS = h.meta.MaxS
+		}
+	}
+	return minS, maxS
+}
+
+func overlapsRange(m *sstable.Meta, minS, maxS []byte) bool {
+	if minS == nil {
+		return false
+	}
+	if len(m.MinS) == 0 && len(m.MaxS) == 0 {
+		return false
+	}
+	return base.CompareUserKeys(m.MinS, maxS) <= 0 && base.CompareUserKeys(minS, m.MaxS) <= 0
+}

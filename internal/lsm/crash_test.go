@@ -1,0 +1,147 @@
+package lsm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"lethe/internal/base"
+	"lethe/internal/vfs"
+)
+
+// TestCrashRecoveryProperty drives random operations, "crashes" at random
+// points (abandoning the handle, reopening over the same filesystem), and
+// verifies the recovered state matches the model after every crash. With
+// MemFS every acknowledged write is durable, so recovery must be exact.
+func TestCrashRecoveryProperty(t *testing.T) {
+	for trial := 0; trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial-%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(trial) * 7919))
+			clock := base.NewManualClock(time.Unix(1e6, 0))
+			fs := vfs.NewMem()
+			opts := smallOpts(fs, clock)
+			opts.DisableWAL = false
+
+			type modelVal struct {
+				dkey  base.DeleteKey
+				value []byte
+			}
+			model := map[string]modelVal{}
+			db := mustOpen(t, opts)
+			const keySpace = 150
+
+			for epoch := 0; epoch < 4; epoch++ {
+				nOps := 100 + rng.Intn(300)
+				for op := 0; op < nOps; op++ {
+					i := rng.Intn(keySpace)
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3, 4, 5:
+						v := []byte(fmt.Sprintf("v-%d-%d", epoch, op))
+						d := base.DeleteKey(rng.Intn(1000))
+						if err := db.Put(key(i), d, v); err != nil {
+							t.Fatal(err)
+						}
+						model[string(key(i))] = modelVal{d, v}
+					case 6, 7:
+						if err := db.Delete(key(i)); err != nil {
+							t.Fatal(err)
+						}
+						delete(model, string(key(i)))
+					case 8:
+						hi := i + 1 + rng.Intn(10)
+						if err := db.RangeDelete(key(i), key(hi)); err != nil {
+							t.Fatal(err)
+						}
+						for j := i; j < hi && j < keySpace; j++ {
+							delete(model, string(key(j)))
+						}
+					case 9:
+						clock.Advance(time.Duration(rng.Intn(30)) * time.Second)
+						if err := db.Maintain(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				// Crash: abandon the handle, reopen the same filesystem.
+				db = mustOpen(t, opts)
+
+				for i := 0; i < keySpace; i++ {
+					want, live := model[string(key(i))]
+					v, d, err := db.Get(key(i))
+					if !live {
+						if !errors.Is(err, ErrNotFound) {
+							t.Fatalf("epoch %d key %d: want gone, got %q err=%v", epoch, i, v, err)
+						}
+						continue
+					}
+					if err != nil || !bytes.Equal(v, want.value) || d != want.dkey {
+						t.Fatalf("epoch %d key %d: got %q/%d err=%v want %q/%d",
+							epoch, i, v, d, err, want.value, want.dkey)
+					}
+				}
+			}
+			db.Close()
+		})
+	}
+}
+
+// TestCrashDuringCompactionLeavesConsistentState injects failures at varying
+// operation counts and verifies every surviving database opens cleanly with
+// all previously acknowledged, flushed data intact.
+func TestCrashDuringCompactionLeavesConsistentState(t *testing.T) {
+	for _, failAt := range []int64{20, 50, 100, 200, 400} {
+		failAt := failAt
+		t.Run(fmt.Sprintf("failAt-%d", failAt), func(t *testing.T) {
+			clock := base.NewManualClock(time.Unix(1e6, 0))
+			mem := vfs.NewMem()
+			boom := errors.New("crash")
+			hook := vfs.FailAfter(failAt, boom)
+			inj := vfs.NewInject(mem, func(op vfs.Op, name string) error {
+				// Reads never fail: we model a write-path crash.
+				if op == vfs.OpRead || op == vfs.OpOpen || op == vfs.OpList || op == vfs.OpClose {
+					return nil
+				}
+				return hook(op, name)
+			})
+			opts := smallOpts(inj, clock)
+			opts.DisableWAL = false
+			db, err := Open(opts)
+			if err != nil {
+				// The injection can fire during Open itself; that's a valid
+				// crash point — recovery below must still work.
+				t.Logf("open failed at injection: %v", err)
+			}
+
+			acked := 0
+			if db != nil {
+				for i := 0; i < 500; i++ {
+					if err := db.Put(key(i), base.DeleteKey(i), value(i)); err != nil {
+						break
+					}
+					acked++
+				}
+			}
+
+			// Recover on the raw filesystem (the device works again).
+			opts2 := smallOpts(mem, clock)
+			opts2.DisableWAL = false
+			db2, err := Open(opts2)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer db2.Close()
+			// Every acknowledged write must be present (MemFS writes are
+			// durable at acknowledgement).
+			for i := 0; i < acked; i++ {
+				v, _, err := db2.Get(key(i))
+				if err != nil || !bytes.Equal(v, value(i)) {
+					t.Fatalf("acked key %d lost after crash at op %d: %q %v", i, failAt, v, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,262 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lethe/internal/base"
+	"lethe/internal/compaction"
+	"lethe/internal/manifest"
+	"lethe/internal/memtable"
+	"lethe/internal/metrics"
+	"lethe/internal/sstable"
+	"lethe/internal/wal"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("lsm: database is closed")
+
+const manifestName = "MANIFEST"
+
+// fileHandle pairs a file's metadata with an open reader. The reader's Meta
+// pointer is shared so secondary range deletes keep both views consistent.
+type fileHandle struct {
+	meta *sstable.Meta
+	r    *sstable.Reader
+}
+
+// run is a sequence of S-ordered files forming one sorted run.
+type run []*fileHandle
+
+// DB is the engine. All public methods are safe for concurrent use; flushes
+// and compactions run synchronously inside the calling goroutine (the
+// paper's experiments prioritize compactions over writes), which also makes
+// experiments deterministic.
+type DB struct {
+	opts Options
+
+	mu     sync.Mutex
+	closed bool
+	mem    *memtable.Memtable
+	// levels[l] holds the runs of disk level l+1 (paper numbering), newest
+	// run first.
+	levels [][]run
+	wal    *wal.Manager
+	store  *manifest.Store
+
+	nextFileNum uint64
+	seq         base.SeqNum
+	flushedSeq  base.SeqNum // highest seq durable in sstables
+	memSeed     int64
+	cache       *sstable.PageCache
+
+	// ttls holds the cumulative per-level TTL thresholds D[i], recomputed
+	// after every flush and whenever the tree height changes (§4.1.2).
+	ttls []time.Duration
+
+	m internalMetrics
+}
+
+// internalMetrics aggregates the engine's counters.
+type internalMetrics struct {
+	compactions            metrics.Counter
+	compactionsTTL         metrics.Counter
+	compactionsSaturation  metrics.Counter
+	flushes                metrics.Counter
+	bytesFlushed           metrics.Counter
+	compactionBytesIn      metrics.Counter
+	compactionBytesOut     metrics.Counter
+	userBytesWritten       metrics.Counter
+	entriesDroppedObsolete metrics.Counter
+	tombstonesDropped      metrics.Counter
+	rangeCovered           metrics.Counter
+	blindDeletesSuppressed metrics.Counter
+	fullPageDrops          metrics.Counter
+	partialPageDrops       metrics.Counter
+	srdEntriesDropped      metrics.Counter
+	fullTreeCompactions    metrics.Counter
+	trivialMoves           metrics.Counter
+	maxCompactionBytes     metrics.Gauge
+}
+
+// Open creates or re-opens a database on opts.FS, replaying any WAL segments
+// left by a crash.
+func Open(opts Options) (*DB, error) {
+	o := opts.withDefaults()
+	if o.FS == nil {
+		return nil, errors.New("lsm: Options.FS is required")
+	}
+	db := &DB{
+		opts:    o,
+		store:   manifest.NewStore(o.FS, manifestName),
+		memSeed: o.Seed,
+		cache:   sstable.NewPageCache(o.CacheBytes),
+	}
+	db.mem = memtable.New(db.memSeed)
+
+	state, _, err := db.store.Load()
+	if err != nil {
+		return nil, err
+	}
+	db.nextFileNum = state.NextFileNum
+	db.seq = base.SeqNum(state.LastSeq)
+	db.flushedSeq = base.SeqNum(state.LastSeq)
+
+	for _, runsIn := range state.Levels {
+		var runs []run
+		for _, fileNums := range runsIn {
+			var r run
+			for _, num := range fileNums {
+				h, err := db.openFile(num)
+				if err != nil {
+					return nil, err
+				}
+				r = append(r, h)
+			}
+			runs = append(runs, r)
+		}
+		db.levels = append(db.levels, runs)
+	}
+	db.recomputeTTLs()
+
+	if err := db.recoverWAL(); err != nil {
+		return nil, err
+	}
+	if !o.DisableWAL {
+		mgr, err := wal.NewManagerAt(o.FS, o.Clock, "wal", db.walStartNum())
+		if err != nil {
+			return nil, err
+		}
+		db.wal = mgr
+	}
+	return db, nil
+}
+
+func (db *DB) fileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
+
+func (db *DB) openFile(num uint64) (*fileHandle, error) {
+	f, err := db.opts.FS.Open(db.fileName(num))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open file %d: %w", num, err)
+	}
+	r, err := sstable.OpenReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("lsm: read file %d: %w", num, err)
+	}
+	r.SetCache(db.cache)
+	return &fileHandle{meta: r.Meta, r: r}, nil
+}
+
+// recomputeTTLs refreshes the cumulative level TTLs for the current tree
+// height. Callers hold db.mu (or are single-threaded during Open).
+func (db *DB) recomputeTTLs() {
+	if db.opts.Dth <= 0 {
+		db.ttls = nil
+		return
+	}
+	levels := len(db.levels)
+	if levels == 0 {
+		levels = 1
+	}
+	db.ttls = compaction.LevelTTLs(db.opts.Dth, db.opts.SizeRatio, levels)
+}
+
+// capacityBytes returns level l's nominal capacity M·T^(l+1) (level 0 of the
+// slice is the paper's Level 1).
+func (db *DB) capacityBytes(l int) int64 {
+	cap := int64(db.opts.BufferBytes)
+	for i := 0; i <= l; i++ {
+		cap *= int64(db.opts.SizeRatio)
+	}
+	return cap
+}
+
+// liveBytes sums the live (non-dropped) bytes of a level.
+func (db *DB) liveBytes(l int) int64 {
+	var total int64
+	for _, r := range db.levels[l] {
+		for _, h := range r {
+			total += h.r.LiveBytesOf()
+		}
+	}
+	return total
+}
+
+// treeEntries counts live entries across all levels (including tombstones).
+func (db *DB) treeEntries() int {
+	n := 0
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				n += h.meta.NumEntries
+			}
+		}
+	}
+	return n
+}
+
+// Close flushes the buffer and releases all resources.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				if err := h.r.Close(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
+	}
+	db.closed = true
+	return nil
+}
+
+// commitManifest persists the current structure. Callers hold db.mu.
+func (db *DB) commitManifest() error {
+	st := &manifest.State{
+		NextFileNum: db.nextFileNum,
+		LastSeq:     uint64(db.flushedSeq),
+	}
+	for _, runs := range db.levels {
+		var lvl [][]uint64
+		for _, r := range runs {
+			var nums []uint64
+			for _, h := range r {
+				nums = append(nums, h.meta.FileNum)
+			}
+			lvl = append(lvl, nums)
+		}
+		st.Levels = append(st.Levels, lvl)
+	}
+	return db.store.Commit(st)
+}
+
+// NumLevels returns the number of allocated disk levels.
+func (db *DB) NumLevels() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.levels)
+}
+
+// TTLs returns the current cumulative per-level TTL thresholds (nil without
+// a Dth).
+func (db *DB) TTLs() []time.Duration {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return append([]time.Duration(nil), db.ttls...)
+}

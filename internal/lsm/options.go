@@ -1,0 +1,88 @@
+// Package lsm implements the LSM-tree engine: buffering, flushing, FADE
+// compaction orchestration, reads, primary and secondary deletes, recovery,
+// and the statistics the paper's evaluation measures.
+package lsm
+
+import (
+	"time"
+
+	"lethe/internal/base"
+	"lethe/internal/compaction"
+	"lethe/internal/vfs"
+)
+
+// Options configures a DB. The zero value is completed by withDefaults; the
+// defaults mirror the paper's Table 1 reference configuration where
+// practical.
+type Options struct {
+	// FS is the filesystem holding all engine files. Wrap it in a
+	// vfs.CountingFS to measure I/O. Required.
+	FS vfs.FS
+	// Clock drives tombstone ages and TTL expiry. Defaults to the wall
+	// clock; experiments inject a base.ManualClock.
+	Clock base.Clock
+	// SizeRatio is T, the capacity ratio between adjacent levels (Table 1:
+	// 10).
+	SizeRatio int
+	// BufferBytes is M, the memory buffer capacity in bytes (Table 1:
+	// M = P·B·E).
+	BufferBytes int
+	// PageSize is the disk page size in bytes.
+	PageSize int
+	// FilePages is the target number of data pages per sstable (the paper's
+	// experiments use 256-page files).
+	FilePages int
+	// TilePages is h, the pages per delete tile. 1 = classical layout.
+	TilePages int
+	// BloomBitsPerKey sizes Bloom filters (Table 1: 10 bits/entry).
+	BloomBitsPerKey int
+	// Mode selects the compaction policy family (baseline vs Lethe).
+	Mode compaction.Mode
+	// Dth is the delete persistence threshold. Zero disables TTL-driven
+	// compaction (the baseline has no persistence guarantee).
+	Dth time.Duration
+	// Tiering switches levels to tiered merging (T runs per level before a
+	// merge) instead of leveling. The paper's experiments use leveling.
+	Tiering bool
+	// SuppressBlindDeletes enables FADE's filter pre-probe on Delete
+	// (§4.1.5): a tombstone is inserted only if some component may contain
+	// the key.
+	SuppressBlindDeletes bool
+	// DisableWAL skips write-ahead logging (the paper's experiments run
+	// with the WAL disabled).
+	DisableWAL bool
+	// CoverageEstimator estimates what fraction of the key domain a range
+	// [start, end) covers, standing in for the system-wide histogram used
+	// to estimate rd_f. Nil disables range-tombstone weight in b_f.
+	CoverageEstimator func(start, end []byte) float64
+	// CacheBytes bounds the shared decoded-page cache (the block cache the
+	// paper's experiments enable). Zero disables caching.
+	CacheBytes int64
+	// Seed makes memtable skiplist towers deterministic.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clock == nil {
+		o.Clock = base.RealClock{}
+	}
+	if o.SizeRatio == 0 {
+		o.SizeRatio = 10
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.BufferBytes == 0 {
+		o.BufferBytes = 512 * o.PageSize // Table 1: P = 512 pages
+	}
+	if o.FilePages == 0 {
+		o.FilePages = 256
+	}
+	if o.TilePages == 0 {
+		o.TilePages = 1
+	}
+	if o.BloomBitsPerKey == 0 {
+		o.BloomBitsPerKey = 10
+	}
+	return o
+}

@@ -1,0 +1,264 @@
+package lsm
+
+import (
+	"lethe/internal/base"
+	"lethe/internal/compaction"
+)
+
+// ErrNotFound is returned by Get when the key does not exist (or has been
+// deleted).
+var ErrNotFound = errNotFound{}
+
+type errNotFound struct{}
+
+func (errNotFound) Error() string { return "lsm: key not found" }
+
+// Get returns the current value and delete key for key. The search order is
+// the paper's (§2, §4.2.5): memory buffer, then disk levels shallow to deep,
+// within a level newest run first; inside a file, tile fence pointers then
+// per-page Bloom filters guard page reads. Range tombstones at any level
+// shadow older entries.
+func (db *DB) Get(key []byte) ([]byte, base.DeleteKey, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, 0, ErrClosed
+	}
+	e, ok, err := db.getEntryLocked(key)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok || e.Key.Kind() != base.KindSet {
+		return nil, 0, ErrNotFound
+	}
+	return append([]byte(nil), e.Value...), e.DKey, nil
+}
+
+// getEntryLocked performs the versioned lookup, returning the newest entry
+// for key (possibly a tombstone) with range-tombstone shadowing applied.
+func (db *DB) getEntryLocked(key []byte) (base.Entry, bool, error) {
+	// The buffer resolves its own range tombstones.
+	if e, ok := db.mem.Get(key); ok {
+		return e, true, nil
+	}
+	// maxRTSeq carries the newest covering range tombstone seen so far in
+	// the descent. Per-key versions are depth-ordered (shallower = newer),
+	// so a tombstone found at or above the entry's level decides.
+	var maxRTSeq base.SeqNum
+	for _, rt := range db.mem.RangeTombstones() {
+		if rt.Contains(key) && rt.Seq > maxRTSeq {
+			maxRTSeq = rt.Seq
+		}
+	}
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				if !handleCoversKey(h, key) {
+					continue
+				}
+				for _, rt := range h.r.RangeTombstones {
+					if rt.Contains(key) && rt.Seq > maxRTSeq {
+						maxRTSeq = rt.Seq
+					}
+				}
+				e, ok, err := h.r.Get(key)
+				if err != nil {
+					return base.Entry{}, false, err
+				}
+				if !ok {
+					continue
+				}
+				if e.Key.SeqNum() < maxRTSeq {
+					// A newer range tombstone shadows this entry — and, by
+					// the depth invariant, every deeper version too.
+					return base.MakeEntry(key, maxRTSeq, base.KindDelete, 0, nil), true, nil
+				}
+				return e, true, nil
+			}
+		}
+	}
+	if maxRTSeq > 0 {
+		return base.MakeEntry(key, maxRTSeq, base.KindDelete, 0, nil), true, nil
+	}
+	return base.Entry{}, false, nil
+}
+
+// Scan calls fn for every live key-value pair with start <= key < end (nil
+// end = unbounded), in ascending key order, until fn returns false. It
+// merges the buffer and every run, applying tombstones, exactly as the
+// paper's range lookup does ("sort-merging the qualifying key ranges across
+// all runs in the tree").
+func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteKey, value []byte) bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+
+	var inputs []compaction.Iterator
+	var rts []base.RangeTombstone
+
+	// The buffer goes first (newest source).
+	var memEntries []base.Entry
+	db.mem.Iter(func(e base.Entry) bool {
+		if start != nil && base.CompareUserKeys(e.Key.UserKey, start) < 0 {
+			return true
+		}
+		if end != nil && base.CompareUserKeys(e.Key.UserKey, end) >= 0 {
+			return false
+		}
+		memEntries = append(memEntries, e)
+		return true
+	})
+	inputs = append(inputs, compaction.NewSliceIter(memEntries))
+	rts = append(rts, db.mem.RangeTombstones()...)
+
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				rts = append(rts, h.r.RangeTombstones...)
+				if end != nil && len(h.meta.MinS) > 0 && base.CompareUserKeys(h.meta.MinS, end) >= 0 {
+					continue
+				}
+				if start != nil && len(h.meta.MaxS) > 0 && base.CompareUserKeys(h.meta.MaxS, start) < 0 {
+					continue
+				}
+				it := h.r.NewIter()
+				if start != nil {
+					it.SeekGE(start)
+				}
+				inputs = append(inputs, &boundedIter{it: it, end: end})
+			}
+		}
+	}
+
+	merged := compaction.NewMergeIter(compaction.MergeConfig{RangeTombstones: rts}, inputs...)
+	for {
+		e, ok := merged.Next()
+		if !ok {
+			break
+		}
+		if e.Key.Kind() != base.KindSet {
+			continue // point tombstone
+		}
+		if !fn(e.Key.UserKey, e.DKey, e.Value) {
+			break
+		}
+	}
+	return merged.Error()
+}
+
+// boundedIter adapts an sstable iterator to stop at an exclusive end bound.
+type boundedIter struct {
+	it interface {
+		Next() (base.Entry, bool)
+		Error() error
+	}
+	end  []byte
+	done bool
+}
+
+// Next implements compaction.Iterator.
+func (b *boundedIter) Next() (base.Entry, bool) {
+	if b.done {
+		return base.Entry{}, false
+	}
+	e, ok := b.it.Next()
+	if !ok {
+		b.done = true
+		return base.Entry{}, false
+	}
+	if b.end != nil && base.CompareUserKeys(e.Key.UserKey, b.end) >= 0 {
+		b.done = true
+		return base.Entry{}, false
+	}
+	return e, true
+}
+
+// Error implements compaction.Iterator.
+func (b *boundedIter) Error() error { return b.it.Error() }
+
+// SecondaryRangeScan returns the live entries whose delete key D falls in
+// [lo, hi). KiWi serves it from the delete fences: only pages whose D fence
+// overlaps the range are read (§4.2.5 "Secondary Range Lookups"), instead of
+// scanning the whole tree. Results are verified against the primary read
+// path so only current, undeleted versions are returned.
+func (db *DB) SecondaryRangeScan(lo, hi base.DeleteKey) ([]base.Entry, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var candidates []base.Entry
+	db.mem.Iter(func(e base.Entry) bool {
+		if e.Key.Kind() == base.KindSet && e.DKey >= lo && e.DKey < hi {
+			candidates = append(candidates, e)
+		}
+		return true
+	})
+	var err error
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				if h.meta.MaxD < lo || h.meta.MinD >= hi {
+					continue
+				}
+				var got []base.Entry
+				got, err = collectByDeleteKey(h, lo, hi)
+				if err != nil {
+					db.mu.Unlock()
+					return nil, err
+				}
+				candidates = append(candidates, got...)
+			}
+		}
+	}
+	db.mu.Unlock()
+
+	// Verify candidates: only the newest live version of each key counts.
+	var out []base.Entry
+	seen := map[string]bool{}
+	for _, c := range candidates {
+		k := string(c.Key.UserKey)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		value, dkey, err := db.Get(c.Key.UserKey)
+		if err == ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		if dkey >= lo && dkey < hi {
+			out = append(out, base.MakeEntry(c.Key.UserKey, 0, base.KindSet, dkey, value))
+		}
+	}
+	return out, nil
+}
+
+// collectByDeleteKey reads only the pages of h whose delete fences overlap
+// [lo, hi).
+func collectByDeleteKey(h *fileHandle, lo, hi base.DeleteKey) ([]base.Entry, error) {
+	var out []base.Entry
+	for ti := range h.r.Tiles {
+		tile := &h.r.Tiles[ti]
+		for pi := range tile.Pages {
+			pm := &tile.Pages[pi]
+			if pm.Dropped || pm.ValueCount == 0 || pm.MaxD < lo || pm.MinD >= hi {
+				continue
+			}
+			entries, err := h.r.ReadPageForScan(ti, pi)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if e.Key.Kind() == base.KindSet && e.DKey >= lo && e.DKey < hi {
+					out = append(out, e.Clone())
+				}
+			}
+		}
+	}
+	return out, nil
+}

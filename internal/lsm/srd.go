@@ -1,0 +1,54 @@
+package lsm
+
+import (
+	"lethe/internal/base"
+	"lethe/internal/sstable"
+)
+
+// SecondaryRangeDelete deletes every entry whose delete key D falls in
+// [lo, hi) — the paper's headline secondary range delete ("delete all
+// entries older than D days", §4.2.2). With KiWi it touches only the pages
+// the delete fences implicate: fully covered pages are dropped without I/O,
+// edge pages are filtered in place. The buffer is filtered in memory. No
+// full-tree compaction occurs. Aggregate per-file statistics are returned.
+//
+// Semantics: the deletion is physical, matching the paper's design. It
+// removes every stored version whose D qualifies; it does not write
+// tombstones. In the paper's target workloads the delete key is a creation
+// timestamp and keys are written once (updates are modeled as delete +
+// re-insert, §1), so a key has exactly one version and the operation is
+// exact. If an application overwrites keys with changing delete keys, an
+// older version whose D lies outside [lo, hi) can become visible again —
+// use Delete or RangeDelete for such data.
+func (db *DB) SecondaryRangeDelete(lo, hi base.DeleteKey) (sstable.SRDStats, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var agg sstable.SRDStats
+	if db.closed {
+		return agg, ErrClosed
+	}
+	memDropped := db.mem.DeleteSecondaryRange(lo, hi)
+	agg.EntriesDropped += memDropped
+
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				if h.meta.NumEntries == 0 || h.meta.MaxD < lo || h.meta.MinD >= hi {
+					continue
+				}
+				st, _, err := h.r.ApplySecondaryRangeDelete(lo, hi, db.opts.BloomBitsPerKey)
+				if err != nil {
+					return agg, err
+				}
+				agg.FullDrops += st.FullDrops
+				agg.PartialDrops += st.PartialDrops
+				agg.EntriesDropped += st.EntriesDropped
+				agg.PagesUntouched += st.PagesUntouched
+			}
+		}
+	}
+	db.m.fullPageDrops.Add(int64(agg.FullDrops))
+	db.m.partialPageDrops.Add(int64(agg.PartialDrops))
+	db.m.srdEntriesDropped.Add(int64(agg.EntriesDropped))
+	return agg, nil
+}

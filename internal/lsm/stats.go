@@ -1,0 +1,244 @@
+package lsm
+
+import (
+	"time"
+
+	"lethe/internal/base"
+	"lethe/internal/compaction"
+)
+
+// LevelStats summarizes one disk level.
+type LevelStats struct {
+	// Runs is the number of sorted runs in the level.
+	Runs int
+	// Files is the number of files across those runs.
+	Files int
+	// LiveBytes is the level's live byte count (dropped pages excluded).
+	LiveBytes int64
+	// Entries counts live entries, tombstones included.
+	Entries int
+	// PointTombstones counts live point tombstones.
+	PointTombstones int
+	// RangeTombstones counts live range tombstones.
+	RangeTombstones int
+}
+
+// Stats is a snapshot of the engine's state and lifetime counters — the
+// measurements §5 takes after each experiment.
+type Stats struct {
+	// Levels describes each disk level, shallowest first.
+	Levels []LevelStats
+	// TreeEntries is the total live entry count on disk.
+	TreeEntries int
+	// BufferEntries is the current memtable population.
+	BufferEntries int
+	// LivePointTombstones counts tombstones still in the tree (Fig. 6E's
+	// population).
+	LivePointTombstones int
+
+	// Compactions counts compactions since open, split by trigger.
+	Compactions           int64
+	CompactionsTTL        int64
+	CompactionsSaturation int64
+	FullTreeCompactions   int64
+	// TrivialMoves counts compactions satisfied by moving files without
+	// I/O (no overlap in the target level).
+	TrivialMoves int64
+	// Flushes counts buffer flushes.
+	Flushes int64
+	// MaxCompactionBytes is the largest single compaction event (inputs +
+	// outputs) — the latency-spike proxy of Fig. 1B.
+	MaxCompactionBytes int64
+
+	// BytesFlushed, CompactionBytesRead and CompactionBytesWritten feed the
+	// write-amplification metrics: TotalBytesWritten = flushed + compaction
+	// output (Fig. 6C/6F), UserBytesWritten is the application's payload.
+	BytesFlushed           int64
+	CompactionBytesRead    int64
+	CompactionBytesWritten int64
+	TotalBytesWritten      int64
+	UserBytesWritten       int64
+
+	// EntriesDroppedObsolete counts superseded versions consolidated away;
+	// TombstonesDropped counts point tombstones persisted at the last
+	// level; RangeCovered counts entries removed by range tombstones.
+	EntriesDroppedObsolete int64
+	TombstonesDropped      int64
+	RangeCovered           int64
+
+	// BlindDeletesSuppressed counts deletes skipped by the filter pre-probe.
+	BlindDeletesSuppressed int64
+
+	// FullPageDrops / PartialPageDrops / SRDEntriesDropped account KiWi's
+	// secondary range delete work.
+	FullPageDrops     int64
+	PartialPageDrops  int64
+	SRDEntriesDropped int64
+}
+
+// Stats returns a consistent snapshot.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var s Stats
+	for l := range db.levels {
+		ls := LevelStats{Runs: len(db.levels[l])}
+		for _, r := range db.levels[l] {
+			ls.Files += len(r)
+			for _, h := range r {
+				ls.LiveBytes += h.r.LiveBytesOf()
+				ls.Entries += h.meta.NumEntries
+				ls.PointTombstones += h.meta.NumPointTombstones
+				ls.RangeTombstones += h.meta.NumRangeTombstones
+			}
+		}
+		s.Levels = append(s.Levels, ls)
+		s.TreeEntries += ls.Entries
+		s.LivePointTombstones += ls.PointTombstones
+	}
+	s.BufferEntries = db.mem.Count()
+
+	s.Compactions = db.m.compactions.Load()
+	s.CompactionsTTL = db.m.compactionsTTL.Load()
+	s.CompactionsSaturation = db.m.compactionsSaturation.Load()
+	s.FullTreeCompactions = db.m.fullTreeCompactions.Load()
+	s.TrivialMoves = db.m.trivialMoves.Load()
+	s.Flushes = db.m.flushes.Load()
+	s.MaxCompactionBytes = db.m.maxCompactionBytes.Load()
+	s.BytesFlushed = db.m.bytesFlushed.Load()
+	s.CompactionBytesRead = db.m.compactionBytesIn.Load()
+	s.CompactionBytesWritten = db.m.compactionBytesOut.Load()
+	s.TotalBytesWritten = s.BytesFlushed + s.CompactionBytesWritten
+	s.UserBytesWritten = db.m.userBytesWritten.Load()
+	s.EntriesDroppedObsolete = db.m.entriesDroppedObsolete.Load()
+	s.TombstonesDropped = db.m.tombstonesDropped.Load()
+	s.RangeCovered = db.m.rangeCovered.Load()
+	s.BlindDeletesSuppressed = db.m.blindDeletesSuppressed.Load()
+	s.FullPageDrops = db.m.fullPageDrops.Load()
+	s.PartialPageDrops = db.m.partialPageDrops.Load()
+	s.SRDEntriesDropped = db.m.srdEntriesDropped.Load()
+	return s
+}
+
+// WriteAmplification returns total bytes written to disk divided by the
+// application's payload bytes (§3.2.3's w_amp, measured rather than modeled).
+func (s Stats) WriteAmplification() float64 {
+	if s.UserBytesWritten == 0 {
+		return 0
+	}
+	return float64(s.TotalBytesWritten) / float64(s.UserBytesWritten)
+}
+
+// TombstoneAgeBucket is one point of the Fig. 6E distribution: a file age
+// and how many point tombstones live in files of that age.
+type TombstoneAgeBucket struct {
+	Age        time.Duration
+	Tombstones int
+}
+
+// TombstoneAges returns, for every file containing point tombstones, the
+// file's a_max (age of its oldest tombstone) and its tombstone count, oldest
+// first. Fig. 6E accumulates these into its CDF.
+func (db *DB) TombstoneAges() []TombstoneAgeBucket {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := db.opts.Clock.Now()
+	var out []TombstoneAgeBucket
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				if h.meta.NumPointTombstones == 0 {
+					continue
+				}
+				out = append(out, TombstoneAgeBucket{
+					Age:        h.meta.AMax(now),
+					Tombstones: h.meta.NumPointTombstones,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// MaxTombstoneAge returns the oldest tombstone age anywhere in the tree — an
+// engine honoring Dth keeps this below Dth after maintenance.
+func (db *DB) MaxTombstoneAge() time.Duration {
+	var max time.Duration
+	for _, b := range db.TombstoneAges() {
+		if b.Age > max {
+			max = b.Age
+		}
+	}
+	return max
+}
+
+// SpaceAmp computes the paper's space amplification (§3.2.1):
+// (csize(N) − csize(U)) / csize(U), where csize(N) is the byte size of all
+// live entries in the tree and csize(U) the byte size of the newest live
+// version of each key. It scans the tree, so it is a measurement tool, not a
+// hot-path call.
+func (db *DB) SpaceAmp() (float64, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return 0, ErrClosed
+	}
+	var totalBytes, uniqueBytes int64
+
+	var iters []compaction.Iterator
+	var rts []base.RangeTombstone
+	var memEntries []base.Entry
+	db.mem.Iter(func(e base.Entry) bool {
+		memEntries = append(memEntries, e)
+		totalBytes += int64(e.Size())
+		return true
+	})
+	iters = append(iters, compaction.NewSliceIter(memEntries))
+	rts = append(rts, db.mem.RangeTombstones()...)
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				it := h.r.NewIter()
+				iters = append(iters, &countingIter{it: it, total: &totalBytes})
+				rts = append(rts, h.r.RangeTombstones...)
+			}
+		}
+	}
+	merged := compaction.NewMergeIter(compaction.MergeConfig{
+		LastLevel:       true, // unique view: tombstones consume and vanish
+		RangeTombstones: rts,
+	}, iters...)
+	for {
+		e, ok := merged.Next()
+		if !ok {
+			break
+		}
+		uniqueBytes += int64(e.Size())
+	}
+	db.mu.Unlock()
+	if err := merged.Error(); err != nil {
+		return 0, err
+	}
+	if uniqueBytes == 0 {
+		return 0, nil
+	}
+	return float64(totalBytes-uniqueBytes) / float64(uniqueBytes), nil
+}
+
+// countingIter sums the sizes of entries passing through it.
+type countingIter struct {
+	it    compaction.Iterator
+	total *int64
+}
+
+// Next implements compaction.Iterator.
+func (c *countingIter) Next() (base.Entry, bool) {
+	e, ok := c.it.Next()
+	if ok {
+		*c.total += int64(e.Size())
+	}
+	return e, ok
+}
+
+// Error implements compaction.Iterator.
+func (c *countingIter) Error() error { return c.it.Error() }

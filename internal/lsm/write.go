@@ -1,0 +1,259 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+
+	"lethe/internal/base"
+	"lethe/internal/memtable"
+	"lethe/internal/sstable"
+)
+
+// Put inserts or updates a key. dkey is the secondary delete key D (for
+// instance a creation timestamp) that secondary range deletes select on.
+func (db *DB) Put(key []byte, dkey base.DeleteKey, value []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.seq++
+	e := base.MakeEntry(key, db.seq, base.KindSet, dkey, value)
+	db.m.userBytesWritten.Add(int64(e.Size()))
+	return db.applyLocked(e)
+}
+
+// Delete inserts a point tombstone for key. With SuppressBlindDeletes
+// enabled, the engine first probes the buffer and every file's Bloom
+// filters; if no component can contain the key, the tombstone is skipped
+// entirely (§4.1.5 "Blind Deletes") — the probe costs hashing but no I/O.
+func (db *DB) Delete(key []byte) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.opts.SuppressBlindDeletes && !db.mayContainLocked(key) {
+		db.m.blindDeletesSuppressed.Add(1)
+		return nil
+	}
+	db.seq++
+	e := base.MakeEntry(key, db.seq, base.KindDelete,
+		base.DeleteKey(db.opts.Clock.Now().UnixNano()), nil)
+	db.m.userBytesWritten.Add(int64(e.Size()))
+	return db.applyLocked(e)
+}
+
+// RangeDelete inserts a range tombstone deleting every key in [start, end).
+func (db *DB) RangeDelete(start, end []byte) error {
+	if base.CompareUserKeys(start, end) >= 0 {
+		return fmt.Errorf("lsm: invalid range [%q, %q)", start, end)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.seq++
+	e := base.MakeEntry(start, db.seq, base.KindRangeDelete,
+		base.DeleteKey(db.opts.Clock.Now().UnixNano()), end)
+	db.m.userBytesWritten.Add(int64(e.Size()))
+	return db.applyLocked(e)
+}
+
+// mayContainLocked reports whether any component of the tree may hold key:
+// the memtable, or any file whose tile filters answer positive.
+func (db *DB) mayContainLocked(key []byte) bool {
+	if _, ok := db.mem.Get(key); ok {
+		return true
+	}
+	for _, runs := range db.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				if !handleCoversKey(h, key) {
+					continue
+				}
+				if readerMayContain(h.r, key) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// readerMayContain probes the per-page Bloom filters of the tile covering
+// key — CPU only, no I/O.
+func readerMayContain(r *sstable.Reader, key []byte) bool {
+	for ti := range r.Tiles {
+		tile := &r.Tiles[ti]
+		if base.CompareUserKeys(key, tile.MinS) < 0 || base.CompareUserKeys(key, tile.MaxS) > 0 {
+			continue
+		}
+		for pi := range tile.Pages {
+			pm := &tile.Pages[pi]
+			if pm.Dropped {
+				continue
+			}
+			if pm.Filter.MayContain(key) {
+				return true
+			}
+		}
+	}
+	// Range tombstones don't matter for blind-delete suppression: deleting
+	// an already-range-deleted key is itself blind.
+	return false
+}
+
+func handleCoversKey(h *fileHandle, key []byte) bool {
+	m := h.meta
+	if len(m.MinS) == 0 && len(m.MaxS) == 0 {
+		return false
+	}
+	return base.CompareUserKeys(m.MinS, key) <= 0 && base.CompareUserKeys(key, m.MaxS) <= 0
+}
+
+// applyLocked logs and buffers an entry, flushing when the buffer fills.
+func (db *DB) applyLocked(e base.Entry) error {
+	if db.wal != nil {
+		if err := db.wal.Append(e); err != nil {
+			return err
+		}
+	}
+	db.mem.Apply(e)
+	if db.mem.ApproxBytes() >= db.opts.BufferBytes {
+		if err := db.flushLocked(); err != nil {
+			return err
+		}
+		return db.maintainLocked()
+	}
+	return nil
+}
+
+// Flush forces the memory buffer to disk.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.flushLocked()
+}
+
+// flushLocked writes the buffer as a new run at the first disk level. The
+// run is split into files of FilePages pages each. Per §4.1.3, file
+// metadata (a_max, tombstone counts) is assigned at flush time by the
+// sstable writer.
+func (db *DB) flushLocked() error {
+	if db.mem.Empty() {
+		return nil
+	}
+	entries := db.mem.All()
+	rts := db.mem.RangeTombstones()
+
+	var sealedWAL string
+	if db.wal != nil {
+		var err error
+		if sealedWAL, err = db.wal.Rotate(); err != nil {
+			return err
+		}
+	}
+
+	newRun, maxSeq, err := db.writeRun(entries, rts)
+	if err != nil {
+		return err
+	}
+	if len(db.levels) == 0 {
+		db.levels = append(db.levels, nil)
+	}
+	// Newest run first.
+	db.levels[0] = append([]run{newRun}, db.levels[0]...)
+	if maxSeq > db.flushedSeq {
+		db.flushedSeq = maxSeq
+	}
+	db.m.flushes.Add(1)
+	for _, h := range newRun {
+		db.m.bytesFlushed.Add(h.meta.Size)
+	}
+	if err := db.commitManifest(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		if err := db.wal.Release(sealedWAL); err != nil {
+			return err
+		}
+	}
+	db.memSeed++
+	db.mem = memtable.New(db.memSeed)
+	// §4.1.2: "FADE re-calculates d_i after every buffer flush."
+	db.recomputeTTLs()
+	return nil
+}
+
+// writeRun writes sorted entries (plus range tombstones attached to the
+// first output file) as a sequence of files and returns the new handles.
+func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone) (run, base.SeqNum, error) {
+	var out run
+	var maxSeq base.SeqNum
+	targetBytes := db.opts.FilePages * db.opts.PageSize
+
+	i := 0
+	first := true
+	for i < len(entries) || (first && len(rts) > 0) {
+		num := db.nextFileNum
+		db.nextFileNum++
+		f, err := db.opts.FS.Create(db.fileName(num))
+		if err != nil {
+			return nil, 0, fmt.Errorf("lsm: create sstable: %w", err)
+		}
+		w := sstable.NewWriter(f, sstable.WriterOptions{
+			FileNum:           num,
+			PageSize:          db.opts.PageSize,
+			TilePages:         db.opts.TilePages,
+			BloomBitsPerKey:   db.opts.BloomBitsPerKey,
+			Clock:             db.opts.Clock,
+			CoverageEstimator: db.opts.CoverageEstimator,
+		})
+		written := 0
+		for i < len(entries) && written < targetBytes {
+			e := entries[i]
+			if err := w.Add(e); err != nil {
+				f.Close()
+				return nil, 0, err
+			}
+			if s := e.Key.SeqNum(); s > maxSeq {
+				maxSeq = s
+			}
+			written += e.Size()
+			i++
+		}
+		if first {
+			for _, rt := range rts {
+				if err := w.AddRangeTombstone(rt); err != nil {
+					f.Close()
+					return nil, 0, err
+				}
+				if rt.Seq > maxSeq {
+					maxSeq = rt.Seq
+				}
+			}
+			first = false
+		}
+		if _, err := w.Finish(); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, 0, err
+		}
+		h, err := db.openFile(num)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return base.CompareUserKeys(out[a].meta.MinS, out[b].meta.MinS) < 0
+	})
+	return out, maxSeq, nil
+}

@@ -1,0 +1,149 @@
+// Package manifest persists the tree's structural metadata: which file
+// numbers live in which level and run, the next file number, and the last
+// committed sequence number.
+//
+// The sstables themselves are self-describing (their metadata block carries
+// fences, filters, and FADE statistics), so the manifest stays tiny: it only
+// records structure. Commits replace the whole manifest via write-temp +
+// rename, which is atomic on every filesystem the engine targets.
+package manifest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"lethe/internal/vfs"
+)
+
+// State is the persisted structure of the tree.
+type State struct {
+	// NextFileNum is the next unallocated sstable file number.
+	NextFileNum uint64
+	// LastSeq is the highest sequence number made durable by a flush; WAL
+	// replay resumes above it.
+	LastSeq uint64
+	// Levels[l][r] lists the file numbers of run r of disk level l (level 1
+	// is index 0). Runs are ordered newest-first within a level; files are
+	// S-ordered within a run. Leveling keeps one run per level below the
+	// first; tiering keeps up to T.
+	Levels [][][]uint64
+}
+
+// Clone returns a deep copy of the state.
+func (s *State) Clone() *State {
+	c := &State{NextFileNum: s.NextFileNum, LastSeq: s.LastSeq}
+	c.Levels = make([][][]uint64, len(s.Levels))
+	for l, runs := range s.Levels {
+		c.Levels[l] = make([][]uint64, len(runs))
+		for r, files := range runs {
+			c.Levels[l][r] = append([]uint64(nil), files...)
+		}
+	}
+	return c
+}
+
+// FileCount returns the total number of files across all levels.
+func (s *State) FileCount() int {
+	n := 0
+	for _, runs := range s.Levels {
+		for _, files := range runs {
+			n += len(files)
+		}
+	}
+	return n
+}
+
+// Validate checks structural sanity: no duplicate file numbers and no file
+// number at or above NextFileNum.
+func (s *State) Validate() error {
+	seen := make(map[uint64]bool)
+	for l, runs := range s.Levels {
+		for r, files := range runs {
+			for _, f := range files {
+				if seen[f] {
+					return fmt.Errorf("manifest: file %d appears twice", f)
+				}
+				if f >= s.NextFileNum {
+					return fmt.Errorf("manifest: file %d (level %d run %d) >= NextFileNum %d",
+						f, l+1, r, s.NextFileNum)
+				}
+				seen[f] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Store reads and writes the manifest file.
+type Store struct {
+	fs   vfs.FS
+	name string
+}
+
+// NewStore manages the manifest under the given file name.
+func NewStore(fs vfs.FS, name string) *Store {
+	return &Store{fs: fs, name: name}
+}
+
+// Commit atomically replaces the manifest with st.
+func (st *Store) Commit(s *State) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("manifest: encode: %w", err)
+	}
+	tmp := st.name + ".tmp"
+	f, err := st.fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("manifest: create temp: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("manifest: close: %w", err)
+	}
+	if err := st.fs.Rename(tmp, st.name); err != nil {
+		return fmt.Errorf("manifest: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads the manifest. The boolean reports whether a manifest existed.
+func (st *Store) Load() (*State, bool, error) {
+	f, err := st.fs.Open(st.name)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return &State{NextFileNum: 1}, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("manifest: open: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, false, fmt.Errorf("manifest: size: %w", err)
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+			return nil, false, fmt.Errorf("manifest: read: %w", err)
+		}
+	}
+	var s State
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, false, fmt.Errorf("manifest: decode: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, false, err
+	}
+	return &s, true, nil
+}

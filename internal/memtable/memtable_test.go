@@ -1,0 +1,258 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lethe/internal/base"
+)
+
+func put(m *Memtable, key string, seq base.SeqNum, dkey base.DeleteKey, val string) {
+	m.Apply(base.MakeEntry([]byte(key), seq, base.KindSet, dkey, []byte(val)))
+}
+
+func del(m *Memtable, key string, seq base.SeqNum) {
+	m.Apply(base.MakeEntry([]byte(key), seq, base.KindDelete, 0, nil))
+}
+
+func TestBasicPutGet(t *testing.T) {
+	m := New(1)
+	put(m, "b", 1, 10, "vb")
+	put(m, "a", 2, 20, "va")
+	put(m, "c", 3, 30, "vc")
+
+	e, ok := m.Get([]byte("a"))
+	if !ok || string(e.Value) != "va" || e.DKey != 20 {
+		t.Fatalf("get a: %v %v", e, ok)
+	}
+	if _, ok := m.Get([]byte("zz")); ok {
+		t.Fatal("missing key found")
+	}
+	if m.Count() != 3 {
+		t.Fatalf("count = %d", m.Count())
+	}
+}
+
+func TestInPlaceReplaceSemantics(t *testing.T) {
+	m := New(1)
+	put(m, "k", 1, 0, "v1")
+	put(m, "k", 2, 0, "v2")
+	if m.Count() != 1 {
+		t.Fatalf("update must replace in place, count = %d", m.Count())
+	}
+	e, _ := m.Get([]byte("k"))
+	if string(e.Value) != "v2" {
+		t.Fatalf("got %q", e.Value)
+	}
+
+	// Delete replaces in place too (paper §2).
+	del(m, "k", 3)
+	if m.Count() != 1 {
+		t.Fatalf("delete must replace in place, count = %d", m.Count())
+	}
+	e, ok := m.Get([]byte("k"))
+	if !ok || e.Key.Kind() != base.KindDelete {
+		t.Fatalf("expected buffered tombstone, got %v ok=%v", e, ok)
+	}
+	if m.Tombstones() != 1 {
+		t.Fatalf("tombstones = %d", m.Tombstones())
+	}
+
+	// Re-inserting over a tombstone clears the tombstone count.
+	put(m, "k", 4, 0, "v3")
+	if m.Tombstones() != 0 {
+		t.Fatalf("tombstones after reinsert = %d", m.Tombstones())
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	m := New(42)
+	keys := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, k := range keys {
+		put(m, k, base.SeqNum(i+1), 0, "v")
+	}
+	var got []string
+	m.Iter(func(e base.Entry) bool {
+		got = append(got, string(e.Key.UserKey))
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+	// Early termination.
+	n := 0
+	m.Iter(func(base.Entry) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Fatalf("early stop: %d", n)
+	}
+}
+
+func TestRangeTombstoneShadowing(t *testing.T) {
+	m := New(1)
+	put(m, "b", 1, 0, "vb")
+	put(m, "x", 2, 0, "vx")
+	m.Apply(base.MakeEntry([]byte("a"), 5, base.KindRangeDelete, 0, []byte("c")))
+
+	// "b" is covered by the newer range tombstone.
+	e, ok := m.Get([]byte("b"))
+	if !ok || e.Key.Kind() != base.KindDelete {
+		t.Fatalf("b must read as deleted: %v %v", e, ok)
+	}
+	// "x" is outside the range.
+	if e, _ := m.Get([]byte("x")); e.Key.Kind() != base.KindSet {
+		t.Fatal("x must survive")
+	}
+	// A key with no point entry but covered by the range reads as deleted.
+	if e, ok := m.Get([]byte("bb")); !ok || e.Key.Kind() != base.KindDelete {
+		t.Fatal("covered missing key must read as deleted")
+	}
+	// Entries written after the tombstone are visible.
+	put(m, "b", 9, 0, "vb2")
+	if e, _ := m.Get([]byte("b")); string(e.Value) != "vb2" {
+		t.Fatal("newer write must shadow older range tombstone")
+	}
+	if got := len(m.RangeTombstones()); got != 1 {
+		t.Fatalf("range tombstones = %d", got)
+	}
+}
+
+func TestDeleteSecondaryRange(t *testing.T) {
+	m := New(1)
+	for i := 0; i < 100; i++ {
+		put(m, fmt.Sprintf("k%03d", i), base.SeqNum(i+1), base.DeleteKey(i), "v")
+	}
+	dropped := m.DeleteSecondaryRange(10, 30)
+	if dropped != 20 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	if m.Count() != 80 {
+		t.Fatalf("count = %d", m.Count())
+	}
+	for i := 0; i < 100; i++ {
+		_, ok := m.Get([]byte(fmt.Sprintf("k%03d", i)))
+		wantOK := i < 10 || i >= 30
+		if ok != wantOK {
+			t.Fatalf("key %d: ok=%v want %v", i, ok, wantOK)
+		}
+	}
+	// Skiplist must remain well-ordered after unlinking.
+	var prev []byte
+	m.Iter(func(e base.Entry) bool {
+		if prev != nil && bytes.Compare(prev, e.Key.UserKey) >= 0 {
+			t.Fatalf("order violated: %q then %q", prev, e.Key.UserKey)
+		}
+		prev = append(prev[:0], e.Key.UserKey...)
+		return true
+	})
+}
+
+func TestDeleteSecondaryRangeSparesTombstones(t *testing.T) {
+	m := New(1)
+	del(m, "t", 1)
+	if got := m.DeleteSecondaryRange(0, ^base.DeleteKey(0)); got != 0 {
+		t.Fatalf("tombstones must not be dropped by secondary deletes: %d", got)
+	}
+}
+
+func TestApproxBytesAndEmpty(t *testing.T) {
+	m := New(1)
+	if !m.Empty() {
+		t.Fatal("new memtable must be empty")
+	}
+	put(m, "abc", 1, 0, "xyz")
+	want := 3 + 8 + 8 + 3
+	if m.ApproxBytes() != want {
+		t.Fatalf("bytes = %d want %d", m.ApproxBytes(), want)
+	}
+	// Replacing with a bigger value adjusts accounting.
+	put(m, "abc", 2, 0, "xyzxyz")
+	if m.ApproxBytes() != want+3 {
+		t.Fatalf("bytes after replace = %d", m.ApproxBytes())
+	}
+	if m.Empty() {
+		t.Fatal("must not be empty")
+	}
+	m2 := New(1)
+	m2.Apply(base.MakeEntry([]byte("a"), 1, base.KindRangeDelete, 0, []byte("b")))
+	if m2.Empty() {
+		t.Fatal("range tombstone makes buffer non-empty")
+	}
+}
+
+func TestAllReturnsSortedClones(t *testing.T) {
+	m := New(1)
+	put(m, "b", 1, 0, "v")
+	put(m, "a", 2, 0, "v")
+	all := m.All()
+	if len(all) != 2 || string(all[0].Key.UserKey) != "a" || string(all[1].Key.UserKey) != "b" {
+		t.Fatalf("all: %v", all)
+	}
+}
+
+// Property: the memtable behaves exactly like a map[string]latest-entry under
+// random operation sequences.
+func TestQuickEquivalenceToMap(t *testing.T) {
+	f := func(seed int64, opsRaw []uint16) bool {
+		m := New(seed)
+		model := map[string]base.Entry{}
+		rng := rand.New(rand.NewSource(seed))
+		seq := base.SeqNum(1)
+		for _, raw := range opsRaw {
+			key := fmt.Sprintf("k%02d", raw%50)
+			switch raw % 3 {
+			case 0, 1: // put
+				e := base.MakeEntry([]byte(key), seq, base.KindSet,
+					base.DeleteKey(rng.Intn(100)), []byte(fmt.Sprintf("v%d", seq)))
+				m.Apply(e)
+				model[key] = e
+			case 2: // delete
+				e := base.MakeEntry([]byte(key), seq, base.KindDelete, 0, nil)
+				m.Apply(e)
+				model[key] = e
+			}
+			seq++
+		}
+		if m.Count() != len(model) {
+			return false
+		}
+		for k, want := range model {
+			got, ok := m.Get([]byte(k))
+			if !ok || got.Key.Compare(want.Key) != 0 || !bytes.Equal(got.Value, want.Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeInsertOrdering(t *testing.T) {
+	m := New(7)
+	const n = 5000
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for i, p := range perm {
+		put(m, fmt.Sprintf("key-%08d", p), base.SeqNum(i+1), 0, "v")
+	}
+	if m.Count() != n {
+		t.Fatalf("count = %d", m.Count())
+	}
+	i := 0
+	m.Iter(func(e base.Entry) bool {
+		want := fmt.Sprintf("key-%08d", i)
+		if string(e.Key.UserKey) != want {
+			t.Fatalf("position %d: got %q want %q", i, e.Key.UserKey, want)
+		}
+		i++
+		return true
+	})
+}

@@ -1,0 +1,134 @@
+// Package metrics provides the counters and histograms the engine exposes:
+// compaction counts, bytes compacted, tombstone populations and age
+// distributions — the quantities §5 of the paper measures by snapshotting
+// the database after each experiment.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores x.
+func (g *Gauge) Set(x int64) { g.v.Store(x) }
+
+// Add adjusts the gauge by d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram counts observations into explicit, half-open buckets
+// [bound[i-1], bound[i]). The final implicit bucket is unbounded.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	if !sort.Float64sAreSorted(bounds) {
+		panic("metrics: histogram bounds must be ascending")
+	}
+	return &Histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, x)
+	if i < len(h.bounds) && x == h.bounds[i] {
+		i++ // upper bounds are exclusive
+	}
+	h.counts[i]++
+	h.sum += x
+	h.n++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the average of all samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// CumulativeAtOrBelow returns how many samples fell at or below bound,
+// which must be one of the histogram's bucket bounds; it is how the Fig. 6E
+// tombstone-age CDF is read out.
+func (h *Histogram) CumulativeAtOrBelow(bound float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var total int64
+	for i, b := range h.bounds {
+		if b > bound {
+			break
+		}
+		total += h.counts[i]
+	}
+	return total
+}
+
+// Buckets returns copies of the bounds and per-bucket counts (the last
+// count is the overflow bucket).
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...)
+}
+
+// String renders the histogram compactly for logs and test failures.
+func (h *Histogram) String() string {
+	bounds, counts := h.Buckets()
+	var sb strings.Builder
+	for i, b := range bounds {
+		fmt.Fprintf(&sb, "<%g:%d ", b, counts[i])
+	}
+	fmt.Fprintf(&sb, ">=last:%d", counts[len(counts)-1])
+	return sb.String()
+}
+
+// DurationHistogram adapts Histogram to time.Duration samples in seconds.
+type DurationHistogram struct{ *Histogram }
+
+// NewDurationHistogram creates a histogram over the given duration bounds.
+func NewDurationHistogram(bounds ...time.Duration) DurationHistogram {
+	fb := make([]float64, len(bounds))
+	for i, b := range bounds {
+		fb[i] = b.Seconds()
+	}
+	return DurationHistogram{NewHistogram(fb...)}
+}
+
+// ObserveDuration records one duration sample.
+func (h DurationHistogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(3)
+	if c.Load() != 8 {
+		t.Fatalf("counter = %d", c.Load())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if g.Load() != 6 {
+		t.Fatalf("gauge = %d", g.Load())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 10000 {
+		t.Fatalf("lost updates: %d", c.Load())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	for _, x := range []float64{1, 5, 10, 50, 100, 500, 5000} {
+		h.Observe(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Buckets: [<10)=2 (1,5), [10,100)=2 (10,50), [100,1000)=2 (100,500), >=1000 =1.
+	_, counts := h.Buckets()
+	want := []int64{2, 2, 2, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d: got %d want %d (%s)", i, counts[i], want[i], h)
+		}
+	}
+	if got := h.CumulativeAtOrBelow(10); got != 2 {
+		t.Fatalf("cum(10) = %d", got)
+	}
+	if got := h.CumulativeAtOrBelow(100); got != 4 {
+		t.Fatalf("cum(100) = %d", got)
+	}
+	if got := h.CumulativeAtOrBelow(1000); got != 6 {
+		t.Fatalf("cum(1000) = %d", got)
+	}
+	wantMean := (1.0 + 5 + 10 + 50 + 100 + 500 + 5000) / 7
+	if h.Mean() != wantMean {
+		t.Fatalf("mean = %f want %f", h.Mean(), wantMean)
+	}
+	if !strings.Contains(h.String(), ">=last:1") {
+		t.Fatalf("string: %s", h)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1)
+	if h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram stats")
+	}
+}
+
+func TestHistogramUnsortedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted bounds")
+		}
+	}()
+	NewHistogram(10, 1)
+}
+
+func TestDurationHistogram(t *testing.T) {
+	h := NewDurationHistogram(time.Second, time.Minute)
+	h.ObserveDuration(500 * time.Millisecond)
+	h.ObserveDuration(30 * time.Second)
+	h.ObserveDuration(2 * time.Minute)
+	_, counts := h.Buckets()
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("duration buckets: %v", counts)
+	}
+}

@@ -1,0 +1,129 @@
+package sstable
+
+import (
+	"container/list"
+	"sync"
+
+	"lethe/internal/base"
+	"lethe/internal/metrics"
+)
+
+// PageCache is a shared LRU cache of decoded data pages, the engine's
+// analogue of RocksDB's block cache (the paper's experiments run with the
+// block cache enabled). Pages are keyed by (file number, page index); file
+// numbers are never reused, so stale entries can only linger until evicted,
+// never alias. Partial page drops invalidate their page explicitly.
+type PageCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	lru      *list.List // front = most recent
+	items    map[pageKey]*list.Element
+
+	// Hits and Misses count lookups for cache-efficiency reporting.
+	Hits, Misses metrics.Counter
+}
+
+type pageKey struct {
+	file uint64
+	page int
+}
+
+type pageEntry struct {
+	key     pageKey
+	entries []base.Entry
+	bytes   int64
+}
+
+// NewPageCache creates a cache bounded to capacity bytes of decoded entry
+// payload. A nil cache (or capacity <= 0) disables caching.
+func NewPageCache(capacity int64) *PageCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &PageCache{
+		capacity: capacity,
+		lru:      list.New(),
+		items:    make(map[pageKey]*list.Element),
+	}
+}
+
+func entriesBytes(entries []base.Entry) int64 {
+	var n int64
+	for _, e := range entries {
+		n += int64(e.Size())
+	}
+	return n
+}
+
+// get returns the cached page, if present.
+func (c *PageCache) get(file uint64, page int) ([]base.Entry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[pageKey{file, page}]
+	if !ok {
+		c.Misses.Add(1)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.Hits.Add(1)
+	return el.Value.(*pageEntry).entries, true
+}
+
+// put inserts a decoded page, evicting LRU pages as needed.
+func (c *PageCache) put(file uint64, page int, entries []base.Entry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := pageKey{file, page}
+	if el, ok := c.items[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	pe := &pageEntry{key: key, entries: entries, bytes: entriesBytes(entries)}
+	if pe.bytes > c.capacity {
+		return // never cache something bigger than the whole budget
+	}
+	c.items[key] = c.lru.PushFront(pe)
+	c.used += pe.bytes
+	for c.used > c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*pageEntry)
+		c.lru.Remove(back)
+		delete(c.items, victim.key)
+		c.used -= victim.bytes
+	}
+}
+
+// invalidate removes a page (after an in-place rewrite or drop).
+func (c *PageCache) invalidate(file uint64, page int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[pageKey{file, page}]; ok {
+		victim := el.Value.(*pageEntry)
+		c.lru.Remove(el)
+		delete(c.items, victim.key)
+		c.used -= victim.bytes
+	}
+}
+
+// UsedBytes reports the current cache occupancy.
+func (c *PageCache) UsedBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

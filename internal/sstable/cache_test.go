@@ -1,0 +1,130 @@
+package sstable
+
+import (
+	"fmt"
+	"testing"
+
+	"lethe/internal/base"
+	"lethe/internal/vfs"
+)
+
+func TestPageCacheBasics(t *testing.T) {
+	c := NewPageCache(1 << 20)
+	entries := []base.Entry{base.MakeEntry([]byte("k"), 1, base.KindSet, 0, []byte("v"))}
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("empty cache can't hit")
+	}
+	c.put(1, 0, entries)
+	got, ok := c.get(1, 0)
+	if !ok || len(got) != 1 {
+		t.Fatal("cached page must be returned")
+	}
+	if c.Hits.Load() != 1 || c.Misses.Load() != 1 {
+		t.Fatalf("hit/miss accounting: %d/%d", c.Hits.Load(), c.Misses.Load())
+	}
+	c.invalidate(1, 0)
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("invalidated page must be gone")
+	}
+	if c.UsedBytes() != 0 {
+		t.Fatalf("used bytes after invalidate: %d", c.UsedBytes())
+	}
+}
+
+func TestPageCacheEviction(t *testing.T) {
+	// Each entry ≈ 1+8+8+1 = 18 bytes; budget fits ~5 pages of 2 entries.
+	c := NewPageCache(180)
+	page := func(i int) []base.Entry {
+		return []base.Entry{
+			base.MakeEntry([]byte{byte(i)}, 1, base.KindSet, 0, []byte("v")),
+			base.MakeEntry([]byte{byte(i), 1}, 2, base.KindSet, 0, []byte("w")),
+		}
+	}
+	for i := 0; i < 10; i++ {
+		c.put(1, i, page(i))
+	}
+	if c.UsedBytes() > 180 {
+		t.Fatalf("over budget: %d", c.UsedBytes())
+	}
+	// The most recent pages survive; the earliest were evicted.
+	if _, ok := c.get(1, 9); !ok {
+		t.Fatal("most recent page must survive")
+	}
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("oldest page must be evicted")
+	}
+	// An over-budget page is never cached.
+	huge := make([]base.Entry, 0, 64)
+	for i := 0; i < 64; i++ {
+		huge = append(huge, base.MakeEntry([]byte{byte(i)}, 1, base.KindSet, 0, make([]byte, 16)))
+	}
+	c.put(2, 0, huge)
+	if _, ok := c.get(2, 0); ok {
+		t.Fatal("oversized page must not be cached")
+	}
+}
+
+func TestNilPageCacheIsNoop(t *testing.T) {
+	var c *PageCache // nil
+	c.put(1, 0, nil)
+	if _, ok := c.get(1, 0); ok {
+		t.Fatal("nil cache hits nothing")
+	}
+	c.invalidate(1, 0)
+	if c.UsedBytes() != 0 {
+		t.Fatal("nil cache has no bytes")
+	}
+	if NewPageCache(0) != nil {
+		t.Fatal("zero capacity must disable the cache")
+	}
+}
+
+func TestReaderServesFromCache(t *testing.T) {
+	counting := vfs.NewCounting(vfs.NewMem(), 256)
+	f, _ := counting.Create("000001.sst")
+	w := NewWriter(f, testOpts(2))
+	for i := 0; i < 100; i++ {
+		w.Add(base.MakeEntry([]byte(fmt.Sprintf("k%05d", i)), base.SeqNum(i+1),
+			base.KindSet, base.DeleteKey(i), []byte("v")))
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cache := NewPageCache(1 << 20)
+	r.SetCache(cache)
+
+	// First read: I/O. Second read of the same key: cache, no I/O.
+	if _, ok, _ := r.Get([]byte("k00042")); !ok {
+		t.Fatal("key missing")
+	}
+	before := counting.Stats.Snapshot()
+	if _, ok, _ := r.Get([]byte("k00042")); !ok {
+		t.Fatal("key missing on second read")
+	}
+	delta := counting.Stats.Snapshot().Sub(before)
+	if delta.ReadOps != 0 {
+		t.Fatalf("cached read performed %d I/Os", delta.ReadOps)
+	}
+	if cache.Hits.Load() == 0 {
+		t.Fatal("cache must register hits")
+	}
+
+	// After a partial drop the rewritten page is re-read, not served stale.
+	stats, _, err := r.ApplySecondaryRangeDelete(40, 45, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EntriesDropped == 0 {
+		t.Fatal("setup: drop must hit")
+	}
+	for i := 40; i < 45; i++ {
+		if _, ok, _ := r.Get([]byte(fmt.Sprintf("k%05d", i))); ok {
+			t.Fatalf("dropped key %d served (stale cache?)", i)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package sstable implements the on-disk sorted-run file format, including
+// the paper's Key Weaving Storage Layout (KiWi, §4.2).
+//
+// A file is a sequence of fixed-size data pages followed by a metadata block
+// and a footer:
+//
+//	[page 0][page 1]...[page n-1][meta block][footer]
+//
+// Pages are grouped into delete tiles of (approximately) h pages each. The
+// weave (§4.2.1): files within a level are sorted on the sort key S, delete
+// tiles within a file are sorted on S, pages *within a tile* are sorted on
+// the delete key D, and entries within a page are sorted on S. With h = 1
+// the layout degenerates to the classical fully-S-sorted file, which is the
+// baseline ("RocksDB") configuration.
+//
+// The metadata block holds, per tile, a fence pointer on S and, per page, a
+// delete fence on D plus a page-granularity Bloom filter on S (§4.2.3).
+// Range tombstones live in their own section of the metadata block, as in
+// RocksDB's range tombstone block. The footer records where the meta block
+// starts so it can be rewritten in place when secondary range deletes drop
+// pages (§4.2.2).
+//
+// Tombstone timestamps: point and range tombstones store their insertion
+// wall-clock time (unix nanoseconds) in the entry's DKey field — a tombstone
+// has no meaningful secondary delete key of its own, and FADE needs the
+// insertion time to compute the file's a_max (age of oldest tombstone,
+// §4.1.3). Page-level D fences are computed over value entries only, and any
+// page containing a tombstone is never eligible for a full page drop.
+package sstable
+
+import (
+	"fmt"
+	"time"
+
+	"lethe/internal/base"
+	"lethe/internal/bloom"
+)
+
+// Magic identifies a Lethe sstable footer.
+const Magic uint64 = 0x4c657468654b6957 // "LetheKiW"
+
+// FooterSize is the fixed byte length of the footer:
+// metaOffset(8) + metaLen(8) + magic(8).
+const FooterSize = 24
+
+// PageMeta describes one data page.
+type PageMeta struct {
+	// Count is the number of entries encoded in the page.
+	Count int
+	// ValueCount is the number of value (non-tombstone) entries; pages are
+	// eligible for full drops only when ValueCount == Count.
+	ValueCount int
+	// Bytes is the encoded length of the page's payload (<= page size).
+	Bytes int
+	// MinD and MaxD fence the delete keys of the page's value entries
+	// (meaningless when the page holds only tombstones).
+	MinD, MaxD base.DeleteKey
+	// HasTombstone marks pages containing point tombstones; such pages are
+	// never fully dropped by secondary range deletes.
+	HasTombstone bool
+	// Dropped marks pages removed by a full page drop; their data is gone.
+	Dropped bool
+	// MinS and MaxS bound the page's sort keys.
+	MinS, MaxS []byte
+	// Filter is the page's Bloom filter over sort keys.
+	Filter bloom.Filter
+}
+
+// TileMeta describes one delete tile: a run of consecutive pages that is
+// fenced on S at tile granularity and on D at page granularity.
+type TileMeta struct {
+	// FirstPage is the index of the tile's first page in the file.
+	FirstPage int
+	// Pages holds the tile's page descriptors in D order.
+	Pages []PageMeta
+	// MinS and MaxS bound the tile's sort keys (the S fence pointer).
+	MinS, MaxS []byte
+}
+
+// Meta is the file-level metadata: everything FADE and the read path need
+// without touching data pages. It doubles as the manifest's file descriptor.
+type Meta struct {
+	// FileNum is the engine-assigned file number (also in the file name).
+	FileNum uint64
+	// PageSize is the fixed byte size of each data page.
+	PageSize int
+	// TilePages is the h the file was written with (target pages per tile).
+	TilePages int
+	// NumPages is the total number of data pages.
+	NumPages int
+	// NumEntries counts all entries including point tombstones.
+	NumEntries int
+	// NumPointTombstones counts point tombstones (RocksDB num_deletes).
+	NumPointTombstones int
+	// NumRangeTombstones counts range tombstones in the tombstone block.
+	NumRangeTombstones int
+	// RangeCoverage sums the [start,end) span fractions of the file's range
+	// tombstones relative to the key domain, as estimated by the writer's
+	// histogram surrogate; the engine multiplies it by the tree's entry
+	// count to estimate rd_f (§4.1.3).
+	RangeCoverage float64
+	// MinS and MaxS bound the file's sort keys.
+	MinS, MaxS []byte
+	// MinD and MaxD bound the file's value-entry delete keys.
+	MinD, MaxD base.DeleteKey
+	// MinSeq and MaxSeq bound the file's sequence numbers.
+	MinSeq, MaxSeq base.SeqNum
+	// OldestTombstone is the insertion time of the file's oldest point or
+	// range tombstone (zero when the file has none). FADE's a_max is
+	// clock.Now() minus this.
+	OldestTombstone time.Time
+	// CreatedAt is when the file was written (or last compacted into being).
+	CreatedAt time.Time
+	// Size is the total file length in bytes.
+	Size int64
+}
+
+// HasTombstones reports whether the file contains any tombstone.
+func (m *Meta) HasTombstones() bool {
+	return m.NumPointTombstones > 0 || m.NumRangeTombstones > 0
+}
+
+// AMax returns the age of the file's oldest tombstone at time now — the
+// a_max of §4.1.3. Files without tombstones have a_max = 0.
+func (m *Meta) AMax(now time.Time) time.Duration {
+	if !m.HasTombstones() || m.OldestTombstone.IsZero() {
+		return 0
+	}
+	return now.Sub(m.OldestTombstone)
+}
+
+// EstimatedInvalidated returns b_f = p_f + rd_f (§4.1.3): the exact point
+// tombstone count plus the histogram-estimated number of tree entries
+// invalidated by the file's range tombstones, given the tree's total entry
+// count.
+func (m *Meta) EstimatedInvalidated(treeEntries int) float64 {
+	return float64(m.NumPointTombstones) + m.RangeCoverage*float64(treeEntries)
+}
+
+// LiveBytes returns the file size minus the space of dropped pages; the
+// space-amplification accounting uses it. It requires the tile metadata.
+func LiveBytes(m *Meta, tiles []TileMeta) int64 {
+	live := m.Size
+	for _, t := range tiles {
+		for _, p := range t.Pages {
+			if p.Dropped {
+				live -= int64(m.PageSize)
+			}
+		}
+	}
+	return live
+}
+
+// ---------------------------------------------------------------------------
+// Meta block encoding
+
+func appendPageMeta(dst []byte, p *PageMeta) []byte {
+	dst = base.AppendUvarint(dst, uint64(p.Count))
+	dst = base.AppendUvarint(dst, uint64(p.ValueCount))
+	dst = base.AppendUvarint(dst, uint64(p.Bytes))
+	dst = base.AppendUvarint(dst, uint64(p.MinD))
+	dst = base.AppendUvarint(dst, uint64(p.MaxD))
+	var flags uint64
+	if p.HasTombstone {
+		flags |= 1
+	}
+	if p.Dropped {
+		flags |= 2
+	}
+	dst = base.AppendUvarint(dst, flags)
+	dst = base.AppendBytes(dst, p.MinS)
+	dst = base.AppendBytes(dst, p.MaxS)
+	dst = base.AppendBytes(dst, p.Filter)
+	return dst
+}
+
+func decodePageMeta(b []byte) (PageMeta, []byte, error) {
+	var p PageMeta
+	var v uint64
+	var err error
+	if v, b, err = base.Uvarint(b); err != nil {
+		return p, nil, err
+	}
+	p.Count = int(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return p, nil, err
+	}
+	p.ValueCount = int(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return p, nil, err
+	}
+	p.Bytes = int(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return p, nil, err
+	}
+	p.MinD = base.DeleteKey(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return p, nil, err
+	}
+	p.MaxD = base.DeleteKey(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return p, nil, err
+	}
+	p.HasTombstone = v&1 != 0
+	p.Dropped = v&2 != 0
+	var s []byte
+	if s, b, err = base.Bytes(b); err != nil {
+		return p, nil, err
+	}
+	p.MinS = append([]byte(nil), s...)
+	if s, b, err = base.Bytes(b); err != nil {
+		return p, nil, err
+	}
+	p.MaxS = append([]byte(nil), s...)
+	if s, b, err = base.Bytes(b); err != nil {
+		return p, nil, err
+	}
+	p.Filter = append(bloom.Filter(nil), s...)
+	return p, b, nil
+}
+
+func appendRangeTombstone(dst []byte, rt base.RangeTombstone) []byte {
+	dst = base.AppendBytes(dst, rt.Start)
+	dst = base.AppendBytes(dst, rt.End)
+	dst = base.AppendUvarint(dst, uint64(rt.Seq))
+	dst = base.AppendUvarint(dst, uint64(rt.DKey))
+	return dst
+}
+
+func decodeRangeTombstone(b []byte) (base.RangeTombstone, []byte, error) {
+	var rt base.RangeTombstone
+	var s []byte
+	var err error
+	if s, b, err = base.Bytes(b); err != nil {
+		return rt, nil, err
+	}
+	rt.Start = append([]byte(nil), s...)
+	if s, b, err = base.Bytes(b); err != nil {
+		return rt, nil, err
+	}
+	rt.End = append([]byte(nil), s...)
+	var v uint64
+	if v, b, err = base.Uvarint(b); err != nil {
+		return rt, nil, err
+	}
+	rt.Seq = base.SeqNum(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return rt, nil, err
+	}
+	rt.DKey = base.DeleteKey(v)
+	return rt, b, nil
+}
+
+// encodeMetaBlock serializes the file metadata, tiles, and range tombstones.
+func encodeMetaBlock(m *Meta, tiles []TileMeta, rts []base.RangeTombstone) []byte {
+	var dst []byte
+	dst = base.AppendUvarint(dst, m.FileNum)
+	dst = base.AppendUvarint(dst, uint64(m.PageSize))
+	dst = base.AppendUvarint(dst, uint64(m.TilePages))
+	dst = base.AppendUvarint(dst, uint64(m.NumPages))
+	dst = base.AppendUvarint(dst, uint64(m.NumEntries))
+	dst = base.AppendUvarint(dst, uint64(m.NumPointTombstones))
+	dst = base.AppendUvarint(dst, uint64(m.NumRangeTombstones))
+	dst = base.AppendUint64(dst, uint64(m.RangeCoverage*(1<<32)))
+	dst = base.AppendBytes(dst, m.MinS)
+	dst = base.AppendBytes(dst, m.MaxS)
+	dst = base.AppendUvarint(dst, uint64(m.MinD))
+	dst = base.AppendUvarint(dst, uint64(m.MaxD))
+	dst = base.AppendUvarint(dst, uint64(m.MinSeq))
+	dst = base.AppendUvarint(dst, uint64(m.MaxSeq))
+	dst = base.AppendUint64(dst, uint64(m.OldestTombstone.UnixNano()))
+	dst = base.AppendUint64(dst, uint64(m.CreatedAt.UnixNano()))
+
+	dst = base.AppendUvarint(dst, uint64(len(tiles)))
+	for i := range tiles {
+		t := &tiles[i]
+		dst = base.AppendUvarint(dst, uint64(t.FirstPage))
+		dst = base.AppendBytes(dst, t.MinS)
+		dst = base.AppendBytes(dst, t.MaxS)
+		dst = base.AppendUvarint(dst, uint64(len(t.Pages)))
+		for j := range t.Pages {
+			dst = appendPageMeta(dst, &t.Pages[j])
+		}
+	}
+	dst = base.AppendUvarint(dst, uint64(len(rts)))
+	for _, rt := range rts {
+		dst = appendRangeTombstone(dst, rt)
+	}
+	return dst
+}
+
+// decodeMetaBlock parses what encodeMetaBlock wrote.
+func decodeMetaBlock(b []byte) (*Meta, []TileMeta, []base.RangeTombstone, error) {
+	fail := func(err error) (*Meta, []TileMeta, []base.RangeTombstone, error) {
+		return nil, nil, nil, fmt.Errorf("sstable: meta block: %w", err)
+	}
+	m := &Meta{}
+	var v uint64
+	var err error
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.FileNum = v
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.PageSize = int(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.TilePages = int(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.NumPages = int(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.NumEntries = int(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.NumPointTombstones = int(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.NumRangeTombstones = int(v)
+	if v, b, err = base.Uint64(b); err != nil {
+		return fail(err)
+	}
+	m.RangeCoverage = float64(v) / (1 << 32)
+	var s []byte
+	if s, b, err = base.Bytes(b); err != nil {
+		return fail(err)
+	}
+	m.MinS = append([]byte(nil), s...)
+	if s, b, err = base.Bytes(b); err != nil {
+		return fail(err)
+	}
+	m.MaxS = append([]byte(nil), s...)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.MinD = base.DeleteKey(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.MaxD = base.DeleteKey(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.MinSeq = base.SeqNum(v)
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	m.MaxSeq = base.SeqNum(v)
+	if v, b, err = base.Uint64(b); err != nil {
+		return fail(err)
+	}
+	m.OldestTombstone = time.Unix(0, int64(v))
+	if v, b, err = base.Uint64(b); err != nil {
+		return fail(err)
+	}
+	m.CreatedAt = time.Unix(0, int64(v))
+
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	tiles := make([]TileMeta, v)
+	for i := range tiles {
+		t := &tiles[i]
+		if v, b, err = base.Uvarint(b); err != nil {
+			return fail(err)
+		}
+		t.FirstPage = int(v)
+		if s, b, err = base.Bytes(b); err != nil {
+			return fail(err)
+		}
+		t.MinS = append([]byte(nil), s...)
+		if s, b, err = base.Bytes(b); err != nil {
+			return fail(err)
+		}
+		t.MaxS = append([]byte(nil), s...)
+		if v, b, err = base.Uvarint(b); err != nil {
+			return fail(err)
+		}
+		t.Pages = make([]PageMeta, v)
+		for j := range t.Pages {
+			if t.Pages[j], b, err = decodePageMeta(b); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if v, b, err = base.Uvarint(b); err != nil {
+		return fail(err)
+	}
+	rts := make([]base.RangeTombstone, v)
+	for i := range rts {
+		if rts[i], b, err = decodeRangeTombstone(b); err != nil {
+			return fail(err)
+		}
+	}
+	if len(b) != 0 {
+		return fail(base.ErrCorrupt)
+	}
+	return m, tiles, rts, nil
+}

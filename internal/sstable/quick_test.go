@@ -1,0 +1,167 @@
+package sstable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"lethe/internal/base"
+	"lethe/internal/vfs"
+)
+
+// buildRandom writes n random entries at tile size h and returns the reader
+// plus the model map.
+func buildRandom(rng *rand.Rand, n, h int) (*Reader, map[string]base.Entry, error) {
+	fs := vfs.NewMem()
+	f, _ := fs.Create("q.sst")
+	w := NewWriter(f, WriterOptions{
+		FileNum: 1, PageSize: 256, TilePages: h, BloomBitsPerKey: 10, Clock: testClock,
+	})
+	model := map[string]base.Entry{}
+	keys := rng.Perm(100000)[:n]
+	sort.Ints(keys)
+	for i, k := range keys {
+		e := base.MakeEntry([]byte(fmt.Sprintf("k%08d", k)), base.SeqNum(i+1),
+			base.KindSet, base.DeleteKey(rng.Intn(1<<20)),
+			[]byte(fmt.Sprintf("v%d", rng.Intn(1000))))
+		if err := w.Add(e); err != nil {
+			return nil, nil, err
+		}
+		model[string(e.Key.UserKey)] = e
+	}
+	if _, err := w.Finish(); err != nil {
+		return nil, nil, err
+	}
+	r, err := OpenReader(f)
+	return r, model, err
+}
+
+// Property: for any entry set and tile size, every written key is readable
+// with the right value/dkey, scans return exactly the sorted key set, and
+// missing keys stay missing.
+func TestQuickWriterReaderEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw, hRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		h := 1 << (hRaw % 5)
+		r, model, err := buildRandom(rng, n, h)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		defer r.Close()
+		for k, want := range model {
+			got, ok, err := r.Get([]byte(k))
+			if err != nil || !ok || !bytes.Equal(got.Value, want.Value) || got.DKey != want.DKey {
+				return false
+			}
+		}
+		if _, ok, _ := r.Get([]byte("zzz-missing")); ok {
+			return false
+		}
+		it := r.NewIter()
+		seen := 0
+		var prev []byte
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			if prev != nil && base.CompareUserKeys(prev, e.Key.UserKey) >= 0 {
+				return false
+			}
+			prev = append(prev[:0], e.Key.UserKey...)
+			seen++
+		}
+		return it.Error() == nil && seen == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a secondary range delete removes exactly the model's matching
+// entries for any range and tile size, and the file's metadata stays
+// consistent with its contents after reopening.
+func TestQuickSRDEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw, hRaw uint8, loRaw, spanRaw uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%200 + 1
+		h := 1 << (hRaw % 5)
+		r, model, err := buildRandom(rng, n, h)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		lo := base.DeleteKey(loRaw % (1 << 20))
+		hi := lo + base.DeleteKey(spanRaw%(1<<19))
+		stats, meta, err := r.ApplySecondaryRangeDelete(lo, hi, 10)
+		if err != nil {
+			return false
+		}
+		wantDropped := 0
+		for k, e := range model {
+			if e.DKey >= lo && e.DKey < hi {
+				wantDropped++
+				delete(model, k)
+			}
+		}
+		if stats.EntriesDropped != wantDropped {
+			return false
+		}
+		if meta.NumEntries != len(model) {
+			return false
+		}
+		// Every survivor readable, every victim gone.
+		it := r.NewIter()
+		live := 0
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			want, exists := model[string(e.Key.UserKey)]
+			if !exists || want.DKey != e.DKey {
+				return false
+			}
+			live++
+		}
+		return it.Error() == nil && live == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the weave invariant holds for any input — pages within each tile
+// are non-overlapping and ordered on D (over value entries).
+func TestQuickWeaveInvariant(t *testing.T) {
+	f := func(seed int64, hRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := 1 << (hRaw%4 + 1) // 2..16
+		r, _, err := buildRandom(rng, 150, h)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		for ti := range r.Tiles {
+			tile := &r.Tiles[ti]
+			for pi := 1; pi < len(tile.Pages); pi++ {
+				a, b := &tile.Pages[pi-1], &tile.Pages[pi]
+				if a.ValueCount == 0 || b.ValueCount == 0 {
+					continue
+				}
+				if a.MaxD > b.MinD {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,242 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"lethe/internal/base"
+	"lethe/internal/vfs"
+)
+
+// Reader serves lookups and scans over one sstable. The metadata block
+// (fences, delete fences, per-page Bloom filters, range tombstones) is held
+// in memory, as real engines cache it; only data pages cost I/O.
+type Reader struct {
+	f     vfs.File
+	Meta  *Meta
+	Tiles []TileMeta
+	// RangeTombstones is the file's range tombstone block.
+	RangeTombstones []base.RangeTombstone
+	// cache, when non-nil, holds decoded pages shared across readers.
+	cache *PageCache
+}
+
+// SetCache attaches a shared page cache (nil disables caching).
+func (r *Reader) SetCache(c *PageCache) { r.cache = c }
+
+// OpenReader loads the metadata of the sstable stored in f.
+func OpenReader(f vfs.File) (*Reader, error) {
+	size, err := f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("sstable: size: %w", err)
+	}
+	if size < FooterSize {
+		return nil, fmt.Errorf("sstable: file too small (%d bytes): %w", size, base.ErrCorrupt)
+	}
+	footer := make([]byte, FooterSize)
+	if _, err := f.ReadAt(footer, size-FooterSize); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("sstable: read footer: %w", err)
+	}
+	metaOff := binary.LittleEndian.Uint64(footer[0:8])
+	metaLen := binary.LittleEndian.Uint64(footer[8:16])
+	magic := binary.LittleEndian.Uint64(footer[16:24])
+	if magic != Magic {
+		return nil, fmt.Errorf("sstable: bad magic %x: %w", magic, base.ErrCorrupt)
+	}
+	if metaOff+metaLen+FooterSize != uint64(size) {
+		return nil, fmt.Errorf("sstable: inconsistent footer: %w", base.ErrCorrupt)
+	}
+	metaBlock := make([]byte, metaLen)
+	if _, err := f.ReadAt(metaBlock, int64(metaOff)); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("sstable: read meta block: %w", err)
+	}
+	meta, tiles, rts, err := decodeMetaBlock(metaBlock)
+	if err != nil {
+		return nil, err
+	}
+	meta.Size = size
+	return &Reader{f: f, Meta: meta, Tiles: tiles, RangeTombstones: rts}, nil
+}
+
+// Close releases the underlying file handle.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// readPage loads and decodes the entries of page index pi. Dropped pages
+// yield nil without I/O.
+func (r *Reader) readPage(tile *TileMeta, pageInTile int) ([]base.Entry, error) {
+	pm := &tile.Pages[pageInTile]
+	if pm.Dropped {
+		return nil, nil
+	}
+	pi := tile.FirstPage + pageInTile
+	if cached, ok := r.cache.get(r.Meta.FileNum, pi); ok {
+		return cached, nil
+	}
+	buf := make([]byte, pm.Bytes)
+	if _, err := r.f.ReadAt(buf, int64(pi)*int64(r.Meta.PageSize)); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("sstable: read page %d: %w", pi, err)
+	}
+	payload, err := openPage(buf)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: page %d: %w", pi, err)
+	}
+	count, rest, err := base.Uvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: page %d header: %w", pi, err)
+	}
+	entries := make([]base.Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var e base.Entry
+		e, rest, err = base.DecodeEntry(rest)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: page %d entry %d: %w", pi, i, err)
+		}
+		entries = append(entries, e)
+	}
+	r.cache.put(r.Meta.FileNum, pi, entries)
+	return entries, nil
+}
+
+// findTile locates the single tile that may contain key (tiles are disjoint
+// and ordered on S). It returns -1 if no tile qualifies.
+func (r *Reader) findTile(key []byte) int {
+	// First tile whose MaxS >= key.
+	i := sort.Search(len(r.Tiles), func(i int) bool {
+		return base.CompareUserKeys(r.Tiles[i].MaxS, key) >= 0
+	})
+	if i == len(r.Tiles) || base.CompareUserKeys(r.Tiles[i].MinS, key) > 0 {
+		return -1
+	}
+	return i
+}
+
+// Get looks up key. Per the paper's search algorithm (§4.2.5): locate the
+// delete tile via the S fence pointers, then probe each page's Bloom filter
+// and read pages whose probe is positive. Within a tile, point lookups rely
+// on filters alone — per-page S fences are deliberately not consulted, so
+// the lookup cost shape is the model's O(1 + h·FPR).
+//
+// It returns the entry (which may be a point tombstone — the caller decides
+// what a tombstone means at its level) and whether the key was found.
+func (r *Reader) Get(key []byte) (base.Entry, bool, error) {
+	ti := r.findTile(key)
+	if ti < 0 {
+		return base.Entry{}, false, nil
+	}
+	tile := &r.Tiles[ti]
+	for pi := range tile.Pages {
+		pm := &tile.Pages[pi]
+		if pm.Dropped {
+			continue
+		}
+		if !pm.Filter.MayContain(key) {
+			continue
+		}
+		entries, err := r.readPage(tile, pi)
+		if err != nil {
+			return base.Entry{}, false, err
+		}
+		// Pages are sorted on S: binary search.
+		j := sort.Search(len(entries), func(j int) bool {
+			return base.CompareUserKeys(entries[j].Key.UserKey, key) >= 0
+		})
+		if j < len(entries) && base.CompareUserKeys(entries[j].Key.UserKey, key) == 0 {
+			return entries[j].Clone(), true, nil
+		}
+		// False positive: fall through to the next page of the tile.
+	}
+	return base.Entry{}, false, nil
+}
+
+// ReadPageForScan exposes a single page's entries for delete-fence-guided
+// secondary range scans (§4.2.5). The returned entries alias a fresh buffer.
+func (r *Reader) ReadPageForScan(tileIdx, pageInTile int) ([]base.Entry, error) {
+	return r.readPage(&r.Tiles[tileIdx], pageInTile)
+}
+
+// ---------------------------------------------------------------------------
+// Iterator
+
+// Iter iterates a file's entries in sort-key order. Within each tile the
+// pages (D-ordered) are loaded and merged back into S order, which is why a
+// short range scan costs O(h) pages per touched tile (§4.2.5).
+type Iter struct {
+	r       *Reader
+	tileIdx int
+	buf     []base.Entry // current tile's entries, S-ordered
+	bufPos  int
+	err     error
+}
+
+// NewIter returns an iterator positioned before the first entry.
+func (r *Reader) NewIter() *Iter {
+	return &Iter{r: r, tileIdx: -1}
+}
+
+// loadTile reads every live page of tile ti and merges them into S order.
+func (it *Iter) loadTile(ti int) bool {
+	tile := &it.r.Tiles[ti]
+	it.buf = it.buf[:0]
+	for pi := range tile.Pages {
+		entries, err := it.r.readPage(tile, pi)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.buf = append(it.buf, entries...)
+	}
+	sort.Slice(it.buf, func(i, j int) bool {
+		return base.CompareUserKeys(it.buf[i].Key.UserKey, it.buf[j].Key.UserKey) < 0
+	})
+	it.bufPos = 0
+	return true
+}
+
+// Next returns the next entry in S order, or ok=false at the end (check
+// Error afterwards).
+func (it *Iter) Next() (base.Entry, bool) {
+	for {
+		if it.err != nil {
+			return base.Entry{}, false
+		}
+		if it.tileIdx >= 0 && it.bufPos < len(it.buf) {
+			e := it.buf[it.bufPos]
+			it.bufPos++
+			return e, true
+		}
+		it.tileIdx++
+		if it.tileIdx >= len(it.r.Tiles) {
+			return base.Entry{}, false
+		}
+		if !it.loadTile(it.tileIdx) {
+			return base.Entry{}, false
+		}
+	}
+}
+
+// SeekGE positions the iterator at the first entry with user key >= key.
+func (it *Iter) SeekGE(key []byte) {
+	it.err = nil
+	// First tile whose MaxS >= key.
+	i := sort.Search(len(it.r.Tiles), func(i int) bool {
+		return base.CompareUserKeys(it.r.Tiles[i].MaxS, key) >= 0
+	})
+	if i == len(it.r.Tiles) {
+		it.tileIdx = len(it.r.Tiles)
+		it.buf = it.buf[:0]
+		it.bufPos = 0
+		return
+	}
+	it.tileIdx = i
+	if !it.loadTile(i) {
+		return
+	}
+	it.bufPos = sort.Search(len(it.buf), func(j int) bool {
+		return base.CompareUserKeys(it.buf[j].Key.UserKey, key) >= 0
+	})
+}
+
+// Error returns the first I/O or decode error the iterator hit.
+func (it *Iter) Error() error { return it.err }

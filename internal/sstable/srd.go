@@ -1,0 +1,231 @@
+package sstable
+
+import (
+	"fmt"
+
+	"lethe/internal/base"
+	"lethe/internal/bloom"
+)
+
+// SRDStats reports what a secondary range delete did to one file — the
+// quantities behind Fig. 6H (fraction of full page drops) and the I/O
+// accounting of Fig. 6K/6L.
+type SRDStats struct {
+	// FullDrops is the number of pages removed without any I/O.
+	FullDrops int
+	// PartialDrops is the number of edge pages read, filtered, and
+	// rewritten in place.
+	PartialDrops int
+	// EntriesDropped is the number of value entries deleted.
+	EntriesDropped int
+	// PagesUntouched is the number of live pages whose delete fences proved
+	// they hold no qualifying entries.
+	PagesUntouched int
+}
+
+// ApplySecondaryRangeDelete removes every value entry with lo <= D < hi from
+// the file, per §4.2.2: pages fully covered by the range (as proven by their
+// delete fences) are dropped without being read; edge pages — at most the
+// boundary pages of each tile's D order — are read, filtered, and rewritten
+// in place. The metadata block is rewritten afterwards so the file stays
+// self-describing. The updated Meta is returned.
+func (r *Reader) ApplySecondaryRangeDelete(lo, hi base.DeleteKey, bitsPerKey int) (SRDStats, *Meta, error) {
+	var stats SRDStats
+	if hi <= lo {
+		return stats, r.Meta, nil
+	}
+	for ti := range r.Tiles {
+		tile := &r.Tiles[ti]
+		for pi := range tile.Pages {
+			pm := &tile.Pages[pi]
+			switch {
+			case pm.Dropped || pm.ValueCount == 0:
+				continue
+			case pm.MaxD < lo || pm.MinD >= hi:
+				// Delete fences prove no overlap.
+				stats.PagesUntouched++
+				continue
+			case pm.MinD >= lo && pm.MaxD < hi && pm.ValueCount == pm.Count:
+				// Fully covered pure-value page: full page drop, zero I/O.
+				stats.EntriesDropped += pm.ValueCount
+				r.cache.invalidate(r.Meta.FileNum, tile.FirstPage+pi)
+				pm.Dropped = true
+				pm.Count = 0
+				pm.ValueCount = 0
+				pm.Bytes = 0
+				pm.Filter = nil
+				stats.FullDrops++
+			default:
+				// Edge page (or page mixing tombstones with values): read,
+				// filter, rewrite in place.
+				dropped, err := r.partialDrop(tile, pi, lo, hi, bitsPerKey)
+				if err != nil {
+					return stats, r.Meta, err
+				}
+				stats.EntriesDropped += dropped
+				if dropped > 0 {
+					stats.PartialDrops++
+				} else {
+					stats.PagesUntouched++
+				}
+			}
+		}
+	}
+	if stats.FullDrops+stats.PartialDrops > 0 {
+		if err := r.recomputeFileMeta(); err != nil {
+			return stats, r.Meta, err
+		}
+		if err := r.rewriteMetaBlock(); err != nil {
+			return stats, r.Meta, err
+		}
+	}
+	return stats, r.Meta, nil
+}
+
+// partialDrop filters one page in place, returning how many entries it
+// removed.
+func (r *Reader) partialDrop(tile *TileMeta, pi int, lo, hi base.DeleteKey, bitsPerKey int) (int, error) {
+	entries, err := r.readPage(tile, pi)
+	if err != nil {
+		return 0, err
+	}
+	kept := entries[:0]
+	removed := 0
+	for _, e := range entries {
+		if e.Key.Kind() == base.KindSet && e.DKey >= lo && e.DKey < hi {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if removed == 0 {
+		return 0, nil
+	}
+	pm := &tile.Pages[pi]
+	if len(kept) == 0 {
+		// The page emptied out: it becomes a drop (but it already cost a
+		// read; it is still counted as a partial drop by the caller).
+		r.cache.invalidate(r.Meta.FileNum, tile.FirstPage+pi)
+		pm.Dropped = true
+		pm.Count = 0
+		pm.ValueCount = 0
+		pm.Bytes = 0
+		pm.Filter = nil
+		return removed, nil
+	}
+
+	// Re-encode and overwrite the page in place (entries are already in S
+	// order since we preserved their order).
+	buf := base.AppendUvarint(nil, uint64(len(kept)))
+	newPM := PageMeta{
+		Count: len(kept),
+		MinS:  append([]byte(nil), kept[0].Key.UserKey...),
+		MaxS:  append([]byte(nil), kept[len(kept)-1].Key.UserKey...),
+		MinD:  ^base.DeleteKey(0),
+	}
+	keys := make([][]byte, 0, len(kept))
+	for _, e := range kept {
+		buf = base.AppendEntry(buf, e)
+		keys = append(keys, e.Key.UserKey)
+		switch e.Key.Kind() {
+		case base.KindDelete:
+			newPM.HasTombstone = true
+		case base.KindSet:
+			newPM.ValueCount++
+			if e.DKey < newPM.MinD {
+				newPM.MinD = e.DKey
+			}
+			if e.DKey > newPM.MaxD {
+				newPM.MaxD = e.DKey
+			}
+		}
+	}
+	if newPM.ValueCount == 0 {
+		newPM.MinD, newPM.MaxD = 0, 0
+	}
+	buf = sealPage(buf)
+	newPM.Bytes = len(buf)
+	newPM.Filter = bloom.New(keys, bitsPerKey)
+
+	padded := make([]byte, r.Meta.PageSize)
+	copy(padded, buf)
+	off := int64(tile.FirstPage+pi) * int64(r.Meta.PageSize)
+	if _, err := r.f.WriteAt(padded, off); err != nil {
+		return 0, fmt.Errorf("sstable: rewrite page: %w", err)
+	}
+	r.cache.invalidate(r.Meta.FileNum, tile.FirstPage+pi)
+	tile.Pages[pi] = newPM
+	return removed, nil
+}
+
+// recomputeFileMeta refreshes the file-level aggregates from the surviving
+// page metadata after drops.
+func (r *Reader) recomputeFileMeta() error {
+	m := r.Meta
+	m.NumEntries = 0
+	m.NumPointTombstones = 0
+	first := true
+	for ti := range r.Tiles {
+		for pi := range r.Tiles[ti].Pages {
+			pm := &r.Tiles[ti].Pages[pi]
+			if pm.Dropped {
+				continue
+			}
+			m.NumEntries += pm.Count
+			m.NumPointTombstones += pm.Count - pm.ValueCount
+			if pm.ValueCount > 0 {
+				if first || pm.MinD < m.MinD {
+					m.MinD = pm.MinD
+				}
+				if first || pm.MaxD > m.MaxD {
+					m.MaxD = pm.MaxD
+				}
+				first = false
+			}
+		}
+	}
+	if first {
+		m.MinD, m.MaxD = 0, 0
+	}
+	return nil
+}
+
+// rewriteMetaBlock re-serializes the metadata block at its fixed offset
+// (data pages are untouched by drops) and truncates the file behind the new
+// footer.
+func (r *Reader) rewriteMetaBlock() error {
+	metaOff := int64(r.Meta.NumPages) * int64(r.Meta.PageSize)
+	metaBlock := encodeMetaBlock(r.Meta, r.Tiles, r.RangeTombstones)
+	var footer []byte
+	footer = base.AppendUint64(footer, uint64(metaOff))
+	footer = base.AppendUint64(footer, uint64(len(metaBlock)))
+	footer = base.AppendUint64(footer, Magic)
+	if _, err := r.f.WriteAt(append(metaBlock, footer...), metaOff); err != nil {
+		return fmt.Errorf("sstable: rewrite meta block: %w", err)
+	}
+	newSize := metaOff + int64(len(metaBlock)) + FooterSize
+	if err := r.f.Truncate(newSize); err != nil {
+		return fmt.Errorf("sstable: truncate after meta rewrite: %w", err)
+	}
+	if err := r.f.Sync(); err != nil {
+		return fmt.Errorf("sstable: sync after meta rewrite: %w", err)
+	}
+	r.Meta.Size = newSize
+	return nil
+}
+
+// LiveBytesOf returns the file's live byte count (size minus dropped pages).
+func (r *Reader) LiveBytesOf() int64 { return LiveBytes(r.Meta, r.Tiles) }
+
+// CountDropped returns how many pages of the file have been dropped.
+func (r *Reader) CountDropped() int {
+	n := 0
+	for ti := range r.Tiles {
+		for pi := range r.Tiles[ti].Pages {
+			if r.Tiles[ti].Pages[pi].Dropped {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package vfs
+
+import "sync/atomic"
+
+// IOStats accumulates the I/O activity of a CountingFS. Counts are at two
+// granularities: raw bytes/ops and disk pages, because the paper's cost
+// model (§3.2, Table 2) is expressed in page I/Os. A single logical read
+// that spans k pages counts as k page reads, mirroring how a storage device
+// would serve it.
+type IOStats struct {
+	PageSize int64
+
+	ReadOps      atomic.Int64
+	WriteOps     atomic.Int64
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+	PagesRead    atomic.Int64
+	PagesWritten atomic.Int64
+	Syncs        atomic.Int64
+}
+
+// NewIOStats returns a stats sink that counts pages of the given size.
+func NewIOStats(pageSize int) *IOStats {
+	if pageSize <= 0 {
+		panic("vfs: page size must be positive")
+	}
+	return &IOStats{PageSize: int64(pageSize)}
+}
+
+func (s *IOStats) pages(n int64) int64 {
+	return (n + s.PageSize - 1) / s.PageSize
+}
+
+func (s *IOStats) countRead(n int64) {
+	s.ReadOps.Add(1)
+	s.BytesRead.Add(n)
+	s.PagesRead.Add(s.pages(n))
+}
+
+func (s *IOStats) countWrite(n int64) {
+	s.WriteOps.Add(1)
+	s.BytesWritten.Add(n)
+	s.PagesWritten.Add(s.pages(n))
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *IOStats) Snapshot() IOSnapshot {
+	return IOSnapshot{
+		ReadOps:      s.ReadOps.Load(),
+		WriteOps:     s.WriteOps.Load(),
+		BytesRead:    s.BytesRead.Load(),
+		BytesWritten: s.BytesWritten.Load(),
+		PagesRead:    s.PagesRead.Load(),
+		PagesWritten: s.PagesWritten.Load(),
+		Syncs:        s.Syncs.Load(),
+	}
+}
+
+// IOSnapshot is an immutable copy of IOStats counters.
+type IOSnapshot struct {
+	ReadOps      int64
+	WriteOps     int64
+	BytesRead    int64
+	BytesWritten int64
+	PagesRead    int64
+	PagesWritten int64
+	Syncs        int64
+}
+
+// Sub returns the element-wise difference s - o, for measuring the cost of
+// an interval between two snapshots.
+func (s IOSnapshot) Sub(o IOSnapshot) IOSnapshot {
+	return IOSnapshot{
+		ReadOps:      s.ReadOps - o.ReadOps,
+		WriteOps:     s.WriteOps - o.WriteOps,
+		BytesRead:    s.BytesRead - o.BytesRead,
+		BytesWritten: s.BytesWritten - o.BytesWritten,
+		PagesRead:    s.PagesRead - o.PagesRead,
+		PagesWritten: s.PagesWritten - o.PagesWritten,
+		Syncs:        s.Syncs - o.Syncs,
+	}
+}
+
+// CountingFS wraps an FS, recording every file operation in Stats.
+type CountingFS struct {
+	inner FS
+	Stats *IOStats
+}
+
+// NewCounting wraps fs with I/O accounting at the given page size.
+func NewCounting(fs FS, pageSize int) *CountingFS {
+	return &CountingFS{inner: fs, Stats: NewIOStats(pageSize)}
+}
+
+// Create implements FS.
+func (fs *CountingFS) Create(name string) (File, error) {
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{inner: f, stats: fs.Stats}, nil
+}
+
+// Open implements FS.
+func (fs *CountingFS) Open(name string) (File, error) {
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &countingFile{inner: f, stats: fs.Stats}, nil
+}
+
+// Remove implements FS.
+func (fs *CountingFS) Remove(name string) error { return fs.inner.Remove(name) }
+
+// Rename implements FS.
+func (fs *CountingFS) Rename(oldname, newname string) error {
+	return fs.inner.Rename(oldname, newname)
+}
+
+// List implements FS.
+func (fs *CountingFS) List() ([]string, error) { return fs.inner.List() }
+
+type countingFile struct {
+	inner File
+	stats *IOStats
+}
+
+func (f *countingFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.ReadAt(p, off)
+	f.stats.countRead(int64(n))
+	return n, err
+}
+
+func (f *countingFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.inner.WriteAt(p, off)
+	f.stats.countWrite(int64(n))
+	return n, err
+}
+
+func (f *countingFile) Write(p []byte) (int, error) {
+	n, err := f.inner.Write(p)
+	f.stats.countWrite(int64(n))
+	return n, err
+}
+
+func (f *countingFile) Close() error { return f.inner.Close() }
+
+func (f *countingFile) Sync() error {
+	f.stats.Syncs.Add(1)
+	return f.inner.Sync()
+}
+
+func (f *countingFile) Size() (int64, error)   { return f.inner.Size() }
+func (f *countingFile) Truncate(n int64) error { return f.inner.Truncate(n) }

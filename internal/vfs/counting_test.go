@@ -1,0 +1,98 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestCountingFS(t *testing.T) {
+	fs := NewCounting(NewMem(), 4096)
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000 bytes = 2 pages at 4096.
+	if _, err := f.Write(make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	g, err := fs.Open("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if _, err := g.ReadAt(buf[:100], 4096); err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteAt(buf[:10], 0); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+
+	s := fs.Stats.Snapshot()
+	if s.WriteOps != 2 || s.BytesWritten != 5010 || s.PagesWritten != 2+1 {
+		t.Fatalf("writes: %+v", s)
+	}
+	if s.ReadOps != 2 || s.BytesRead != 4196 || s.PagesRead != 1+1 {
+		t.Fatalf("reads: %+v", s)
+	}
+	if s.Syncs != 1 {
+		t.Fatalf("syncs: %+v", s)
+	}
+
+	// Snapshot delta.
+	before := fs.Stats.Snapshot()
+	h, _ := fs.Open("x")
+	h.ReadAt(buf[:1], 0)
+	h.Close()
+	d := fs.Stats.Snapshot().Sub(before)
+	if d.ReadOps != 1 || d.PagesRead != 1 || d.BytesRead != 1 {
+		t.Fatalf("delta: %+v", d)
+	}
+
+	// Passthrough operations.
+	if _, err := fs.List(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("nope"); !errors.Is(err, ErrNotExist) {
+		t.Fatal("open must propagate errors")
+	}
+}
+
+func TestCountingFileMisc(t *testing.T) {
+	fs := NewCounting(NewMem(), 512)
+	f, _ := fs.Create("f")
+	f.Write(make([]byte, 1000))
+	if sz, err := f.Size(); err != nil || sz != 1000 {
+		t.Fatalf("size %d %v", sz, err)
+	}
+	if err := f.Truncate(100); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 100 {
+		t.Fatal("truncate passthrough")
+	}
+}
+
+func TestNewIOStatsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive page size")
+		}
+	}()
+	NewIOStats(0)
+}

@@ -1,0 +1,181 @@
+package vfs
+
+import "sync/atomic"
+
+// Op identifies a filesystem operation for fault injection.
+type Op uint8
+
+// The injectable operations.
+const (
+	OpCreate Op = iota
+	OpOpen
+	OpRemove
+	OpRename
+	OpList
+	OpRead
+	OpWrite
+	OpSync
+	OpClose
+	OpTruncate
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	names := [...]string{"create", "open", "remove", "rename", "list",
+		"read", "write", "sync", "close", "truncate"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return "unknown"
+}
+
+// InjectFS wraps an FS and consults a hook before every operation; if the
+// hook returns an error, the operation fails with it without touching the
+// underlying filesystem. It is the failure-injection harness used to test
+// the engine's recovery paths (flush, compaction, WAL append, manifest
+// commit).
+type InjectFS struct {
+	inner FS
+	// Hook is called as Hook(op, name) before each operation; name is the
+	// file the operation targets ("" for List). A nil Hook injects nothing.
+	Hook func(op Op, name string) error
+}
+
+// NewInject wraps fs with the given fault hook.
+func NewInject(fs FS, hook func(op Op, name string) error) *InjectFS {
+	return &InjectFS{inner: fs, Hook: hook}
+}
+
+func (fs *InjectFS) check(op Op, name string) error {
+	if fs.Hook == nil {
+		return nil
+	}
+	return fs.Hook(op, name)
+}
+
+// Create implements FS.
+func (fs *InjectFS) Create(name string) (File, error) {
+	if err := fs.check(OpCreate, name); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{inner: f, fs: fs, name: name}, nil
+}
+
+// Open implements FS.
+func (fs *InjectFS) Open(name string) (File, error) {
+	if err := fs.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{inner: f, fs: fs, name: name}, nil
+}
+
+// Remove implements FS.
+func (fs *InjectFS) Remove(name string) error {
+	if err := fs.check(OpRemove, name); err != nil {
+		return err
+	}
+	return fs.inner.Remove(name)
+}
+
+// Rename implements FS.
+func (fs *InjectFS) Rename(oldname, newname string) error {
+	if err := fs.check(OpRename, oldname); err != nil {
+		return err
+	}
+	return fs.inner.Rename(oldname, newname)
+}
+
+// List implements FS.
+func (fs *InjectFS) List() ([]string, error) {
+	if err := fs.check(OpList, ""); err != nil {
+		return nil, err
+	}
+	return fs.inner.List()
+}
+
+type injectFile struct {
+	inner File
+	fs    *InjectFS
+	name  string
+}
+
+func (f *injectFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.check(OpRead, f.name); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *injectFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.fs.check(OpWrite, f.name); err != nil {
+		return 0, err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	if err := f.fs.check(OpWrite, f.name); err != nil {
+		return 0, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *injectFile) Close() error {
+	if err := f.fs.check(OpClose, f.name); err != nil {
+		return err
+	}
+	return f.inner.Close()
+}
+
+func (f *injectFile) Sync() error {
+	if err := f.fs.check(OpSync, f.name); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *injectFile) Size() (int64, error) { return f.inner.Size() }
+
+func (f *injectFile) Truncate(n int64) error {
+	if err := f.fs.check(OpTruncate, f.name); err != nil {
+		return err
+	}
+	return f.inner.Truncate(n)
+}
+
+// FailAfter returns a hook that lets the first n matching operations
+// through and fails every subsequent one with err. A zero Op filter
+// (matchAll=true via op < 0 is not possible; pass -1 cast) — use
+// FailAfterOp for a specific op.
+func FailAfter(n int64, err error) func(Op, string) error {
+	var count atomic.Int64
+	return func(Op, string) error {
+		if count.Add(1) > n {
+			return err
+		}
+		return nil
+	}
+}
+
+// FailAfterOp returns a hook that fails the (n+1)-th and later occurrences
+// of the specific operation op with err, letting everything else through.
+func FailAfterOp(target Op, n int64, err error) func(Op, string) error {
+	var count atomic.Int64
+	return func(op Op, _ string) error {
+		if op != target {
+			return nil
+		}
+		if count.Add(1) > n {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,107 @@
+package vfs
+
+import (
+	"errors"
+	"testing"
+)
+
+var errBoom = errors.New("boom")
+
+func TestInjectFSAllOps(t *testing.T) {
+	var seen []Op
+	fs := NewInject(NewMem(), func(op Op, name string) error {
+		seen = append(seen, op)
+		return nil
+	})
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.WriteAt([]byte("y"), 0)
+	f.ReadAt(make([]byte, 1), 0)
+	f.Sync()
+	f.Truncate(0)
+	if _, err := f.Size(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	fs.List()
+	fs.Rename("a", "b")
+	fs.Open("b")
+	fs.Remove("b")
+
+	want := []Op{OpCreate, OpWrite, OpWrite, OpRead, OpSync, OpTruncate, OpClose,
+		OpList, OpRename, OpOpen, OpRemove}
+	if len(seen) != len(want) {
+		t.Fatalf("ops seen: %v want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("op %d: got %v want %v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestInjectFSFailures(t *testing.T) {
+	fs := NewInject(NewMem(), func(op Op, name string) error {
+		if op == OpWrite && name == "w" {
+			return errBoom
+		}
+		return nil
+	})
+	f, err := fs.Create("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, errBoom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, errBoom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Other files unaffected.
+	g, _ := fs.Create("ok")
+	if _, err := g.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	hook := FailAfter(2, errBoom)
+	if hook(OpWrite, "") != nil || hook(OpRead, "") != nil {
+		t.Fatal("first two ops must pass")
+	}
+	if !errors.Is(hook(OpSync, ""), errBoom) {
+		t.Fatal("third op must fail")
+	}
+}
+
+func TestFailAfterOp(t *testing.T) {
+	hook := FailAfterOp(OpSync, 1, errBoom)
+	if hook(OpSync, "") != nil {
+		t.Fatal("first sync passes")
+	}
+	if hook(OpWrite, "") != nil {
+		t.Fatal("writes never fail")
+	}
+	if !errors.Is(hook(OpSync, ""), errBoom) {
+		t.Fatal("second sync must fail")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpCreate.String() != "create" || OpTruncate.String() != "truncate" {
+		t.Fatal("op names")
+	}
+	if Op(99).String() != "unknown" {
+		t.Fatal("unknown op name")
+	}
+}
+
+func TestInjectNilHook(t *testing.T) {
+	fs := NewInject(NewMem(), nil)
+	if _, err := fs.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+}

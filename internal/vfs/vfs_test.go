@@ -1,0 +1,215 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// fsImpls returns the FS implementations under test.
+func fsImpls(t *testing.T) map[string]FS {
+	t.Helper()
+	osfs, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]FS{"mem": NewMem(), "os": osfs}
+}
+
+func TestFSBasics(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			f, err := fs.Create("a.sst")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("hello ")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("world")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			g, err := fs.Open("a.sst")
+			if err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 11)
+			if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "hello world" {
+				t.Fatalf("got %q", buf)
+			}
+			sz, err := g.Size()
+			if err != nil || sz != 11 {
+				t.Fatalf("size %d err %v", sz, err)
+			}
+			// Partial read at tail returns EOF.
+			tail := make([]byte, 10)
+			n, err := g.ReadAt(tail, 6)
+			if n != 5 || err != io.EOF {
+				t.Fatalf("tail read n=%d err=%v", n, err)
+			}
+			// Read past EOF.
+			if _, err := g.ReadAt(buf, 100); err != io.EOF {
+				t.Fatalf("past-EOF read err=%v", err)
+			}
+			// In-place edit (partial page drop path).
+			if _, err := g.WriteAt([]byte("HELLO"), 0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := g.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if string(buf) != "HELLO world" {
+				t.Fatalf("after WriteAt: %q", buf)
+			}
+			if err := g.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			names, err := fs.List()
+			if err != nil || len(names) != 1 || names[0] != "a.sst" {
+				t.Fatalf("list %v err %v", names, err)
+			}
+			if err := fs.Rename("a.sst", "b.sst"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := fs.Open("a.sst"); err == nil {
+				t.Fatal("old name must be gone after rename")
+			}
+			if err := fs.Remove("b.sst"); err != nil {
+				t.Fatal(err)
+			}
+			if names, _ := fs.List(); len(names) != 0 {
+				t.Fatalf("expected empty fs, got %v", names)
+			}
+		})
+	}
+}
+
+func TestFSErrors(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := fs.Open("missing"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("open missing: %v", err)
+			}
+			if err := fs.Remove("missing"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("remove missing: %v", err)
+			}
+			if err := fs.Rename("missing", "x"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("rename missing: %v", err)
+			}
+		})
+	}
+}
+
+func TestFileTruncateAndGrow(t *testing.T) {
+	for name, fs := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			f, _ := fs.Create("t")
+			if _, err := f.Write([]byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Truncate(4); err != nil {
+				t.Fatal(err)
+			}
+			if sz, _ := f.Size(); sz != 4 {
+				t.Fatalf("size after shrink: %d", sz)
+			}
+			if err := f.Truncate(8); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 8)
+			if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, []byte{'0', '1', '2', '3', 0, 0, 0, 0}) {
+				t.Fatalf("grow must zero-fill: %v", buf)
+			}
+			if err := f.Truncate(-1); err == nil && name == "mem" {
+				t.Fatal("negative truncate must fail")
+			}
+			f.Close()
+		})
+	}
+}
+
+func TestMemFileWriteAtGap(t *testing.T) {
+	fs := NewMem()
+	f, _ := fs.Create("gap")
+	if _, err := f.WriteAt([]byte("xy"), 5); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := f.Size(); sz != 7 {
+		t.Fatalf("size %d", sz)
+	}
+	buf := make([]byte, 7)
+	f.ReadAt(buf, 0)
+	if !bytes.Equal(buf, []byte{0, 0, 0, 0, 0, 'x', 'y'}) {
+		t.Fatalf("gap contents: %v", buf)
+	}
+	if _, err := f.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset read must fail")
+	}
+	if _, err := f.WriteAt(buf, -1); err == nil {
+		t.Fatal("negative offset write must fail")
+	}
+}
+
+func TestMemFSTotalBytes(t *testing.T) {
+	fs := NewMem()
+	a, _ := fs.Create("a")
+	a.Write(make([]byte, 100))
+	b, _ := fs.Create("b")
+	b.Write(make([]byte, 28))
+	if got := fs.TotalBytes(); got != 128 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+// Property: a MemFS file behaves like a plain byte slice under random
+// WriteAt/ReadAt sequences.
+func TestMemFileQuickEquivalence(t *testing.T) {
+	type op struct {
+		Off  uint16
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		fs := NewMem()
+		file, _ := fs.Create("f")
+		var model []byte
+		for _, o := range ops {
+			off := int64(o.Off % 4096)
+			if _, err := file.WriteAt(o.Data, off); err != nil {
+				return false
+			}
+			end := off + int64(len(o.Data))
+			if end > int64(len(model)) {
+				grown := make([]byte, end)
+				copy(grown, model)
+				model = grown
+			}
+			copy(model[off:], o.Data)
+		}
+		got := make([]byte, len(model))
+		if len(model) > 0 {
+			if _, err := file.ReadAt(got, 0); err != nil && err != io.EOF {
+				return false
+			}
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+// Package wal implements the write-ahead log. Every mutation is appended to
+// the live segment before it reaches the memory buffer, so the buffer can be
+// rebuilt after a crash.
+//
+// The paper's delete-persistence guarantee (§4.1.5) extends to the WAL: "any
+// tombstone retained in the WAL is consistently purged if the WAL is purged
+// at a periodicity that is shorter than Dth. Otherwise, we use a dedicated
+// routine that checks all live WALs that are older than Dth, copies all live
+// records to a new WAL, and discards the records in the older WAL that made
+// it to the disk." Manager.PurgeExpired implements that routine.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lethe/internal/base"
+	"lethe/internal/vfs"
+)
+
+// Record framing: [crc32c of payload: 4 bytes][payload length: uvarint][payload].
+// The payload is a base.AppendEntry encoding.
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorruptTail is reported by Replay when it stops at a torn or corrupt
+// record; everything before it has been delivered.
+var ErrCorruptTail = errors.New("wal: corrupt or torn tail record")
+
+// Writer appends entries to a single WAL segment.
+type Writer struct {
+	mu   sync.Mutex
+	f    vfs.File
+	buf  []byte
+	name string
+}
+
+// NewWriter creates the named segment on fs.
+func NewWriter(fs vfs.FS, name string) (*Writer, error) {
+	f, err := fs.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", name, err)
+	}
+	return &Writer{f: f, name: name}, nil
+}
+
+// Name returns the segment's file name.
+func (w *Writer) Name() string { return w.name }
+
+// Append writes one entry record. It does not sync; call Sync for
+// durability.
+func (w *Writer) Append(e base.Entry) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	payload := base.AppendEntry(w.buf[:0], e)
+	w.buf = payload // reuse allocation across appends
+	var hdr []byte
+	hdr = base.AppendUint64(hdr, uint64(crc32.Checksum(payload, crcTable)))
+	hdr = hdr[:4] // only the low 4 bytes carry the CRC
+	hdr = base.AppendUvarint(hdr, uint64(len(payload)))
+	if _, err := w.f.Write(hdr); err != nil {
+		return fmt.Errorf("wal: append header: %w", err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: append payload: %w", err)
+	}
+	return nil
+}
+
+// Sync makes all appended records durable.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Sync()
+}
+
+// Close closes the underlying file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// Replay reads the named segment and calls fn for every intact record in
+// order. A torn or corrupt tail ends the replay with ErrCorruptTail after
+// delivering all preceding records — the standard recovery contract.
+func Replay(fs vfs.FS, name string, fn func(base.Entry) error) error {
+	f, err := fs.Open(name)
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", name, err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return fmt.Errorf("wal: size %s: %w", name, err)
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+			return fmt.Errorf("wal: read %s: %w", name, err)
+		}
+	}
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return ErrCorruptTail
+		}
+		wantCRC := uint32(data[0]) | uint32(data[1])<<8 | uint32(data[2])<<16 | uint32(data[3])<<24
+		rest := data[4:]
+		n, rest, err := base.Uvarint(rest)
+		if err != nil || uint64(len(rest)) < n {
+			return ErrCorruptTail
+		}
+		payload := rest[:n]
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return ErrCorruptTail
+		}
+		e, leftover, err := base.DecodeEntry(payload)
+		if err != nil || len(leftover) != 0 {
+			return ErrCorruptTail
+		}
+		if err := fn(e.Clone()); err != nil {
+			return err
+		}
+		data = rest[n:]
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Manager
+
+// segment tracks one WAL file and its creation time (for Dth ageing).
+type segment struct {
+	name      string
+	createdAt time.Time
+}
+
+// Manager owns the set of WAL segments: the live one being appended to and
+// sealed ones awaiting flush. It implements rotation (one segment per
+// memtable) and the Dth purge routine.
+type Manager struct {
+	mu     sync.Mutex
+	fs     vfs.FS
+	clock  base.Clock
+	prefix string
+	next   int
+	live   *Writer
+	liveAt time.Time
+	sealed []segment
+}
+
+// NewManager creates a manager writing segments named prefix-NNNNNN.wal.
+func NewManager(fs vfs.FS, clock base.Clock, prefix string) (*Manager, error) {
+	return NewManagerAt(fs, clock, prefix, 0)
+}
+
+// NewManagerAt creates a manager whose first segment uses number next —
+// recovery passes a number above any surviving segment to avoid collisions.
+func NewManagerAt(fs vfs.FS, clock base.Clock, prefix string, next int) (*Manager, error) {
+	m := &Manager{fs: fs, clock: clock, prefix: prefix, next: next}
+	if err := m.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Manager) segName(n int) string {
+	return fmt.Sprintf("%s-%06d.wal", m.prefix, n)
+}
+
+// Append writes an entry to the live segment.
+func (m *Manager) Append(e base.Entry) error {
+	m.mu.Lock()
+	w := m.live
+	m.mu.Unlock()
+	return w.Append(e)
+}
+
+// Sync flushes the live segment.
+func (m *Manager) Sync() error {
+	m.mu.Lock()
+	w := m.live
+	m.mu.Unlock()
+	return w.Sync()
+}
+
+// Rotate seals the live segment (it becomes eligible for deletion once its
+// memtable flushes) and starts a new one. It returns the sealed segment's
+// name.
+func (m *Manager) Rotate() (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sealedName := m.live.Name()
+	if err := m.live.Close(); err != nil {
+		return "", fmt.Errorf("wal: seal %s: %w", sealedName, err)
+	}
+	m.sealed = append(m.sealed, segment{name: sealedName, createdAt: m.liveAt})
+	if err := m.rotateLocked(); err != nil {
+		return "", err
+	}
+	return sealedName, nil
+}
+
+func (m *Manager) rotateLocked() error {
+	w, err := NewWriter(m.fs, m.segName(m.next))
+	if err != nil {
+		return err
+	}
+	m.next++
+	m.live = w
+	m.liveAt = m.clock.Now()
+	return nil
+}
+
+// Release deletes a sealed segment whose contents have been flushed to an
+// sstable and are therefore durable without the log.
+func (m *Manager) Release(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, s := range m.sealed {
+		if s.name == name {
+			m.sealed = append(m.sealed[:i], m.sealed[i+1:]...)
+			return m.fs.Remove(name)
+		}
+	}
+	return fmt.Errorf("wal: release unknown segment %s", name)
+}
+
+// LiveAge returns how long the live segment has existed.
+func (m *Manager) LiveAge() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.clock.Now().Sub(m.liveAt)
+}
+
+// PurgeExpired implements the paper's WAL routine for Dth compliance: every
+// live (not yet released) segment older than dth is rewritten — records for
+// which isLive returns true are copied into the current live segment, and
+// the old segment is discarded. Tombstone records older than Dth thereby
+// leave the log. It returns the number of segments rewritten.
+func (m *Manager) PurgeExpired(dth time.Duration, isLive func(base.Entry) bool) (int, error) {
+	m.mu.Lock()
+	now := m.clock.Now()
+	var expired []segment
+	var keep []segment
+	for _, s := range m.sealed {
+		if now.Sub(s.createdAt) > dth {
+			expired = append(expired, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	m.sealed = keep
+	live := m.live
+	m.mu.Unlock()
+
+	for _, s := range expired {
+		err := Replay(m.fs, s.name, func(e base.Entry) error {
+			if isLive(e) {
+				return live.Append(e)
+			}
+			return nil
+		})
+		if err != nil && !errors.Is(err, ErrCorruptTail) {
+			return 0, err
+		}
+		if err := m.fs.Remove(s.name); err != nil {
+			return 0, err
+		}
+	}
+	return len(expired), nil
+}
+
+// Close seals and closes the live segment without deleting anything.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.live.Close()
+}
+
+// ListSegments returns all WAL segment names currently on fs with the given
+// prefix, sorted — used by recovery.
+func ListSegments(fs vfs.FS, prefix string) ([]string, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		if strings.HasPrefix(n, prefix+"-") && strings.HasSuffix(n, ".wal") {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,308 @@
+// Package workload generates the synthetic workloads of the paper's
+// evaluation (§5): "a variation of YCSB Workload A, with 50% general updates
+// and 50% point lookups", with a tunable delete fraction (2–10% of
+// ingestion), uniformly distributed keys, and — for the KiWi experiments — a
+// correlation knob between the sort key and the secondary delete key
+// (Fig. 6L compares correlation 0 and ≈1).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lethe/internal/base"
+)
+
+// OpKind labels one generated operation.
+type OpKind uint8
+
+// The operation kinds a workload emits.
+const (
+	OpInsert OpKind = iota
+	OpUpdate
+	OpPointLookup
+	OpPointDelete
+	OpRangeDelete
+	OpSecondaryRangeDelete
+	OpShortRangeLookup
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	names := [...]string{"insert", "update", "lookup", "delete", "rangedelete",
+		"srd", "rangescan"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "unknown"
+}
+
+// Op is one generated operation. Which fields are set depends on Kind:
+// point ops use Key (+DKey/Value for writes), range deletes use Key/EndKey,
+// secondary range deletes use DLo/DHi.
+type Op struct {
+	Kind   OpKind
+	Key    []byte
+	EndKey []byte
+	DKey   base.DeleteKey
+	Value  []byte
+	DLo    base.DeleteKey
+	DHi    base.DeleteKey
+}
+
+// Mix specifies operation proportions in parts-per-thousand. Parts that
+// don't sum to 1000 are normalized.
+type Mix struct {
+	Inserts          int
+	Updates          int
+	PointLookups     int
+	PointDeletes     int
+	RangeDeletes     int
+	SecondaryDeletes int
+	RangeLookups     int
+}
+
+// YCSBAWithDeletes is the paper's workload: 50% updates, 50% point lookups,
+// with deleteFrac (0..1) of the write half converted to point deletes —
+// "we vary the percentage of deletes between 2% to 10% of the ingestion".
+func YCSBAWithDeletes(deleteFrac float64) Mix {
+	deletes := int(deleteFrac * 1000)
+	return Mix{
+		Updates:      500 - deletes,
+		PointDeletes: deletes,
+		PointLookups: 500,
+	}
+}
+
+func (m Mix) total() int {
+	return m.Inserts + m.Updates + m.PointLookups + m.PointDeletes +
+		m.RangeDeletes + m.SecondaryDeletes + m.RangeLookups
+}
+
+// Config parameterizes a Generator.
+type Config struct {
+	// Seed fixes the random stream.
+	Seed int64
+	// KeySpace is the number of distinct keys (keys are "k%010d").
+	KeySpace int
+	// ValueSize is the value payload in bytes (Table 1 entries are 1KB
+	// including the key; experiments scale this down).
+	ValueSize int
+	// Mix is the operation mix.
+	Mix Mix
+	// RangeDeleteSpan is the number of adjacent keys a primary range delete
+	// covers.
+	RangeDeleteSpan int
+	// SRDSelectivity is the fraction of the delete-key domain a secondary
+	// range delete covers.
+	SRDSelectivity float64
+	// Correlation in [0,1] ties the delete key to the sort key: 0 gives an
+	// independent uniform delete key, 1 makes D a deterministic function of
+	// S (the Fig. 6L knob).
+	Correlation float64
+	// DKeyDomain is the size of the delete-key domain (default: KeySpace).
+	DKeyDomain int
+	// FreshInserts makes OpInsert draw previously unused keys (sequential
+	// through a random permutation) instead of uniform ones, so deleted
+	// keys stay deleted — the paper's delete semantics, where a deleted
+	// order or document never reappears. Falls back to uniform once the
+	// key space is exhausted.
+	FreshInserts bool
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	cfg      Config
+	rng      *rand.Rand
+	inserted map[int]bool
+	freshSeq []int // permutation consumed by FreshInserts
+	freshPos int
+}
+
+// New creates a generator.
+func New(cfg Config) *Generator {
+	if cfg.KeySpace <= 0 {
+		cfg.KeySpace = 1 << 16
+	}
+	if cfg.ValueSize <= 0 {
+		cfg.ValueSize = 64
+	}
+	if cfg.RangeDeleteSpan <= 0 {
+		cfg.RangeDeleteSpan = 16
+	}
+	if cfg.SRDSelectivity <= 0 {
+		cfg.SRDSelectivity = 0.01
+	}
+	if cfg.DKeyDomain <= 0 {
+		cfg.DKeyDomain = cfg.KeySpace
+	}
+	if cfg.Mix.total() == 0 {
+		cfg.Mix = YCSBAWithDeletes(0.05)
+	}
+	g := &Generator{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		inserted: make(map[int]bool),
+	}
+	if cfg.FreshInserts {
+		g.freshSeq = g.rng.Perm(cfg.KeySpace)
+	}
+	return g
+}
+
+// Key renders key index i in sort order.
+func Key(i int) []byte { return []byte(fmt.Sprintf("k%010d", i)) }
+
+// KeyIndex parses a generated key back to its index.
+func KeyIndex(k []byte) int {
+	var i int
+	fmt.Sscanf(string(k), "k%010d", &i)
+	return i
+}
+
+// dkeyFor derives the delete key for key index i per the correlation knob:
+// with correlation c, D = c·f(S) + (1−c)·uniform.
+func (g *Generator) dkeyFor(i int) base.DeleteKey {
+	correlated := float64(i) / float64(g.cfg.KeySpace) * float64(g.cfg.DKeyDomain)
+	uniform := float64(g.rng.Intn(g.cfg.DKeyDomain))
+	d := g.cfg.Correlation*correlated + (1-g.cfg.Correlation)*uniform
+	return base.DeleteKey(d)
+}
+
+func (g *Generator) value() []byte {
+	v := make([]byte, g.cfg.ValueSize)
+	for i := range v {
+		v[i] = byte('a' + g.rng.Intn(26))
+	}
+	return v
+}
+
+// Next returns the next operation.
+func (g *Generator) Next() Op {
+	m := g.cfg.Mix
+	total := m.total()
+	r := g.rng.Intn(total)
+	pick := func(n int) bool {
+		if r < n {
+			return true
+		}
+		r -= n
+		return false
+	}
+	switch {
+	case pick(m.Inserts):
+		i := g.insertKey()
+		g.inserted[i] = true
+		return Op{Kind: OpInsert, Key: Key(i), DKey: g.dkeyFor(i), Value: g.value()}
+	case pick(m.Updates):
+		i := g.existingOr(g.rng.Intn(g.cfg.KeySpace))
+		g.inserted[i] = true
+		return Op{Kind: OpUpdate, Key: Key(i), DKey: g.dkeyFor(i), Value: g.value()}
+	case pick(m.PointLookups):
+		return Op{Kind: OpPointLookup, Key: Key(g.existingOr(g.rng.Intn(g.cfg.KeySpace)))}
+	case pick(m.PointDeletes):
+		// §5: "deletes are issued only on keys that have been inserted".
+		i := g.existingOr(-1)
+		if i < 0 {
+			i = g.insertKey()
+			g.inserted[i] = true
+			return Op{Kind: OpInsert, Key: Key(i), DKey: g.dkeyFor(i), Value: g.value()}
+		}
+		delete(g.inserted, i)
+		return Op{Kind: OpPointDelete, Key: Key(i)}
+	case pick(m.RangeDeletes):
+		lo := g.rng.Intn(g.cfg.KeySpace)
+		hi := lo + g.cfg.RangeDeleteSpan
+		for i := lo; i < hi; i++ {
+			delete(g.inserted, i)
+		}
+		return Op{Kind: OpRangeDelete, Key: Key(lo), EndKey: Key(hi)}
+	case pick(m.SecondaryDeletes):
+		span := base.DeleteKey(float64(g.cfg.DKeyDomain) * g.cfg.SRDSelectivity)
+		if span < 1 {
+			span = 1
+		}
+		lo := base.DeleteKey(g.rng.Intn(g.cfg.DKeyDomain))
+		return Op{Kind: OpSecondaryRangeDelete, DLo: lo, DHi: lo + span}
+	default:
+		lo := g.rng.Intn(g.cfg.KeySpace)
+		return Op{Kind: OpShortRangeLookup, Key: Key(lo), EndKey: Key(lo + g.cfg.RangeDeleteSpan)}
+	}
+}
+
+// insertKey picks the key index for an insert: fresh (never used) under
+// FreshInserts, uniform otherwise.
+func (g *Generator) insertKey() int {
+	if g.cfg.FreshInserts && g.freshPos < len(g.freshSeq) {
+		i := g.freshSeq[g.freshPos]
+		g.freshPos++
+		return i
+	}
+	return g.rng.Intn(g.cfg.KeySpace)
+}
+
+// existingOr returns a random previously inserted key index, or fallback if
+// none exist yet (-1 signals "tell me").
+func (g *Generator) existingOr(fallback int) int {
+	if len(g.inserted) == 0 {
+		return fallback
+	}
+	// Rejection-sample a few times to stay O(1) amortized, then fall back to
+	// a map walk (rare when the key space is reasonably occupied).
+	for try := 0; try < 8; try++ {
+		i := g.rng.Intn(g.cfg.KeySpace)
+		if g.inserted[i] {
+			return i
+		}
+	}
+	for i := range g.inserted {
+		return i
+	}
+	return fallback
+}
+
+// PreloadOps returns n insert operations over distinct keys in random order,
+// for populating a database before the measured phase (§5 preloads 1GB).
+func (g *Generator) PreloadOps(n int) []Op {
+	if n > g.cfg.KeySpace {
+		n = g.cfg.KeySpace
+	}
+	var keys []int
+	if g.cfg.FreshInserts {
+		// Consume from the fresh sequence so the measured phase continues
+		// with untouched keys.
+		if rest := len(g.freshSeq) - g.freshPos; n > rest {
+			n = rest
+		}
+		keys = g.freshSeq[g.freshPos : g.freshPos+n]
+		g.freshPos += n
+	} else {
+		keys = g.rng.Perm(g.cfg.KeySpace)[:n]
+	}
+	ops := make([]Op, n)
+	for j, i := range keys {
+		g.inserted[i] = true
+		ops[j] = Op{Kind: OpInsert, Key: Key(i), DKey: g.dkeyFor(i), Value: g.value()}
+	}
+	return ops
+}
+
+// InsertedCount reports how many keys the generator believes are live.
+func (g *Generator) InsertedCount() int { return len(g.inserted) }
+
+// CoverageEstimator returns the fraction-of-domain estimator for primary
+// key ranges, matching the generator's key encoding — the engine uses it as
+// the histogram surrogate for rd_f.
+func CoverageEstimator(keySpace int) func(start, end []byte) float64 {
+	return func(start, end []byte) float64 {
+		lo, hi := KeyIndex(start), KeyIndex(end)
+		if hi <= lo || keySpace == 0 {
+			return 0
+		}
+		f := float64(hi-lo) / float64(keySpace)
+		if f > 1 {
+			return 1
+		}
+		return f
+	}
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"testing"
+
+	"lethe/internal/base"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, i := range []int{0, 1, 999, 123456789} {
+		if got := KeyIndex(Key(i)); got != i {
+			t.Fatalf("KeyIndex(Key(%d)) = %d", i, got)
+		}
+	}
+	// Keys sort numerically because of fixed-width encoding.
+	if string(Key(9)) >= string(Key(10)) {
+		t.Fatal("keys must sort numerically")
+	}
+}
+
+func TestYCSBAMix(t *testing.T) {
+	m := YCSBAWithDeletes(0.05)
+	if m.Updates != 450 || m.PointDeletes != 50 || m.PointLookups != 500 {
+		t.Fatalf("mix: %+v", m)
+	}
+	if m.total() != 1000 {
+		t.Fatalf("total = %d", m.total())
+	}
+	if z := YCSBAWithDeletes(0); z.PointDeletes != 0 || z.Updates != 500 {
+		t.Fatalf("zero-delete mix: %+v", z)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, KeySpace: 100, Mix: YCSBAWithDeletes(0.1)}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa.Kind != ob.Kind || string(oa.Key) != string(ob.Key) || oa.DKey != ob.DKey {
+			t.Fatalf("op %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	g := New(Config{Seed: 1, KeySpace: 1000, Mix: YCSBAWithDeletes(0.05)})
+	counts := map[OpKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Kind]++
+	}
+	frac := func(k OpKind) float64 { return float64(counts[k]) / n }
+	if f := frac(OpPointLookup); f < 0.45 || f > 0.55 {
+		t.Fatalf("lookup fraction %f", f)
+	}
+	if f := frac(OpUpdate); f < 0.40 || f > 0.50 {
+		t.Fatalf("update fraction %f", f)
+	}
+	// Deletes may fall back to inserts early on, so allow slack below 5%.
+	if f := frac(OpPointDelete) + frac(OpInsert); f < 0.03 || f > 0.08 {
+		t.Fatalf("delete(+fallback) fraction %f", f)
+	}
+}
+
+func TestDeletesTargetInsertedKeys(t *testing.T) {
+	g := New(Config{Seed: 3, KeySpace: 50, Mix: Mix{Inserts: 500, PointDeletes: 500}})
+	live := map[string]bool{}
+	for i := 0; i < 2000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpInsert:
+			live[string(op.Key)] = true
+		case OpPointDelete:
+			if !live[string(op.Key)] {
+				t.Fatalf("op %d deletes never-inserted key %q", i, op.Key)
+			}
+			delete(live, string(op.Key))
+		}
+	}
+	if g.InsertedCount() != len(live) {
+		t.Fatalf("tracker drift: %d vs %d", g.InsertedCount(), len(live))
+	}
+}
+
+func TestCorrelationKnob(t *testing.T) {
+	// With correlation 1 the delete key is a monotone function of the sort
+	// key; with correlation 0 it is independent.
+	corr := New(Config{Seed: 5, KeySpace: 10000, Correlation: 1,
+		Mix: Mix{Inserts: 1000}})
+	var lastKey int = -1
+	var lastD base.DeleteKey
+	monotone := true
+	type pair struct {
+		k int
+		d base.DeleteKey
+	}
+	var pairs []pair
+	for i := 0; i < 500; i++ {
+		op := corr.Next()
+		pairs = append(pairs, pair{KeyIndex(op.Key), op.DKey})
+	}
+	for _, p := range pairs {
+		if lastKey >= 0 && ((p.k > lastKey) != (p.d >= lastD)) && p.d != lastD {
+			monotone = false
+		}
+		lastKey, lastD = p.k, p.d
+	}
+	if !monotone {
+		t.Fatal("correlation=1 must give monotone D(S)")
+	}
+
+	uncorr := New(Config{Seed: 5, KeySpace: 10000, Correlation: 0, Mix: Mix{Inserts: 1000}})
+	same := 0
+	for i := 0; i < 500; i++ {
+		op := uncorr.Next()
+		expect := base.DeleteKey(float64(KeyIndex(op.Key)) / 10000 * 10000)
+		if op.DKey == expect {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("correlation=0 looks correlated: %d/500 deterministic", same)
+	}
+}
+
+func TestPreloadOps(t *testing.T) {
+	g := New(Config{Seed: 9, KeySpace: 100})
+	ops := g.PreloadOps(60)
+	if len(ops) != 60 {
+		t.Fatalf("preload %d ops", len(ops))
+	}
+	seen := map[string]bool{}
+	for _, op := range ops {
+		if op.Kind != OpInsert {
+			t.Fatalf("preload kind %v", op.Kind)
+		}
+		if seen[string(op.Key)] {
+			t.Fatalf("duplicate preload key %q", op.Key)
+		}
+		seen[string(op.Key)] = true
+	}
+	if g.InsertedCount() != 60 {
+		t.Fatalf("inserted count %d", g.InsertedCount())
+	}
+	// Clamped to key space.
+	g2 := New(Config{Seed: 9, KeySpace: 10})
+	if got := len(g2.PreloadOps(50)); got != 10 {
+		t.Fatalf("clamp: %d", got)
+	}
+}
+
+func TestSecondaryDeleteOps(t *testing.T) {
+	g := New(Config{Seed: 2, KeySpace: 1000, DKeyDomain: 1000, SRDSelectivity: 0.1,
+		Mix: Mix{SecondaryDeletes: 1000}})
+	for i := 0; i < 100; i++ {
+		op := g.Next()
+		if op.Kind != OpSecondaryRangeDelete {
+			t.Fatalf("kind %v", op.Kind)
+		}
+		if op.DHi-op.DLo != 100 {
+			t.Fatalf("span %d, want 100 (10%% of domain)", op.DHi-op.DLo)
+		}
+	}
+}
+
+func TestCoverageEstimator(t *testing.T) {
+	est := CoverageEstimator(1000)
+	if got := est(Key(100), Key(200)); got != 0.1 {
+		t.Fatalf("coverage = %f", got)
+	}
+	if got := est(Key(200), Key(100)); got != 0 {
+		t.Fatalf("inverted range coverage = %f", got)
+	}
+	if got := est(Key(0), Key(5000)); got != 1 {
+		t.Fatalf("clamped coverage = %f", got)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpInsert.String() != "insert" || OpSecondaryRangeDelete.String() != "srd" {
+		t.Fatal("op kind names")
+	}
+	if OpKind(99).String() != "unknown" {
+		t.Fatal("unknown op kind")
+	}
+}
+
+func TestFreshInserts(t *testing.T) {
+	g := New(Config{Seed: 4, KeySpace: 200, FreshInserts: true, Mix: Mix{Inserts: 1000}})
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		op := g.Next()
+		if seen[string(op.Key)] {
+			t.Fatalf("fresh insert repeated key %q at op %d", op.Key, i)
+		}
+		seen[string(op.Key)] = true
+	}
+	// Exhausted: falls back to uniform (may repeat) without panicking.
+	for i := 0; i < 50; i++ {
+		g.Next()
+	}
+}
+
+func TestFreshInsertsWithPreload(t *testing.T) {
+	g := New(Config{Seed: 4, KeySpace: 100, FreshInserts: true, Mix: Mix{Inserts: 1000}})
+	pre := g.PreloadOps(60)
+	seen := map[string]bool{}
+	for _, op := range pre {
+		seen[string(op.Key)] = true
+	}
+	// The measured phase continues with the remaining 40 untouched keys.
+	for i := 0; i < 40; i++ {
+		op := g.Next()
+		if seen[string(op.Key)] {
+			t.Fatalf("measured phase reused preloaded key %q", op.Key)
+		}
+		seen[string(op.Key)] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("covered %d keys", len(seen))
+	}
+}

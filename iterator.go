@@ -1,0 +1,60 @@
+package lethe
+
+// Iterator walks a snapshot of a key range in ascending key order. It is
+// created by DB.NewIter, which materializes the merged view (buffer + every
+// run, tombstones applied) under the engine lock; iteration itself is then
+// lock-free and unaffected by concurrent writes — a consistent snapshot of
+// the moment the iterator was created.
+type Iterator struct {
+	items []Item
+	pos   int // position of the item Next will move onto, 1-based after first Next
+}
+
+// NewIter returns an iterator over live keys in [start, end) (nil end =
+// unbounded). The iterator starts positioned before the first item:
+//
+//	it, err := db.NewIter(nil, nil)
+//	for it.Next() {
+//	    use(it.Key(), it.Value())
+//	}
+func (db *DB) NewIter(start, end []byte) (*Iterator, error) {
+	var items []Item
+	err := db.inner.Scan(start, end, func(k []byte, d DeleteKey, v []byte) bool {
+		items = append(items, Item{
+			Key:   append([]byte(nil), k...),
+			DKey:  d,
+			Value: append([]byte(nil), v...),
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Iterator{items: items}, nil
+}
+
+// Next advances to the next item, returning false when exhausted. After a
+// false return the iterator is invalid for good.
+func (it *Iterator) Next() bool {
+	if it.pos >= len(it.items) {
+		it.pos = len(it.items) + 1 // past-the-end: Valid() turns false
+		return false
+	}
+	it.pos++
+	return true
+}
+
+// Valid reports whether the iterator is positioned on an item.
+func (it *Iterator) Valid() bool { return it.pos >= 1 && it.pos <= len(it.items) }
+
+// Key returns the current sort key. Only valid after a true Next.
+func (it *Iterator) Key() []byte { return it.items[it.pos-1].Key }
+
+// DeleteKey returns the current entry's secondary delete key.
+func (it *Iterator) DeleteKey() DeleteKey { return it.items[it.pos-1].DKey }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.items[it.pos-1].Value }
+
+// Len returns the total number of items in the snapshot.
+func (it *Iterator) Len() int { return len(it.items) }

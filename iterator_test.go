@@ -1,0 +1,73 @@
+package lethe
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestIteratorSnapshot(t *testing.T) {
+	db, err := Open(Options{InMemory: true, DisableWAL: true,
+		BufferBytes: 1 << 12, PageSize: 256, FilePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), DeleteKey(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	it, err := db.NewIter([]byte("k010"), []byte("k020"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Valid() {
+		t.Fatal("fresh iterator is before the first item")
+	}
+	if it.Len() != 10 {
+		t.Fatalf("len = %d", it.Len())
+	}
+	// Writes after creation are invisible: a snapshot.
+	db.Put([]byte("k015x"), 0, []byte("new"))
+	db.Delete([]byte("k012"))
+
+	want := 10
+	got := 0
+	for it.Next() {
+		k := string(it.Key())
+		if k == "k015x" {
+			t.Fatal("post-snapshot write visible")
+		}
+		if !it.Valid() {
+			t.Fatal("valid inside iteration")
+		}
+		if it.DeleteKey() != DeleteKey(10+got) {
+			t.Fatalf("dkey at %s: %d", k, it.DeleteKey())
+		}
+		got++
+	}
+	if got != want {
+		t.Fatalf("iterated %d items", got)
+	}
+	if it.Next() {
+		t.Fatal("exhausted iterator must stay exhausted")
+	}
+	if it.Valid() {
+		t.Fatal("exhausted iterator is not valid")
+	}
+	// The live view reflects the later writes.
+	if _, err := db.Get([]byte("k012")); !errors.Is(err, ErrNotFound) {
+		t.Fatal("live delete lost")
+	}
+}
+
+func TestIteratorEmptyRange(t *testing.T) {
+	db, _ := Open(Options{InMemory: true, DisableWAL: true})
+	defer db.Close()
+	it, err := db.NewIter([]byte("a"), []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Next() || it.Len() != 0 {
+		t.Fatal("empty range iterates nothing")
+	}
+}

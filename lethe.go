@@ -1,0 +1,324 @@
+// Package lethe is a tunable delete-aware LSM-tree storage engine, a
+// from-scratch Go reproduction of "Lethe: A Tunable Delete-Aware LSM Engine"
+// (Sarkar, Papon, Staratzis, Athanassoulis — SIGMOD 2020).
+//
+// Lethe extends the classical LSM design with two components:
+//
+//   - FADE, a family of delete-aware compaction strategies that guarantee
+//     every delete is persisted within a user-supplied threshold Dth by
+//     assigning exponentially increasing time-to-live budgets to the tree's
+//     levels and compacting files whose tombstones exceed them.
+//
+//   - KiWi, the Key Weaving Storage Layout: files are divided into delete
+//     tiles of h pages; tiles are sorted on the sort key S while the pages
+//     inside a tile are sorted on a secondary delete key D (entries within a
+//     page stay sorted on S). Secondary range deletes ("drop everything
+//     older than 30 days") then drop whole pages guided by in-memory delete
+//     fences — no full-tree compaction.
+//
+// The baseline configuration (Mode BaselineSO, TilePages 1, Dth 0) behaves
+// like a classical leveled LSM engine and is what the paper compares
+// against.
+//
+// Basic usage:
+//
+//	db, err := lethe.Open(lethe.Options{InMemory: true, Dth: 24 * time.Hour})
+//	...
+//	db.Put([]byte("order-1042"), lethe.DeleteKey(time.Now().Unix()), payload)
+//	value, err := db.Get([]byte("order-1042"))
+//	db.SecondaryRangeDelete(0, lethe.DeleteKey(cutoff.Unix())) // purge old rows
+package lethe
+
+import (
+	"errors"
+	"time"
+
+	"lethe/internal/base"
+	"lethe/internal/compaction"
+	"lethe/internal/lsm"
+	"lethe/internal/vfs"
+)
+
+// DeleteKey is the secondary delete key D attached to every entry —
+// typically a creation timestamp. Secondary range deletes select on it.
+type DeleteKey = base.DeleteKey
+
+// Mode selects the compaction policy family.
+type Mode = compaction.Mode
+
+// The available compaction modes.
+const (
+	// ModeBaseline is the state-of-the-art configuration: saturation
+	// triggers, min-overlap file selection, no persistence guarantee.
+	ModeBaseline = compaction.ModeBaseline
+	// ModeLethe enables FADE: TTL triggers with delete-driven selection.
+	ModeLethe = compaction.ModeLethe
+	// ModeLetheSO is the ablation combining FADE's trigger with the
+	// baseline's overlap-driven selection.
+	ModeLetheSO = compaction.ModeLetheSO
+)
+
+// Errors re-exported from the engine.
+var (
+	ErrNotFound = lsm.ErrNotFound
+	ErrClosed   = lsm.ErrClosed
+)
+
+// Clock abstracts time for deterministic testing; see NewManualClock.
+type Clock = base.Clock
+
+// NewManualClock returns a manually advanced clock for tests and
+// simulations.
+func NewManualClock(start time.Time) *base.ManualClock { return base.NewManualClock(start) }
+
+// Options configures a database.
+type Options struct {
+	// Path is the directory for on-disk databases. Ignored when InMemory.
+	Path string
+	// InMemory keeps everything in an in-memory filesystem — the substrate
+	// all experiments run on.
+	InMemory bool
+	// Dth is the delete persistence threshold FADE enforces. Zero disables
+	// the guarantee (baseline behavior).
+	Dth time.Duration
+	// TilePages is h, the number of pages per delete tile (1 = classical
+	// layout; the paper's Table 1 reference uses 16). Use OptimalTileSize
+	// to derive it from a workload profile.
+	TilePages int
+	// Mode selects the compaction policy family; defaults to ModeLethe
+	// when Dth > 0, else ModeBaseline.
+	Mode Mode
+	// SizeRatio is T (default 10).
+	SizeRatio int
+	// BufferBytes is the memory buffer capacity M (default 2MiB = 512
+	// pages of 4KiB).
+	BufferBytes int
+	// PageSize is the disk page size (default 4096).
+	PageSize int
+	// FilePages is the number of pages per sstable (default 256).
+	FilePages int
+	// BloomBitsPerKey sizes the Bloom filters (default 10).
+	BloomBitsPerKey int
+	// Tiering selects tiered merging instead of leveling.
+	Tiering bool
+	// SuppressBlindDeletes enables the filter pre-probe on Delete (§4.1.5).
+	SuppressBlindDeletes bool
+	// DisableWAL turns off write-ahead logging.
+	DisableWAL bool
+	// Clock overrides the time source (tests/simulations).
+	Clock Clock
+	// FS overrides the filesystem entirely (advanced; takes precedence over
+	// Path/InMemory). Wrap with vfs.NewCounting to measure I/O.
+	FS vfs.FS
+	// CoverageEstimator estimates the key-domain fraction covered by a
+	// primary range delete, used to weight range tombstones in FADE's file
+	// selection.
+	CoverageEstimator func(start, end []byte) float64
+	// CacheBytes bounds the decoded-page cache shared across the tree's
+	// files (RocksDB's block cache analogue). Zero disables it.
+	CacheBytes int64
+	// Seed fixes internal randomness for reproducibility.
+	Seed int64
+}
+
+// DB is a Lethe database handle. It is safe for concurrent use.
+type DB struct {
+	inner *lsm.DB
+}
+
+// Open creates or reopens a database.
+func Open(opts Options) (*DB, error) {
+	fs := opts.FS
+	if fs == nil {
+		if opts.InMemory {
+			fs = vfs.NewMem()
+		} else if opts.Path != "" {
+			osfs, err := vfs.NewOS(opts.Path)
+			if err != nil {
+				return nil, err
+			}
+			fs = osfs
+		} else {
+			return nil, errors.New("lethe: set Path, InMemory, or FS")
+		}
+	}
+	mode := opts.Mode
+	if mode == ModeBaseline && opts.Dth > 0 {
+		mode = ModeLethe
+	}
+	inner, err := lsm.Open(lsm.Options{
+		FS:                   fs,
+		Clock:                opts.Clock,
+		SizeRatio:            opts.SizeRatio,
+		BufferBytes:          opts.BufferBytes,
+		PageSize:             opts.PageSize,
+		FilePages:            opts.FilePages,
+		TilePages:            opts.TilePages,
+		BloomBitsPerKey:      opts.BloomBitsPerKey,
+		Mode:                 mode,
+		Dth:                  opts.Dth,
+		Tiering:              opts.Tiering,
+		SuppressBlindDeletes: opts.SuppressBlindDeletes,
+		DisableWAL:           opts.DisableWAL,
+		CoverageEstimator:    opts.CoverageEstimator,
+		CacheBytes:           opts.CacheBytes,
+		Seed:                 opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Put inserts or updates key with the given secondary delete key and value.
+func (db *DB) Put(key []byte, dkey DeleteKey, value []byte) error {
+	return db.inner.Put(key, dkey, value)
+}
+
+// Get returns the value stored for key, or ErrNotFound.
+func (db *DB) Get(key []byte) ([]byte, error) {
+	v, _, err := db.inner.Get(key)
+	return v, err
+}
+
+// GetWithDeleteKey also returns the entry's secondary delete key.
+func (db *DB) GetWithDeleteKey(key []byte) ([]byte, DeleteKey, error) {
+	return db.inner.Get(key)
+}
+
+// Delete removes key (a point delete on the sort key).
+func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+
+// RangeDelete removes every key in [start, end) (a primary range delete).
+func (db *DB) RangeDelete(start, end []byte) error { return db.inner.RangeDelete(start, end) }
+
+// SecondaryRangeDelete removes every entry whose delete key lies in
+// [lo, hi), using KiWi's page drops instead of a full-tree compaction. See
+// SRDStats for what it did. Intended for write-once data keyed by creation
+// time (the paper's DComp scenario); see the engine documentation for the
+// multi-version caveat.
+func (db *DB) SecondaryRangeDelete(lo, hi DeleteKey) (SRDStats, error) {
+	st, err := db.inner.SecondaryRangeDelete(lo, hi)
+	return SRDStats{
+		FullPageDrops:    st.FullDrops,
+		PartialPageDrops: st.PartialDrops,
+		EntriesDropped:   st.EntriesDropped,
+		PagesUntouched:   st.PagesUntouched,
+	}, err
+}
+
+// SRDStats reports the work a secondary range delete performed.
+type SRDStats struct {
+	// FullPageDrops is the number of pages dropped without any I/O.
+	FullPageDrops int
+	// PartialPageDrops is the number of edge pages filtered in place.
+	PartialPageDrops int
+	// EntriesDropped is the number of entries removed.
+	EntriesDropped int
+	// PagesUntouched is the number of pages the delete fences excluded.
+	PagesUntouched int
+}
+
+// Scan visits every live pair with start <= key < end (nil end = unbounded)
+// in key order until fn returns false.
+func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey DeleteKey, value []byte) bool) error {
+	return db.inner.Scan(start, end, fn)
+}
+
+// SecondaryRangeScan returns live entries with lo <= D < hi, served by the
+// delete fences.
+func (db *DB) SecondaryRangeScan(lo, hi DeleteKey) ([]Item, error) {
+	entries, err := db.inner.SecondaryRangeScan(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]Item, len(entries))
+	for i, e := range entries {
+		items[i] = Item{Key: e.Key.UserKey, DKey: e.DKey, Value: e.Value}
+	}
+	return items, nil
+}
+
+// Item is one key-value pair returned by secondary scans.
+type Item struct {
+	Key   []byte
+	DKey  DeleteKey
+	Value []byte
+}
+
+// Flush forces the memory buffer to disk.
+func (db *DB) Flush() error { return db.inner.Flush() }
+
+// Maintain runs compactions until no trigger (saturation or TTL expiry)
+// fires. Writes invoke it automatically; call it after advancing a manual
+// clock.
+func (db *DB) Maintain() error { return db.inner.Maintain() }
+
+// FullTreeCompact merges the entire tree into its last level — the
+// baseline's (expensive) way to persist deletes.
+func (db *DB) FullTreeCompact() error { return db.inner.FullTreeCompact() }
+
+// Close flushes and releases the database.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Stats returns engine statistics.
+func (db *DB) Stats() lsm.Stats { return db.inner.Stats() }
+
+// SpaceAmp measures the current space amplification (full scan; a
+// diagnostic, not a hot-path call).
+func (db *DB) SpaceAmp() (float64, error) { return db.inner.SpaceAmp() }
+
+// TombstoneAges returns the per-file tombstone age distribution.
+func (db *DB) TombstoneAges() []lsm.TombstoneAgeBucket { return db.inner.TombstoneAges() }
+
+// MaxTombstoneAge returns the oldest tombstone age in the tree.
+func (db *DB) MaxTombstoneAge() time.Duration { return db.inner.MaxTombstoneAge() }
+
+// NumLevels returns the current number of disk levels.
+func (db *DB) NumLevels() int { return db.inner.NumLevels() }
+
+// TTLs returns the cumulative per-level TTL thresholds FADE currently
+// enforces.
+func (db *DB) TTLs() []time.Duration { return db.inner.TTLs() }
+
+// Batch collects operations for atomic application: either all of a synced
+// batch's operations survive a crash or (for an unsynced tail) a prefix in
+// submission order — never an interleaving.
+type Batch struct {
+	ops []lsm.BatchOp
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Put queues an insert/update.
+func (b *Batch) Put(key []byte, dkey DeleteKey, value []byte) *Batch {
+	b.ops = append(b.ops, lsm.BatchOp{Kind: base.KindSet,
+		Key: append([]byte(nil), key...), DKey: dkey, Value: append([]byte(nil), value...)})
+	return b
+}
+
+// Delete queues a point delete.
+func (b *Batch) Delete(key []byte) *Batch {
+	b.ops = append(b.ops, lsm.BatchOp{Kind: base.KindDelete, Key: append([]byte(nil), key...)})
+	return b
+}
+
+// RangeDelete queues a primary range delete on [start, end).
+func (b *Batch) RangeDelete(start, end []byte) *Batch {
+	b.ops = append(b.ops, lsm.BatchOp{Kind: base.KindRangeDelete,
+		Key: append([]byte(nil), start...), EndKey: append([]byte(nil), end...)})
+	return b
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply applies the batch atomically and clears it.
+func (db *DB) Apply(b *Batch) error {
+	err := db.inner.ApplyBatch(b.ops)
+	if err == nil {
+		b.ops = b.ops[:0]
+	}
+	return err
+}

@@ -1,0 +1,183 @@
+package lethe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"lethe/internal/vfs"
+)
+
+// vfsNewCountingForTest returns a fresh counting in-memory filesystem.
+func vfsNewCountingForTest() *vfs.CountingFS { return vfs.NewCounting(vfs.NewMem(), 256) }
+
+// TestPublicWALRecovery exercises the public API with the WAL enabled,
+// simulating a crash (no Close) and reopening.
+func TestPublicWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Path: dir, BufferBytes: 1 << 14, PageSize: 512, FilePages: 8}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), DeleteKey(i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete([]byte("k007")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: abandon the handle without Close.
+	db2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, err := db2.Get([]byte("k003")); err != nil {
+		t.Fatalf("recovered read: %v", err)
+	}
+	if _, err := db2.Get([]byte("k007")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("recovered delete: %v", err)
+	}
+}
+
+// TestPublicTiering drives the tiered policy through the public API.
+func TestPublicTiering(t *testing.T) {
+	db, err := Open(Options{
+		InMemory: true, Tiering: true, DisableWAL: true,
+		BufferBytes: 1 << 11, PageSize: 256, FilePages: 4, SizeRatio: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 500; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%04d", i%100)), 0,
+			[]byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, err := db.Get([]byte(fmt.Sprintf("k%04d", i)))
+		if err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+		want := fmt.Sprintf("v%d", 400+i)
+		if string(v) != want {
+			t.Fatalf("key %d: got %s want %s", i, v, want)
+		}
+	}
+	st := db.Stats()
+	if st.Levels[0].Runs == 0 && len(st.Levels) < 2 {
+		t.Fatalf("tiering should build runs: %+v", st.Levels)
+	}
+}
+
+// TestPublicBlindDeleteSuppression checks the pre-probe through the API.
+func TestPublicBlindDeleteSuppression(t *testing.T) {
+	db, err := Open(Options{
+		InMemory: true, SuppressBlindDeletes: true, DisableWAL: true,
+		BufferBytes: 1 << 11, PageSize: 256, FilePages: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 50; i++ {
+		db.Put([]byte(fmt.Sprintf("real%03d", i)), 0, []byte("v"))
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Delete([]byte(fmt.Sprintf("ghost%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Stats().BlindDeletesSuppressed; got < 45 {
+		t.Fatalf("suppressed only %d", got)
+	}
+}
+
+// TestOptionsDefaultsMirrorTable1 pins the default configuration to the
+// paper's Table 1 reference values (E16).
+func TestOptionsDefaultsMirrorTable1(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0))
+	db, err := Open(Options{InMemory: true, Clock: clock, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	// Table 1: T = 10, page 4KB, buffer P = 512 pages, BFs 10 bits/entry.
+	// Observable via behavior: one flush should happen only after ~2MB.
+	payload := bytes.Repeat([]byte{'x'}, 1024) // E ≈ 1KB entries
+	for i := 0; i < 1000; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%08d", i)), 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.Stats(); st.Flushes != 0 {
+		t.Fatalf("buffer flushed after only ~1MB: %+v", st.Flushes)
+	}
+	for i := 1000; i < 2200; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%08d", i)), 0, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.Stats(); st.Flushes == 0 {
+		t.Fatal("buffer must flush past 2MB (M = P·B·E)")
+	}
+}
+
+// TestFullTreeCompactPublic verifies the baseline escape hatch.
+func TestFullTreeCompactPublic(t *testing.T) {
+	db, _ := Open(Options{InMemory: true, DisableWAL: true,
+		BufferBytes: 1 << 11, PageSize: 256, FilePages: 4})
+	defer db.Close()
+	for i := 0; i < 300; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), 0, []byte("v"))
+	}
+	for i := 0; i < 300; i += 3 {
+		db.Delete([]byte(fmt.Sprintf("k%04d", i)))
+	}
+	if err := db.FullTreeCompact(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.FullTreeCompactions != 1 || st.LivePointTombstones != 0 {
+		t.Fatalf("after full compaction: %+v", st)
+	}
+	if st.MaxCompactionBytes == 0 {
+		t.Fatal("peak compaction must be recorded")
+	}
+}
+
+// TestPageCacheSpeedsReads verifies the engine-level cache wiring: repeated
+// point lookups on a cached working set stop doing I/O.
+func TestPageCacheSpeedsReads(t *testing.T) {
+	counting := vfsNewCountingForTest()
+	db, err := Open(Options{FS: counting, DisableWAL: true, CacheBytes: 1 << 20,
+		BufferBytes: 1 << 12, PageSize: 256, FilePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 400; i++ {
+		db.Put([]byte(fmt.Sprintf("k%05d", i)), DeleteKey(i), []byte("v"))
+	}
+	db.Flush()
+	// Warm the cache.
+	for i := 0; i < 400; i++ {
+		db.Get([]byte(fmt.Sprintf("k%05d", i)))
+	}
+	before := counting.Stats.Snapshot()
+	for i := 0; i < 400; i++ {
+		if _, err := db.Get([]byte(fmt.Sprintf("k%05d", i))); err != nil {
+			t.Fatalf("key %d: %v", i, err)
+		}
+	}
+	delta := counting.Stats.Snapshot().Sub(before)
+	if delta.PagesRead != 0 {
+		t.Fatalf("warm reads still did %d page I/Os", delta.PagesRead)
+	}
+}

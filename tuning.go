@@ -1,0 +1,60 @@
+package lethe
+
+import "math"
+
+// WorkloadProfile describes a workload's composition as relative operation
+// frequencies, following §4.2.6's notation. Only ratios matter; the values
+// need not sum to 1.
+type WorkloadProfile struct {
+	// EmptyPointLookups is f_EPQ, point queries with zero result.
+	EmptyPointLookups float64
+	// PointLookups is f_PQ, point queries with non-zero result.
+	PointLookups float64
+	// ShortRangeLookups is f_SRQ.
+	ShortRangeLookups float64
+	// LongRangeLookups is f_LRQ (does not affect h; long ranges amortize).
+	LongRangeLookups float64
+	// SecondaryRangeDeletes is f_SRD.
+	SecondaryRangeDeletes float64
+	// Inserts is f_I (does not affect h).
+	Inserts float64
+}
+
+// TuningParams are the system parameters entering Eq. 3.
+type TuningParams struct {
+	// Entries is N, the entry count.
+	Entries float64
+	// EntriesPerPage is B.
+	EntriesPerPage float64
+	// FalsePositiveRate is the Bloom filters' FPR.
+	FalsePositiveRate float64
+	// Levels is L, the number of disk levels.
+	Levels float64
+}
+
+// OptimalTileSize solves Eq. 3 (§4.2.6) for the largest delete-tile
+// granularity h whose lookup penalty is still paid for by the secondary
+// range delete savings:
+//
+//	h ≤ (N/B) / ( (f_EPQ+f_PQ)/f_SRD · FPR + f_SRQ/f_SRD · L )
+//
+// It returns at least 1 (the classical layout). A workload without
+// secondary range deletes gets h = 1: tiles only cost there.
+func OptimalTileSize(p TuningParams, w WorkloadProfile) int {
+	if w.SecondaryRangeDeletes <= 0 || p.Entries <= 0 || p.EntriesPerPage <= 0 {
+		return 1
+	}
+	pointTerm := (w.EmptyPointLookups + w.PointLookups) / w.SecondaryRangeDeletes * p.FalsePositiveRate
+	rangeTerm := w.ShortRangeLookups / w.SecondaryRangeDeletes * p.Levels
+	denom := pointTerm + rangeTerm
+	if denom <= 0 {
+		// No read pressure at all: the tile can span the whole file, but
+		// cap at the page count to stay meaningful.
+		return int(math.Max(1, p.Entries/p.EntriesPerPage))
+	}
+	h := p.Entries / p.EntriesPerPage / denom
+	if h < 1 {
+		return 1
+	}
+	return int(h)
+}
