@@ -7,6 +7,10 @@
 package lethe_test
 
 import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -335,6 +339,88 @@ func BenchmarkBlindDeletes(b *testing.B) {
 		} else {
 			b.ReportMetric(float64(r.LiveTombstones), "tombstones-no-probe")
 		}
+	}
+}
+
+// BenchmarkReadDuringCompaction measures Get latency while a concurrent
+// writer continuously forces flushes and compactions — the workload the
+// background maintenance pipeline exists for. The "background" variant
+// serves reads from pinned version snapshots while workers compact; the
+// "synchronous" variant runs the seed engine's model, where compactions
+// execute inside the writer's critical section and a Get arriving mid-
+// compaction waits for the whole merge. Compare the reported max-get-µs:
+// synchronous mode's worst case tracks the largest compaction, background
+// mode's does not.
+func BenchmarkReadDuringCompaction(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"background", false}, {"synchronous", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db, err := lethe.Open(lethe.Options{
+				InMemory:    true,
+				DisableWAL:  true,
+				BufferBytes: 32 << 10,
+				PageSize:    1024,
+				FilePages:   8,
+				SizeRatio:   4,
+
+				DisableBackgroundMaintenance: mode.sync,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			key := func(i int) []byte { return []byte(fmt.Sprintf("k%07d", i)) }
+			val := bytes.Repeat([]byte("x"), 128)
+			const keySpace = 20000
+			for i := 0; i < keySpace; i++ {
+				if err := db.Put(key(i), lethe.DeleteKey(i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := keySpace; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := db.Put(key(i%keySpace), lethe.DeleteKey(i), val); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+
+			rng := rand.New(rand.NewSource(42))
+			var worst, total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := key(rng.Intn(keySpace))
+				t0 := time.Now()
+				if _, err := db.Get(k); err != nil && err != lethe.ErrNotFound {
+					b.Fatal(err)
+				}
+				d := time.Since(t0)
+				total += d
+				if d > worst {
+					worst = d
+				}
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+			b.ReportMetric(float64(worst.Microseconds()), "max-get-us")
+			if b.N > 0 {
+				b.ReportMetric(float64(total.Microseconds())/float64(b.N), "avg-get-us")
+			}
+		})
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES]
+//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N]
 //
 // Commands (one per line):
 //
@@ -35,9 +35,12 @@ func main() {
 	path := flag.String("path", "", "database directory (default: in-memory)")
 	dth := flag.Duration("dth", time.Hour, "delete persistence threshold (0 = baseline mode)")
 	tiles := flag.Int("h", 4, "delete tile granularity (pages per tile)")
+	syncMaint := flag.Bool("sync", false, "run flushes and compactions inline (no background workers)")
+	workers := flag.Int("compaction-workers", 0, "concurrent background compactions (0 = default)")
 	flag.Parse()
 
-	opts := lethe.Options{Dth: *dth, TilePages: *tiles}
+	opts := lethe.Options{Dth: *dth, TilePages: *tiles,
+		DisableBackgroundMaintenance: *syncMaint, CompactionWorkers: *workers}
 	if *path == "" {
 		opts.InMemory = true
 		fmt.Println("in-memory database (use -path to persist)")
@@ -165,6 +168,9 @@ func execute(db *lethe.DB, args []string) (quit bool) {
 			st.BytesFlushed, st.CompactionBytesWritten, st.TotalBytesWritten, st.WriteAmplification())
 		fmt.Printf("page drops: full=%d partial=%d; blind deletes suppressed=%d\n",
 			st.FullPageDrops, st.PartialPageDrops, st.BlindDeletesSuppressed)
+		fmt.Printf("pipeline: queued-buffers=%d bg-flushes=%d bg-compactions=%d stalls=%d (%v)\n",
+			st.ImmutableBuffers, st.BackgroundFlushes, st.BackgroundCompactions,
+			st.WriteStalls, st.WriteStallTime)
 		fmt.Printf("max tombstone age: %v (TTLs: %v)\n", db.MaxTombstoneAge(), db.TTLs())
 	case "levels":
 		for i, l := range db.Stats().Levels {

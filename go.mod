@@ -1,0 +1,3 @@
+module lethe
+
+go 1.22

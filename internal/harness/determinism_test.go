@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSweepDeterministic guards the harness against timing flakiness: every
+// figure the experiments report — including the RocksDB-comparison latency
+// and throughput tables — must be reconstructed purely from deterministic
+// I/O and hash counters under the manual clock, never from wall-clock time
+// or background-goroutine scheduling. Two identical runs must therefore
+// produce byte-identical rows; a mismatch means nondeterminism crept into
+// the measurement path (for example an engine accidentally opened with
+// background maintenance enabled) and the figure tests would start failing
+// only under full-suite load.
+func TestSweepDeterministic(t *testing.T) {
+	cfg := Quick()
+	cfg.KeySpace = 8000
+	cfg.Ops = 6000
+	cfg.BufferBytes = 2048
+
+	sweep1, err := RunDeleteSweep(cfg, []float64{0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep2, err := RunDeleteSweep(cfg, []float64{0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sweep1, sweep2) {
+		t.Errorf("delete sweep is nondeterministic:\nrun1: %+v\nrun2: %+v", sweep1, sweep2)
+	}
+
+	scale1, err := RunScaling(cfg, []int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale2, err := RunScaling(cfg, []int{2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scale1, scale2) {
+		t.Errorf("scaling latency table is nondeterministic:\nrun1: %+v\nrun2: %+v", scale1, scale2)
+	}
+}

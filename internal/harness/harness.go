@@ -139,6 +139,13 @@ func NewEnv(cfg Config, sys System, wl workload.Config) (*Env, error) {
 		DisableWAL:           true, // §5: "the WAL disabled"
 		CoverageEstimator:    workload.CoverageEstimator(wl.KeySpace),
 		Seed:                 cfg.Seed,
+		// Experiments must be deterministic: every latency and throughput
+		// figure is reconstructed from I/O and hash counters, and a
+		// background flush or compaction landing at an arbitrary point
+		// would perturb them (and the global hash counter) between runs.
+		// The manual clock already forces this; state it explicitly so the
+		// harness never silently inherits a concurrent engine.
+		DisableBackgroundMaintenance: true,
 	})
 	if err != nil {
 		return nil, err

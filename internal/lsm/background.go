@@ -1,0 +1,242 @@
+package lsm
+
+import (
+	"time"
+
+	"lethe/internal/compaction"
+)
+
+// backgroundTickInterval bounds how long the compaction scheduler sleeps
+// between trigger re-evaluations. With a wall clock, TTL triggers (§4.1.2)
+// and WAL tombstone expiry fire as time passes even while the write path is
+// idle, so the scheduler cannot rely on write-side kicks alone.
+const backgroundTickInterval = 500 * time.Millisecond
+
+// startBackground launches the flush worker and the compaction scheduler.
+// Called once from Open, before the DB is shared.
+func (db *DB) startBackground() {
+	db.bgStarted = true
+	db.flushC = make(chan struct{}, 1)
+	db.compactC = make(chan struct{}, 1)
+	db.quit = make(chan struct{})
+	db.busyFiles = make(map[uint64]bool)
+	db.busyLevels = make(map[int]int)
+	db.bg.Add(2)
+	go db.flushWorker()
+	go db.compactionScheduler()
+}
+
+// kickFlush nudges the flush worker without blocking.
+func (db *DB) kickFlush() {
+	if db.flushC == nil {
+		return
+	}
+	select {
+	case db.flushC <- struct{}{}:
+	default:
+	}
+}
+
+// kickCompact nudges the compaction scheduler without blocking.
+func (db *DB) kickCompact() {
+	if db.compactC == nil {
+		return
+	}
+	select {
+	case db.compactC <- struct{}{}:
+	default:
+	}
+}
+
+// quiescentLocked reports whether no background work is running or queued.
+// Callers hold db.mu.
+func (db *DB) quiescentLocked() bool {
+	return len(db.imm) == 0 && !db.flushActive && db.inflight == 0
+}
+
+// pauseBackgroundLocked stops new background work from starting and waits
+// for in-flight flushes and compactions to finish. It does not drain the
+// immutable queue — callers that need an empty queue (FullTreeCompact)
+// flush inline afterwards. Callers hold db.mu; pair with
+// resumeBackgroundLocked.
+func (db *DB) pauseBackgroundLocked() {
+	db.pauseBG++
+	for db.flushActive || db.inflight > 0 {
+		db.bgCond.Wait()
+	}
+}
+
+// resumeBackgroundLocked reverses pauseBackgroundLocked and re-kicks the
+// workers, since triggers may have accumulated while paused.
+func (db *DB) resumeBackgroundLocked() {
+	db.pauseBG--
+	if db.pauseBG == 0 {
+		db.kickFlush()
+		db.kickCompact()
+	}
+	db.bgCond.Broadcast()
+}
+
+// setBackgroundErrLocked records the first background failure; it poisons
+// subsequent writes and Maintain calls, mirroring how production engines
+// surface background I/O errors rather than losing them.
+func (db *DB) setBackgroundErrLocked(err error) {
+	if err != nil && db.bgErr == nil {
+		db.bgErr = err
+	}
+}
+
+// flushWorker drains the immutable-memtable queue: build the run outside
+// db.mu, install it under the lock, release the sealed WAL segment.
+func (db *DB) flushWorker() {
+	defer db.bg.Done()
+	for {
+		select {
+		case <-db.quit:
+			return
+		case <-db.flushC:
+		}
+		for {
+			db.mu.Lock()
+			if db.closed || db.pauseBG > 0 || db.bgErr != nil || len(db.imm) == 0 {
+				db.mu.Unlock()
+				break
+			}
+			fl := db.imm[0]
+			db.flushActive = true
+			db.mu.Unlock()
+
+			newRun, maxSeq, err := db.buildFlushRun(fl)
+
+			db.mu.Lock()
+			if err == nil {
+				err = db.installFlushLocked(fl, newRun, maxSeq)
+			}
+			if err == nil {
+				db.m.bgFlushes.Add(1)
+			}
+			db.flushActive = false
+			db.setBackgroundErrLocked(err)
+			db.bgCond.Broadcast()
+			db.mu.Unlock()
+			if err != nil {
+				return
+			}
+			db.kickCompact()
+		}
+	}
+}
+
+// compactionScheduler evaluates FADE's triggers against the current version
+// (masking files claimed by in-flight compactions) and dispatches jobs to up
+// to CompactionWorkers concurrent goroutines. Two jobs never touch the same
+// level: a conservative conflict rule that keeps concurrent installs
+// composable.
+func (db *DB) compactionScheduler() {
+	defer db.bg.Done()
+	ticker := time.NewTicker(backgroundTickInterval)
+	defer ticker.Stop()
+	for {
+		db.mu.Lock()
+		undispatched := db.dispatchCompactionsLocked()
+		if db.pauseBG == 0 && !db.closed && db.bgErr == nil && db.quiescentLocked() {
+			// Fully idle: enforce Dth on the WAL (sealing an over-age live
+			// segment queues a flush and wakes us again via the worker).
+			if _, err := db.walMaintenanceLocked(); err != nil {
+				db.setBackgroundErrLocked(err)
+			}
+			db.kickFlush()
+		}
+		db.mu.Unlock()
+		if undispatched != nil {
+			undispatched.release()
+		}
+		select {
+		case <-db.quit:
+			return
+		case <-db.compactC:
+		case <-ticker.C:
+		}
+	}
+}
+
+// dispatchCompactionsLocked starts as many non-conflicting compactions as
+// worker slots allow. Callers hold db.mu. A prepared job that could not be
+// dispatched is returned for the caller to release outside the lock.
+func (db *DB) dispatchCompactionsLocked() *compactionJob {
+	if db.pauseBG > 0 || db.closed || db.bgErr != nil {
+		return nil
+	}
+	for db.inflight < db.opts.CompactionWorkers {
+		tree := db.pickerTreeLocked(db.busyFiles)
+		d, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now())
+		if !ok {
+			return nil
+		}
+		job := db.prepareCompactionLocked(d)
+		if job.kind == compactNoop || db.conflictsLocked(job) {
+			// The picker is deterministic, so re-picking now would return
+			// the same decision; wait for an in-flight job to finish.
+			return job
+		}
+		db.claimLocked(job)
+		db.inflight++
+		db.bg.Add(1)
+		go db.runBackgroundCompaction(job)
+	}
+	return nil
+}
+
+// conflictsLocked reports whether the job touches a level an in-flight
+// compaction is already modifying.
+func (db *DB) conflictsLocked(job *compactionJob) bool {
+	for _, l := range job.levelsTouched() {
+		if db.busyLevels[l] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (db *DB) claimLocked(job *compactionJob) {
+	for _, l := range job.levelsTouched() {
+		db.busyLevels[l]++
+	}
+	for _, h := range job.inputs() {
+		db.busyFiles[h.meta.FileNum] = true
+	}
+}
+
+func (db *DB) unclaimLocked(job *compactionJob) {
+	for _, l := range job.levelsTouched() {
+		db.busyLevels[l]--
+	}
+	for _, h := range job.inputs() {
+		delete(db.busyFiles, h.meta.FileNum)
+	}
+}
+
+// runBackgroundCompaction executes one dispatched job: merge outside db.mu,
+// install under it.
+func (db *DB) runBackgroundCompaction(job *compactionJob) {
+	defer db.bg.Done()
+	err := db.executeCompaction(job)
+
+	db.mu.Lock()
+	if err == nil {
+		err = db.installCompactionLocked(job)
+	}
+	if err == nil {
+		db.m.bgCompactions.Add(1)
+	}
+	db.unclaimLocked(job)
+	db.inflight--
+	db.setBackgroundErrLocked(err)
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+
+	job.release()
+	// The install may have armed new triggers (or unblocked a conflicting
+	// pick).
+	db.kickCompact()
+}

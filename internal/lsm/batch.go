@@ -30,8 +30,8 @@ func (db *DB) ApplyBatch(ops []BatchOp) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	if err := db.writableLocked(); err != nil {
+		return err
 	}
 	entries := make([]base.Entry, 0, len(ops))
 	for _, op := range ops {
@@ -67,11 +67,5 @@ func (db *DB) ApplyBatch(ops []BatchOp) error {
 		db.m.userBytesWritten.Add(int64(e.Size()))
 		db.mem.Apply(e)
 	}
-	if db.mem.ApproxBytes() >= db.opts.BufferBytes {
-		if err := db.flushLocked(); err != nil {
-			return err
-		}
-		return db.maintainLocked()
-	}
-	return nil
+	return db.maybeRotateBufferLocked()
 }

@@ -9,22 +9,125 @@ import (
 	"lethe/internal/sstable"
 )
 
+// Compactions are split into three phases so the background workers can do
+// the expensive part outside db.mu:
+//
+//   - prepareCompactionLocked resolves a picker decision against the current
+//     version: which handles merge, where outputs land, whether the move is
+//     trivial. It pins the version the decision was made against.
+//   - execute performs the merge I/O. It touches no DB state beyond atomic
+//     metrics and the atomic file-number counter, so it runs with or without
+//     db.mu held.
+//   - installCompactionLocked builds the successor version from the *current*
+//     one (level 0 may have gained flushed runs in the meantime), commits the
+//     manifest, installs, and marks consumed inputs obsolete — they are
+//     physically deleted when the last version (or reader) referencing them
+//     drains.
+//
+// Synchronous mode runs all three phases inline under db.mu, which preserves
+// the seed engine's deterministic execution exactly.
+
+// compactionKind discriminates the structural shapes a compaction can take.
+type compactionKind int
+
+const (
+	// compactLeveled merges source files with the overlapping files of the
+	// target level's single run (§2 "Partial Compaction").
+	compactLeveled compactionKind = iota
+	// compactTrivialMove reassigns files to the target level without I/O
+	// (§4.1.3).
+	compactTrivialMove
+	// compactTiered merges all runs of the source level into one run
+	// appended to the target level.
+	compactTiered
+	// compactRewriteLast rewrites TTL-expired last-level file(s) in place,
+	// persisting their tombstones.
+	compactRewriteLast
+	// compactNoop is a defensive empty decision (e.g. a tiered pick on an
+	// empty level); it changes nothing.
+	compactNoop
+)
+
+// compactionJob carries one compaction through its three phases.
+type compactionJob struct {
+	kind    compactionKind
+	d       compaction.Decision
+	v       *version // pinned snapshot the decision was resolved against
+	src     int
+	target  int
+	isLast  bool
+	srcHandles run
+	overlap    run // target-run files joining the merge (leveled only)
+	outputs    run // filled by execute
+	// levelAtPrepare records the files present in the target level when the
+	// job was prepared (rewrite-last only): a run flushed to the level while
+	// the merge ran must stay a separate, newer run at install rather than
+	// be flattened into the rewrite's output run.
+	levelAtPrepare map[uint64]bool
+}
+
+// inputs returns every file the job consumes.
+func (job *compactionJob) inputs() run {
+	return append(append(run{}, job.srcHandles...), job.overlap...)
+}
+
+// levelsTouched returns the levels a job structurally modifies, for the
+// background scheduler's conflict rule.
+func (job *compactionJob) levelsTouched() []int {
+	if job.src == job.target {
+		return []int{job.src}
+	}
+	return []int{job.src, job.target}
+}
+
+// release drops the job's pin on the version it was prepared against. Call
+// without db.mu held.
+func (job *compactionJob) release() { _ = job.v.unref() }
+
 // Maintain runs compactions until no trigger fires: every TTL-expired file
-// has been pushed onward and every level is within capacity. It is invoked
-// automatically after buffer flushes; experiments also call it after
-// advancing the simulated clock.
+// has been pushed onward and every level is within capacity. In synchronous
+// mode it runs them inline, exactly as the paper's experiments do after
+// advancing the simulated clock. In background mode it kicks the flush and
+// compaction workers and blocks until the pipeline is quiescent with no
+// trigger left.
 func (db *DB) Maintain() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	return db.maintainLocked()
+	if !db.bgStarted {
+		return db.maintainLocked()
+	}
+	for {
+		if db.closed {
+			return ErrClosed
+		}
+		if db.bgErr != nil {
+			return db.bgErr
+		}
+		if db.quiescentLocked() {
+			tree := db.pickerTreeLocked(nil)
+			if _, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now()); !ok {
+				changed, err := db.walMaintenanceLocked()
+				if err != nil {
+					return err
+				}
+				if !changed {
+					return nil
+				}
+			}
+		}
+		db.kickFlush()
+		db.kickCompact()
+		db.bgCond.Wait()
+	}
 }
 
+// maintainLocked is the synchronous maintenance loop. Callers hold db.mu.
 func (db *DB) maintainLocked() error {
 	for {
-		tree := db.pickerTree()
+		tree := db.pickerTreeLocked(nil)
 		decision, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now())
 		if !ok {
 			break
@@ -33,50 +136,83 @@ func (db *DB) maintainLocked() error {
 			return err
 		}
 	}
-	// §4.1.5: tombstones may linger in the WAL past Dth if the buffer is
-	// quiet. The dedicated routine rewrites any live segment older than Dth,
-	// keeping only records not yet durable in sstables.
-	if db.wal != nil && db.opts.Dth > 0 {
-		flushed := db.flushedSeq
-		if _, err := db.wal.PurgeExpired(db.opts.Dth, func(e base.Entry) bool {
-			return e.Key.SeqNum() > flushed
-		}); err != nil {
-			return err
-		}
-		// The live segment itself may have outlived Dth while the buffer
-		// sat below its flush threshold: flush to seal and release it.
-		if db.wal.LiveAge() > db.opts.Dth && !db.mem.Empty() {
-			if err := db.flushLocked(); err != nil {
-				return err
-			}
-		}
+	if _, err := db.walMaintenanceLocked(); err != nil {
+		return err
 	}
 	return nil
 }
 
-// pickerTree builds the picker's read-only view of the current structure.
-func (db *DB) pickerTree() *compaction.Tree {
-	tree := &compaction.Tree{TreeEntries: db.treeEntries()}
+// walMaintenanceLocked enforces Dth on the WAL (§4.1.5): tombstones may
+// linger in the log past Dth if the buffer is quiet, so live segments older
+// than Dth are rewritten keeping only records not yet durable in sstables,
+// and an over-age live segment forces a flush (sealed inline in synchronous
+// mode, queued in background mode). It reports whether it changed state
+// that warrants another maintenance pass.
+func (db *DB) walMaintenanceLocked() (bool, error) {
+	if db.wal == nil || db.opts.Dth <= 0 {
+		return false, nil
+	}
+	flushed := db.flushedSeq
+	if _, err := db.wal.PurgeExpired(db.opts.Dth, func(e base.Entry) bool {
+		return e.Key.SeqNum() > flushed
+	}); err != nil {
+		return false, err
+	}
+	if db.wal.LiveAge() > db.opts.Dth && !db.mem.Empty() {
+		if !db.bgStarted {
+			return true, db.flushLocked()
+		}
+		if err := db.sealMemtableLocked(); err != nil {
+			return true, err
+		}
+		db.kickFlush()
+		return true, nil
+	}
+	return false, nil
+}
+
+// runCompactionLocked executes one compaction inline (synchronous mode).
+func (db *DB) runCompactionLocked(d compaction.Decision) error {
+	job := db.prepareCompactionLocked(d)
+	defer job.release()
+	if err := db.executeCompaction(job); err != nil {
+		return err
+	}
+	return db.installCompactionLocked(job)
+}
+
+// pickerTreeLocked builds the picker's read-only view of the current
+// structure, excluding files claimed by in-flight background compactions
+// (mask). Callers hold db.mu.
+func (db *DB) pickerTreeLocked(mask map[uint64]bool) *compaction.Tree {
+	v := db.current
+	tree := &compaction.Tree{TreeEntries: treeEntries(v, mask)}
 	if db.opts.Tiering {
 		tree.TieredRunLimit = db.opts.SizeRatio
 	}
-	for l, runs := range db.levels {
+	for l, runs := range v.levels {
 		var lvl [][]*sstable.Meta
 		for _, r := range runs {
 			var metas []*sstable.Meta
 			for _, h := range r {
+				if mask[h.meta.FileNum] {
+					continue
+				}
 				metas = append(metas, h.meta)
 			}
-			lvl = append(lvl, metas)
+			if len(metas) > 0 {
+				lvl = append(lvl, metas)
+			}
 		}
 		tree.Levels = append(tree.Levels, lvl)
 		tree.CapacityBytes = append(tree.CapacityBytes, db.capacityBytes(l))
-		tree.LiveBytes = append(tree.LiveBytes, db.liveBytes(l))
+		tree.LiveBytes = append(tree.LiveBytes, liveBytes(v, l, mask))
 	}
 	return tree
 }
 
-// runCompactionLocked executes one compaction decided by the picker.
+// prepareCompactionLocked resolves a decision into a job. Callers hold
+// db.mu; the returned job pins the current version until released.
 //
 // Leveling (§2 "Partial Compaction"): the chosen source file(s) merge with
 // the overlapping files of the next level's single run; outputs replace the
@@ -84,152 +220,240 @@ func (db *DB) pickerTree() *compaction.Tree {
 // appended to the next level. When the destination is the tree's last level
 // and every run of that level participates, tombstones are discarded — the
 // deletes persist (§3.1.1).
-func (db *DB) runCompactionLocked(d compaction.Decision) error {
-	src := d.Level
+func (db *DB) prepareCompactionLocked(d compaction.Decision) *compactionJob {
+	job := &compactionJob{d: d, v: db.current.ref(), src: d.Level}
+	lv := job.v.levels
+
 	if db.opts.Tiering {
-		return db.runTieredCompactionLocked(d)
+		job.kind = compactTiered
+		for _, r := range lv[job.src] {
+			job.srcHandles = append(job.srcHandles, r...)
+		}
+		if len(job.srcHandles) == 0 {
+			job.kind = compactNoop
+			return job
+		}
+		job.target = job.src + 1
+		newHeight := len(lv)
+		if job.target >= newHeight {
+			newHeight = job.target + 1
+		}
+		// Tombstones are discarded only when the destination is the last
+		// level and holds no other runs — the only point where all older
+		// versions are guaranteed to be in the merge.
+		job.isLast = job.target == newHeight-1 &&
+			(job.target >= len(lv) || len(lv[job.target]) == 0)
+		return job
 	}
 
-	lastLevel := len(db.levels) - 1
-	if src == lastLevel && d.Trigger == compaction.TriggerTTL {
+	lastLevel := len(lv) - 1
+	if job.src == lastLevel && d.Trigger == compaction.TriggerTTL {
 		// A TTL-expired file already at the last level is rewritten in
 		// place, discarding its tombstones and everything they shadow.
-		return db.rewriteLastLevelFileLocked(d)
+		// Point tombstones are safe to drop in a single-file rewrite (keys
+		// are unique across a run), but a file carrying range tombstones may
+		// shadow entries in sibling files, so the whole level joins the
+		// merge in that case.
+		job.kind = compactRewriteLast
+		job.target = job.src
+		job.isLast = true
+		handles := refsToHandles(lv, d.Files)
+		expand := false
+		for _, h := range handles {
+			if h.meta.NumRangeTombstones > 0 {
+				expand = true
+			}
+		}
+		if expand || len(lv[job.src]) > 1 {
+			handles = nil
+			for _, r := range lv[job.src] {
+				handles = append(handles, r...)
+			}
+		}
+		job.srcHandles = handles
+		job.levelAtPrepare = make(map[uint64]bool)
+		for _, r := range lv[job.src] {
+			for _, h := range r {
+				job.levelAtPrepare[h.meta.FileNum] = true
+			}
+		}
+		return job
 	}
 
-	target := src + 1
-	if target >= len(db.levels) {
-		db.levels = append(db.levels, nil)
-		db.recomputeTTLs() // tree height changed (Fig. 4 step 1)
+	job.target = job.src + 1
+	newHeight := len(lv)
+	if job.target >= newHeight {
+		newHeight = job.target + 1
 	}
-	if len(db.levels[target]) == 0 {
-		db.levels[target] = []run{nil}
-	}
-
-	srcHandles := db.refsToHandles(d.Files)
-	minS, maxS := keyRangeOf(srcHandles)
-	targetRun := db.levels[target][0]
-	var overlap, keep run
-	for _, h := range targetRun {
-		if overlapsRange(h.meta, minS, maxS) {
-			overlap = append(overlap, h)
-		} else {
-			keep = append(keep, h)
+	job.isLast = job.target == newHeight-1
+	job.srcHandles = refsToHandles(lv, d.Files)
+	minS, maxS := keyRangeOf(job.srcHandles)
+	if job.target < len(lv) && len(lv[job.target]) > 0 {
+		for _, h := range lv[job.target][0] {
+			if overlapsRange(h.meta, minS, maxS) {
+				job.overlap = append(job.overlap, h)
+			}
 		}
 	}
-
-	isLast := target == len(db.levels)-1
-	if len(overlap) == 0 && !(isLast && anyTombstones(srcHandles)) && src != 0 {
+	if len(job.overlap) == 0 && !(job.isLast && anyTombstones(job.srcHandles)) && job.src != 0 {
 		// Trivial move (§4.1.3: "when a compaction simply moves a file from
 		// one disk level to the next without physical sort-merging"): no
 		// overlapping keys below, so the file descends without I/O. Skipped
 		// when tombstones reach the last level (they must be discarded,
 		// which needs a rewrite) and for the multi-run first level.
-		return db.trivialMoveLocked(d, srcHandles, target)
+		job.kind = compactTrivialMove
+		return job
 	}
-	outputs, err := db.mergeFilesLocked(srcHandles, overlap, isLast, d.Trigger)
-	if err != nil {
-		return err
-	}
-
-	// Install: outputs join the survivors of the target run, in S order.
-	newRun := append(keep, outputs...)
-	sort.Slice(newRun, func(i, j int) bool {
-		return base.CompareUserKeys(newRun[i].meta.MinS, newRun[j].meta.MinS) < 0
-	})
-	db.levels[target][0] = newRun
-	db.removeHandlesLocked(d.Files)
-	if err := db.commitManifest(); err != nil {
-		return err
-	}
-	return db.deleteFilesLocked(append(srcHandles, overlap...))
+	job.kind = compactLeveled
+	return job
 }
 
-// runTieredCompactionLocked merges all runs of the source level into a
-// single run appended to the next level (classic tiering: a level
-// accumulates T runs, then they sort-merge into one run of the level below,
-// growing the tree from the last level). Tombstones are discarded only when
-// the destination is the last level and holds no other runs — the only
-// point where all older versions are guaranteed to be in the merge.
-func (db *DB) runTieredCompactionLocked(d compaction.Decision) error {
-	src := d.Level
-	var inputs run
-	for _, r := range db.levels[src] {
-		inputs = append(inputs, r...)
-	}
-	if len(inputs) == 0 {
+// executeCompaction performs the job's merge I/O, filling job.outputs.
+// Safe to call with or without db.mu held.
+func (db *DB) executeCompaction(job *compactionJob) error {
+	if job.kind == compactTrivialMove || job.kind == compactNoop {
 		return nil
 	}
-	target := src + 1
-	if target >= len(db.levels) {
-		db.levels = append(db.levels, nil)
-		db.recomputeTTLs()
-	}
-	isLast := target == len(db.levels)-1 && len(db.levels[target]) == 0
-	outputs, err := db.mergeFilesLocked(inputs, nil, isLast, d.Trigger)
+	outputs, err := db.mergeFiles(job.srcHandles, job.overlap, job.isLast, job.d.Trigger)
 	if err != nil {
 		return err
 	}
-	// The merged run is newest relative to existing runs of the target.
-	db.levels[target] = append([]run{outputs}, db.levels[target]...)
-	db.levels[src] = nil
-	if err := db.commitManifest(); err != nil {
-		return err
-	}
-	return db.deleteFilesLocked(inputs)
+	job.outputs = outputs
+	return nil
 }
 
-// rewriteLastLevelFileLocked compacts the chosen last-level file(s) with
-// themselves, persisting their tombstones. Point tombstones are safe to
-// drop in a single-file rewrite (keys are unique across a run), but a file
-// carrying range tombstones may shadow entries in sibling files, so the
-// whole level joins the merge in that case.
-func (db *DB) rewriteLastLevelFileLocked(d compaction.Decision) error {
-	handles := db.refsToHandles(d.Files)
-	l := d.Level
-	expand := false
-	for _, h := range handles {
-		if h.meta.NumRangeTombstones > 0 {
-			expand = true
-		}
+// installCompactionLocked builds the successor version from the current one,
+// commits it, and installs. Callers hold db.mu.
+func (db *DB) installCompactionLocked(job *compactionJob) error {
+	if job.kind == compactNoop {
+		return nil
 	}
-	if expand || len(db.levels[l]) > 1 {
-		handles = nil
-		for _, r := range db.levels[l] {
-			handles = append(handles, r...)
-		}
+	if job.kind == compactTrivialMove {
+		return db.installTrivialMoveLocked(job)
 	}
-	outputs, err := db.mergeFilesLocked(handles, nil, true, d.Trigger)
-	if err != nil {
-		return err
-	}
-	var newRun run
-	drop := map[uint64]bool{}
-	for _, h := range handles {
+
+	consumed := job.inputs()
+	drop := make(map[uint64]bool, len(consumed))
+	for _, h := range consumed {
 		drop[h.meta.FileNum] = true
 	}
-	for _, r := range db.levels[l] {
-		for _, h := range r {
-			if !drop[h.meta.FileNum] {
-				newRun = append(newRun, h)
+	levels := db.current.withoutFiles(drop)
+	for len(levels) <= job.target {
+		levels = append(levels, nil)
+	}
+
+	switch job.kind {
+	case compactTiered:
+		// The merged run is newest relative to existing runs of the target.
+		levels[job.target] = append([]run{job.outputs}, levels[job.target]...)
+	case compactRewriteLast:
+		// Outputs join the level's surviving prepare-time files as a single
+		// run. Runs that landed after prepare (a background flush installing
+		// at this level while the merge ran) overlap the rewrite's key space
+		// and are newer — flattening them in would break the disjoint-run
+		// invariant and could resurface stale values — so they stay separate
+		// runs ahead of the rewritten one.
+		var newer []run
+		var survivors run
+		for _, r := range levels[job.target] {
+			preexisting := true
+			for _, h := range r {
+				if !job.levelAtPrepare[h.meta.FileNum] {
+					preexisting = false
+					break
+				}
+			}
+			if preexisting {
+				survivors = append(survivors, r...)
+			} else {
+				newer = append(newer, r)
 			}
 		}
+		newRun := append(survivors, job.outputs...)
+		sortRunByMinS(newRun)
+		levels[job.target] = append(newer, newRun)
+	default: // compactLeveled
+		// Outputs join the survivors of the target run, in S order; any
+		// older runs of the target level are preserved.
+		var newRun run
+		if len(levels[job.target]) > 0 {
+			newRun = append(newRun, levels[job.target][0]...)
+		}
+		newRun = append(newRun, job.outputs...)
+		sortRunByMinS(newRun)
+		if len(levels[job.target]) > 0 {
+			levels[job.target][0] = newRun
+		} else {
+			levels[job.target] = []run{newRun}
+		}
 	}
-	newRun = append(newRun, outputs...)
-	sort.Slice(newRun, func(i, j int) bool {
-		return base.CompareUserKeys(newRun[i].meta.MinS, newRun[j].meta.MinS) < 0
-	})
-	db.levels[l] = []run{newRun}
-	if err := db.commitManifest(); err != nil {
+
+	v := &version{levels: levels}
+	if err := db.commitManifestLocked(v); err != nil {
 		return err
 	}
-	return db.deleteFilesLocked(handles)
+	// Mark inputs obsolete BEFORE installing: installation may drain the old
+	// version's last reference, and the handles must already know their
+	// files are dead to delete them on that drain.
+	for _, h := range consumed {
+		h.obsolete.Store(true)
+	}
+	grew := len(v.levels) != len(db.current.levels)
+	db.installVersionLocked(v)
+	if grew {
+		db.recomputeTTLs() // tree height changed (Fig. 4 step 1)
+	}
+	return nil
 }
 
-// mergeFilesLocked sort-merges upper (newer) and lower (older) inputs into
-// new files at the configured file size, applying the merge rules. It
-// updates the engine's compaction counters.
-func (db *DB) mergeFilesLocked(upper, lower run, lastLevel bool, trigger compaction.TriggerKind) (run, error) {
+// installTrivialMoveLocked reassigns the job's files to the target level
+// without I/O.
+func (db *DB) installTrivialMoveLocked(job *compactionJob) error {
+	drop := make(map[uint64]bool, len(job.srcHandles))
+	for _, h := range job.srcHandles {
+		drop[h.meta.FileNum] = true
+	}
+	levels := db.current.withoutFiles(drop)
+	for len(levels) <= job.target {
+		levels = append(levels, nil)
+	}
+	var newRun run
+	if len(levels[job.target]) > 0 {
+		newRun = append(newRun, levels[job.target][0]...)
+	}
+	newRun = append(newRun, job.srcHandles...)
+	sortRunByMinS(newRun)
+	if len(levels[job.target]) > 0 {
+		levels[job.target][0] = newRun
+	} else {
+		levels[job.target] = []run{newRun}
+	}
+
+	v := &version{levels: levels}
+	db.m.compactions.Add(1)
+	db.m.trivialMoves.Add(1)
+	if job.d.Trigger == compaction.TriggerTTL {
+		db.m.compactionsTTL.Add(1)
+	} else {
+		db.m.compactionsSaturation.Add(1)
+	}
+	if err := db.commitManifestLocked(v); err != nil {
+		return err
+	}
+	grew := len(v.levels) != len(db.current.levels)
+	db.installVersionLocked(v)
+	if grew {
+		db.recomputeTTLs()
+	}
+	return nil
+}
+
+// mergeFiles sort-merges upper (newer) and lower (older) inputs into new
+// files at the configured file size, applying the merge rules. It updates
+// the engine's (atomic) compaction counters. Safe without db.mu: inputs are
+// pinned by the job's version reference and file numbers are allocated
+// atomically.
+func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.TriggerKind) (run, error) {
 	var iters []compaction.Iterator
 	var rts []base.RangeTombstone
 	var bytesIn int64
@@ -294,72 +518,52 @@ func (db *DB) mergeFilesLocked(upper, lower run, lastLevel bool, trigger compact
 // FullTreeCompact merges the entire tree (buffer included) into a single run
 // at the last level — the state of the art's only way to bound delete
 // persistence latency and to execute secondary range deletes (§3.1.3). It
-// stalls everything else, which is exactly the behavior the paper's baseline
-// exhibits.
+// stalls everything else while it runs (background maintenance is paused and
+// db.mu is held throughout), which is exactly the behavior the paper's
+// baseline exhibits.
 func (db *DB) FullTreeCompact() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
+	db.pauseBackgroundLocked()
+	defer db.resumeBackgroundLocked()
 	if err := db.flushLocked(); err != nil {
 		return err
 	}
 	var inputs run
-	for _, runs := range db.levels {
-		for _, r := range runs {
-			inputs = append(inputs, r...)
-		}
-	}
+	db.current.forEach(func(h *fileHandle) { inputs = append(inputs, h) })
 	if len(inputs) == 0 {
 		return nil
 	}
-	outputs, err := db.mergeFilesLocked(inputs, nil, true, compaction.TriggerSaturation)
+	outputs, err := db.mergeFiles(inputs, nil, true, compaction.TriggerSaturation)
 	if err != nil {
 		return err
 	}
 	db.m.fullTreeCompactions.Add(1)
 
 	// Size the tree so the merged data sits in its last level.
-	levels := 1
+	numLevels := 1
 	var outBytes int64
 	for _, h := range outputs {
 		outBytes += h.meta.Size
 	}
-	for db.capacityBytes(levels-1) < outBytes {
-		levels++
+	for db.capacityBytes(numLevels-1) < outBytes {
+		numLevels++
 	}
-	db.levels = make([][]run, levels)
-	for l := 0; l < levels-1; l++ {
-		db.levels[l] = nil
-	}
-	db.levels[levels-1] = []run{outputs}
-	db.recomputeTTLs()
-	if err := db.commitManifest(); err != nil {
+	levels := make([][]run, numLevels)
+	levels[numLevels-1] = []run{outputs}
+	v := &version{levels: levels}
+	if err := db.commitManifestLocked(v); err != nil {
 		return err
 	}
-	return db.deleteFilesLocked(inputs)
-}
-
-// trivialMoveLocked reassigns files to the target level without I/O.
-func (db *DB) trivialMoveLocked(d compaction.Decision, handles run, target int) error {
-	db.removeHandlesLocked(d.Files)
-	if len(db.levels[target]) == 0 {
-		db.levels[target] = []run{nil}
+	for _, h := range inputs {
+		h.obsolete.Store(true)
 	}
-	newRun := append(append(run{}, db.levels[target][0]...), handles...)
-	sort.Slice(newRun, func(i, j int) bool {
-		return base.CompareUserKeys(newRun[i].meta.MinS, newRun[j].meta.MinS) < 0
-	})
-	db.levels[target][0] = newRun
-	db.m.compactions.Add(1)
-	db.m.trivialMoves.Add(1)
-	if d.Trigger == compaction.TriggerTTL {
-		db.m.compactionsTTL.Add(1)
-	} else {
-		db.m.compactionsSaturation.Add(1)
-	}
-	return db.commitManifest()
+	db.installVersionLocked(v)
+	db.recomputeTTLs()
+	return nil
 }
 
 func anyTombstones(handles run) bool {
@@ -374,54 +578,28 @@ func anyTombstones(handles run) bool {
 // ---------------------------------------------------------------------------
 // Helpers
 
-func (db *DB) refsToHandles(refs []compaction.FileRef) run {
+func sortRunByMinS(r run) {
+	sort.Slice(r, func(i, j int) bool {
+		return base.CompareUserKeys(r[i].meta.MinS, r[j].meta.MinS) < 0
+	})
+}
+
+// refsToHandles resolves picker file refs against a level structure. Files
+// are matched by number across the whole level rather than by run index: the
+// background scheduler picks on a tree with in-flight files masked out, so
+// run indices in the decision need not line up with the version's.
+func refsToHandles(levels [][]run, refs []compaction.FileRef) run {
 	var out run
 	for _, ref := range refs {
-		for _, h := range db.levels[ref.Level][ref.Run] {
-			if h.meta.FileNum == ref.Meta.FileNum {
-				out = append(out, h)
+		for _, r := range levels[ref.Level] {
+			for _, h := range r {
+				if h.meta.FileNum == ref.Meta.FileNum {
+					out = append(out, h)
+				}
 			}
 		}
 	}
 	return out
-}
-
-// removeHandlesLocked detaches the given refs from the level structure,
-// dropping runs that become empty.
-func (db *DB) removeHandlesLocked(refs []compaction.FileRef) {
-	drop := map[uint64]bool{}
-	for _, ref := range refs {
-		drop[ref.Meta.FileNum] = true
-	}
-	for l := range db.levels {
-		var runs []run
-		for _, r := range db.levels[l] {
-			var kept run
-			for _, h := range r {
-				if !drop[h.meta.FileNum] {
-					kept = append(kept, h)
-				}
-			}
-			if len(kept) > 0 {
-				runs = append(runs, kept)
-			}
-		}
-		db.levels[l] = runs
-	}
-}
-
-// deleteFilesLocked closes and removes obsolete files after the manifest no
-// longer references them.
-func (db *DB) deleteFilesLocked(handles run) error {
-	for _, h := range handles {
-		if err := h.r.Close(); err != nil {
-			return err
-		}
-		if err := db.opts.FS.Remove(db.fileName(h.meta.FileNum)); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func keyRangeOf(handles run) (minS, maxS []byte) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lethe/internal/base"
@@ -20,41 +21,68 @@ var ErrClosed = errors.New("lsm: database is closed")
 
 const manifestName = "MANIFEST"
 
-// fileHandle pairs a file's metadata with an open reader. The reader's Meta
-// pointer is shared so secondary range deletes keep both views consistent.
-type fileHandle struct {
-	meta *sstable.Meta
-	r    *sstable.Reader
-}
-
-// run is a sequence of S-ordered files forming one sorted run.
-type run []*fileHandle
-
-// DB is the engine. All public methods are safe for concurrent use; flushes
-// and compactions run synchronously inside the calling goroutine (the
-// paper's experiments prioritize compactions over writes), which also makes
-// experiments deterministic.
+// DB is the engine. All public methods are safe for concurrent use.
+//
+// Concurrency model: the tree's disk structure lives in an immutable
+// refcounted version (see version.go). Writers serialize on db.mu, which is
+// held only for in-memory work — appending to the WAL and buffer, sealing a
+// full buffer onto the immutable-flush queue, and installing new versions.
+// Readers (Get, Scan, SecondaryRangeScan) acquire a snapshot of the buffer,
+// the flush queue, and the current version under a brief db.mu critical
+// section, then run entirely outside the lock; a compaction finishing
+// mid-read cannot invalidate the files a reader holds, because the reader's
+// version pins them until it is released.
+//
+// Maintenance runs in the background by default: a flush worker drains the
+// immutable queue (writers stall, with metrics, when the queue exceeds
+// MaxImmutableBuffers), and a compaction scheduler dispatches FADE-picked
+// compactions to up to CompactionWorkers goroutines, each of which merges
+// outside db.mu and installs its result atomically. Setting
+// Options.DisableBackgroundMaintenance — automatic when a manual clock is
+// injected — reverts to the paper's synchronous mode: flushes and
+// compactions run inline inside the writing goroutine, preserving the
+// deterministic execution the experiments and the reproduction harness
+// depend on.
 type DB struct {
 	opts Options
 
 	mu     sync.Mutex
 	closed bool
-	mem    *memtable.Memtable
-	// levels[l] holds the runs of disk level l+1 (paper numbering), newest
-	// run first.
-	levels [][]run
-	wal    *wal.Manager
-	store  *manifest.Store
+	// mem is the mutable buffer; imm holds sealed buffers awaiting flush,
+	// oldest first.
+	mem *memtable.Memtable
+	imm []*flushable
+	// current is the installed version of the disk structure.
+	current *version
+	wal     *wal.Manager
+	store   *manifest.Store
 
-	nextFileNum uint64
-	seq         base.SeqNum
-	flushedSeq  base.SeqNum // highest seq durable in sstables
-	memSeed     int64
-	cache       *sstable.PageCache
+	seq        base.SeqNum
+	flushedSeq base.SeqNum // highest seq durable in sstables
+	memSeed    int64
+	cache      *sstable.PageCache
+
+	nextFileNum atomic.Uint64
 
 	// ttls holds the cumulative per-level TTL thresholds D[i], recomputed
 	// after every flush and whenever the tree height changes (§4.1.2).
 	ttls []time.Duration
+
+	// Background machinery. bgCond (on mu) is broadcast on every background
+	// state transition: flush completion, compaction completion, pause and
+	// resume. Stalled writers, Maintain, and pause waiters all block on it.
+	bgStarted   bool
+	bgCond      *sync.Cond
+	flushC      chan struct{}
+	compactC    chan struct{}
+	quit        chan struct{}
+	bg          sync.WaitGroup
+	flushActive bool
+	inflight    int             // running background compactions
+	busyFiles   map[uint64]bool // inputs claimed by in-flight compactions
+	busyLevels  map[int]int     // level -> in-flight claim count
+	pauseBG     int             // >0: background workers hold off
+	bgErr       error           // first background flush/compaction failure
 
 	m internalMetrics
 }
@@ -79,6 +107,12 @@ type internalMetrics struct {
 	fullTreeCompactions    metrics.Counter
 	trivialMoves           metrics.Counter
 	maxCompactionBytes     metrics.Gauge
+
+	// Pipeline metrics (background mode).
+	writeStalls     metrics.Counter
+	writeStallNanos metrics.Counter
+	bgFlushes       metrics.Counter
+	bgCompactions   metrics.Counter
 }
 
 // Open creates or re-opens a database on opts.FS, replaying any WAL segments
@@ -94,16 +128,18 @@ func Open(opts Options) (*DB, error) {
 		memSeed: o.Seed,
 		cache:   sstable.NewPageCache(o.CacheBytes),
 	}
+	db.bgCond = sync.NewCond(&db.mu)
 	db.mem = memtable.New(db.memSeed)
 
 	state, _, err := db.store.Load()
 	if err != nil {
 		return nil, err
 	}
-	db.nextFileNum = state.NextFileNum
+	db.nextFileNum.Store(state.NextFileNum)
 	db.seq = base.SeqNum(state.LastSeq)
 	db.flushedSeq = base.SeqNum(state.LastSeq)
 
+	v := &version{}
 	for _, runsIn := range state.Levels {
 		var runs []run
 		for _, fileNums := range runsIn {
@@ -117,8 +153,9 @@ func Open(opts Options) (*DB, error) {
 			}
 			runs = append(runs, r)
 		}
-		db.levels = append(db.levels, runs)
+		v.levels = append(v.levels, runs)
 	}
+	db.installVersionLocked(v)
 	db.recomputeTTLs()
 
 	if err := db.recoverWAL(); err != nil {
@@ -131,13 +168,17 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.wal = mgr
 	}
+	if !o.DisableBackgroundMaintenance {
+		db.startBackground()
+	}
 	return db, nil
 }
 
 func (db *DB) fileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
 
 func (db *DB) openFile(num uint64) (*fileHandle, error) {
-	f, err := db.opts.FS.Open(db.fileName(num))
+	name := db.fileName(num)
+	f, err := db.opts.FS.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: open file %d: %w", num, err)
 	}
@@ -147,7 +188,7 @@ func (db *DB) openFile(num uint64) (*fileHandle, error) {
 		return nil, fmt.Errorf("lsm: read file %d: %w", num, err)
 	}
 	r.SetCache(db.cache)
-	return &fileHandle{meta: r.Meta, r: r}, nil
+	return &fileHandle{meta: r.Meta, r: r, fs: db.opts.FS, name: name}, nil
 }
 
 // recomputeTTLs refreshes the cumulative level TTLs for the current tree
@@ -157,7 +198,7 @@ func (db *DB) recomputeTTLs() {
 		db.ttls = nil
 		return
 	}
-	levels := len(db.levels)
+	levels := len(db.current.levels)
 	if levels == 0 {
 		levels = 1
 	}
@@ -174,65 +215,80 @@ func (db *DB) capacityBytes(l int) int64 {
 	return cap
 }
 
-// liveBytes sums the live (non-dropped) bytes of a level.
-func (db *DB) liveBytes(l int) int64 {
+// liveBytes sums the live (non-dropped) bytes of level l of v, excluding
+// files in mask.
+func liveBytes(v *version, l int, mask map[uint64]bool) int64 {
 	var total int64
-	for _, r := range db.levels[l] {
+	for _, r := range v.levels[l] {
 		for _, h := range r {
+			if mask[h.meta.FileNum] {
+				continue
+			}
 			total += h.r.LiveBytesOf()
 		}
 	}
 	return total
 }
 
-// treeEntries counts live entries across all levels (including tombstones).
-func (db *DB) treeEntries() int {
+// treeEntries counts live entries across all levels of v (including
+// tombstones), excluding files in mask. Callers hold db.mu.
+func treeEntries(v *version, mask map[uint64]bool) int {
 	n := 0
-	for _, runs := range db.levels {
-		for _, r := range runs {
-			for _, h := range r {
-				n += h.meta.NumEntries
-			}
+	v.forEach(func(h *fileHandle) {
+		if !mask[h.meta.FileNum] {
+			n += h.meta.NumEntries
 		}
-	}
+	})
 	return n
 }
 
-// Close flushes the buffer and releases all resources.
+// Close drains background work, flushes the buffer, and releases all
+// resources. In-flight reads holding a version keep their files open until
+// they finish.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed {
+		db.mu.Unlock()
 		return ErrClosed
 	}
-	if err := db.flushLocked(); err != nil {
-		return err
+	db.closed = true
+	db.bgCond.Broadcast() // release stalled writers with ErrClosed
+	db.mu.Unlock()
+
+	if db.bgStarted {
+		close(db.quit)
+		db.bg.Wait() // workers exit; in-flight compactions install
 	}
-	for _, runs := range db.levels {
-		for _, r := range runs {
-			for _, h := range r {
-				if err := h.r.Close(); err != nil {
-					return err
-				}
-			}
-		}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	first := db.bgErr
+	if err := db.flushLocked(); err != nil && first == nil {
+		first = err
 	}
 	if db.wal != nil {
-		if err := db.wal.Close(); err != nil {
-			return err
+		if err := db.wal.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
-	db.closed = true
-	return nil
+	// Drop the engine's reference; file readers close as refs drain.
+	old := db.current
+	db.current = &version{}
+	db.current.refs.Store(1)
+	if err := old.unref(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
-// commitManifest persists the current structure. Callers hold db.mu.
-func (db *DB) commitManifest() error {
+// commitManifestLocked persists the structure of v together with the current
+// sequence and file-number state. Callers hold db.mu.
+func (db *DB) commitManifestLocked(v *version) error {
 	st := &manifest.State{
-		NextFileNum: db.nextFileNum,
+		NextFileNum: db.nextFileNum.Load(),
 		LastSeq:     uint64(db.flushedSeq),
 	}
-	for _, runs := range db.levels {
+	for _, runs := range v.levels {
 		var lvl [][]uint64
 		for _, r := range runs {
 			var nums []uint64
@@ -250,7 +306,7 @@ func (db *DB) commitManifest() error {
 func (db *DB) NumLevels() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return len(db.levels)
+	return len(db.current.levels)
 }
 
 // TTLs returns the current cumulative per-level TTL thresholds (nil without

@@ -1,6 +1,16 @@
 // Package lsm implements the LSM-tree engine: buffering, flushing, FADE
 // compaction orchestration, reads, primary and secondary deletes, recovery,
 // and the statistics the paper's evaluation measures.
+//
+// The engine has two execution models. In background mode (the default with
+// a wall clock) maintenance is pipelined: full buffers are sealed onto an
+// immutable-flush queue drained by a flush worker, FADE's triggers are
+// evaluated by a compaction scheduler that dispatches merges to worker
+// goroutines, and readers run against immutable refcounted version
+// snapshots without blocking behind either. In synchronous mode
+// (DisableBackgroundMaintenance, forced with a manual clock) flushes and
+// compactions run inline in the writing goroutine, byte-for-byte matching
+// the paper's single-threaded experiments.
 package lsm
 
 import (
@@ -60,11 +70,32 @@ type Options struct {
 	CacheBytes int64
 	// Seed makes memtable skiplist towers deterministic.
 	Seed int64
+	// DisableBackgroundMaintenance runs flushes and compactions inline
+	// inside the writing goroutine — the paper's synchronous, deterministic
+	// execution model. It is forced on when Clock is a *base.ManualClock,
+	// since background workers racing a manually advanced clock would make
+	// experiments unrepeatable.
+	DisableBackgroundMaintenance bool
+	// MaxImmutableBuffers bounds the immutable-memtable flush queue in
+	// background mode; writers stall when it is full (default 2).
+	MaxImmutableBuffers int
+	// CompactionWorkers is the number of concurrent background compactions
+	// (default 1). Ignored in synchronous mode.
+	CompactionWorkers int
 }
 
 func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = base.RealClock{}
+	}
+	if _, manual := o.Clock.(*base.ManualClock); manual {
+		o.DisableBackgroundMaintenance = true
+	}
+	if o.MaxImmutableBuffers == 0 {
+		o.MaxImmutableBuffers = 2
+	}
+	if o.CompactionWorkers == 0 {
+		o.CompactionWorkers = 1
 	}
 	if o.SizeRatio == 0 {
 		o.SizeRatio = 10

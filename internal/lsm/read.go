@@ -14,17 +14,22 @@ type errNotFound struct{}
 func (errNotFound) Error() string { return "lsm: key not found" }
 
 // Get returns the current value and delete key for key. The search order is
-// the paper's (§2, §4.2.5): memory buffer, then disk levels shallow to deep,
+// the paper's (§2, §4.2.5): memory buffers (mutable first, then the
+// immutable-flush queue newest first), then disk levels shallow to deep,
 // within a level newest run first; inside a file, tile fence pointers then
 // per-page Bloom filters guard page reads. Range tombstones at any level
 // shadow older entries.
+//
+// Get holds db.mu only long enough to snapshot the read state; the lookup
+// itself runs outside the lock and is never blocked by a flush or compaction
+// in flight.
 func (db *DB) Get(key []byte) ([]byte, base.DeleteKey, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil, 0, ErrClosed
+	rs, err := db.acquireReadState()
+	if err != nil {
+		return nil, 0, err
 	}
-	e, ok, err := db.getEntryLocked(key)
+	defer rs.release()
+	e, ok, err := getEntry(rs, key)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -34,23 +39,29 @@ func (db *DB) Get(key []byte) ([]byte, base.DeleteKey, error) {
 	return append([]byte(nil), e.Value...), e.DKey, nil
 }
 
-// getEntryLocked performs the versioned lookup, returning the newest entry
-// for key (possibly a tombstone) with range-tombstone shadowing applied.
-func (db *DB) getEntryLocked(key []byte) (base.Entry, bool, error) {
-	// The buffer resolves its own range tombstones.
-	if e, ok := db.mem.Get(key); ok {
-		return e, true, nil
-	}
+// getEntry performs the versioned lookup, returning the newest entry for key
+// (possibly a tombstone) with range-tombstone shadowing applied.
+func getEntry(rs readState, key []byte) (base.Entry, bool, error) {
 	// maxRTSeq carries the newest covering range tombstone seen so far in
 	// the descent. Per-key versions are depth-ordered (shallower = newer),
 	// so a tombstone found at or above the entry's level decides.
 	var maxRTSeq base.SeqNum
-	for _, rt := range db.mem.RangeTombstones() {
-		if rt.Contains(key) && rt.Seq > maxRTSeq {
-			maxRTSeq = rt.Seq
+	// Each buffer resolves its own range tombstones; tombstones from newer
+	// buffers shadow entries found in older ones.
+	for _, mt := range rs.memtables() {
+		if e, ok := mt.Get(key); ok {
+			if e.Key.SeqNum() < maxRTSeq {
+				return base.MakeEntry(key, maxRTSeq, base.KindDelete, 0, nil), true, nil
+			}
+			return e, true, nil
+		}
+		for _, rt := range mt.RangeTombstones() {
+			if rt.Contains(key) && rt.Seq > maxRTSeq {
+				maxRTSeq = rt.Seq
+			}
 		}
 	}
-	for _, runs := range db.levels {
+	for _, runs := range rs.v.levels {
 		for _, r := range runs {
 			for _, h := range r {
 				if !handleCoversKey(h, key) {
@@ -85,35 +96,40 @@ func (db *DB) getEntryLocked(key []byte) (base.Entry, bool, error) {
 
 // Scan calls fn for every live key-value pair with start <= key < end (nil
 // end = unbounded), in ascending key order, until fn returns false. It
-// merges the buffer and every run, applying tombstones, exactly as the
+// merges the buffers and every run, applying tombstones, exactly as the
 // paper's range lookup does ("sort-merging the qualifying key ranges across
-// all runs in the tree").
+// all runs in the tree"). Like Get, it snapshots the read state under a
+// brief db.mu critical section and then streams outside the lock: the
+// version pins every file, so compactions finishing mid-scan cannot pull
+// pages out from under it.
 func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteKey, value []byte) bool) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	rs, err := db.acquireReadState()
+	if err != nil {
+		return err
 	}
+	defer rs.release()
 
 	var inputs []compaction.Iterator
 	var rts []base.RangeTombstone
 
-	// The buffer goes first (newest source).
-	var memEntries []base.Entry
-	db.mem.Iter(func(e base.Entry) bool {
-		if start != nil && base.CompareUserKeys(e.Key.UserKey, start) < 0 {
+	// The buffers go first (newest sources first).
+	for _, mt := range rs.memtables() {
+		var memEntries []base.Entry
+		mt.Iter(func(e base.Entry) bool {
+			if start != nil && base.CompareUserKeys(e.Key.UserKey, start) < 0 {
+				return true
+			}
+			if end != nil && base.CompareUserKeys(e.Key.UserKey, end) >= 0 {
+				return false
+			}
+			memEntries = append(memEntries, e)
 			return true
-		}
-		if end != nil && base.CompareUserKeys(e.Key.UserKey, end) >= 0 {
-			return false
-		}
-		memEntries = append(memEntries, e)
-		return true
-	})
-	inputs = append(inputs, compaction.NewSliceIter(memEntries))
-	rts = append(rts, db.mem.RangeTombstones()...)
+		})
+		inputs = append(inputs, compaction.NewSliceIter(memEntries))
+		rts = append(rts, mt.RangeTombstones()...)
+	}
 
-	for _, runs := range db.levels {
+	for _, runs := range rs.v.levels {
 		for _, r := range runs {
 			for _, h := range r {
 				rts = append(rts, h.r.RangeTombstones...)
@@ -182,38 +198,39 @@ func (b *boundedIter) Error() error { return b.it.Error() }
 // [lo, hi). KiWi serves it from the delete fences: only pages whose D fence
 // overlaps the range are read (§4.2.5 "Secondary Range Lookups"), instead of
 // scanning the whole tree. Results are verified against the primary read
-// path so only current, undeleted versions are returned.
+// path so only current, undeleted versions are returned. Like Get and Scan,
+// it runs outside db.mu on a pinned snapshot.
 func (db *DB) SecondaryRangeScan(lo, hi base.DeleteKey) ([]base.Entry, error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return nil, ErrClosed
+	rs, err := db.acquireReadState()
+	if err != nil {
+		return nil, err
 	}
 	var candidates []base.Entry
-	db.mem.Iter(func(e base.Entry) bool {
-		if e.Key.Kind() == base.KindSet && e.DKey >= lo && e.DKey < hi {
-			candidates = append(candidates, e)
-		}
-		return true
-	})
-	var err error
-	for _, runs := range db.levels {
+	for _, mt := range rs.memtables() {
+		mt.Iter(func(e base.Entry) bool {
+			if e.Key.Kind() == base.KindSet && e.DKey >= lo && e.DKey < hi {
+				candidates = append(candidates, e)
+			}
+			return true
+		})
+	}
+	for _, runs := range rs.v.levels {
 		for _, r := range runs {
 			for _, h := range r {
-				if h.meta.MaxD < lo || h.meta.MinD >= hi {
+				m := h.r.MetaCopy()
+				if m.MaxD < lo || m.MinD >= hi {
 					continue
 				}
-				var got []base.Entry
-				got, err = collectByDeleteKey(h, lo, hi)
+				got, err := h.r.CollectByDeleteKey(lo, hi)
 				if err != nil {
-					db.mu.Unlock()
+					rs.release()
 					return nil, err
 				}
 				candidates = append(candidates, got...)
 			}
 		}
 	}
-	db.mu.Unlock()
+	rs.release()
 
 	// Verify candidates: only the newest live version of each key counts.
 	var out []base.Entry
@@ -233,31 +250,6 @@ func (db *DB) SecondaryRangeScan(lo, hi base.DeleteKey) ([]base.Entry, error) {
 		}
 		if dkey >= lo && dkey < hi {
 			out = append(out, base.MakeEntry(c.Key.UserKey, 0, base.KindSet, dkey, value))
-		}
-	}
-	return out, nil
-}
-
-// collectByDeleteKey reads only the pages of h whose delete fences overlap
-// [lo, hi).
-func collectByDeleteKey(h *fileHandle, lo, hi base.DeleteKey) ([]base.Entry, error) {
-	var out []base.Entry
-	for ti := range h.r.Tiles {
-		tile := &h.r.Tiles[ti]
-		for pi := range tile.Pages {
-			pm := &tile.Pages[pi]
-			if pm.Dropped || pm.ValueCount == 0 || pm.MaxD < lo || pm.MinD >= hi {
-				continue
-			}
-			entries, err := h.r.ReadPageForScan(ti, pi)
-			if err != nil {
-				return nil, err
-			}
-			for _, e := range entries {
-				if e.Key.Kind() == base.KindSet && e.DKey >= lo && e.DKey < hi {
-					out = append(out, e.Clone())
-				}
-			}
 		}
 	}
 	return out, nil

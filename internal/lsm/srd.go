@@ -9,8 +9,16 @@ import (
 // [lo, hi) — the paper's headline secondary range delete ("delete all
 // entries older than D days", §4.2.2). With KiWi it touches only the pages
 // the delete fences implicate: fully covered pages are dropped without I/O,
-// edge pages are filtered in place. The buffer is filtered in memory. No
-// full-tree compaction occurs. Aggregate per-file statistics are returned.
+// edge pages are filtered in place. The buffers (mutable and queued) are
+// filtered in memory. No full-tree compaction occurs. Aggregate per-file
+// statistics are returned.
+//
+// Concurrency: background flushes and compactions are paused for the
+// duration (a compaction merging a file while its pages are dropped could
+// resurrect deleted entries in its output), and db.mu is held, so writes
+// wait. Concurrent reads are not blocked: they synchronize per file on the
+// reader's internal lock and observe each page either before or after its
+// drop.
 //
 // Semantics: the deletion is physical, matching the paper's design. It
 // removes every stored version whose D qualifies; it does not write
@@ -27,25 +35,34 @@ func (db *DB) SecondaryRangeDelete(lo, hi base.DeleteKey) (sstable.SRDStats, err
 	if db.closed {
 		return agg, ErrClosed
 	}
-	memDropped := db.mem.DeleteSecondaryRange(lo, hi)
-	agg.EntriesDropped += memDropped
+	db.pauseBackgroundLocked()
+	defer db.resumeBackgroundLocked()
 
-	for _, runs := range db.levels {
-		for _, r := range runs {
-			for _, h := range r {
-				if h.meta.NumEntries == 0 || h.meta.MaxD < lo || h.meta.MinD >= hi {
-					continue
-				}
-				st, _, err := h.r.ApplySecondaryRangeDelete(lo, hi, db.opts.BloomBitsPerKey)
-				if err != nil {
-					return agg, err
-				}
-				agg.FullDrops += st.FullDrops
-				agg.PartialDrops += st.PartialDrops
-				agg.EntriesDropped += st.EntriesDropped
-				agg.PagesUntouched += st.PagesUntouched
-			}
+	agg.EntriesDropped += db.mem.DeleteSecondaryRange(lo, hi)
+	for _, fl := range db.imm {
+		agg.EntriesDropped += fl.mem.DeleteSecondaryRange(lo, hi)
+	}
+
+	var firstErr error
+	db.current.forEach(func(h *fileHandle) {
+		if firstErr != nil {
+			return
 		}
+		if h.meta.NumEntries == 0 || h.meta.MaxD < lo || h.meta.MinD >= hi {
+			return
+		}
+		st, _, err := h.r.ApplySecondaryRangeDelete(lo, hi, db.opts.BloomBitsPerKey)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		agg.FullDrops += st.FullDrops
+		agg.PartialDrops += st.PartialDrops
+		agg.EntriesDropped += st.EntriesDropped
+		agg.PagesUntouched += st.PagesUntouched
+	})
+	if firstErr != nil {
+		return agg, firstErr
 	}
 	db.m.fullPageDrops.Add(int64(agg.FullDrops))
 	db.m.partialPageDrops.Add(int64(agg.PartialDrops))

@@ -24,13 +24,15 @@ type LevelStats struct {
 }
 
 // Stats is a snapshot of the engine's state and lifetime counters — the
-// measurements §5 takes after each experiment.
+// measurements §5 takes after each experiment, plus the background
+// pipeline's health indicators.
 type Stats struct {
 	// Levels describes each disk level, shallowest first.
 	Levels []LevelStats
 	// TreeEntries is the total live entry count on disk.
 	TreeEntries int
-	// BufferEntries is the current memtable population.
+	// BufferEntries is the current memtable population (mutable buffer
+	// only; queued immutable buffers are counted separately).
 	BufferEntries int
 	// LivePointTombstones counts tombstones still in the tree (Fig. 6E's
 	// population).
@@ -74,6 +76,21 @@ type Stats struct {
 	FullPageDrops     int64
 	PartialPageDrops  int64
 	SRDEntriesDropped int64
+
+	// Background pipeline health (all zero in synchronous mode).
+	//
+	// ImmutableBuffers is the current depth of the immutable-flush queue;
+	// writers stall when it reaches Options.MaxImmutableBuffers.
+	ImmutableBuffers int
+	// WriteStalls counts write operations that blocked on a full flush
+	// queue; WriteStallTime is their cumulative wait.
+	WriteStalls    int64
+	WriteStallTime time.Duration
+	// BackgroundFlushes and BackgroundCompactions count maintenance
+	// executed by the background workers (as opposed to inline in the
+	// writing goroutine).
+	BackgroundFlushes     int64
+	BackgroundCompactions int64
 }
 
 // Stats returns a consistent snapshot.
@@ -81,9 +98,9 @@ func (db *DB) Stats() Stats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	var s Stats
-	for l := range db.levels {
-		ls := LevelStats{Runs: len(db.levels[l])}
-		for _, r := range db.levels[l] {
+	for _, runs := range db.current.levels {
+		ls := LevelStats{Runs: len(runs)}
+		for _, r := range runs {
 			ls.Files += len(r)
 			for _, h := range r {
 				ls.LiveBytes += h.r.LiveBytesOf()
@@ -97,6 +114,7 @@ func (db *DB) Stats() Stats {
 		s.LivePointTombstones += ls.PointTombstones
 	}
 	s.BufferEntries = db.mem.Count()
+	s.ImmutableBuffers = len(db.imm)
 
 	s.Compactions = db.m.compactions.Load()
 	s.CompactionsTTL = db.m.compactionsTTL.Load()
@@ -117,6 +135,10 @@ func (db *DB) Stats() Stats {
 	s.FullPageDrops = db.m.fullPageDrops.Load()
 	s.PartialPageDrops = db.m.partialPageDrops.Load()
 	s.SRDEntriesDropped = db.m.srdEntriesDropped.Load()
+	s.WriteStalls = db.m.writeStalls.Load()
+	s.WriteStallTime = time.Duration(db.m.writeStallNanos.Load())
+	s.BackgroundFlushes = db.m.bgFlushes.Load()
+	s.BackgroundCompactions = db.m.bgCompactions.Load()
 	return s
 }
 
@@ -144,19 +166,15 @@ func (db *DB) TombstoneAges() []TombstoneAgeBucket {
 	defer db.mu.Unlock()
 	now := db.opts.Clock.Now()
 	var out []TombstoneAgeBucket
-	for _, runs := range db.levels {
-		for _, r := range runs {
-			for _, h := range r {
-				if h.meta.NumPointTombstones == 0 {
-					continue
-				}
-				out = append(out, TombstoneAgeBucket{
-					Age:        h.meta.AMax(now),
-					Tombstones: h.meta.NumPointTombstones,
-				})
-			}
+	db.current.forEach(func(h *fileHandle) {
+		if h.meta.NumPointTombstones == 0 {
+			return
 		}
-	}
+		out = append(out, TombstoneAgeBucket{
+			Age:        h.meta.AMax(now),
+			Tombstones: h.meta.NumPointTombstones,
+		})
+	})
 	return out
 }
 
@@ -175,27 +193,29 @@ func (db *DB) MaxTombstoneAge() time.Duration {
 // SpaceAmp computes the paper's space amplification (§3.2.1):
 // (csize(N) − csize(U)) / csize(U), where csize(N) is the byte size of all
 // live entries in the tree and csize(U) the byte size of the newest live
-// version of each key. It scans the tree, so it is a measurement tool, not a
-// hot-path call.
+// version of each key. It scans the tree on a pinned snapshot, so it is a
+// measurement tool, not a hot-path call.
 func (db *DB) SpaceAmp() (float64, error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return 0, ErrClosed
+	rs, err := db.acquireReadState()
+	if err != nil {
+		return 0, err
 	}
+	defer rs.release()
 	var totalBytes, uniqueBytes int64
 
 	var iters []compaction.Iterator
 	var rts []base.RangeTombstone
-	var memEntries []base.Entry
-	db.mem.Iter(func(e base.Entry) bool {
-		memEntries = append(memEntries, e)
-		totalBytes += int64(e.Size())
-		return true
-	})
-	iters = append(iters, compaction.NewSliceIter(memEntries))
-	rts = append(rts, db.mem.RangeTombstones()...)
-	for _, runs := range db.levels {
+	for _, mt := range rs.memtables() {
+		var memEntries []base.Entry
+		mt.Iter(func(e base.Entry) bool {
+			memEntries = append(memEntries, e)
+			totalBytes += int64(e.Size())
+			return true
+		})
+		iters = append(iters, compaction.NewSliceIter(memEntries))
+		rts = append(rts, mt.RangeTombstones()...)
+	}
+	for _, runs := range rs.v.levels {
 		for _, r := range runs {
 			for _, h := range r {
 				it := h.r.NewIter()
@@ -215,7 +235,6 @@ func (db *DB) SpaceAmp() (float64, error) {
 		}
 		uniqueBytes += int64(e.Size())
 	}
-	db.mu.Unlock()
 	if err := merged.Error(); err != nil {
 		return 0, err
 	}

@@ -1,0 +1,205 @@
+package lsm
+
+import (
+	"sync/atomic"
+
+	"lethe/internal/memtable"
+	"lethe/internal/sstable"
+	"lethe/internal/vfs"
+)
+
+// fileHandle pairs a file's metadata with an open reader and a reference
+// count. The reader's Meta pointer is shared so secondary range deletes keep
+// both views consistent.
+//
+// Lifecycle: every version containing the handle holds one reference. When
+// the last referencing version is released the reader is closed, and — if a
+// compaction has marked the file obsolete — the file is removed from the
+// filesystem. Readers therefore never observe a file disappearing under
+// them: a version they hold pins every file it references.
+type fileHandle struct {
+	meta *sstable.Meta
+	r    *sstable.Reader
+
+	refs     atomic.Int32
+	obsolete atomic.Bool
+	fs       vfs.FS
+	name     string
+}
+
+func (h *fileHandle) ref() { h.refs.Add(1) }
+
+// unref drops one reference, closing the reader (and deleting an obsolete
+// file) when the count drains. It returns the first error encountered;
+// callers on read paths may ignore it (a leaked file is benign, and the
+// in-memory filesystems the experiments run on do not fail here).
+func (h *fileHandle) unref() error {
+	n := h.refs.Add(-1)
+	if n > 0 {
+		return nil
+	}
+	if n < 0 {
+		panic("lsm: fileHandle refcount underflow")
+	}
+	err := h.r.Close()
+	if h.obsolete.Load() {
+		if rmErr := h.fs.Remove(h.name); rmErr != nil && err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// run is a sequence of S-ordered files forming one sorted run.
+type run []*fileHandle
+
+// version is an immutable snapshot of the tree's disk structure: the runs of
+// every level plus the file handles backing them. Readers acquire the
+// current version under a brief db.mu critical section and then serve
+// lookups and scans entirely outside the lock; flushes and compactions
+// install new versions atomically.
+type version struct {
+	// levels[l] holds the runs of disk level l+1 (paper numbering), newest
+	// run first.
+	levels [][]run
+	refs   atomic.Int32
+}
+
+// ref acquires one reference and returns v for chaining.
+func (v *version) ref() *version {
+	v.refs.Add(1)
+	return v
+}
+
+// unref releases one reference, releasing every file handle when the version
+// is no longer held by anyone.
+func (v *version) unref() error {
+	n := v.refs.Add(-1)
+	if n > 0 {
+		return nil
+	}
+	if n < 0 {
+		panic("lsm: version refcount underflow")
+	}
+	var first error
+	for _, runs := range v.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				if err := h.unref(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+	}
+	return first
+}
+
+// forEach calls fn for every file handle in the version.
+func (v *version) forEach(fn func(h *fileHandle)) {
+	for _, runs := range v.levels {
+		for _, r := range runs {
+			for _, h := range r {
+				fn(h)
+			}
+		}
+	}
+}
+
+// cloneLevels returns level and run slices safe to mutate without touching
+// v. The fileHandle pointers themselves are shared.
+func (v *version) cloneLevels() [][]run {
+	out := make([][]run, len(v.levels))
+	for l, runs := range v.levels {
+		out[l] = make([]run, len(runs))
+		for i, r := range runs {
+			out[l][i] = append(run(nil), r...)
+		}
+	}
+	return out
+}
+
+// withoutFiles returns the levels of v minus the files in drop, with runs
+// that become empty removed.
+func (v *version) withoutFiles(drop map[uint64]bool) [][]run {
+	out := make([][]run, len(v.levels))
+	for l, runs := range v.levels {
+		var kept []run
+		for _, r := range runs {
+			var keptRun run
+			for _, h := range r {
+				if !drop[h.meta.FileNum] {
+					keptRun = append(keptRun, h)
+				}
+			}
+			if len(keptRun) > 0 {
+				kept = append(kept, keptRun)
+			}
+		}
+		out[l] = kept
+	}
+	return out
+}
+
+// installVersionLocked makes v the current version, transferring handle
+// references: every handle in v is referenced, then the previous version is
+// released (so handles present in both keep a stable count). Callers hold
+// db.mu.
+func (db *DB) installVersionLocked(v *version) {
+	v.refs.Store(1)
+	v.forEach(func(h *fileHandle) { h.ref() })
+	old := db.current
+	db.current = v
+	if old != nil {
+		// Ignore close errors on drained obsolete files: the manifest no
+		// longer references them and a leaked file is benign.
+		_ = old.unref()
+	}
+}
+
+// readState is a consistent snapshot of everything a read needs: the
+// mutable buffer, the immutable flush queue (oldest first), and the current
+// version with a reference held. Reads run entirely outside db.mu.
+type readState struct {
+	mem *memtable.Memtable
+	imm []*flushable
+	v   *version
+}
+
+// memtables returns the buffer plus queued immutable tables, newest first —
+// the order lookups must probe them in.
+func (rs readState) memtables() []*memtable.Memtable {
+	out := make([]*memtable.Memtable, 0, len(rs.imm)+1)
+	out = append(out, rs.mem)
+	for i := len(rs.imm) - 1; i >= 0; i-- {
+		out = append(out, rs.imm[i].mem)
+	}
+	return out
+}
+
+func (rs readState) release() {
+	_ = rs.v.unref()
+}
+
+// acquireReadState snapshots the read view under a brief db.mu critical
+// section.
+func (db *DB) acquireReadState() (readState, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return readState{}, ErrClosed
+	}
+	return readState{
+		mem: db.mem,
+		imm: append([]*flushable(nil), db.imm...),
+		v:   db.current.ref(),
+	}, nil
+}
+
+// flushable is one sealed memtable waiting for the flush worker, paired
+// with the WAL segment that made it durable.
+type flushable struct {
+	mem *memtable.Memtable
+	// sealedWAL is the rotated segment to release once the flush commits
+	// ("" when the WAL is disabled).
+	sealedWAL string
+}

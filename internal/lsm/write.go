@@ -3,6 +3,7 @@ package lsm
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"lethe/internal/base"
 	"lethe/internal/memtable"
@@ -14,8 +15,8 @@ import (
 func (db *DB) Put(key []byte, dkey base.DeleteKey, value []byte) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	if err := db.writableLocked(); err != nil {
+		return err
 	}
 	db.seq++
 	e := base.MakeEntry(key, db.seq, base.KindSet, dkey, value)
@@ -30,8 +31,8 @@ func (db *DB) Put(key []byte, dkey base.DeleteKey, value []byte) error {
 func (db *DB) Delete(key []byte) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	if err := db.writableLocked(); err != nil {
+		return err
 	}
 	if db.opts.SuppressBlindDeletes && !db.mayContainLocked(key) {
 		db.m.blindDeletesSuppressed.Add(1)
@@ -51,8 +52,8 @@ func (db *DB) RangeDelete(start, end []byte) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
+	if err := db.writableLocked(); err != nil {
+		return err
 	}
 	db.seq++
 	e := base.MakeEntry(start, db.seq, base.KindRangeDelete,
@@ -61,47 +62,61 @@ func (db *DB) RangeDelete(start, end []byte) error {
 	return db.applyLocked(e)
 }
 
+// writableLocked gates the write path: it rejects writes on a closed DB,
+// surfaces a background maintenance failure, and — in background mode —
+// stalls the writer while the immutable-flush queue is at capacity, counting
+// the stall and its duration. Callers hold db.mu.
+func (db *DB) writableLocked() error {
+	if db.closed {
+		return ErrClosed
+	}
+	if db.bgErr != nil {
+		return db.bgErr
+	}
+	if !db.bgStarted {
+		return nil
+	}
+	stalled := false
+	var stallStart time.Time
+	for len(db.imm) >= db.opts.MaxImmutableBuffers && !db.closed && db.bgErr == nil {
+		if !stalled {
+			stalled = true
+			stallStart = time.Now()
+			db.m.writeStalls.Add(1)
+			db.kickFlush()
+		}
+		db.bgCond.Wait()
+	}
+	if stalled {
+		db.m.writeStallNanos.Add(time.Since(stallStart).Nanoseconds())
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	return db.bgErr
+}
+
 // mayContainLocked reports whether any component of the tree may hold key:
-// the memtable, or any file whose tile filters answer positive.
+// a buffer (mutable or queued), or any file whose tile filters answer
+// positive.
 func (db *DB) mayContainLocked(key []byte) bool {
 	if _, ok := db.mem.Get(key); ok {
 		return true
 	}
-	for _, runs := range db.levels {
+	for _, fl := range db.imm {
+		if _, ok := fl.mem.Get(key); ok {
+			return true
+		}
+	}
+	for _, runs := range db.current.levels {
 		for _, r := range runs {
 			for _, h := range r {
-				if !handleCoversKey(h, key) {
-					continue
-				}
-				if readerMayContain(h.r, key) {
+				if handleCoversKey(h, key) && h.r.MayContainKey(key) {
 					return true
 				}
 			}
 		}
 	}
-	return false
-}
-
-// readerMayContain probes the per-page Bloom filters of the tile covering
-// key — CPU only, no I/O.
-func readerMayContain(r *sstable.Reader, key []byte) bool {
-	for ti := range r.Tiles {
-		tile := &r.Tiles[ti]
-		if base.CompareUserKeys(key, tile.MinS) < 0 || base.CompareUserKeys(key, tile.MaxS) > 0 {
-			continue
-		}
-		for pi := range tile.Pages {
-			pm := &tile.Pages[pi]
-			if pm.Dropped {
-				continue
-			}
-			if pm.Filter.MayContain(key) {
-				return true
-			}
-		}
-	}
-	// Range tombstones don't matter for blind-delete suppression: deleting
-	// an already-range-deleted key is itself blind.
 	return false
 }
 
@@ -113,7 +128,10 @@ func handleCoversKey(h *fileHandle, key []byte) bool {
 	return base.CompareUserKeys(m.MinS, key) <= 0 && base.CompareUserKeys(key, m.MaxS) <= 0
 }
 
-// applyLocked logs and buffers an entry, flushing when the buffer fills.
+// applyLocked logs and buffers an entry. When the buffer fills, synchronous
+// mode flushes and maintains inline (the paper's deterministic behavior);
+// background mode seals the buffer onto the flush queue and returns
+// immediately.
 func (db *DB) applyLocked(e base.Entry) error {
 	if db.wal != nil {
 		if err := db.wal.Append(e); err != nil {
@@ -121,36 +139,61 @@ func (db *DB) applyLocked(e base.Entry) error {
 		}
 	}
 	db.mem.Apply(e)
-	if db.mem.ApproxBytes() >= db.opts.BufferBytes {
-		if err := db.flushLocked(); err != nil {
-			return err
-		}
-		return db.maintainLocked()
-	}
-	return nil
+	return db.maybeRotateBufferLocked()
 }
 
-// Flush forces the memory buffer to disk.
+// maybeRotateBufferLocked turns over a full buffer: background mode seals it
+// onto the flush queue for the worker; synchronous mode flushes and
+// maintains inline. Callers hold db.mu.
+func (db *DB) maybeRotateBufferLocked() error {
+	if db.mem.ApproxBytes() < db.opts.BufferBytes {
+		return nil
+	}
+	if db.bgStarted {
+		if err := db.sealMemtableLocked(); err != nil {
+			return err
+		}
+		db.kickFlush()
+		return nil
+	}
+	if err := db.flushLocked(); err != nil {
+		return err
+	}
+	return db.maintainLocked()
+}
+
+// Flush forces the memory buffer to disk. In background mode it seals the
+// buffer and waits for the flush worker to drain the queue, so the buffer is
+// durable in sstables when Flush returns.
 func (db *DB) Flush() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	return db.flushLocked()
+	if !db.bgStarted {
+		return db.flushLocked()
+	}
+	if err := db.sealMemtableLocked(); err != nil {
+		return err
+	}
+	db.kickFlush()
+	for len(db.imm) > 0 && !db.closed && db.bgErr == nil {
+		db.bgCond.Wait()
+	}
+	if db.closed {
+		return ErrClosed
+	}
+	return db.bgErr
 }
 
-// flushLocked writes the buffer as a new run at the first disk level. The
-// run is split into files of FilePages pages each. Per §4.1.3, file
-// metadata (a_max, tombstone counts) is assigned at flush time by the
-// sstable writer.
-func (db *DB) flushLocked() error {
+// sealMemtableLocked moves a non-empty buffer onto the immutable-flush
+// queue, rotating the WAL so the sealed buffer's records live in their own
+// segment, and starts a fresh buffer. Callers hold db.mu.
+func (db *DB) sealMemtableLocked() error {
 	if db.mem.Empty() {
 		return nil
 	}
-	entries := db.mem.All()
-	rts := db.mem.RangeTombstones()
-
 	var sealedWAL string
 	if db.wal != nil {
 		var err error
@@ -158,16 +201,58 @@ func (db *DB) flushLocked() error {
 			return err
 		}
 	}
+	db.imm = append(db.imm, &flushable{mem: db.mem, sealedWAL: sealedWAL})
+	db.memSeed++
+	db.mem = memtable.New(db.memSeed)
+	return nil
+}
 
-	newRun, maxSeq, err := db.writeRun(entries, rts)
-	if err != nil {
+// flushLocked synchronously seals the buffer and drains the whole flush
+// queue inline. It intentionally does not check db.closed: Close and
+// FullTreeCompact use it for their final drains. Callers hold db.mu.
+func (db *DB) flushLocked() error {
+	if err := db.sealMemtableLocked(); err != nil {
 		return err
 	}
-	if len(db.levels) == 0 {
-		db.levels = append(db.levels, nil)
+	return db.flushQueueLocked()
+}
+
+// flushQueueLocked flushes queued immutable buffers, oldest first, inline.
+func (db *DB) flushQueueLocked() error {
+	for len(db.imm) > 0 {
+		fl := db.imm[0]
+		newRun, maxSeq, err := db.buildFlushRun(fl)
+		if err != nil {
+			return err
+		}
+		if err := db.installFlushLocked(fl, newRun, maxSeq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildFlushRun writes one sealed buffer as a new run at the first disk
+// level. The run is split into files of FilePages pages each. Per §4.1.3,
+// file metadata (a_max, tombstone counts) is assigned at flush time by the
+// sstable writer. It performs only file I/O — no db.mu is required, so the
+// background flush worker calls it outside the lock.
+func (db *DB) buildFlushRun(fl *flushable) (run, base.SeqNum, error) {
+	return db.writeRun(fl.mem.All(), fl.mem.RangeTombstones())
+}
+
+// installFlushLocked commits a flushed run: the manifest records the new
+// structure, the version is installed, the flushed buffer leaves the queue,
+// and its WAL segment is released. Callers hold db.mu.
+func (db *DB) installFlushLocked(fl *flushable, newRun run, maxSeq base.SeqNum) error {
+	levels := db.current.cloneLevels()
+	if len(levels) == 0 {
+		levels = append(levels, nil)
 	}
 	// Newest run first.
-	db.levels[0] = append([]run{newRun}, db.levels[0]...)
+	levels[0] = append([]run{newRun}, levels[0]...)
+	v := &version{levels: levels}
+
 	if maxSeq > db.flushedSeq {
 		db.flushedSeq = maxSeq
 	}
@@ -175,23 +260,29 @@ func (db *DB) flushLocked() error {
 	for _, h := range newRun {
 		db.m.bytesFlushed.Add(h.meta.Size)
 	}
-	if err := db.commitManifest(); err != nil {
+	if err := db.commitManifestLocked(v); err != nil {
 		return err
 	}
-	if db.wal != nil {
-		if err := db.wal.Release(sealedWAL); err != nil {
+	db.installVersionLocked(v)
+	if len(db.imm) == 0 || db.imm[0] != fl {
+		panic("lsm: flush queue out of order")
+	}
+	db.imm = db.imm[1:]
+	if fl.sealedWAL != "" {
+		if err := db.wal.Release(fl.sealedWAL); err != nil {
 			return err
 		}
 	}
-	db.memSeed++
-	db.mem = memtable.New(db.memSeed)
 	// §4.1.2: "FADE re-calculates d_i after every buffer flush."
 	db.recomputeTTLs()
+	db.bgCond.Broadcast()
 	return nil
 }
 
 // writeRun writes sorted entries (plus range tombstones attached to the
 // first output file) as a sequence of files and returns the new handles.
+// File numbers come from an atomic counter, so concurrent background workers
+// can build runs without holding db.mu.
 func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone) (run, base.SeqNum, error) {
 	var out run
 	var maxSeq base.SeqNum
@@ -200,8 +291,7 @@ func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone) (run, ba
 	i := 0
 	first := true
 	for i < len(entries) || (first && len(rts) > 0) {
-		num := db.nextFileNum
-		db.nextFileNum++
+		num := db.nextFileNum.Add(1) - 1
 		f, err := db.opts.FS.Create(db.fileName(num))
 		if err != nil {
 			return nil, 0, fmt.Errorf("lsm: create sstable: %w", err)

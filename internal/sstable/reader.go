@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"lethe/internal/base"
 	"lethe/internal/vfs"
@@ -13,11 +14,22 @@ import (
 // Reader serves lookups and scans over one sstable. The metadata block
 // (fences, delete fences, per-page Bloom filters, range tombstones) is held
 // in memory, as real engines cache it; only data pages cost I/O.
+//
+// A Reader is safe for concurrent use. File contents and most metadata are
+// immutable after open; the exception is ApplySecondaryRangeDelete, which
+// mutates pages and their descriptors in place under the reader's internal
+// write lock while lookups, scans, and metadata snapshots hold the read
+// lock. A lookup racing a secondary range delete sees each page either
+// before or after its drop — never a torn state.
 type Reader struct {
-	f     vfs.File
+	f vfs.File
+	// mu guards Meta's mutable aggregates and the Tiles page descriptors
+	// against in-place secondary-range-delete rewrites.
+	mu    sync.RWMutex
 	Meta  *Meta
 	Tiles []TileMeta
-	// RangeTombstones is the file's range tombstone block.
+	// RangeTombstones is the file's range tombstone block. It is immutable
+	// after open.
 	RangeTombstones []base.RangeTombstone
 	// cache, when non-nil, holds decoded pages shared across readers.
 	cache *PageCache
@@ -121,6 +133,8 @@ func (r *Reader) findTile(key []byte) int {
 // It returns the entry (which may be a point tombstone — the caller decides
 // what a tombstone means at its level) and whether the key was found.
 func (r *Reader) Get(key []byte) (base.Entry, bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	ti := r.findTile(key)
 	if ti < 0 {
 		return base.Entry{}, false, nil
@@ -153,7 +167,70 @@ func (r *Reader) Get(key []byte) (base.Entry, bool, error) {
 // ReadPageForScan exposes a single page's entries for delete-fence-guided
 // secondary range scans (§4.2.5). The returned entries alias a fresh buffer.
 func (r *Reader) ReadPageForScan(tileIdx, pageInTile int) ([]base.Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.readPage(&r.Tiles[tileIdx], pageInTile)
+}
+
+// MetaCopy returns a consistent snapshot of the file-level metadata. Use it
+// instead of reading Meta fields directly whenever a concurrent secondary
+// range delete may be rewriting the file's aggregates.
+func (r *Reader) MetaCopy() Meta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return *r.Meta
+}
+
+// MayContainKey probes the per-page Bloom filters of the tile covering key —
+// CPU only, no I/O. Range tombstones are not consulted: deleting an
+// already-range-deleted key is itself blind, so the blind-delete pre-probe
+// (§4.1.5) only cares about materialized entries.
+func (r *Reader) MayContainKey(key []byte) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ti := r.findTile(key)
+	if ti < 0 {
+		return false
+	}
+	tile := &r.Tiles[ti]
+	for pi := range tile.Pages {
+		pm := &tile.Pages[pi]
+		if pm.Dropped {
+			continue
+		}
+		if pm.Filter.MayContain(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// CollectByDeleteKey returns clones of the value entries whose delete key
+// falls in [lo, hi), reading only the pages whose delete fences overlap the
+// range (§4.2.5 "Secondary Range Lookups").
+func (r *Reader) CollectByDeleteKey(lo, hi base.DeleteKey) ([]base.Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []base.Entry
+	for ti := range r.Tiles {
+		tile := &r.Tiles[ti]
+		for pi := range tile.Pages {
+			pm := &tile.Pages[pi]
+			if pm.Dropped || pm.ValueCount == 0 || pm.MaxD < lo || pm.MinD >= hi {
+				continue
+			}
+			entries, err := r.readPage(tile, pi)
+			if err != nil {
+				return nil, err
+			}
+			for _, e := range entries {
+				if e.Key.Kind() == base.KindSet && e.DKey >= lo && e.DKey < hi {
+					out = append(out, e.Clone())
+				}
+			}
+		}
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -177,6 +254,8 @@ func (r *Reader) NewIter() *Iter {
 
 // loadTile reads every live page of tile ti and merges them into S order.
 func (it *Iter) loadTile(ti int) bool {
+	it.r.mu.RLock()
+	defer it.r.mu.RUnlock()
 	tile := &it.r.Tiles[ti]
 	it.buf = it.buf[:0]
 	for pi := range tile.Pages {
@@ -219,7 +298,8 @@ func (it *Iter) Next() (base.Entry, bool) {
 // SeekGE positions the iterator at the first entry with user key >= key.
 func (it *Iter) SeekGE(key []byte) {
 	it.err = nil
-	// First tile whose MaxS >= key.
+	// First tile whose MaxS >= key. Tile fences are immutable, so this scan
+	// needs no lock; loadTile takes the read lock for the page descriptors.
 	i := sort.Search(len(it.r.Tiles), func(i int) bool {
 		return base.CompareUserKeys(it.r.Tiles[i].MaxS, key) >= 0
 	})

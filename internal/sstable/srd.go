@@ -34,6 +34,10 @@ func (r *Reader) ApplySecondaryRangeDelete(lo, hi base.DeleteKey, bitsPerKey int
 	if hi <= lo {
 		return stats, r.Meta, nil
 	}
+	// Exclude concurrent lookups/scans on this file: pages and their
+	// descriptors are rewritten in place.
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for ti := range r.Tiles {
 		tile := &r.Tiles[ti]
 		for pi := range tile.Pages {
@@ -215,10 +219,16 @@ func (r *Reader) rewriteMetaBlock() error {
 }
 
 // LiveBytesOf returns the file's live byte count (size minus dropped pages).
-func (r *Reader) LiveBytesOf() int64 { return LiveBytes(r.Meta, r.Tiles) }
+func (r *Reader) LiveBytesOf() int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return LiveBytes(r.Meta, r.Tiles)
+}
 
 // CountDropped returns how many pages of the file have been dropped.
 func (r *Reader) CountDropped() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	n := 0
 	for ti := range r.Tiles {
 		for pi := range r.Tiles[ti].Pages {

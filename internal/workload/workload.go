@@ -248,15 +248,22 @@ func (g *Generator) existingOr(fallback int) int {
 		return fallback
 	}
 	// Rejection-sample a few times to stay O(1) amortized, then fall back to
-	// a map walk (rare when the key space is reasonably occupied).
+	// a linear probe from a random start (rare when the key space is
+	// reasonably occupied). The probe must NOT walk the map directly: Go
+	// randomizes map iteration order per run, which made the generated
+	// operation stream — and every downstream figure — nondeterministic
+	// whenever sampling missed.
 	for try := 0; try < 8; try++ {
 		i := g.rng.Intn(g.cfg.KeySpace)
 		if g.inserted[i] {
 			return i
 		}
 	}
-	for i := range g.inserted {
-		return i
+	start := g.rng.Intn(g.cfg.KeySpace)
+	for off := 0; off < g.cfg.KeySpace; off++ {
+		if i := (start + off) % g.cfg.KeySpace; g.inserted[i] {
+			return i
+		}
 	}
 	return fallback
 }

@@ -119,9 +119,34 @@ type Options struct {
 	CacheBytes int64
 	// Seed fixes internal randomness for reproducibility.
 	Seed int64
+	// DisableBackgroundMaintenance turns off the background flush and
+	// compaction pipeline: maintenance then runs inline inside the writing
+	// goroutine, exactly as the paper's single-threaded experiments do. It
+	// is forced on when a manual clock is injected via Clock, so
+	// deterministic simulations stay deterministic without further
+	// configuration.
+	DisableBackgroundMaintenance bool
+	// MaxImmutableBuffers bounds the queue of sealed buffers awaiting
+	// background flush; writers stall (with stall metrics in Stats) while
+	// the queue is full. Default 2. Ignored in synchronous mode.
+	MaxImmutableBuffers int
+	// CompactionWorkers is the number of compactions the background
+	// scheduler may run concurrently. Default 1. Ignored in synchronous
+	// mode.
+	CompactionWorkers int
 }
 
 // DB is a Lethe database handle. It is safe for concurrent use.
+//
+// Reads never block behind maintenance: Get, Scan, NewIter, and
+// SecondaryRangeScan take a refcounted snapshot of the tree under a brief
+// internal lock and then run against immutable state, so a compaction or
+// flush in flight cannot stall them. Writes serialize on the engine lock;
+// when the background flush queue is saturated they stall until the flush
+// worker catches up (see Stats().WriteStalls). With
+// DisableBackgroundMaintenance — automatic under a manual clock — all
+// maintenance instead runs inline inside the writing goroutine, preserving
+// the paper's deterministic single-threaded execution.
 type DB struct {
 	inner *lsm.DB
 }
@@ -163,6 +188,10 @@ func Open(opts Options) (*DB, error) {
 		CoverageEstimator:    opts.CoverageEstimator,
 		CacheBytes:           opts.CacheBytes,
 		Seed:                 opts.Seed,
+
+		DisableBackgroundMaintenance: opts.DisableBackgroundMaintenance,
+		MaxImmutableBuffers:          opts.MaxImmutableBuffers,
+		CompactionWorkers:            opts.CompactionWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -250,8 +279,10 @@ type Item struct {
 func (db *DB) Flush() error { return db.inner.Flush() }
 
 // Maintain runs compactions until no trigger (saturation or TTL expiry)
-// fires. Writes invoke it automatically; call it after advancing a manual
-// clock.
+// fires. In synchronous mode writes invoke it automatically; call it after
+// advancing a manual clock. In background mode it kicks the workers and
+// blocks until the maintenance pipeline is quiescent — useful as a barrier
+// in tests and batch jobs.
 func (db *DB) Maintain() error { return db.inner.Maintain() }
 
 // FullTreeCompact merges the entire tree into its last level — the
