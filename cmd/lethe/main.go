@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N]
+//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-wal-sync grouped|always|never]
+//
+// -wal-sync selects the commit durability policy: "grouped" (default)
+// batches concurrent commits through the group-commit pipeline with one WAL
+// sync per group, "always" syncs every commit individually on the
+// serialized path, "never" defers durability to the OS. The stats command
+// reports the pipeline's grouping factor and sync counts.
 //
 // Commands (one per line):
 //
@@ -37,10 +43,25 @@ func main() {
 	tiles := flag.Int("h", 4, "delete tile granularity (pages per tile)")
 	syncMaint := flag.Bool("sync", false, "run flushes and compactions inline (no background workers)")
 	workers := flag.Int("compaction-workers", 0, "concurrent background compactions (0 = default)")
+	walSync := flag.String("wal-sync", "grouped", "WAL sync policy: grouped, always, or never")
 	flag.Parse()
 
+	var policy lethe.WALSyncPolicy
+	switch *walSync {
+	case "grouped":
+		policy = lethe.SyncGrouped
+	case "always":
+		policy = lethe.SyncAlways
+	case "never":
+		policy = lethe.SyncNever
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -wal-sync %q (want grouped, always, or never)\n", *walSync)
+		os.Exit(1)
+	}
+
 	opts := lethe.Options{Dth: *dth, TilePages: *tiles,
-		DisableBackgroundMaintenance: *syncMaint, CompactionWorkers: *workers}
+		DisableBackgroundMaintenance: *syncMaint, CompactionWorkers: *workers,
+		WALSync: policy}
 	if *path == "" {
 		opts.InMemory = true
 		fmt.Println("in-memory database (use -path to persist)")
@@ -171,6 +192,13 @@ func execute(db *lethe.DB, args []string) (quit bool) {
 		fmt.Printf("pipeline: queued-buffers=%d bg-flushes=%d bg-compactions=%d stalls=%d (%v)\n",
 			st.ImmutableBuffers, st.BackgroundFlushes, st.BackgroundCompactions,
 			st.WriteStalls, st.WriteStallTime)
+		groupFactor := 0.0
+		if st.CommitGroups > 0 {
+			groupFactor = float64(st.CommitBatches) / float64(st.CommitGroups)
+		}
+		fmt.Printf("commit: groups=%d batches=%d entries=%d (%.2f batches/group, max %d) queue=%d wal-syncs=%d published-seq=%d\n",
+			st.CommitGroups, st.CommitBatches, st.CommitEntries, groupFactor,
+			st.MaxCommitGroupBatches, st.CommitQueueDepth, st.WALSyncs, st.LastPublishedSeq)
 		fmt.Printf("max tombstone age: %v (TTLs: %v)\n", db.MaxTombstoneAge(), db.TTLs())
 	case "levels":
 		for i, l := range db.Stats().Levels {

@@ -21,51 +21,32 @@ type BatchOp struct {
 }
 
 // ApplyBatch applies all operations atomically with respect to concurrent
-// readers and crash recovery: the batch's records reach the WAL before any
-// of them is visible, and sequence numbers are contiguous, so recovery
-// replays either none or all of a synced batch's prefix.
+// readers and crash recovery: the batch travels the commit pipeline as one
+// unit, its records reach the WAL inside a single group record before any of
+// them is visible, and sequence numbers are contiguous in submission order —
+// so recovery replays either all of a batch's operations or none of them (a
+// group torn mid-record is dropped whole).
 func (db *DB) ApplyBatch(ops []BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.writableLocked(); err != nil {
-		return err
-	}
 	entries := make([]base.Entry, 0, len(ops))
 	for _, op := range ops {
-		db.seq++
 		switch op.Kind {
 		case base.KindSet:
-			entries = append(entries, base.MakeEntry(op.Key, db.seq, base.KindSet, op.DKey, op.Value))
+			entries = append(entries, base.MakeEntry(op.Key, 0, base.KindSet, op.DKey, op.Value))
 		case base.KindDelete:
-			entries = append(entries, base.MakeEntry(op.Key, db.seq, base.KindDelete,
+			entries = append(entries, base.MakeEntry(op.Key, 0, base.KindDelete,
 				base.DeleteKey(db.opts.Clock.Now().UnixNano()), nil))
 		case base.KindRangeDelete:
 			if base.CompareUserKeys(op.Key, op.EndKey) >= 0 {
 				return fmt.Errorf("lsm: batch range delete [%q, %q) is empty", op.Key, op.EndKey)
 			}
-			entries = append(entries, base.MakeEntry(op.Key, db.seq, base.KindRangeDelete,
+			entries = append(entries, base.MakeEntry(op.Key, 0, base.KindRangeDelete,
 				base.DeleteKey(db.opts.Clock.Now().UnixNano()), op.EndKey))
 		default:
 			return fmt.Errorf("lsm: unsupported batch op kind %v", op.Kind)
 		}
 	}
-	// Log first, then apply: a crash between the two replays the batch.
-	if db.wal != nil {
-		for _, e := range entries {
-			if err := db.wal.Append(e); err != nil {
-				return err
-			}
-		}
-		if err := db.wal.Sync(); err != nil {
-			return err
-		}
-	}
-	for _, e := range entries {
-		db.m.userBytesWritten.Add(int64(e.Size()))
-		db.mem.Apply(e)
-	}
-	return db.maybeRotateBufferLocked()
+	return db.commit(entries)
 }

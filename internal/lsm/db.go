@@ -24,14 +24,27 @@ const manifestName = "MANIFEST"
 // DB is the engine. All public methods are safe for concurrent use.
 //
 // Concurrency model: the tree's disk structure lives in an immutable
-// refcounted version (see version.go). Writers serialize on db.mu, which is
-// held only for in-memory work — appending to the WAL and buffer, sealing a
-// full buffer onto the immutable-flush queue, and installing new versions.
-// Readers (Get, Scan, SecondaryRangeScan) acquire a snapshot of the buffer,
-// the flush queue, and the current version under a brief db.mu critical
-// section, then run entirely outside the lock; a compaction finishing
-// mid-read cannot invalidate the files a reader holds, because the reader's
-// version pins them until it is released.
+// refcounted version (see version.go). Readers (Get, Scan,
+// SecondaryRangeScan) acquire a snapshot of the buffer, the flush queue, and
+// the current version under a brief db.mu critical section, then run
+// entirely outside the lock; a compaction finishing mid-read cannot
+// invalidate the files a reader holds, because the reader's version pins
+// them until it is released.
+//
+// Writers go through the group-commit pipeline (commit.go): each writer
+// encodes its batch, takes a sequence range at enqueue, and either becomes
+// the group leader or waits. The leader drains the queue, performs the
+// group's writability check and buffer capture under one brief db.mu
+// critical section, writes the whole group to the WAL as a single
+// CRC-framed multi-entry record, issues one Sync per Options.WALSync, and
+// wakes the group: members apply their own batches to the captured memtable
+// concurrently under the skiplist's own lock and publish their sequence
+// ranges in enqueue order. db.mu is therefore held only for per-group
+// admission, buffer rotation, and version installs — never across WAL I/O
+// or memtable inserts. Sealing a buffer waits for the buffer's in-flight
+// group applies (memtable.WaitApplies) before rotating the WAL, so a
+// flushed sstable always contains every group whose records precede the
+// rotation point.
 //
 // Maintenance runs in the background by default: a flush worker drains the
 // immutable queue (writers stall, with metrics, when the queue exceeds
@@ -39,10 +52,11 @@ const manifestName = "MANIFEST"
 // compactions to up to CompactionWorkers goroutines, each of which merges
 // outside db.mu and installs its result atomically. Setting
 // Options.DisableBackgroundMaintenance — automatic when a manual clock is
-// injected — reverts to the paper's synchronous mode: flushes and
-// compactions run inline inside the writing goroutine, preserving the
-// deterministic execution the experiments and the reproduction harness
-// depend on.
+// injected — reverts to the paper's synchronous mode: the commit pipeline
+// is bypassed for a serialized inline path (as it is under SyncAlways), and
+// flushes and compactions run inline inside the writing goroutine,
+// preserving the deterministic execution the experiments and the
+// reproduction harness depend on.
 type DB struct {
 	opts Options
 
@@ -57,10 +71,31 @@ type DB struct {
 	wal     *wal.Manager
 	store   *manifest.Store
 
+	// seq is the last assigned sequence number. In pipeline mode it is
+	// guarded by cq.mu (assignment happens at enqueue); in synchronous and
+	// SyncAlways mode by db.mu. Open and recovery access it single-threaded.
 	seq        base.SeqNum
 	flushedSeq base.SeqNum // highest seq durable in sstables
 	memSeed    int64
 	cache      *sstable.PageCache
+
+	// cq is the commit pipeline's queue (commit.go): pending batches in
+	// enqueue order plus the leader-active flag. idle is broadcast when the
+	// pipeline goes quiescent (leadership released with an empty queue).
+	cq struct {
+		mu      sync.Mutex
+		idle    *sync.Cond
+		pending []*commitBatch
+		active  bool
+	}
+	// published is the ordered sequence-publication frontier; see
+	// publishRange. pubCond (on pubMu) wakes batches waiting their turn.
+	pubMu     sync.Mutex
+	pubCond   *sync.Cond
+	published base.SeqNum
+	// groupScratch is the leader's reusable buffer for concatenating a
+	// group's entries before the WAL write (single leader at a time).
+	groupScratch []base.Entry
 
 	nextFileNum atomic.Uint64
 
@@ -113,6 +148,15 @@ type internalMetrics struct {
 	writeStallNanos metrics.Counter
 	bgFlushes       metrics.Counter
 	bgCompactions   metrics.Counter
+
+	// Commit-pipeline metrics: groups committed, member batches and entries
+	// (batches/group is the grouping factor), the largest group seen, and
+	// commit-path WAL syncs (≪ batches when group commit is working).
+	commitGroups   metrics.Counter
+	commitBatches  metrics.Counter
+	commitEntries  metrics.Counter
+	maxCommitGroup metrics.Gauge
+	walSyncs       metrics.Counter
 }
 
 // Open creates or re-opens a database on opts.FS, replaying any WAL segments
@@ -129,6 +173,8 @@ func Open(opts Options) (*DB, error) {
 		cache:   sstable.NewPageCache(o.CacheBytes),
 	}
 	db.bgCond = sync.NewCond(&db.mu)
+	db.cq.idle = sync.NewCond(&db.cq.mu)
+	db.pubCond = sync.NewCond(&db.pubMu)
 	db.mem = memtable.New(db.memSeed)
 
 	state, _, err := db.store.Load()
@@ -168,6 +214,7 @@ func Open(opts Options) (*DB, error) {
 		}
 		db.wal = mgr
 	}
+	db.published = db.seq
 	if !o.DisableBackgroundMaintenance {
 		db.startBackground()
 	}
@@ -254,6 +301,11 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.bgCond.Broadcast() // release stalled writers with ErrClosed
 	db.mu.Unlock()
+
+	// Wait for the commit pipeline to go idle before touching the WAL:
+	// in-flight groups finish (or fail against the closed flag), and any
+	// writer arriving later fails its writability check without appending.
+	db.drainCommits()
 
 	if db.bgStarted {
 		close(db.quit)

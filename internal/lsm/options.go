@@ -21,6 +21,43 @@ import (
 	"lethe/internal/vfs"
 )
 
+// WALSyncPolicy controls when the engine makes write-ahead-log records
+// durable on the commit path.
+type WALSyncPolicy int
+
+const (
+	// SyncGrouped is the default: commits flow through the group-commit
+	// pipeline, and the leader issues one Sync covering the whole group
+	// before any member is acknowledged. Every acknowledged write is durable
+	// (same guarantee as SyncAlways) but the sync cost is amortized across
+	// all writers in the group.
+	SyncGrouped WALSyncPolicy = iota
+	// SyncAlways appends and syncs every commit individually before it
+	// returns, bypassing the group-commit pipeline entirely — the serialized
+	// pre-pipeline write path. It is the baseline the group-commit
+	// benchmarks compare against; throughput collapses under concurrency.
+	SyncAlways
+	// SyncNever skips the commit-path Sync. Group records are still written
+	// to the file on every commit (and sealed segments sync on rotation), so
+	// on a crash the OS decides how much of the live segment's tail
+	// survives; replay drops whole groups at the torn point, never a prefix
+	// of one.
+	SyncNever
+)
+
+// String implements fmt.Stringer.
+func (p WALSyncPolicy) String() string {
+	switch p {
+	case SyncGrouped:
+		return "grouped"
+	case SyncAlways:
+		return "always"
+	case SyncNever:
+		return "never"
+	}
+	return "unknown"
+}
+
 // Options configures a DB. The zero value is completed by withDefaults; the
 // defaults mirror the paper's Table 1 reference configuration where
 // practical.
@@ -61,6 +98,11 @@ type Options struct {
 	// DisableWAL skips write-ahead logging (the paper's experiments run
 	// with the WAL disabled).
 	DisableWAL bool
+	// WALSync selects the commit-path durability policy: SyncGrouped (the
+	// default) amortizes one Sync per commit group, SyncAlways serializes
+	// an individual append+Sync per commit, SyncNever defers durability to
+	// the OS and segment rotation. Ignored when DisableWAL is set.
+	WALSync WALSyncPolicy
 	// CoverageEstimator estimates what fraction of the key domain a range
 	// [start, end) covers, standing in for the system-wide histogram used
 	// to estimate rd_f. Nil disables range-tombstone weight in b_f.

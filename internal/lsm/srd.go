@@ -15,8 +15,12 @@ import (
 //
 // Concurrency: background flushes and compactions are paused for the
 // duration (a compaction merging a file while its pages are dropped could
-// resurrect deleted entries in its output), and db.mu is held, so writes
-// wait. Concurrent reads are not blocked: they synchronize per file on the
+// resurrect deleted entries in its output), and db.mu is held, so no new
+// commit group is admitted while the delete runs; in-flight group applies
+// already admitted to the buffer are drained first (WaitApplies below), so
+// the in-memory filter sees every acknowledged write. Writes enqueued but
+// not yet admitted are concurrent with the delete and commit after it.
+// Concurrent reads are not blocked: they synchronize per file on the
 // reader's internal lock and observe each page either before or after its
 // drop.
 //
@@ -37,6 +41,11 @@ func (db *DB) SecondaryRangeDelete(lo, hi base.DeleteKey) (sstable.SRDStats, err
 	}
 	db.pauseBackgroundLocked()
 	defer db.resumeBackgroundLocked()
+
+	// Drain in-flight commit-pipeline applies: holding db.mu keeps new
+	// groups from being admitted, so after this the buffer is stable and
+	// the filter below cannot miss an acknowledged entry.
+	db.mem.WaitApplies()
 
 	agg.EntriesDropped += db.mem.DeleteSecondaryRange(lo, hi)
 	for _, fl := range db.imm {

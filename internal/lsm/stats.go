@@ -91,6 +91,28 @@ type Stats struct {
 	// writing goroutine).
 	BackgroundFlushes     int64
 	BackgroundCompactions int64
+
+	// Commit-pipeline health (group commit; see commit.go).
+	//
+	// CommitGroups counts leader-committed groups; CommitBatches counts the
+	// writer batches inside them (CommitBatches/CommitGroups is the
+	// grouping factor); CommitEntries counts individual entries committed.
+	CommitGroups  int64
+	CommitBatches int64
+	CommitEntries int64
+	// MaxCommitGroupBatches is the largest group (in batches) the leader
+	// has committed at once.
+	MaxCommitGroupBatches int64
+	// CommitQueueDepth is the instantaneous pipeline depth: batches queued
+	// behind the active leader at snapshot time.
+	CommitQueueDepth int
+	// WALSyncs counts commit-path WAL syncs. Under SyncGrouped it tracks
+	// groups, not writes — far below CommitBatches when batching is
+	// effective.
+	WALSyncs int64
+	// LastPublishedSeq is the ordered sequence-publication frontier: every
+	// sequence at or below it has fully committed. Nondecreasing, gapless.
+	LastPublishedSeq uint64
 }
 
 // Stats returns a consistent snapshot.
@@ -139,6 +161,15 @@ func (db *DB) Stats() Stats {
 	s.WriteStallTime = time.Duration(db.m.writeStallNanos.Load())
 	s.BackgroundFlushes = db.m.bgFlushes.Load()
 	s.BackgroundCompactions = db.m.bgCompactions.Load()
+	s.CommitGroups = db.m.commitGroups.Load()
+	s.CommitBatches = db.m.commitBatches.Load()
+	s.CommitEntries = db.m.commitEntries.Load()
+	s.MaxCommitGroupBatches = db.m.maxCommitGroup.Load()
+	s.WALSyncs = db.m.walSyncs.Load()
+	db.cq.mu.Lock()
+	s.CommitQueueDepth = len(db.cq.pending)
+	db.cq.mu.Unlock()
+	s.LastPublishedSeq = uint64(db.PublishedSeq())
 	return s
 }
 

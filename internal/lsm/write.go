@@ -12,16 +12,10 @@ import (
 
 // Put inserts or updates a key. dkey is the secondary delete key D (for
 // instance a creation timestamp) that secondary range deletes select on.
+// The sequence number is assigned at commit-pipeline enqueue (commit.go).
 func (db *DB) Put(key []byte, dkey base.DeleteKey, value []byte) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.writableLocked(); err != nil {
-		return err
-	}
-	db.seq++
-	e := base.MakeEntry(key, db.seq, base.KindSet, dkey, value)
-	db.m.userBytesWritten.Add(int64(e.Size()))
-	return db.applyLocked(e)
+	e := base.MakeEntry(key, 0, base.KindSet, dkey, value)
+	return db.commit([]base.Entry{e})
 }
 
 // Delete inserts a point tombstone for key. With SuppressBlindDeletes
@@ -29,6 +23,23 @@ func (db *DB) Put(key []byte, dkey base.DeleteKey, value []byte) error {
 // filters; if no component can contain the key, the tombstone is skipped
 // entirely (§4.1.5 "Blind Deletes") — the probe costs hashing but no I/O.
 func (db *DB) Delete(key []byte) error {
+	if db.usePipeline() {
+		if db.opts.SuppressBlindDeletes {
+			// Check engine health before the probe: a suppressed delete on
+			// a closed or poisoned engine must surface the error, not
+			// report success.
+			if err := db.writeErr(); err != nil {
+				return err
+			}
+			if !db.mayContainPinned(key) {
+				db.m.blindDeletesSuppressed.Add(1)
+				return nil
+			}
+		}
+		e := base.MakeEntry(key, 0, base.KindDelete,
+			base.DeleteKey(db.opts.Clock.Now().UnixNano()), nil)
+		return db.commitPipeline([]base.Entry{e})
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.writableLocked(); err != nil {
@@ -38,11 +49,9 @@ func (db *DB) Delete(key []byte) error {
 		db.m.blindDeletesSuppressed.Add(1)
 		return nil
 	}
-	db.seq++
-	e := base.MakeEntry(key, db.seq, base.KindDelete,
+	e := base.MakeEntry(key, 0, base.KindDelete,
 		base.DeleteKey(db.opts.Clock.Now().UnixNano()), nil)
-	db.m.userBytesWritten.Add(int64(e.Size()))
-	return db.applyLocked(e)
+	return db.commitInlineLocked([]base.Entry{e})
 }
 
 // RangeDelete inserts a range tombstone deleting every key in [start, end).
@@ -50,16 +59,9 @@ func (db *DB) RangeDelete(start, end []byte) error {
 	if base.CompareUserKeys(start, end) >= 0 {
 		return fmt.Errorf("lsm: invalid range [%q, %q)", start, end)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if err := db.writableLocked(); err != nil {
-		return err
-	}
-	db.seq++
-	e := base.MakeEntry(start, db.seq, base.KindRangeDelete,
+	e := base.MakeEntry(start, 0, base.KindRangeDelete,
 		base.DeleteKey(db.opts.Clock.Now().UnixNano()), end)
-	db.m.userBytesWritten.Add(int64(e.Size()))
-	return db.applyLocked(e)
+	return db.commit([]base.Entry{e})
 }
 
 // writableLocked gates the write path: it rejects writes on a closed DB,
@@ -96,19 +98,16 @@ func (db *DB) writableLocked() error {
 	return db.bgErr
 }
 
-// mayContainLocked reports whether any component of the tree may hold key:
-// a buffer (mutable or queued), or any file whose tile filters answer
-// positive.
-func (db *DB) mayContainLocked(key []byte) bool {
-	if _, ok := db.mem.Get(key); ok {
-		return true
-	}
-	for _, fl := range db.imm {
-		if _, ok := fl.mem.Get(key); ok {
+// mayContain reports whether any of the given components may hold key: a
+// buffer, or any file of v whose tile filters answer positive. It is the
+// blind-delete probe core shared by both Delete paths.
+func mayContain(mems []*memtable.Memtable, v *version, key []byte) bool {
+	for _, mt := range mems {
+		if _, ok := mt.Get(key); ok {
 			return true
 		}
 	}
-	for _, runs := range db.current.levels {
+	for _, runs := range v.levels {
 		for _, r := range runs {
 			for _, h := range r {
 				if handleCoversKey(h, key) && h.r.MayContainKey(key) {
@@ -120,6 +119,16 @@ func (db *DB) mayContainLocked(key []byte) bool {
 	return false
 }
 
+// mayContainLocked probes the live engine state. Callers hold db.mu.
+func (db *DB) mayContainLocked(key []byte) bool {
+	mems := make([]*memtable.Memtable, 0, 1+len(db.imm))
+	mems = append(mems, db.mem)
+	for _, fl := range db.imm {
+		mems = append(mems, fl.mem)
+	}
+	return mayContain(mems, db.current, key)
+}
+
 func handleCoversKey(h *fileHandle, key []byte) bool {
 	m := h.meta
 	if len(m.MinS) == 0 && len(m.MaxS) == 0 {
@@ -128,18 +137,29 @@ func handleCoversKey(h *fileHandle, key []byte) bool {
 	return base.CompareUserKeys(m.MinS, key) <= 0 && base.CompareUserKeys(key, m.MaxS) <= 0
 }
 
-// applyLocked logs and buffers an entry. When the buffer fills, synchronous
-// mode flushes and maintains inline (the paper's deterministic behavior);
-// background mode seals the buffer onto the flush queue and returns
-// immediately.
-func (db *DB) applyLocked(e base.Entry) error {
-	if db.wal != nil {
-		if err := db.wal.Append(e); err != nil {
-			return err
-		}
+// writeErr reports whether the engine can accept writes at all (closed or
+// poisoned), without the stall wait writableLocked performs.
+func (db *DB) writeErr() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
 	}
-	db.mem.Apply(e)
-	return db.maybeRotateBufferLocked()
+	return db.bgErr
+}
+
+// mayContainPinned is the pipeline-mode blind-delete probe: it pins a read
+// state and checks the same components as mayContainLocked, but outside
+// db.mu, so the probe never serializes against the commit pipeline. A probe
+// racing a concurrent insert of the same key may insert a redundant
+// tombstone (safe) — the suppression is an optimization, not a guarantee.
+func (db *DB) mayContainPinned(key []byte) bool {
+	rs, err := db.acquireReadState()
+	if err != nil {
+		return true // fail open: keep the tombstone
+	}
+	defer rs.release()
+	return mayContain(rs.memtables(), rs.v, key)
 }
 
 // maybeRotateBufferLocked turns over a full buffer: background mode seals it
@@ -189,8 +209,13 @@ func (db *DB) Flush() error {
 
 // sealMemtableLocked moves a non-empty buffer onto the immutable-flush
 // queue, rotating the WAL so the sealed buffer's records live in their own
-// segment, and starts a fresh buffer. Callers hold db.mu.
+// segment, and starts a fresh buffer. It first waits for in-flight commit-
+// pipeline applies targeting the buffer — appliers never need db.mu, so the
+// wait terminates — ensuring the buffer flushed to disk contains every
+// committed group whose records precede the rotation point. Callers hold
+// db.mu.
 func (db *DB) sealMemtableLocked() error {
+	db.mem.WaitApplies()
 	if db.mem.Empty() {
 		return nil
 	}

@@ -38,16 +38,54 @@ type Memtable struct {
 	// tombstones counts point tombstones currently buffered, for flush-time
 	// file metadata (num_deletes in RocksDB terms).
 	tombstones int
+
+	// Apply tracking for the commit pipeline: writers register in-flight
+	// batch applies with BeginApplies/EndApply, and the engine's seal path
+	// calls WaitApplies before flushing the buffer, so a buffer is never
+	// written to disk while a committed group is still landing in it.
+	applyMu   sync.Mutex
+	applyCond *sync.Cond
+	applying  int
 }
 
 // New returns an empty memtable. The seed makes skiplist towers
 // deterministic for reproducible tests; use any value in production.
 func New(seed int64) *Memtable {
-	return &Memtable{
+	m := &Memtable{
 		head:   &node{},
 		height: 1,
 		rng:    rand.New(rand.NewSource(seed)),
 	}
+	m.applyCond = sync.NewCond(&m.applyMu)
+	return m
+}
+
+// BeginApplies registers n in-flight batch applies targeting this buffer.
+// Each must be balanced by one EndApply.
+func (m *Memtable) BeginApplies(n int) {
+	m.applyMu.Lock()
+	m.applying += n
+	m.applyMu.Unlock()
+}
+
+// EndApply retires one in-flight apply registered with BeginApplies.
+func (m *Memtable) EndApply() {
+	m.applyMu.Lock()
+	m.applying--
+	if m.applying == 0 {
+		m.applyCond.Broadcast()
+	}
+	m.applyMu.Unlock()
+}
+
+// WaitApplies blocks until every registered in-flight apply has retired. The
+// engine calls it before sealing this buffer for flush.
+func (m *Memtable) WaitApplies() {
+	m.applyMu.Lock()
+	for m.applying > 0 {
+		m.applyCond.Wait()
+	}
+	m.applyMu.Unlock()
 }
 
 func (m *Memtable) randomHeight() int {
@@ -80,6 +118,23 @@ func (m *Memtable) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node 
 func (m *Memtable) Apply(e base.Entry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.applyOne(e)
+}
+
+// ApplyAll inserts a whole commit batch under a single lock acquisition —
+// the group-commit pipeline's apply primitive. Concurrent ApplyAll calls
+// from different writers serialize on the skiplist's own lock; no engine
+// lock is required.
+func (m *Memtable) ApplyAll(entries []base.Entry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range entries {
+		m.applyOne(e)
+	}
+}
+
+// applyOne is the insert core. Callers hold m.mu exclusively.
+func (m *Memtable) applyOne(e base.Entry) {
 	if e.Key.Kind() == base.KindRangeDelete {
 		m.rangeDels = append(m.rangeDels, base.RangeTombstone{
 			Start: append([]byte(nil), e.Key.UserKey...),

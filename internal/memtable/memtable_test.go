@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"lethe/internal/base"
 )
@@ -255,4 +258,81 @@ func TestLargeInsertOrdering(t *testing.T) {
 		i++
 		return true
 	})
+}
+
+// TestConcurrentApplyAll exercises the commit pipeline's apply primitive:
+// many goroutines bulk-inserting disjoint batches concurrently must leave
+// every entry readable with consistent counts, under -race.
+func TestConcurrentApplyAll(t *testing.T) {
+	m := New(1)
+	const (
+		writers  = 8
+		perBatch = 50
+		batches  = 10
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				entries := make([]base.Entry, perBatch)
+				for i := range entries {
+					n := (w*batches+b)*perBatch + i
+					entries[i] = base.MakeEntry(
+						[]byte(fmt.Sprintf("k%06d", n)), base.SeqNum(n+1),
+						base.KindSet, base.DeleteKey(n), []byte("v"))
+				}
+				m.ApplyAll(entries)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := m.Count(), writers*perBatch*batches; got != want {
+		t.Fatalf("count %d, want %d", got, want)
+	}
+	// The skiplist must be fully ordered and complete.
+	i := 0
+	m.Iter(func(e base.Entry) bool {
+		if want := fmt.Sprintf("k%06d", i); string(e.Key.UserKey) != want {
+			t.Fatalf("entry %d: got %s want %s", i, e.Key.UserKey, want)
+		}
+		i++
+		return true
+	})
+	if i != writers*perBatch*batches {
+		t.Fatalf("iterated %d entries", i)
+	}
+}
+
+// TestWaitApplies verifies the seal-path barrier: WaitApplies must block
+// until every registered in-flight apply has retired.
+func TestWaitApplies(t *testing.T) {
+	m := New(1)
+	m.BeginApplies(2)
+	var retired atomic.Int32
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			time.Sleep(time.Duration(i+1) * 10 * time.Millisecond)
+			m.ApplyAll([]base.Entry{base.MakeEntry(
+				[]byte{byte('a' + i)}, base.SeqNum(i+1), base.KindSet, 0, []byte("v"))})
+			retired.Add(1)
+			m.EndApply()
+		}(i)
+	}
+	m.WaitApplies()
+	if got := retired.Load(); got != 2 {
+		t.Fatalf("WaitApplies returned with %d of 2 applies outstanding", 2-got)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("count %d after applies", m.Count())
+	}
+	// With nothing registered it must not block.
+	done := make(chan struct{})
+	go func() { m.WaitApplies(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitApplies blocked with no applies registered")
+	}
 }

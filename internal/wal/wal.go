@@ -2,6 +2,21 @@
 // the live segment before it reaches the memory buffer, so the buffer can be
 // rebuilt after a crash.
 //
+// Records are group records: one CRC-framed record carries a whole commit
+// group (one or more entries) and is written to the file with a single
+// buffered Write. The group is the unit of atomicity — a torn record drops
+// the entire group on replay, never a prefix of it — which is what the
+// engine's group-commit pipeline needs: a crash can lose whole unsynced
+// groups but can never interleave or split one.
+//
+// Format note: the group framing (a count prefix inside the payload)
+// replaced the original per-entry payloads and is not
+// backward-compatible — a segment written by a pre-group-commit build
+// replays as a corrupt tail at its first record. The engine deletes all
+// segments after a successful recovery and recreates them on every open, so
+// only an upgrade over an unclean shutdown of an old build can encounter
+// one; recover with the old build first.
+//
 // The paper's delete-persistence guarantee (§4.1.5) extends to the WAL: "any
 // tombstone retained in the WAL is consistently purged if the WAL is purged
 // at a periodicity that is shorter than Dth. Otherwise, we use a dedicated
@@ -25,7 +40,8 @@ import (
 )
 
 // Record framing: [crc32c of payload: 4 bytes][payload length: uvarint][payload].
-// The payload is a base.AppendEntry encoding.
+// The payload is [entry count: uvarint] followed by that many
+// base.AppendEntry encodings.
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -33,12 +49,13 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // record; everything before it has been delivered.
 var ErrCorruptTail = errors.New("wal: corrupt or torn tail record")
 
-// Writer appends entries to a single WAL segment.
+// Writer appends group records to a single WAL segment.
 type Writer struct {
-	mu   sync.Mutex
-	f    vfs.File
-	buf  []byte
-	name string
+	mu      sync.Mutex
+	f       vfs.File
+	payload []byte // scratch for the record payload, reused across appends
+	rec     []byte // scratch for the framed record, reused across appends
+	name    string
 }
 
 // NewWriter creates the named segment on fs.
@@ -53,24 +70,36 @@ func NewWriter(fs vfs.FS, name string) (*Writer, error) {
 // Name returns the segment's file name.
 func (w *Writer) Name() string { return w.name }
 
-// Append writes one entry record. It does not sync; call Sync for
-// durability.
-func (w *Writer) Append(e base.Entry) error {
+// AppendGroup writes all entries as one CRC-framed record with a single
+// buffered file write: the record is assembled in memory and reaches the
+// file in one Write call, so a crash leaves either the whole group or a torn
+// tail — never a decodable prefix of the group. It does not sync; call Sync
+// for durability.
+func (w *Writer) AppendGroup(entries []base.Entry) error {
+	if len(entries) == 0 {
+		return nil
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	payload := base.AppendEntry(w.buf[:0], e)
-	w.buf = payload // reuse allocation across appends
-	var hdr []byte
-	hdr = base.AppendUint64(hdr, uint64(crc32.Checksum(payload, crcTable)))
-	hdr = hdr[:4] // only the low 4 bytes carry the CRC
-	hdr = base.AppendUvarint(hdr, uint64(len(payload)))
-	if _, err := w.f.Write(hdr); err != nil {
-		return fmt.Errorf("wal: append header: %w", err)
+	payload := base.AppendUvarint(w.payload[:0], uint64(len(entries)))
+	for _, e := range entries {
+		payload = base.AppendEntry(payload, e)
 	}
-	if _, err := w.f.Write(payload); err != nil {
-		return fmt.Errorf("wal: append payload: %w", err)
+	w.payload = payload
+	rec := base.AppendUint64(w.rec[:0], uint64(crc32.Checksum(payload, crcTable)))
+	rec = rec[:4] // only the low 4 bytes carry the CRC
+	rec = base.AppendUvarint(rec, uint64(len(payload)))
+	rec = append(rec, payload...)
+	w.rec = rec
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("wal: append group: %w", err)
 	}
 	return nil
+}
+
+// Append writes one entry as a single-member group record.
+func (w *Writer) Append(e base.Entry) error {
+	return w.AppendGroup([]base.Entry{e})
 }
 
 // Sync makes all appended records durable.
@@ -80,16 +109,21 @@ func (w *Writer) Sync() error {
 	return w.f.Sync()
 }
 
-// Close closes the underlying file.
+// Close syncs and closes the underlying file, so a sealed segment's records
+// survive a crash even under a no-sync commit policy.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
 	return w.f.Close()
 }
 
-// Replay reads the named segment and calls fn for every intact record in
-// order. A torn or corrupt tail ends the replay with ErrCorruptTail after
-// delivering all preceding records — the standard recovery contract.
+// Replay reads the named segment and calls fn for every entry of every
+// intact group record in order. A torn or corrupt tail ends the replay with
+// ErrCorruptTail after delivering all preceding records — a group torn
+// mid-record delivers none of its entries (the group is the atomicity unit).
 func Replay(fs vfs.FS, name string, fn func(base.Entry) error) error {
 	f, err := fs.Open(name)
 	if err != nil {
@@ -120,12 +154,22 @@ func Replay(fs vfs.FS, name string, fn func(base.Entry) error) error {
 		if crc32.Checksum(payload, crcTable) != wantCRC {
 			return ErrCorruptTail
 		}
-		e, leftover, err := base.DecodeEntry(payload)
-		if err != nil || len(leftover) != 0 {
+		count, body, err := base.Uvarint(payload)
+		if err != nil {
 			return ErrCorruptTail
 		}
-		if err := fn(e.Clone()); err != nil {
-			return err
+		for i := uint64(0); i < count; i++ {
+			var e base.Entry
+			e, body, err = base.DecodeEntry(body)
+			if err != nil {
+				return ErrCorruptTail
+			}
+			if err := fn(e.Clone()); err != nil {
+				return err
+			}
+		}
+		if len(body) != 0 {
+			return ErrCorruptTail
 		}
 		data = rest[n:]
 	}
@@ -144,7 +188,18 @@ type segment struct {
 // Manager owns the set of WAL segments: the live one being appended to and
 // sealed ones awaiting flush. It implements rotation (one segment per
 // memtable) and the Dth purge routine.
+//
+// Appends and rotation may race: the commit pipeline appends outside the
+// engine lock while sealing a memtable rotates the segment under it. The
+// rot lock arbitrates — appends and syncs hold it shared for the duration of
+// the file write, rotation and close hold it exclusively — so a rotation can
+// never close the writer out from under an in-flight append.
 type Manager struct {
+	// rot guards the live writer's lifetime. Held shared by AppendGroup and
+	// Sync across the file operation; held exclusively by Rotate and Close.
+	rot sync.RWMutex
+	// mu guards the bookkeeping: segment numbering, the sealed list, and the
+	// live segment's creation time.
 	mu     sync.Mutex
 	fs     vfs.FS
 	clock  base.Clock
@@ -174,26 +229,34 @@ func (m *Manager) segName(n int) string {
 	return fmt.Sprintf("%s-%06d.wal", m.prefix, n)
 }
 
-// Append writes an entry to the live segment.
-func (m *Manager) Append(e base.Entry) error {
-	m.mu.Lock()
-	w := m.live
-	m.mu.Unlock()
-	return w.Append(e)
+// AppendGroup writes a commit group to the live segment as one record. It
+// holds the rotation lock shared for the duration of the write, so a
+// concurrent Rotate cannot close the writer mid-append.
+func (m *Manager) AppendGroup(entries []base.Entry) error {
+	m.rot.RLock()
+	defer m.rot.RUnlock()
+	return m.live.AppendGroup(entries)
 }
 
-// Sync flushes the live segment.
+// Append writes a single entry as a one-member group.
+func (m *Manager) Append(e base.Entry) error {
+	return m.AppendGroup([]base.Entry{e})
+}
+
+// Sync flushes the live segment. Like AppendGroup it holds the rotation lock
+// shared, so it never races a rotation's close.
 func (m *Manager) Sync() error {
-	m.mu.Lock()
-	w := m.live
-	m.mu.Unlock()
-	return w.Sync()
+	m.rot.RLock()
+	defer m.rot.RUnlock()
+	return m.live.Sync()
 }
 
 // Rotate seals the live segment (it becomes eligible for deletion once its
 // memtable flushes) and starts a new one. It returns the sealed segment's
-// name.
+// name. Rotation excludes in-flight appends and syncs via the rotation lock.
 func (m *Manager) Rotate() (string, error) {
+	m.rot.Lock()
+	defer m.rot.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sealedName := m.live.Name()
@@ -207,6 +270,8 @@ func (m *Manager) Rotate() (string, error) {
 	return sealedName, nil
 }
 
+// rotateLocked replaces the live writer. Callers hold m.mu (and m.rot
+// exclusively when a previous live writer exists).
 func (m *Manager) rotateLocked() error {
 	w, err := NewWriter(m.fs, m.segName(m.next))
 	if err != nil {
@@ -257,13 +322,12 @@ func (m *Manager) PurgeExpired(dth time.Duration, isLive func(base.Entry) bool) 
 		}
 	}
 	m.sealed = keep
-	live := m.live
 	m.mu.Unlock()
 
 	for _, s := range expired {
 		err := Replay(m.fs, s.name, func(e base.Entry) error {
 			if isLive(e) {
-				return live.Append(e)
+				return m.Append(e)
 			}
 			return nil
 		})
@@ -279,8 +343,8 @@ func (m *Manager) PurgeExpired(dth time.Duration, isLive func(base.Entry) bool) 
 
 // Close seals and closes the live segment without deleting anything.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.rot.Lock()
+	defer m.rot.Unlock()
 	return m.live.Close()
 }
 

@@ -64,6 +64,25 @@ var (
 	ErrClosed   = lsm.ErrClosed
 )
 
+// WALSyncPolicy selects when commits sync the write-ahead log; see the
+// constants below and the Options.WALSync documentation.
+type WALSyncPolicy = lsm.WALSyncPolicy
+
+// The available WAL sync policies.
+const (
+	// SyncGrouped (default) batches concurrent commits through the
+	// group-commit pipeline and issues one sync per group: per-commit
+	// durability at amortized cost.
+	SyncGrouped = lsm.SyncGrouped
+	// SyncAlways appends and syncs each commit individually, bypassing
+	// group commit — the serialized path, maximal isolation, lowest
+	// throughput.
+	SyncAlways = lsm.SyncAlways
+	// SyncNever defers durability to the OS and WAL segment rotation;
+	// recently acknowledged groups may be lost whole on a crash.
+	SyncNever = lsm.SyncNever
+)
+
 // Clock abstracts time for deterministic testing; see NewManualClock.
 type Clock = base.Clock
 
@@ -105,6 +124,12 @@ type Options struct {
 	SuppressBlindDeletes bool
 	// DisableWAL turns off write-ahead logging.
 	DisableWAL bool
+	// WALSync selects the commit-path durability policy: SyncGrouped (the
+	// default) amortizes one sync per commit group, SyncAlways syncs every
+	// commit individually on the serialized path, SyncNever defers
+	// durability to the OS. See the tuning notes in tuning.go. Ignored when
+	// DisableWAL is set.
+	WALSync WALSyncPolicy
 	// Clock overrides the time source (tests/simulations).
 	Clock Clock
 	// FS overrides the filesystem entirely (advanced; takes precedence over
@@ -141,12 +166,16 @@ type Options struct {
 // Reads never block behind maintenance: Get, Scan, NewIter, and
 // SecondaryRangeScan take a refcounted snapshot of the tree under a brief
 // internal lock and then run against immutable state, so a compaction or
-// flush in flight cannot stall them. Writes serialize on the engine lock;
-// when the background flush queue is saturated they stall until the flush
-// worker catches up (see Stats().WriteStalls). With
-// DisableBackgroundMaintenance — automatic under a manual clock — all
-// maintenance instead runs inline inside the writing goroutine, preserving
-// the paper's deterministic single-threaded execution.
+// flush in flight cannot stall them. Writes flow through a group-commit
+// pipeline: concurrent commits are batched into one WAL write and (per
+// WALSync) one sync, with memory-buffer inserts running concurrently and
+// sequence numbers published in submission order — see Stats().CommitGroups
+// and friends for the batching it achieves. When the background flush queue
+// is saturated, writers stall until the flush worker catches up (see
+// Stats().WriteStalls). With DisableBackgroundMaintenance — automatic under
+// a manual clock — commits serialize on the engine lock and all maintenance
+// runs inline inside the writing goroutine, preserving the paper's
+// deterministic single-threaded execution.
 type DB struct {
 	inner *lsm.DB
 }
@@ -185,6 +214,7 @@ func Open(opts Options) (*DB, error) {
 		Tiering:              opts.Tiering,
 		SuppressBlindDeletes: opts.SuppressBlindDeletes,
 		DisableWAL:           opts.DisableWAL,
+		WALSync:              opts.WALSync,
 		CoverageEstimator:    opts.CoverageEstimator,
 		CacheBytes:           opts.CacheBytes,
 		Seed:                 opts.Seed,

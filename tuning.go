@@ -1,3 +1,32 @@
+// This file holds the engine's tuning knobs and guidance: the paper's
+// optimal delete-tile size (Eq. 3) and the write-path durability policy.
+//
+// # Tuning the write path: Options.WALSync
+//
+// The commit pipeline batches concurrent writers into leader-committed
+// groups (one WAL write per group), and WALSync decides how the sync cost is
+// paid:
+//
+//   - SyncGrouped (default): one sync per group, issued before any member is
+//     acknowledged. Every acknowledged write is durable, and under
+//     concurrency the sync cost is divided across the group — at 16 writers
+//     the engine typically issues far fewer than one sync per ten commits
+//     (watch Stats().WALSyncs versus Stats().CommitBatches). This is the
+//     right choice for almost every durable workload.
+//
+//   - SyncAlways: each commit appends and syncs individually on a serialized
+//     path. Throughput degrades to one device sync per write — use it only
+//     when commits must not share fate with neighbors in a group (a torn
+//     group record drops the whole group on replay).
+//
+//   - SyncNever: no commit-path sync; group records still reach the file on
+//     every commit and sealed segments sync at rotation, so a crash loses at
+//     most the OS-buffered tail of the live segment, in whole-group units.
+//     Highest throughput; use when the workload can replay recent writes.
+//
+// Batches (DB.Apply) already amortize WAL I/O within one writer; WALSync
+// governs amortization across writers.
+
 package lethe
 
 import "math"
