@@ -1,0 +1,164 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document and an optional Markdown summary table — the format the CI
+// perf-trajectory job archives (BENCH_PR3.json and successors) so benchmark
+// numbers can be compared across PRs by machines, not eyeballs.
+//
+// Usage:
+//
+//	go test -run=NONE -bench=. -benchmem . | benchjson -json BENCH.json -md
+//
+// Repeated runs of a benchmark (from -count=N) are averaged; the JSON
+// records the run count per benchmark. Custom b.ReportMetric units are kept
+// under "metrics". Lines that are not benchmark results are ignored, so the
+// whole `go test` output can be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result accumulates the runs of one benchmark.
+type result struct {
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// accum sums values before the final averaging divide.
+type accum struct {
+	runs int
+	sums map[string]float64 // unit -> summed value
+}
+
+func main() {
+	in := flag.String("in", "", "input file (default: stdin)")
+	jsonOut := flag.String("json", "", "write the JSON document to this file")
+	md := flag.Bool("md", false, "print a Markdown summary table to stdout")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	byName, order, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(order) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines found"))
+	}
+
+	results := make(map[string]result, len(byName))
+	for name, a := range byName {
+		res := result{Runs: a.runs, Metrics: map[string]float64{}}
+		for unit, sum := range a.sums {
+			avg := sum / float64(a.runs)
+			switch unit {
+			case "ns/op":
+				res.NsPerOp = avg
+			case "B/op":
+				res.BytesPerOp = avg
+			case "allocs/op":
+				res.AllocsPerOp = avg
+			default:
+				res.Metrics[unit] = avg
+			}
+		}
+		if len(res.Metrics) == 0 {
+			res.Metrics = nil
+		}
+		results[name] = res
+	}
+
+	if *jsonOut != "" {
+		doc, err := json.MarshalIndent(map[string]any{"benchmarks": results}, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(doc, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *md {
+		printMarkdown(os.Stdout, results, order)
+	}
+}
+
+// parse reads gobench output, returning per-name accumulators and the first-
+// appearance order of the names.
+func parse(r io.Reader) (map[string]*accum, []string, error) {
+	byName := map[string]*accum{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// A result line is "BenchmarkName[-P] N value unit [value unit]...".
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // e.g. "Benchmarking..." chatter
+		}
+		name := fields[0]
+		a := byName[name]
+		if a == nil {
+			a = &accum{sums: map[string]float64{}}
+			byName[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			a.sums[fields[i+1]] += v
+		}
+	}
+	return byName, order, sc.Err()
+}
+
+// printMarkdown emits a summary table in first-appearance order, with any
+// custom metrics inlined in the last column.
+func printMarkdown(w io.Writer, results map[string]result, order []string) {
+	fmt.Fprintln(w, "### Benchmark trajectory")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| benchmark | runs | ns/op | B/op | allocs/op | metrics |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
+	for _, name := range order {
+		r := results[name]
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var metrics []string
+		for _, k := range keys {
+			metrics = append(metrics, fmt.Sprintf("%s=%.4g", k, r.Metrics[k]))
+		}
+		fmt.Fprintf(w, "| %s | %d | %.0f | %.0f | %.0f | %s |\n",
+			name, r.Runs, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, strings.Join(metrics, ", "))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: lethe
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkShardedPuts/shards=1-16         	   20000	    900000 ns/op	       152.0 flushes	       150.0 stalls
+BenchmarkShardedPuts/shards=1-16         	   20000	    950000 ns/op	       148.0 flushes	       154.0 stalls
+BenchmarkShardedPuts/shards=4-16         	   20000	    350000 ns/op	       152.0 flushes	       137.0 stalls
+BenchmarkConcurrentPuts/goroutines=16/grouped-16 	   10000	     91043 ns/op	      15.97 batches/group	         0.06300 syncs/op	     512 B/op	       9 allocs/op
+PASS
+ok  	lethe	79.275s
+`
+
+func TestParse(t *testing.T) {
+	byName, order, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("parsed %d benchmarks: %v", len(order), order)
+	}
+	if order[0] != "BenchmarkShardedPuts/shards=1-16" {
+		t.Fatalf("order[0] = %s", order[0])
+	}
+
+	a := byName["BenchmarkShardedPuts/shards=1-16"]
+	if a.runs != 2 {
+		t.Fatalf("runs = %d, want 2 (count-averaged)", a.runs)
+	}
+	if got := a.sums["ns/op"] / float64(a.runs); got != 925000 {
+		t.Fatalf("averaged ns/op = %v", got)
+	}
+	if got := a.sums["flushes"] / float64(a.runs); got != 150 {
+		t.Fatalf("averaged flushes = %v", got)
+	}
+
+	c := byName["BenchmarkConcurrentPuts/goroutines=16/grouped-16"]
+	if c.runs != 1 {
+		t.Fatalf("runs = %d", c.runs)
+	}
+	if c.sums["B/op"] != 512 || c.sums["allocs/op"] != 9 {
+		t.Fatalf("memory columns: %v", c.sums)
+	}
+	if c.sums["batches/group"] != 15.97 {
+		t.Fatalf("custom metric: %v", c.sums["batches/group"])
+	}
+}

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-wal-sync grouped|always|never]
+//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-wal-sync grouped|always|never] [-shards N]
+//
+// -shards N range-partitions the database over N independent LSM instances
+// (see the sharding guidance in the lethe package's tuning.go); an existing
+// database reopens with its recorded shard count regardless of the flag.
 //
 // -wal-sync selects the commit durability policy: "grouped" (default)
 // batches concurrent commits through the group-commit pipeline with one WAL
@@ -44,6 +48,7 @@ func main() {
 	syncMaint := flag.Bool("sync", false, "run flushes and compactions inline (no background workers)")
 	workers := flag.Int("compaction-workers", 0, "concurrent background compactions (0 = default)")
 	walSync := flag.String("wal-sync", "grouped", "WAL sync policy: grouped, always, or never")
+	shards := flag.Int("shards", 1, "range shards (independent LSM instances; >1 requires background maintenance)")
 	flag.Parse()
 
 	var policy lethe.WALSyncPolicy
@@ -61,7 +66,7 @@ func main() {
 
 	opts := lethe.Options{Dth: *dth, TilePages: *tiles,
 		DisableBackgroundMaintenance: *syncMaint, CompactionWorkers: *workers,
-		WALSync: policy}
+		WALSync: policy, Shards: *shards}
 	if *path == "" {
 		opts.InMemory = true
 		fmt.Println("in-memory database (use -path to persist)")
@@ -181,6 +186,13 @@ func execute(db *lethe.DB, args []string) (quit bool) {
 		fmt.Printf("(%d entries)\n", len(items))
 	case "stats":
 		st := db.Stats()
+		if n := db.ShardCount(); n > 1 {
+			fmt.Printf("shards=%d (aggregated below; per-shard entries:", n)
+			for _, ss := range db.ShardStats() {
+				fmt.Printf(" %d", ss.TreeEntries+ss.BufferEntries)
+			}
+			fmt.Println(")")
+		}
 		fmt.Printf("entries=%d buffer=%d tombstones=%d\n", st.TreeEntries, st.BufferEntries, st.LivePointTombstones)
 		fmt.Printf("flushes=%d compactions=%d (ttl=%d sat=%d trivial=%d full-tree=%d)\n",
 			st.Flushes, st.Compactions, st.CompactionsTTL, st.CompactionsSaturation,

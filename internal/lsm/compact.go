@@ -50,12 +50,12 @@ const (
 
 // compactionJob carries one compaction through its three phases.
 type compactionJob struct {
-	kind    compactionKind
-	d       compaction.Decision
-	v       *version // pinned snapshot the decision was resolved against
-	src     int
-	target  int
-	isLast  bool
+	kind       compactionKind
+	d          compaction.Decision
+	v          *version // pinned snapshot the decision was resolved against
+	src        int
+	target     int
+	isLast     bool
 	srcHandles run
 	overlap    run // target-run files joining the merge (leveled only)
 	outputs    run // filled by execute

@@ -63,7 +63,10 @@ func (p WALSyncPolicy) String() string {
 // practical.
 type Options struct {
 	// FS is the filesystem holding all engine files. Wrap it in a
-	// vfs.CountingFS to measure I/O. Required.
+	// vfs.CountingFS to measure I/O. Required. The engine treats FS as its
+	// private namespace — a sharded database hands each instance a
+	// vfs.PrefixFS so every shard's sstables, WAL segments, and manifest
+	// live in their own directory of one shared filesystem.
 	FS vfs.FS
 	// Clock drives tombstone ages and TTL expiry. Defaults to the wall
 	// clock; experiments inject a base.ManualClock.

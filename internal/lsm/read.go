@@ -103,11 +103,47 @@ func getEntry(rs readState, key []byte) (base.Entry, bool, error) {
 // version pins every file, so compactions finishing mid-scan cannot pull
 // pages out from under it.
 func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteKey, value []byte) bool) error {
-	rs, err := db.acquireReadState()
+	it, err := db.NewScanIter(start, end)
 	if err != nil {
 		return err
 	}
-	defer rs.release()
+	defer it.Close()
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !fn(e.Key.UserKey, e.DKey, e.Value) {
+			break
+		}
+	}
+	return it.Error()
+}
+
+// ScanIter is the pull-based form of Scan: a lazy, merged stream of the live
+// entries in [start, end), tombstones already applied, yielding only KindSet
+// entries in ascending key order. It pins a read state for its lifetime —
+// callers must Close it to release the snapshot. It satisfies
+// compaction.Iterator, so higher layers (the sharded engine's cross-shard
+// merge) can feed ScanIters straight into the merging machinery.
+type ScanIter struct {
+	rs     readState
+	pinned bool
+	merged compaction.Iterator
+	closed bool
+}
+
+// NewScanIter opens a streaming scan over [start, end). A degenerate range
+// (start >= end, both bounds set) yields an empty, already-released iterator
+// rather than pinning any state.
+func (db *DB) NewScanIter(start, end []byte) (*ScanIter, error) {
+	if start != nil && end != nil && base.CompareUserKeys(start, end) >= 0 {
+		return &ScanIter{merged: compaction.NewSliceIter(nil)}, nil
+	}
+	rs, err := db.acquireReadState()
+	if err != nil {
+		return nil, err
+	}
 
 	var inputs []compaction.Iterator
 	var rts []base.RangeTombstone
@@ -149,19 +185,41 @@ func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteKey, v
 	}
 
 	merged := compaction.NewMergeIter(compaction.MergeConfig{RangeTombstones: rts}, inputs...)
+	return &ScanIter{rs: rs, pinned: true, merged: merged}, nil
+}
+
+// Next returns the next live entry, skipping tombstones. It implements
+// compaction.Iterator.
+func (it *ScanIter) Next() (base.Entry, bool) {
+	if it.closed {
+		return base.Entry{}, false
+	}
 	for {
-		e, ok := merged.Next()
+		e, ok := it.merged.Next()
 		if !ok {
-			break
+			return base.Entry{}, false
 		}
 		if e.Key.Kind() != base.KindSet {
 			continue // point tombstone
 		}
-		if !fn(e.Key.UserKey, e.DKey, e.Value) {
-			break
+		return e, true
+	}
+}
+
+// Error reports the first error the merge encountered. It implements
+// compaction.Iterator.
+func (it *ScanIter) Error() error { return it.merged.Error() }
+
+// Close releases the pinned read state. It is idempotent and returns the
+// iterator's error state.
+func (it *ScanIter) Close() error {
+	if !it.closed {
+		it.closed = true
+		if it.pinned {
+			it.rs.release()
 		}
 	}
-	return merged.Error()
+	return it.merged.Error()
 }
 
 // boundedIter adapts an sstable iterator to stop at an exclusive end bound.

@@ -227,12 +227,25 @@ func (db *DB) MaxTombstoneAge() time.Duration {
 // version of each key. It scans the tree on a pinned snapshot, so it is a
 // measurement tool, not a hot-path call.
 func (db *DB) SpaceAmp() (float64, error) {
-	rs, err := db.acquireReadState()
+	totalBytes, uniqueBytes, err := db.SpaceAmpParts()
 	if err != nil {
 		return 0, err
 	}
+	if uniqueBytes == 0 {
+		return 0, nil
+	}
+	return float64(totalBytes-uniqueBytes) / float64(uniqueBytes), nil
+}
+
+// SpaceAmpParts returns the raw operands of SpaceAmp — csize(N) and csize(U)
+// — so a sharded database can sum them across shards before forming the
+// ratio (ratios of per-shard ratios would weight small shards incorrectly).
+func (db *DB) SpaceAmpParts() (totalBytes, uniqueBytes int64, err error) {
+	rs, err := db.acquireReadState()
+	if err != nil {
+		return 0, 0, err
+	}
 	defer rs.release()
-	var totalBytes, uniqueBytes int64
 
 	var iters []compaction.Iterator
 	var rts []base.RangeTombstone
@@ -267,12 +280,9 @@ func (db *DB) SpaceAmp() (float64, error) {
 		uniqueBytes += int64(e.Size())
 	}
 	if err := merged.Error(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	if uniqueBytes == 0 {
-		return 0, nil
-	}
-	return float64(totalBytes-uniqueBytes) / float64(uniqueBytes), nil
+	return totalBytes, uniqueBytes, nil
 }
 
 // countingIter sums the sizes of entries passing through it.

@@ -215,9 +215,61 @@ func (f *memFile) Truncate(n int64) error {
 }
 
 // ---------------------------------------------------------------------------
+// PrefixFS
+
+// PrefixFS namespaces every file of an underlying FS beneath a fixed name
+// prefix: Create("000001.sst") on NewPrefix(fs, "shard-0/") creates
+// "shard-0/000001.sst" on fs, and List returns only names under the prefix,
+// stripped. A sharded database uses one PrefixFS per shard so the shards'
+// sstables, WAL segments, and manifests live in disjoint directories of one
+// shared filesystem.
+type PrefixFS struct {
+	inner  FS
+	prefix string
+}
+
+// NewPrefix returns fs namespaced under prefix. The prefix should end in "/"
+// so the result reads as a directory on OS-backed filesystems.
+func NewPrefix(fs FS, prefix string) *PrefixFS {
+	return &PrefixFS{inner: fs, prefix: prefix}
+}
+
+// Create implements FS.
+func (fs *PrefixFS) Create(name string) (File, error) { return fs.inner.Create(fs.prefix + name) }
+
+// Open implements FS.
+func (fs *PrefixFS) Open(name string) (File, error) { return fs.inner.Open(fs.prefix + name) }
+
+// Remove implements FS.
+func (fs *PrefixFS) Remove(name string) error { return fs.inner.Remove(fs.prefix + name) }
+
+// Rename implements FS.
+func (fs *PrefixFS) Rename(oldname, newname string) error {
+	return fs.inner.Rename(fs.prefix+oldname, fs.prefix+newname)
+}
+
+// List implements FS, returning only names under the prefix with the prefix
+// stripped.
+func (fs *PrefixFS) List() ([]string, error) {
+	names, err := fs.inner.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, n := range names {
+		if len(n) > len(fs.prefix) && n[:len(fs.prefix)] == fs.prefix {
+			out = append(out, n[len(fs.prefix):])
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
 // OSFS
 
-// OSFS stores files under a root directory on the real filesystem.
+// OSFS stores files under a root directory on the real filesystem. Names may
+// contain "/" separators (PrefixFS produces them for shard directories);
+// Create makes any missing parent directories.
 type OSFS struct {
 	root string
 }
@@ -234,7 +286,13 @@ func (fs *OSFS) path(name string) string { return filepath.Join(fs.root, name) }
 
 // Create implements FS.
 func (fs *OSFS) Create(name string) (File, error) {
-	f, err := os.OpenFile(fs.path(name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	p := fs.path(name)
+	if dir := filepath.Dir(p); dir != fs.root {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("vfs: mkdir parent of %s: %w", name, err)
+		}
+	}
+	f, err := os.OpenFile(p, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -258,17 +316,27 @@ func (fs *OSFS) Rename(oldname, newname string) error {
 	return os.Rename(fs.path(oldname), fs.path(newname))
 }
 
-// List implements FS.
+// List implements FS. It walks subdirectories too, returning "/"-separated
+// names relative to the root, so files created through a PrefixFS are listed
+// under their prefix.
 func (fs *OSFS) List() ([]string, error) {
-	entries, err := os.ReadDir(fs.root)
+	var names []string
+	err := filepath.WalkDir(fs.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(fs.root, path)
+		if err != nil {
+			return err
+		}
+		names = append(names, filepath.ToSlash(rel))
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if !e.IsDir() {
-			names = append(names, e.Name())
-		}
 	}
 	sort.Strings(names)
 	return names, nil

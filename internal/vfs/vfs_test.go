@@ -213,3 +213,97 @@ func TestMemFileQuickEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPrefixFS verifies that prefixed namespaces are isolated from each
+// other and from the root, on both backing implementations.
+func TestPrefixFS(t *testing.T) {
+	for name, root := range fsImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			a := NewPrefix(root, "shard-0/")
+			b := NewPrefix(root, "shard-1/")
+
+			write := func(fs FS, name, content string) {
+				t.Helper()
+				f, err := fs.Create(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write([]byte(content)); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			read := func(fs FS, name string) string {
+				t.Helper()
+				f, err := fs.Open(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer f.Close()
+				size, err := f.Size()
+				if err != nil {
+					t.Fatal(err)
+				}
+				data := make([]byte, size)
+				if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+					t.Fatal(err)
+				}
+				return string(data)
+			}
+
+			write(a, "x.sst", "from-a")
+			write(b, "x.sst", "from-b")
+			write(root, "MANIFEST", "root")
+
+			if got := read(a, "x.sst"); got != "from-a" {
+				t.Fatalf("a/x.sst = %q", got)
+			}
+			if got := read(b, "x.sst"); got != "from-b" {
+				t.Fatalf("b/x.sst = %q", got)
+			}
+			if got := read(root, "shard-0/x.sst"); got != "from-a" {
+				t.Fatalf("root view of shard-0/x.sst = %q", got)
+			}
+
+			// List shows only the namespace's own files, stripped.
+			names, err := a.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(names) != 1 || names[0] != "x.sst" {
+				t.Fatalf("a.List() = %v, want [x.sst]", names)
+			}
+			// The root walk sees everything, prefixed.
+			all, err := root.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[string]bool{"MANIFEST": true, "shard-0/x.sst": true, "shard-1/x.sst": true}
+			for _, n := range all {
+				delete(want, n)
+			}
+			if len(want) != 0 {
+				t.Fatalf("root.List() = %v, missing %v", all, want)
+			}
+
+			// Rename and Remove stay inside the namespace.
+			if err := a.Rename("x.sst", "y.sst"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Open("y.sst"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("b sees a's rename: err=%v", err)
+			}
+			if err := b.Remove("x.sst"); err != nil {
+				t.Fatal(err)
+			}
+			if got := read(a, "y.sst"); got != "from-a" {
+				t.Fatalf("a/y.sst after rename = %q", got)
+			}
+			if _, err := root.Open("shard-1/x.sst"); !errors.Is(err, ErrNotExist) {
+				t.Fatalf("b's remove not visible at root: err=%v", err)
+			}
+		})
+	}
+}

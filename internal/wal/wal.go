@@ -2,6 +2,13 @@
 // the live segment before it reaches the memory buffer, so the buffer can be
 // rebuilt after a crash.
 //
+// A Manager owns the segments of one engine instance, named and listed
+// relative to the filesystem it is given. A range-sharded database runs one
+// Manager per shard on a prefixed filesystem, so each shard appends, syncs,
+// rotates, and replays its own segment directory ("shard-N/wal-*.wal")
+// independently — the append streams of different shards never serialize on
+// each other.
+//
 // Records are group records: one CRC-framed record carries a whole commit
 // group (one or more entries) and is written to the file with a single
 // buffered Write. The group is the unit of atomicity — a torn record drops

@@ -1,17 +1,83 @@
 package lethe
 
+import (
+	"lethe/internal/base"
+	"lethe/internal/compaction"
+	"lethe/internal/lsm"
+)
+
+// Cross-shard merging scans.
+//
+// A sharded database serves Scan and NewIter with a lazy k-way merge over
+// per-shard scan streams: each overlapping shard contributes an
+// lsm.ScanIter (a pull-based, tombstone-resolved stream pinning that
+// shard's snapshot), and compaction.NewMergeIter — the same machinery every
+// compaction and single-instance scan runs on — interleaves them in key
+// order. Shard ranges are disjoint, so the merge degenerates to
+// concatenation in shard order, but the heap keeps the code oblivious to
+// boundary placement. Entries stream on demand: a scan abandoned after ten
+// keys reads roughly ten keys' worth of pages from one shard, regardless of
+// shard count.
+
+// shardMergeIter is the merged cross-shard stream. Close releases every
+// shard's pinned snapshot.
+type shardMergeIter struct {
+	iters  []*lsm.ScanIter
+	merged compaction.Iterator
+}
+
+// newShardMergeIter opens per-shard scan iterators for the shards
+// overlapping [start, end) and merges them. The per-shard snapshots are
+// taken as this returns, in shard order; the merge itself is lazy.
+func (db *DB) newShardMergeIter(start, end []byte) (*shardMergeIter, error) {
+	lo, hi := 0, len(db.shards)-1
+	if start != nil || end != nil {
+		lo, hi = shardRange(db.boundaries, start, end)
+	}
+	it := &shardMergeIter{}
+	inputs := make([]compaction.Iterator, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		si, err := db.shards[i].NewScanIter(start, end)
+		if err != nil {
+			it.Close()
+			return nil, err
+		}
+		it.iters = append(it.iters, si)
+		inputs = append(inputs, si)
+	}
+	it.merged = compaction.NewMergeIter(compaction.MergeConfig{}, inputs...)
+	return it, nil
+}
+
+// Next returns the next live entry across all shards in ascending key
+// order.
+func (it *shardMergeIter) Next() (base.Entry, bool) { return it.merged.Next() }
+
+// Close releases every shard's snapshot, returning the first error from the
+// underlying streams. Idempotent.
+func (it *shardMergeIter) Close() error {
+	var first error
+	for _, si := range it.iters {
+		if err := si.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Iterator walks a snapshot of a key range in ascending key order. It is
 // created by DB.NewIter, which materializes the merged view (buffer + every
-// run, tombstones applied) under the engine lock; iteration itself is then
-// lock-free and unaffected by concurrent writes — a consistent snapshot of
-// the moment the iterator was created.
+// run, tombstones applied; all shards, merged in key order, when sharded)
+// as of the moment the iterator was created; iteration itself is then
+// lock-free and unaffected by concurrent writes.
 type Iterator struct {
 	items []Item
 	pos   int // position of the item Next will move onto, 1-based after first Next
 }
 
 // NewIter returns an iterator over live keys in [start, end) (nil end =
-// unbounded). The iterator starts positioned before the first item:
+// unbounded; an empty or inverted range yields an empty iterator). The
+// iterator starts positioned before the first item:
 //
 //	it, err := db.NewIter(nil, nil)
 //	for it.Next() {
@@ -19,7 +85,7 @@ type Iterator struct {
 //	}
 func (db *DB) NewIter(start, end []byte) (*Iterator, error) {
 	var items []Item
-	err := db.inner.Scan(start, end, func(k []byte, d DeleteKey, v []byte) bool {
+	err := db.Scan(start, end, func(k []byte, d DeleteKey, v []byte) bool {
 		items = append(items, Item{
 			Key:   append([]byte(nil), k...),
 			DKey:  d,

@@ -31,6 +31,7 @@ package lethe
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"lethe/internal/base"
@@ -159,6 +160,22 @@ type Options struct {
 	// scheduler may run concurrently. Default 1. Ignored in synchronous
 	// mode.
 	CompactionWorkers int
+	// Shards partitions the database by sort-key range into this many
+	// independent LSM instances, each with its own buffer, WAL directory,
+	// and maintenance pipeline (see shard.go and the guidance in tuning.go).
+	// Default 1 (no sharding; the layout and behavior are then identical to
+	// the unsharded engine). Forced to 1 under a manual clock or
+	// DisableBackgroundMaintenance when creating a database; an existing
+	// database always reopens with the shard count recorded in its shard
+	// manifest, and asking for a different explicit count is an error.
+	Shards int
+	// ShardBoundaries supplies the Shards-1 boundary keys splitting the
+	// key space (strictly increasing; shard i spans [boundary[i-1],
+	// boundary[i])). Nil uses DefaultShardBoundaries, which assumes
+	// uniformly distributed leading key bytes — supply boundaries matched
+	// to the real key distribution for clustered key spaces. Ignored when
+	// reopening (the shard manifest's recorded boundaries win).
+	ShardBoundaries [][]byte
 }
 
 // DB is a Lethe database handle. It is safe for concurrent use.
@@ -176,8 +193,20 @@ type Options struct {
 // a manual clock — commits serialize on the engine lock and all maintenance
 // runs inline inside the writing goroutine, preserving the paper's
 // deterministic single-threaded execution.
+//
+// With Options.Shards > 1 the handle routes over range-partitioned engine
+// instances: point operations go to exactly one shard, Scan and NewIter
+// merge per-shard streams lazily in key order, and secondary range
+// operations fan out to every shard (the delete key is not part of the
+// partitioning key). Everything above holds per shard; cross-shard
+// operations are not atomic as a unit — each shard's guarantees apply to
+// its portion.
 type DB struct {
-	inner *lsm.DB
+	// shards holds the range-partitioned engine instances, always at least
+	// one. boundaries has len(shards)-1 keys: shard i spans
+	// [boundaries[i-1], boundaries[i]).
+	shards     []*lsm.DB
+	boundaries [][]byte
 }
 
 // Open creates or reopens a database.
@@ -200,56 +229,116 @@ func Open(opts Options) (*DB, error) {
 	if mode == ModeBaseline && opts.Dth > 0 {
 		mode = ModeLethe
 	}
-	inner, err := lsm.Open(lsm.Options{
-		FS:                   fs,
-		Clock:                opts.Clock,
-		SizeRatio:            opts.SizeRatio,
-		BufferBytes:          opts.BufferBytes,
-		PageSize:             opts.PageSize,
-		FilePages:            opts.FilePages,
-		TilePages:            opts.TilePages,
-		BloomBitsPerKey:      opts.BloomBitsPerKey,
-		Mode:                 mode,
-		Dth:                  opts.Dth,
-		Tiering:              opts.Tiering,
-		SuppressBlindDeletes: opts.SuppressBlindDeletes,
-		DisableWAL:           opts.DisableWAL,
-		WALSync:              opts.WALSync,
-		CoverageEstimator:    opts.CoverageEstimator,
-		CacheBytes:           opts.CacheBytes,
-		Seed:                 opts.Seed,
-
-		DisableBackgroundMaintenance: opts.DisableBackgroundMaintenance,
-		MaxImmutableBuffers:          opts.MaxImmutableBuffers,
-		CompactionWorkers:            opts.CompactionWorkers,
-	})
+	boundaries, _, err := resolveShardLayout(fs, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &DB{inner: inner}, nil
+	innerOpts := func(shardFS vfs.FS) lsm.Options {
+		return lsm.Options{
+			FS:                   shardFS,
+			Clock:                opts.Clock,
+			SizeRatio:            opts.SizeRatio,
+			BufferBytes:          opts.BufferBytes,
+			PageSize:             opts.PageSize,
+			FilePages:            opts.FilePages,
+			TilePages:            opts.TilePages,
+			BloomBitsPerKey:      opts.BloomBitsPerKey,
+			Mode:                 mode,
+			Dth:                  opts.Dth,
+			Tiering:              opts.Tiering,
+			SuppressBlindDeletes: opts.SuppressBlindDeletes,
+			DisableWAL:           opts.DisableWAL,
+			WALSync:              opts.WALSync,
+			CoverageEstimator:    opts.CoverageEstimator,
+			CacheBytes:           opts.CacheBytes,
+			Seed:                 opts.Seed,
+
+			DisableBackgroundMaintenance: opts.DisableBackgroundMaintenance,
+			MaxImmutableBuffers:          opts.MaxImmutableBuffers,
+			CompactionWorkers:            opts.CompactionWorkers,
+		}
+	}
+	if len(boundaries) == 0 {
+		// Single instance: the engine owns the filesystem root directly,
+		// byte-identical to the unsharded layout.
+		inner, err := lsm.Open(innerOpts(fs))
+		if err != nil {
+			return nil, err
+		}
+		return &DB{shards: []*lsm.DB{inner}}, nil
+	}
+	shards := make([]*lsm.DB, 0, len(boundaries)+1)
+	for i := 0; i <= len(boundaries); i++ {
+		inner, err := lsm.Open(innerOpts(vfs.NewPrefix(fs, shardDirPrefix(i))))
+		if err != nil {
+			for _, s := range shards {
+				s.Close()
+			}
+			return nil, err
+		}
+		shards = append(shards, inner)
+	}
+	return &DB{shards: shards, boundaries: boundaries}, nil
+}
+
+// shardFor routes a sort key to its owning shard.
+func (db *DB) shardFor(key []byte) *lsm.DB {
+	if len(db.shards) == 1 {
+		return db.shards[0]
+	}
+	return db.shards[shardIndex(db.boundaries, key)]
+}
+
+// ShardCount returns the number of range shards (1 when unsharded).
+func (db *DB) ShardCount() int { return len(db.shards) }
+
+// ShardBoundaries returns a copy of the boundary keys partitioning the
+// shards (nil when unsharded).
+func (db *DB) ShardBoundaries() [][]byte {
+	if len(db.boundaries) == 0 {
+		return nil
+	}
+	out := make([][]byte, len(db.boundaries))
+	for i, b := range db.boundaries {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
 }
 
 // Put inserts or updates key with the given secondary delete key and value.
 func (db *DB) Put(key []byte, dkey DeleteKey, value []byte) error {
-	return db.inner.Put(key, dkey, value)
+	return db.shardFor(key).Put(key, dkey, value)
 }
 
 // Get returns the value stored for key, or ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) {
-	v, _, err := db.inner.Get(key)
+	v, _, err := db.shardFor(key).Get(key)
 	return v, err
 }
 
 // GetWithDeleteKey also returns the entry's secondary delete key.
 func (db *DB) GetWithDeleteKey(key []byte) ([]byte, DeleteKey, error) {
-	return db.inner.Get(key)
+	return db.shardFor(key).Get(key)
 }
 
 // Delete removes key (a point delete on the sort key).
-func (db *DB) Delete(key []byte) error { return db.inner.Delete(key) }
+func (db *DB) Delete(key []byte) error { return db.shardFor(key).Delete(key) }
 
 // RangeDelete removes every key in [start, end) (a primary range delete).
-func (db *DB) RangeDelete(start, end []byte) error { return db.inner.RangeDelete(start, end) }
+// On a sharded database the tombstone is applied per overlapping shard in
+// key order; each shard's portion is atomic, the whole is not.
+func (db *DB) RangeDelete(start, end []byte) error {
+	if len(db.shards) == 1 {
+		return db.shards[0].RangeDelete(start, end)
+	}
+	lo, hi := shardRange(db.boundaries, start, end)
+	for i := lo; i <= hi; i++ {
+		if err := db.shards[i].RangeDelete(start, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // SecondaryRangeDelete removes every entry whose delete key lies in
 // [lo, hi), using KiWi's page drops instead of a full-tree compaction. See
@@ -257,13 +346,20 @@ func (db *DB) RangeDelete(start, end []byte) error { return db.inner.RangeDelete
 // time (the paper's DComp scenario); see the engine documentation for the
 // multi-version caveat.
 func (db *DB) SecondaryRangeDelete(lo, hi DeleteKey) (SRDStats, error) {
-	st, err := db.inner.SecondaryRangeDelete(lo, hi)
-	return SRDStats{
-		FullPageDrops:    st.FullDrops,
-		PartialPageDrops: st.PartialDrops,
-		EntriesDropped:   st.EntriesDropped,
-		PagesUntouched:   st.PagesUntouched,
-	}, err
+	// The delete key is orthogonal to the sort-key partitioning, so the
+	// delete fans out to every shard; the aggregate work is returned.
+	var agg SRDStats
+	for _, s := range db.shards {
+		st, err := s.SecondaryRangeDelete(lo, hi)
+		agg.FullPageDrops += st.FullDrops
+		agg.PartialPageDrops += st.PartialDrops
+		agg.EntriesDropped += st.EntriesDropped
+		agg.PagesUntouched += st.PagesUntouched
+		if err != nil {
+			return agg, err
+		}
+	}
+	return agg, nil
 }
 
 // SRDStats reports the work a secondary range delete performed.
@@ -279,21 +375,45 @@ type SRDStats struct {
 }
 
 // Scan visits every live pair with start <= key < end (nil end = unbounded)
-// in key order until fn returns false.
+// in key order until fn returns false. An empty or inverted range (both
+// bounds set, start >= end) visits nothing. On a sharded database the
+// per-shard streams are merged lazily in key order (see iterator.go); each
+// shard's portion is a consistent snapshot, taken as the scan opens.
 func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey DeleteKey, value []byte) bool) error {
-	return db.inner.Scan(start, end, fn)
+	if len(db.shards) == 1 {
+		return db.shards[0].Scan(start, end, fn)
+	}
+	it, err := db.newShardMergeIter(start, end)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !fn(e.Key.UserKey, e.DKey, e.Value) {
+			break
+		}
+	}
+	return it.Close()
 }
 
 // SecondaryRangeScan returns live entries with lo <= D < hi, served by the
-// delete fences.
+// delete fences. On a sharded database every shard is consulted (D is not
+// the partitioning key) and the results are concatenated in shard order;
+// ordering within the result is unspecified, as for a single instance.
 func (db *DB) SecondaryRangeScan(lo, hi DeleteKey) ([]Item, error) {
-	entries, err := db.inner.SecondaryRangeScan(lo, hi)
-	if err != nil {
-		return nil, err
-	}
-	items := make([]Item, len(entries))
-	for i, e := range entries {
-		items[i] = Item{Key: e.Key.UserKey, DKey: e.DKey, Value: e.Value}
+	var items []Item
+	for _, s := range db.shards {
+		entries, err := s.SecondaryRangeScan(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			items = append(items, Item{Key: e.Key.UserKey, DKey: e.DKey, Value: e.Value})
+		}
 	}
 	return items, nil
 }
@@ -305,42 +425,147 @@ type Item struct {
 	Value []byte
 }
 
-// Flush forces the memory buffer to disk.
-func (db *DB) Flush() error { return db.inner.Flush() }
+// Flush forces every shard's memory buffer to disk.
+func (db *DB) Flush() error {
+	var first error
+	for _, s := range db.shards {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Maintain runs compactions until no trigger (saturation or TTL expiry)
-// fires. In synchronous mode writes invoke it automatically; call it after
-// advancing a manual clock. In background mode it kicks the workers and
-// blocks until the maintenance pipeline is quiescent — useful as a barrier
-// in tests and batch jobs.
-func (db *DB) Maintain() error { return db.inner.Maintain() }
+// fires, on every shard. In synchronous mode writes invoke it
+// automatically; call it after advancing a manual clock. In background mode
+// it kicks the workers and blocks until every shard's maintenance pipeline
+// is quiescent — useful as a barrier in tests and batch jobs.
+func (db *DB) Maintain() error {
+	var first error
+	for _, s := range db.shards {
+		if err := s.Maintain(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
-// FullTreeCompact merges the entire tree into its last level — the
+// FullTreeCompact merges each shard's entire tree into its last level — the
 // baseline's (expensive) way to persist deletes.
-func (db *DB) FullTreeCompact() error { return db.inner.FullTreeCompact() }
+func (db *DB) FullTreeCompact() error {
+	var first error
+	for _, s := range db.shards {
+		if err := s.FullTreeCompact(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
-// Close flushes and releases the database.
-func (db *DB) Close() error { return db.inner.Close() }
+// Close flushes and releases every shard, returning the first error.
+func (db *DB) Close() error {
+	var first error
+	for _, s := range db.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
-// Stats returns engine statistics.
-func (db *DB) Stats() lsm.Stats { return db.inner.Stats() }
+// Stats returns engine statistics. For a sharded database the counters are
+// aggregated across shards (peaks take the per-shard maximum; sequence
+// frontiers sum, since shards number sequences independently); ShardStats
+// exposes the per-shard breakdown.
+func (db *DB) Stats() lsm.Stats {
+	if len(db.shards) == 1 {
+		return db.shards[0].Stats()
+	}
+	return aggregateStats(db.ShardStats())
+}
+
+// ShardStats returns each shard's statistics, in shard (key-range) order.
+// For an unsharded database it holds the single instance's stats.
+func (db *DB) ShardStats() []lsm.Stats {
+	out := make([]lsm.Stats, len(db.shards))
+	for i, s := range db.shards {
+		out[i] = s.Stats()
+	}
+	return out
+}
 
 // SpaceAmp measures the current space amplification (full scan; a
-// diagnostic, not a hot-path call).
-func (db *DB) SpaceAmp() (float64, error) { return db.inner.SpaceAmp() }
+// diagnostic, not a hot-path call). Sharded: the byte totals are summed
+// across shards before forming the ratio.
+func (db *DB) SpaceAmp() (float64, error) {
+	if len(db.shards) == 1 {
+		return db.shards[0].SpaceAmp()
+	}
+	var total, unique int64
+	for _, s := range db.shards {
+		t, u, err := s.SpaceAmpParts()
+		if err != nil {
+			return 0, err
+		}
+		total += t
+		unique += u
+	}
+	if unique == 0 {
+		return 0, nil
+	}
+	return float64(total-unique) / float64(unique), nil
+}
 
-// TombstoneAges returns the per-file tombstone age distribution.
-func (db *DB) TombstoneAges() []lsm.TombstoneAgeBucket { return db.inner.TombstoneAges() }
+// TombstoneAges returns the per-file tombstone age distribution across all
+// shards.
+func (db *DB) TombstoneAges() []lsm.TombstoneAgeBucket {
+	if len(db.shards) == 1 {
+		return db.shards[0].TombstoneAges()
+	}
+	var out []lsm.TombstoneAgeBucket
+	for _, s := range db.shards {
+		out = append(out, s.TombstoneAges()...)
+	}
+	return out
+}
 
-// MaxTombstoneAge returns the oldest tombstone age in the tree.
-func (db *DB) MaxTombstoneAge() time.Duration { return db.inner.MaxTombstoneAge() }
+// MaxTombstoneAge returns the oldest tombstone age anywhere in the
+// database.
+func (db *DB) MaxTombstoneAge() time.Duration {
+	var max time.Duration
+	for _, s := range db.shards {
+		if a := s.MaxTombstoneAge(); a > max {
+			max = a
+		}
+	}
+	return max
+}
 
-// NumLevels returns the current number of disk levels.
-func (db *DB) NumLevels() int { return db.inner.NumLevels() }
+// NumLevels returns the current number of disk levels (the deepest shard's
+// when sharded).
+func (db *DB) NumLevels() int {
+	max := 0
+	for _, s := range db.shards {
+		if n := s.NumLevels(); n > max {
+			max = n
+		}
+	}
+	return max
+}
 
 // TTLs returns the cumulative per-level TTL thresholds FADE currently
-// enforces.
-func (db *DB) TTLs() []time.Duration { return db.inner.TTLs() }
+// enforces. Shards share one configuration; the deepest shard's thresholds
+// are returned (level TTLs depend only on Dth, T, and tree height).
+func (db *DB) TTLs() []time.Duration {
+	var out []time.Duration
+	for _, s := range db.shards {
+		if t := s.TTLs(); len(t) > len(out) {
+			out = t
+		}
+	}
+	return out
+}
 
 // Batch collects operations for atomic application: either all of a synced
 // batch's operations survive a crash or (for an unsynced tail) a prefix in
@@ -375,11 +600,61 @@ func (b *Batch) RangeDelete(start, end []byte) *Batch {
 // Len reports the number of queued operations.
 func (b *Batch) Len() int { return len(b.ops) }
 
-// Apply applies the batch atomically and clears it.
+// Apply applies the batch atomically and clears it. On a sharded database
+// the batch is split by owning shard, preserving per-key operation order:
+// each shard's sub-batch is atomic, but a batch spanning shards is not
+// atomic as a whole (a crash can persist one shard's portion and not
+// another's).
 func (db *DB) Apply(b *Batch) error {
-	err := db.inner.ApplyBatch(b.ops)
-	if err == nil {
-		b.ops = b.ops[:0]
+	if len(db.shards) == 1 {
+		err := db.shards[0].ApplyBatch(b.ops)
+		if err == nil {
+			b.ops = b.ops[:0]
+		}
+		return err
 	}
-	return err
+	// Pre-validate every op so deterministic rejections (the same ones
+	// lsm.ApplyBatch raises) surface before any shard's sub-batch commits —
+	// otherwise a bad op in a later shard would leave earlier shards
+	// applied while the unsharded path rejects the whole batch untouched.
+	for _, op := range b.ops {
+		switch op.Kind {
+		case base.KindSet, base.KindDelete:
+		case base.KindRangeDelete:
+			if base.CompareUserKeys(op.Key, op.EndKey) >= 0 {
+				return fmt.Errorf("lethe: batch range delete [%q, %q) is empty", op.Key, op.EndKey)
+			}
+		default:
+			return fmt.Errorf("lethe: unsupported batch op kind %v", op.Kind)
+		}
+	}
+	split := make([][]lsm.BatchOp, len(db.shards))
+	for _, op := range b.ops {
+		if op.Kind == base.KindRangeDelete {
+			var start, end []byte
+			if len(op.Key) > 0 {
+				start = op.Key
+			}
+			if len(op.EndKey) > 0 {
+				end = op.EndKey
+			}
+			lo, hi := shardRange(db.boundaries, start, end)
+			for i := lo; i <= hi; i++ {
+				split[i] = append(split[i], op)
+			}
+			continue
+		}
+		i := shardIndex(db.boundaries, op.Key)
+		split[i] = append(split[i], op)
+	}
+	for i, ops := range split {
+		if len(ops) == 0 {
+			continue
+		}
+		if err := db.shards[i].ApplyBatch(ops); err != nil {
+			return err
+		}
+	}
+	b.ops = b.ops[:0]
+	return nil
 }

@@ -1,0 +1,322 @@
+// Range sharding: a sharded DB is a router over Options.Shards independent
+// LSM instances, each with its own memory buffer, WAL directory, manifest,
+// version set, and flush/compaction/commit pipeline. The sort-key space is
+// partitioned by Shards-1 boundary keys: shard i holds every key in
+// [boundary[i-1], boundary[i]) (the first and last ranges are unbounded
+// below and above). Point operations route to exactly one shard, so under
+// concurrency the shards' write pipelines and maintenance workers proceed
+// independently; range scans merge the per-shard streams lazily
+// (iterator.go); secondary range deletes and scans fan out to every shard,
+// because the delete key D is not part of the partitioning key.
+//
+// The boundaries are chosen once, when the database is created — by
+// Options.ShardBoundaries, or DefaultShardBoundaries when unset — and are
+// recorded in a shard manifest (the SHARDS file) at the filesystem root so a
+// reopen routes exactly as the writer did. Resharding an existing database
+// is not supported: reopening with a conflicting explicit shard count is an
+// error.
+package lethe
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"lethe/internal/base"
+	"lethe/internal/lsm"
+	"lethe/internal/vfs"
+)
+
+// shardManifestName is the file at the root of a sharded database recording
+// its partitioning. Single-shard databases never create it, so their on-disk
+// layout is unchanged from the unsharded engine.
+const shardManifestName = "SHARDS"
+
+// maxShards bounds Options.Shards: beyond a few dozen shards per process the
+// per-shard buffers and worker goroutines cost more than the parallelism
+// returns (see the guidance in tuning.go).
+const maxShards = 256
+
+// shardManifest is the persisted form of the partitioning. Boundaries are
+// JSON-encoded (base64 for the raw key bytes), matching the engine
+// manifest's encoding choice.
+type shardManifest struct {
+	Version    int
+	Boundaries [][]byte
+}
+
+// loadShardManifest reads the SHARDS file; the boolean reports whether one
+// existed.
+func loadShardManifest(fs vfs.FS) (*shardManifest, bool, error) {
+	f, err := fs.Open(shardManifestName)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("lethe: open shard manifest: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, false, fmt.Errorf("lethe: shard manifest size: %w", err)
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+			return nil, false, fmt.Errorf("lethe: read shard manifest: %w", err)
+		}
+	}
+	var m shardManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, false, fmt.Errorf("lethe: decode shard manifest: %w", err)
+	}
+	if err := validateBoundaries(m.Boundaries); err != nil {
+		return nil, false, err
+	}
+	return &m, true, nil
+}
+
+// saveShardManifest writes the SHARDS file via temp + rename, the same
+// atomic-replace pattern the engine manifest uses.
+func saveShardManifest(fs vfs.FS, m *shardManifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("lethe: encode shard manifest: %w", err)
+	}
+	tmp := shardManifestName + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("lethe: create shard manifest: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("lethe: write shard manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lethe: sync shard manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lethe: close shard manifest: %w", err)
+	}
+	if err := fs.Rename(tmp, shardManifestName); err != nil {
+		return fmt.Errorf("lethe: install shard manifest: %w", err)
+	}
+	return nil
+}
+
+// validateBoundaries checks that boundary keys are non-empty and strictly
+// increasing — the invariant shard routing depends on.
+func validateBoundaries(boundaries [][]byte) error {
+	for i, b := range boundaries {
+		if len(b) == 0 {
+			return fmt.Errorf("lethe: shard boundary %d is empty", i)
+		}
+		if i > 0 && bytes.Compare(boundaries[i-1], b) >= 0 {
+			return fmt.Errorf("lethe: shard boundaries not strictly increasing at %d", i)
+		}
+	}
+	return nil
+}
+
+// DefaultShardBoundaries splits the key space into n ranges of equal width
+// over the first two key bytes — the right default for keys whose leading
+// bytes are uniformly distributed (hashed or random prefixes). Keys
+// clustered under a common prefix (e.g. all starting with "user-") land in
+// one shard under this split; pass Options.ShardBoundaries matched to the
+// real key distribution instead (see the sharding guidance in tuning.go).
+func DefaultShardBoundaries(n int) [][]byte {
+	if n <= 1 {
+		return nil
+	}
+	bounds := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		v := (i << 16) / n // boundary in the 16-bit prefix space
+		bounds = append(bounds, []byte{byte(v >> 8), byte(v)})
+	}
+	return bounds
+}
+
+// shardIndex returns the shard owning key: the number of boundaries at or
+// below it.
+func shardIndex(boundaries [][]byte, key []byte) int {
+	return sort.Search(len(boundaries), func(i int) bool {
+		return base.CompareUserKeys(key, boundaries[i]) < 0
+	})
+}
+
+// shardRange returns the inclusive index range of shards overlapping
+// [start, end) (nil = unbounded). Both bounds set with start >= end is the
+// caller's degenerate case; this still returns lo <= hi so fan-out loops
+// touch at most one shard.
+func shardRange(boundaries [][]byte, start, end []byte) (lo, hi int) {
+	lo, hi = 0, len(boundaries)
+	if start != nil {
+		lo = shardIndex(boundaries, start)
+	}
+	if end != nil {
+		hi = shardIndex(boundaries, end)
+		// end is exclusive: when it sits exactly on a boundary the shard
+		// above it contains no qualifying keys.
+		if hi > 0 && base.CompareUserKeys(end, boundaries[hi-1]) == 0 {
+			hi--
+		}
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// aggregateStats folds per-shard engine stats into one engine-wide view:
+// counters and populations sum, per-level stats sum level-wise (levels align
+// across shards since every shard runs the same geometry), and peak gauges
+// take the maximum. LastPublishedSeq sums the per-shard frontiers — shards
+// number their sequences independently, so only the total is meaningful
+// engine-wide; use DB.ShardStats for the exact per-shard frontiers.
+func aggregateStats(per []lsm.Stats) lsm.Stats {
+	var agg lsm.Stats
+	for _, s := range per {
+		for len(agg.Levels) < len(s.Levels) {
+			agg.Levels = append(agg.Levels, lsm.LevelStats{})
+		}
+		for i, l := range s.Levels {
+			agg.Levels[i].Runs += l.Runs
+			agg.Levels[i].Files += l.Files
+			agg.Levels[i].LiveBytes += l.LiveBytes
+			agg.Levels[i].Entries += l.Entries
+			agg.Levels[i].PointTombstones += l.PointTombstones
+			agg.Levels[i].RangeTombstones += l.RangeTombstones
+		}
+		agg.TreeEntries += s.TreeEntries
+		agg.BufferEntries += s.BufferEntries
+		agg.LivePointTombstones += s.LivePointTombstones
+		agg.Compactions += s.Compactions
+		agg.CompactionsTTL += s.CompactionsTTL
+		agg.CompactionsSaturation += s.CompactionsSaturation
+		agg.FullTreeCompactions += s.FullTreeCompactions
+		agg.TrivialMoves += s.TrivialMoves
+		agg.Flushes += s.Flushes
+		if s.MaxCompactionBytes > agg.MaxCompactionBytes {
+			agg.MaxCompactionBytes = s.MaxCompactionBytes
+		}
+		agg.BytesFlushed += s.BytesFlushed
+		agg.CompactionBytesRead += s.CompactionBytesRead
+		agg.CompactionBytesWritten += s.CompactionBytesWritten
+		agg.TotalBytesWritten += s.TotalBytesWritten
+		agg.UserBytesWritten += s.UserBytesWritten
+		agg.EntriesDroppedObsolete += s.EntriesDroppedObsolete
+		agg.TombstonesDropped += s.TombstonesDropped
+		agg.RangeCovered += s.RangeCovered
+		agg.BlindDeletesSuppressed += s.BlindDeletesSuppressed
+		agg.FullPageDrops += s.FullPageDrops
+		agg.PartialPageDrops += s.PartialPageDrops
+		agg.SRDEntriesDropped += s.SRDEntriesDropped
+		agg.ImmutableBuffers += s.ImmutableBuffers
+		agg.WriteStalls += s.WriteStalls
+		agg.WriteStallTime += s.WriteStallTime
+		agg.BackgroundFlushes += s.BackgroundFlushes
+		agg.BackgroundCompactions += s.BackgroundCompactions
+		agg.CommitGroups += s.CommitGroups
+		agg.CommitBatches += s.CommitBatches
+		agg.CommitEntries += s.CommitEntries
+		if s.MaxCommitGroupBatches > agg.MaxCommitGroupBatches {
+			agg.MaxCommitGroupBatches = s.MaxCommitGroupBatches
+		}
+		agg.CommitQueueDepth += s.CommitQueueDepth
+		agg.WALSyncs += s.WALSyncs
+		agg.LastPublishedSeq += s.LastPublishedSeq
+	}
+	return agg
+}
+
+// resolveShardLayout decides the partitioning at Open time: an existing
+// shard manifest wins (the database reopens exactly as it was written, even
+// if Options now asks for synchronous mode); otherwise the requested count
+// and boundaries apply, with sharding forced off under a manual clock or
+// DisableBackgroundMaintenance so the paper harness's deterministic
+// single-instance execution is preserved bit-for-bit.
+func resolveShardLayout(fs vfs.FS, opts Options) (boundaries [][]byte, fromManifest bool, err error) {
+	m, ok, err := loadShardManifest(fs)
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		if opts.Shards > 1 && opts.Shards != len(m.Boundaries)+1 {
+			return nil, false, fmt.Errorf(
+				"lethe: database has %d shards, Options.Shards asks for %d (resharding is not supported)",
+				len(m.Boundaries)+1, opts.Shards)
+		}
+		return m.Boundaries, true, nil
+	}
+	n := opts.Shards
+	if n <= 1 {
+		return nil, false, nil
+	}
+	if n > maxShards {
+		return nil, false, fmt.Errorf("lethe: Options.Shards %d exceeds the maximum %d", n, maxShards)
+	}
+	_, manual := opts.Clock.(*base.ManualClock)
+	if manual || opts.DisableBackgroundMaintenance {
+		// Synchronous mode is the deterministic single-instance execution
+		// model; a router over n pipelines has nothing to pipeline there.
+		return nil, false, nil
+	}
+	// A single-instance database never writes a SHARDS manifest, so "no
+	// manifest" alone cannot distinguish a fresh filesystem from an
+	// existing unsharded one — and opening the latter sharded would shadow
+	// all of its root-level data behind empty shard directories. Refuse.
+	if exists, err := unshardedEngineExists(fs); err != nil {
+		return nil, false, err
+	} else if exists {
+		return nil, false, errors.New(
+			"lethe: filesystem holds an unsharded database; Options.Shards > 1 would shadow it (resharding is not supported)")
+	}
+	boundaries = opts.ShardBoundaries
+	if boundaries == nil {
+		boundaries = DefaultShardBoundaries(n)
+	}
+	if len(boundaries) != n-1 {
+		return nil, false, fmt.Errorf("lethe: Options.ShardBoundaries has %d keys, want Shards-1 = %d",
+			len(boundaries), n-1)
+	}
+	if err := validateBoundaries(boundaries); err != nil {
+		return nil, false, err
+	}
+	// Deep-copy before persisting so later caller mutations can't skew
+	// routing.
+	cp := make([][]byte, len(boundaries))
+	for i, b := range boundaries {
+		cp[i] = append([]byte(nil), b...)
+	}
+	if err := saveShardManifest(fs, &shardManifest{Version: 1, Boundaries: cp}); err != nil {
+		return nil, false, err
+	}
+	return cp, false, nil
+}
+
+// shardDirPrefix names shard i's directory inside the root filesystem.
+func shardDirPrefix(i int) string { return fmt.Sprintf("shard-%d/", i) }
+
+// unshardedEngineExists reports whether the filesystem's root holds files
+// of a single-instance engine (manifest, sstables, or WAL segments outside
+// any shard directory).
+func unshardedEngineExists(fs vfs.FS) (bool, error) {
+	names, err := fs.List()
+	if err != nil {
+		return false, fmt.Errorf("lethe: list filesystem: %w", err)
+	}
+	for _, n := range names {
+		if strings.ContainsRune(n, '/') {
+			continue // inside a directory, not a root-level engine file
+		}
+		if n == "MANIFEST" || strings.HasSuffix(n, ".sst") || strings.HasSuffix(n, ".wal") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -26,6 +26,42 @@
 //
 // Batches (DB.Apply) already amortize WAL I/O within one writer; WALSync
 // governs amortization across writers.
+//
+// # Scaling out the engine: Options.Shards vs Options.CompactionWorkers
+//
+// Two knobs parallelize maintenance, and they compose; pick by bottleneck:
+//
+//   - CompactionWorkers > 1 runs several compactions of one tree
+//     concurrently. It is the right first knob when reads and writes are
+//     fine but compaction debt accumulates (Stats().Levels piling up runs):
+//     it adds merge parallelism without changing the data layout, scan
+//     behavior, or memory footprint.
+//
+//   - Shards = n splits the key space into n independent engines (shard.go)
+//     and so parallelizes everything that is per-instance serial: the
+//     memory buffer's insert lock, the WAL append stream and its syncs, the
+//     flush worker, and the commit pipeline's leader. It is the right knob
+//     when a single pipeline's serial capacity is the ceiling — the classic
+//     symptoms are write stalls (Stats().WriteStalls climbing while the
+//     flush worker is saturated) or commit-queue convoys at high writer
+//     counts. BenchmarkShardedPuts models this with per-page device write
+//     latency: at 16 writers, 4 shards sustain ~2.7x the aggregate put
+//     throughput of 1 shard because the shards' flush pipelines overlap
+//     their device time (numbers in BENCH.md).
+//
+// What sharding costs: n memory buffers and worker sets; cross-shard scans
+// pay a k-way merge (~25% on full scans in BenchmarkShardedScan, nothing on
+// point reads, which route directly); SecondaryRangeScan/Delete fan out to
+// every shard since D is not the partitioning key; and cross-shard batches
+// lose whole-batch atomicity. Workloads dominated by scans or secondary
+// range deletes should prefer CompactionWorkers; write-heavy multi-tenant
+// traffic wants shards.
+//
+// Boundaries are fixed at creation and recorded in the shard manifest.
+// DefaultShardBoundaries assumes uniformly distributed leading key bytes;
+// clustered key spaces (common prefixes, zero-padded counters) must pass
+// Options.ShardBoundaries quantiles of the real distribution, or every key
+// lands in one shard and the others idle.
 
 package lethe
 
