@@ -11,6 +11,13 @@
 // records the run count per benchmark. Custom b.ReportMetric units are kept
 // under "metrics". Lines that are not benchmark results are ignored, so the
 // whole `go test` output can be piped in unfiltered.
+//
+// With -baseline PREV.json (a previous -json output, e.g. the committed
+// BENCH_PR3.json), a "versus baseline" Markdown section is appended diffing
+// ns/op per benchmark, and every regression past -threshold percent
+// (default 20) emits a GitHub Actions ::warning:: annotation on stderr —
+// the CI bench-regression gate. The gate warns instead of failing: CI
+// runner noise must not block merges, but regressions must be visible.
 package main
 
 import (
@@ -44,6 +51,8 @@ func main() {
 	in := flag.String("in", "", "input file (default: stdin)")
 	jsonOut := flag.String("json", "", "write the JSON document to this file")
 	md := flag.Bool("md", false, "print a Markdown summary table to stdout")
+	baseline := flag.String("baseline", "", "baseline JSON (a previous -json output) to diff ns/op against")
+	threshold := flag.Float64("threshold", 20, "regression warning threshold in percent (with -baseline)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -98,6 +107,87 @@ func main() {
 	if *md {
 		printMarkdown(os.Stdout, results, order)
 	}
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			// Warn-only gate: a missing or unreadable baseline must not turn
+			// it into a hard CI failure — annotate and skip the diff.
+			fmt.Fprintf(os.Stderr, "::warning title=Bench baseline missing::%v — regression diff skipped\n", err)
+		} else {
+			// The table joins the -md output (the CI job redirects stdout
+			// into the step summary); the ::warning:: annotations go to
+			// stderr so they land in the job log, where the Actions runner
+			// scans them.
+			printDiff(os.Stdout, os.Stderr, results, base, order, *threshold)
+		}
+	}
+}
+
+// loadBaseline reads a previous -json output.
+func loadBaseline(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Benchmarks map[string]result `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("decode baseline %s: %w", path, err)
+	}
+	return doc.Benchmarks, nil
+}
+
+// printDiff emits a Markdown section comparing ns/op against the baseline,
+// flagging regressions past the threshold, and a GitHub Actions ::warning::
+// command per flagged benchmark so the job page surfaces them. The gate
+// warns rather than fails: benchmark noise on shared CI runners must not
+// block merges, but regressions must be impossible to miss.
+func printDiff(w, warnw io.Writer, results, base map[string]result, order []string, threshold float64) {
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "### Versus baseline (warn at +%.0f%% ns/op)\n", threshold)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| benchmark | baseline ns/op | current ns/op | delta |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|")
+	var regressions []string
+	for _, name := range order {
+		cur := results[name]
+		b, ok := base[name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "| %s | — | %.0f | new |\n", name, cur.NsPerOp)
+			continue
+		}
+		delta := (cur.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		marker := ""
+		if delta > threshold {
+			marker = " ⚠️"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, b.NsPerOp, cur.NsPerOp, delta))
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s |\n", name, b.NsPerOp, cur.NsPerOp, delta, marker)
+	}
+	var removed []string
+	for name := range base {
+		if _, ok := results[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "| %s | %.0f | — | removed |\n", name, base[name].NsPerOp)
+	}
+	fmt.Fprintln(w)
+	if len(regressions) == 0 {
+		fmt.Fprintf(w, "No ns/op regressions past %.0f%%.\n", threshold)
+		return
+	}
+	fmt.Fprintf(w, "%d benchmark(s) regressed past %.0f%% — see the job log annotations.\n",
+		len(regressions), threshold)
+	sort.Strings(regressions)
+	for _, r := range regressions {
+		// GitHub Actions annotation: shows on the workflow run page.
+		fmt.Fprintf(warnw, "::warning title=Benchmark regression::%s\n", r)
+	}
 }
 
 // parse reads gobench output, returning per-name accumulators and the first-
@@ -116,7 +206,7 @@ func parse(r io.Reader) (map[string]*accum, []string, error) {
 		if _, err := strconv.Atoi(fields[1]); err != nil {
 			continue // e.g. "Benchmarking..." chatter
 		}
-		name := fields[0]
+		name := stripProcsSuffix(fields[0])
 		a := byName[name]
 		if a == nil {
 			a = &accum{sums: map[string]float64{}}
@@ -133,6 +223,27 @@ func parse(r io.Reader) (map[string]*accum, []string, error) {
 		}
 	}
 	return byName, order, sc.Err()
+}
+
+// stripProcsSuffix removes the trailing "-GOMAXPROCS" go test appends to
+// benchmark names (absent when GOMAXPROCS=1). Names must be portable across
+// machines with different core counts, or a baseline recorded on one
+// machine never matches a run on another and the regression diff reports
+// everything as new/removed instead of comparing.
+//
+// Constraint this imposes on the suite: a sub-benchmark name must not end
+// in "-<number>" (e.g. "buf-512"), since a GOMAXPROCS=1 run would have it
+// wrongly stripped and collide with a sibling. Spell such variants
+// "buf=512" instead.
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
 }
 
 // printMarkdown emits a summary table in first-appearance order, with any

@@ -25,11 +25,11 @@ func TestParse(t *testing.T) {
 	if len(order) != 3 {
 		t.Fatalf("parsed %d benchmarks: %v", len(order), order)
 	}
-	if order[0] != "BenchmarkShardedPuts/shards=1-16" {
-		t.Fatalf("order[0] = %s", order[0])
+	if order[0] != "BenchmarkShardedPuts/shards=1" {
+		t.Fatalf("order[0] = %s (the -GOMAXPROCS suffix must be stripped)", order[0])
 	}
 
-	a := byName["BenchmarkShardedPuts/shards=1-16"]
+	a := byName["BenchmarkShardedPuts/shards=1"]
 	if a.runs != 2 {
 		t.Fatalf("runs = %d, want 2 (count-averaged)", a.runs)
 	}
@@ -40,7 +40,7 @@ func TestParse(t *testing.T) {
 		t.Fatalf("averaged flushes = %v", got)
 	}
 
-	c := byName["BenchmarkConcurrentPuts/goroutines=16/grouped-16"]
+	c := byName["BenchmarkConcurrentPuts/goroutines=16/grouped"]
 	if c.runs != 1 {
 		t.Fatalf("runs = %d", c.runs)
 	}
@@ -49,5 +49,67 @@ func TestParse(t *testing.T) {
 	}
 	if c.sums["batches/group"] != 15.97 {
 		t.Fatalf("custom metric: %v", c.sums["batches/group"])
+	}
+}
+
+func TestStripProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":                   "BenchmarkFoo",
+		"BenchmarkFoo":                     "BenchmarkFoo",
+		"BenchmarkFoo/rate-2MB-16":         "BenchmarkFoo/rate-2MB",
+		"BenchmarkFoo/rate-2MB":            "BenchmarkFoo/rate-2MB", // GOMAXPROCS=1: no suffix, non-numeric tail kept
+		"BenchmarkCompaction/unlimited-4":  "BenchmarkCompaction/unlimited",
+		"BenchmarkShardedPuts/shards=1-16": "BenchmarkShardedPuts/shards=1",
+	}
+	for in, want := range cases {
+		if got := stripProcsSuffix(in); got != want {
+			t.Fatalf("stripProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPrintDiff(t *testing.T) {
+	results := map[string]result{
+		"BenchA": {NsPerOp: 1300}, // +30%: regression
+		"BenchB": {NsPerOp: 900},  // -10%: fine
+		"BenchC": {NsPerOp: 500},  // new
+	}
+	base := map[string]result{
+		"BenchA": {NsPerOp: 1000},
+		"BenchB": {NsPerOp: 1000},
+		"BenchD": {NsPerOp: 700}, // removed
+	}
+	var out, warn strings.Builder
+	printDiff(&out, &warn, results, base, []string{"BenchA", "BenchB", "BenchC"}, 20)
+
+	table := out.String()
+	for _, want := range []string{
+		"| BenchA | 1000 | 1300 | +30.0% ⚠️ |",
+		"| BenchB | 1000 | 900 | -10.0% |",
+		"| BenchC | — | 500 | new |",
+		"| BenchD | 700 | — | removed |",
+		"1 benchmark(s) regressed past 20%",
+	} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("diff table missing %q in:\n%s", want, table)
+		}
+	}
+	warnings := warn.String()
+	if !strings.Contains(warnings, "::warning title=Benchmark regression::BenchA: 1000 -> 1300 ns/op (+30.0%)") {
+		t.Fatalf("warning annotation missing in:\n%s", warnings)
+	}
+	if strings.Contains(warnings, "BenchB") {
+		t.Fatal("non-regressed benchmark must not be flagged")
+	}
+
+	// No regressions: the table says so and no annotations are emitted.
+	out.Reset()
+	warn.Reset()
+	printDiff(&out, &warn, map[string]result{"BenchB": {NsPerOp: 900}}, base, []string{"BenchB"}, 20)
+	if !strings.Contains(out.String(), "No ns/op regressions past 20%") {
+		t.Fatalf("missing all-clear line:\n%s", out.String())
+	}
+	if warn.Len() != 0 {
+		t.Fatalf("unexpected warnings: %s", warn.String())
 	}
 }

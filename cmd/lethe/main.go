@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-wal-sync grouped|always|never] [-shards N]
+//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-wal-sync grouped|always|never] [-shards N] [-memory-budget BYTES] [-compaction-rate BYTES/S]
 //
 // -shards N range-partitions the database over N independent LSM instances
 // (see the sharding guidance in the lethe package's tuning.go); an existing
 // database reopens with its recorded shard count regardless of the flag.
+// All shards share one maintenance runtime: -compaction-workers sizes its
+// global worker pool, -memory-budget bounds total memtable bytes across
+// shards (0 = unlimited), and -compaction-rate caps maintenance write I/O
+// in bytes per second (0 = unlimited). The stats command reports the
+// runtime's queue depth, stall time, and throttle time.
 //
 // -wal-sync selects the commit durability policy: "grouped" (default)
 // batches concurrent commits through the group-commit pipeline with one WAL
@@ -46,7 +51,9 @@ func main() {
 	dth := flag.Duration("dth", time.Hour, "delete persistence threshold (0 = baseline mode)")
 	tiles := flag.Int("h", 4, "delete tile granularity (pages per tile)")
 	syncMaint := flag.Bool("sync", false, "run flushes and compactions inline (no background workers)")
-	workers := flag.Int("compaction-workers", 0, "concurrent background compactions (0 = default)")
+	workers := flag.Int("compaction-workers", 0, "shared maintenance pool size across all shards (0 = default)")
+	memBudget := flag.Int64("memory-budget", 0, "total memtable bytes across shards before writers stall (0 = unlimited)")
+	compRate := flag.Int64("compaction-rate", 0, "maintenance write I/O cap in bytes/second (0 = unlimited)")
 	walSync := flag.String("wal-sync", "grouped", "WAL sync policy: grouped, always, or never")
 	shards := flag.Int("shards", 1, "range shards (independent LSM instances; >1 requires background maintenance)")
 	flag.Parse()
@@ -66,7 +73,8 @@ func main() {
 
 	opts := lethe.Options{Dth: *dth, TilePages: *tiles,
 		DisableBackgroundMaintenance: *syncMaint, CompactionWorkers: *workers,
-		WALSync: policy, Shards: *shards}
+		WALSync: policy, Shards: *shards,
+		MemoryBudget: *memBudget, CompactionRateBytes: *compRate}
 	if *path == "" {
 		opts.InMemory = true
 		fmt.Println("in-memory database (use -path to persist)")
@@ -212,6 +220,14 @@ func execute(db *lethe.DB, args []string) (quit bool) {
 			st.CommitGroups, st.CommitBatches, st.CommitEntries, groupFactor,
 			st.MaxCommitGroupBatches, st.CommitQueueDepth, st.WALSyncs, st.LastPublishedSeq)
 		fmt.Printf("max tombstone age: %v (TTLs: %v)\n", db.MaxTombstoneAge(), db.TTLs())
+		if rs := db.RuntimeStats(); rs.Workers > 0 {
+			fmt.Printf("runtime: workers=%d running=%d (max %d) queue=%d jobs(flush=%d compact=%d)\n",
+				rs.Workers, rs.RunningJobs, rs.MaxRunningJobs, rs.QueueDepth, rs.FlushJobs, rs.CompactionJobs)
+			fmt.Printf("runtime memory: used=%dB budget=%dB stalls=%d (%v stalled)\n",
+				rs.MemoryUsed, rs.MemoryBudget, rs.MemoryStalls, rs.MemoryStallTime)
+			fmt.Printf("runtime io: rate=%dB/s throttled=%v; cache %d/%dB hits=%d misses=%d\n",
+				rs.CompactionRateBytes, rs.ThrottleWaitTime, rs.CacheUsed, rs.CacheCapacity, rs.CacheHits, rs.CacheMisses)
+		}
 	case "levels":
 		for i, l := range db.Stats().Levels {
 			fmt.Printf("L%d: runs=%d files=%d bytes=%d entries=%d tombstones=%d\n",

@@ -1,50 +1,43 @@
 package lsm
 
 import (
-	"time"
-
 	"lethe/internal/compaction"
+	"lethe/internal/runtime"
 )
 
-// backgroundTickInterval bounds how long the compaction scheduler sleeps
-// between trigger re-evaluations. With a wall clock, TTL triggers (§4.1.2)
-// and WAL tombstone expiry fire as time passes even while the write path is
-// idle, so the scheduler cannot rely on write-side kicks alone.
-const backgroundTickInterval = 500 * time.Millisecond
+// Background maintenance executes on the shared runtime's worker pool: the
+// DB implements runtime.Source, and the pool's workers poll every registered
+// instance for its best ready job — a flush (always preferred) or the top
+// FADE-scored compaction — so a sharded database runs all maintenance on one
+// globally bounded set of CompactionWorkers goroutines instead of a worker
+// set per shard, and compaction urgency is compared across shards rather
+// than within one picker's view.
 
-// startBackground launches the flush worker and the compaction scheduler.
-// Called once from Open, before the DB is shared.
+// ttlPriorityBase lifts every TTL-expired pick above every saturation pick:
+// FADE's delete-driven trigger preempts saturation (§4.1.4), globally.
+const ttlPriorityBase = 1 << 20
+
+// startBackground registers the DB with the maintenance runtime. Called
+// once from Open, before the DB is shared (though runtime workers may poll
+// the instance as soon as Register returns).
 func (db *DB) startBackground() {
 	db.bgStarted = true
-	db.flushC = make(chan struct{}, 1)
-	db.compactC = make(chan struct{}, 1)
-	db.quit = make(chan struct{})
 	db.busyFiles = make(map[uint64]bool)
 	db.busyLevels = make(map[int]int)
-	db.bg.Add(2)
-	go db.flushWorker()
-	go db.compactionScheduler()
+	db.srcID = db.rt.Register(db)
+	// Seed the global memory budget with what WAL replay left in the
+	// buffer: registration starts the shard at zero, and without this the
+	// budget understates the footprint until the shard's first commit.
+	db.mu.Lock()
+	db.updateMemoryUsageLocked()
+	db.mu.Unlock()
 }
 
-// kickFlush nudges the flush worker without blocking.
-func (db *DB) kickFlush() {
-	if db.flushC == nil {
-		return
-	}
-	select {
-	case db.flushC <- struct{}{}:
-	default:
-	}
-}
-
-// kickCompact nudges the compaction scheduler without blocking.
-func (db *DB) kickCompact() {
-	if db.compactC == nil {
-		return
-	}
-	select {
-	case db.compactC <- struct{}{}:
-	default:
+// kickMaintenance nudges the shared worker pool without blocking. Safe to
+// call with or without db.mu held.
+func (db *DB) kickMaintenance() {
+	if db.rt != nil {
+		db.rt.Notify()
 	}
 }
 
@@ -67,124 +60,208 @@ func (db *DB) pauseBackgroundLocked() {
 }
 
 // resumeBackgroundLocked reverses pauseBackgroundLocked and re-kicks the
-// workers, since triggers may have accumulated while paused.
+// pool, since triggers may have accumulated while paused.
 func (db *DB) resumeBackgroundLocked() {
 	db.pauseBG--
 	if db.pauseBG == 0 {
-		db.kickFlush()
-		db.kickCompact()
+		db.kickMaintenance()
 	}
 	db.bgCond.Broadcast()
 }
 
 // setBackgroundErrLocked records the first background failure; it poisons
 // subsequent writes and Maintain calls, mirroring how production engines
-// surface background I/O errors rather than losing them.
+// surface background I/O errors rather than losing them. Budget-stalled
+// writers are woken so their progress callback observes the poison — the
+// failed flush that set it will never shrink the usage that would
+// otherwise release them.
 func (db *DB) setBackgroundErrLocked(err error) {
 	if err != nil && db.bgErr == nil {
 		db.bgErr = err
-	}
-}
-
-// flushWorker drains the immutable-memtable queue: build the run outside
-// db.mu, install it under the lock, release the sealed WAL segment.
-func (db *DB) flushWorker() {
-	defer db.bg.Done()
-	for {
-		select {
-		case <-db.quit:
-			return
-		case <-db.flushC:
-		}
-		for {
-			db.mu.Lock()
-			if db.closed || db.pauseBG > 0 || db.bgErr != nil || len(db.imm) == 0 {
-				db.mu.Unlock()
-				break
-			}
-			fl := db.imm[0]
-			db.flushActive = true
-			db.mu.Unlock()
-
-			newRun, maxSeq, err := db.buildFlushRun(fl)
-
-			db.mu.Lock()
-			if err == nil {
-				err = db.installFlushLocked(fl, newRun, maxSeq)
-			}
-			if err == nil {
-				db.m.bgFlushes.Add(1)
-			}
-			db.flushActive = false
-			db.setBackgroundErrLocked(err)
-			db.bgCond.Broadcast()
-			db.mu.Unlock()
-			if err != nil {
-				return
-			}
-			db.kickCompact()
+		if db.rt != nil {
+			db.rt.WakeMemoryWaiters()
 		}
 	}
 }
 
-// compactionScheduler evaluates FADE's triggers against the current version
-// (masking files claimed by in-flight compactions) and dispatches jobs to up
-// to CompactionWorkers concurrent goroutines. Two jobs never touch the same
-// level: a conservative conflict rule that keeps concurrent installs
-// composable.
-func (db *DB) compactionScheduler() {
-	defer db.bg.Done()
-	ticker := time.NewTicker(backgroundTickInterval)
-	defer ticker.Stop()
-	for {
-		db.mu.Lock()
-		undispatched := db.dispatchCompactionsLocked()
-		if db.pauseBG == 0 && !db.closed && db.bgErr == nil && db.quiescentLocked() {
-			// Fully idle: enforce Dth on the WAL (sealing an over-age live
-			// segment queues a flush and wakes us again via the worker).
-			if _, err := db.walMaintenanceLocked(); err != nil {
-				db.setBackgroundErrLocked(err)
-			}
-			db.kickFlush()
-		}
+// OfferJob implements runtime.Source: it claims and returns this instance's
+// best ready maintenance job. Flushes come first — a backed-up immutable
+// queue stalls writers — then the FADE pick, scored for cross-shard
+// comparison. The claim (flushActive, or busy files/levels plus inflight)
+// is taken here so a job conflicting with the offer is not offered to
+// another worker; exactly one of Run and Cancel releases it.
+//
+// The poll must not block behind a long db.mu hold (FullTreeCompact runs
+// its whole merge under it): the runtime polls every source while holding
+// its own dispatch lock, so blocking here would stall every other shard's
+// maintenance. TryLock skips this source for the round instead, reporting
+// retry so the runtime re-polls shortly — the contender may have been the
+// very kick that triggered this poll, with no later event coming.
+func (db *DB) OfferJob(flushOnly bool) (*runtime.Job, bool) {
+	if !db.mu.TryLock() {
+		return nil, true
+	}
+	if db.closed || db.pauseBG > 0 || db.bgErr != nil {
 		db.mu.Unlock()
-		if undispatched != nil {
-			undispatched.release()
-		}
-		select {
-		case <-db.quit:
-			return
-		case <-db.compactC:
-		case <-ticker.C:
-		}
+		return nil, false
+	}
+	if !db.flushActive && len(db.imm) > 0 {
+		fl := db.imm[0]
+		db.flushActive = true
+		db.mu.Unlock()
+		return &runtime.Job{
+			Kind:   runtime.JobFlush,
+			Run:    func() { db.runBackgroundFlush(fl) },
+			Cancel: func() { db.cancelFlush() },
+		}, false
+	}
+	if flushOnly {
+		// The flush lane never compacts; skip the pick entirely rather
+		// than claim-and-cancel it.
+		db.mu.Unlock()
+		return nil, false
+	}
+	tree := db.pickerTreeLocked(db.busyFiles)
+	d, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now())
+	if !ok {
+		db.mu.Unlock()
+		return nil, false
+	}
+	job := db.prepareCompactionLocked(d)
+	if job.kind == compactNoop || db.conflictsLocked(job) {
+		// The picker is deterministic, so re-picking now would return the
+		// same decision; offer nothing until an in-flight job finishes.
+		db.mu.Unlock()
+		job.release()
+		return nil, false
+	}
+	db.claimLocked(job)
+	db.inflight++
+	prio := db.compactionPriorityLocked(d)
+	db.mu.Unlock()
+	return &runtime.Job{
+		Kind:     runtime.JobCompaction,
+		Priority: prio,
+		Run:      func() { db.runBackgroundCompaction(job) },
+		Cancel:   func() { db.cancelCompaction(job) },
+	}, false
+}
+
+// MaintenanceTick implements runtime.Source: when the pipeline is fully
+// idle, enforce Dth on the WAL (§4.1.5) — sealing an over-age live segment
+// queues a flush the next OfferJob returns. Best-effort under TryLock (the
+// ticker must not stall on one shard's long critical section); the next
+// tick retries.
+func (db *DB) MaintenanceTick() {
+	if !db.mu.TryLock() {
+		return
+	}
+	defer db.mu.Unlock()
+	if db.pauseBG > 0 || db.closed || db.bgErr != nil || !db.quiescentLocked() {
+		return
+	}
+	if _, err := db.walMaintenanceLocked(); err != nil {
+		db.setBackgroundErrLocked(err)
 	}
 }
 
-// dispatchCompactionsLocked starts as many non-conflicting compactions as
-// worker slots allow. Callers hold db.mu. A prepared job that could not be
-// dispatched is returned for the caller to release outside the lock.
-func (db *DB) dispatchCompactionsLocked() *compactionJob {
-	if db.pauseBG > 0 || db.closed || db.bgErr != nil {
-		return nil
+// PendingJobs implements runtime.Source: sealed buffers awaiting a flush
+// claim plus an armed compaction trigger, for queue-depth reporting.
+// Best-effort under TryLock — a contended shard reports 0 for the snapshot
+// rather than blocking the stats caller.
+func (db *DB) PendingJobs() int {
+	if !db.mu.TryLock() {
+		return 0
 	}
-	for db.inflight < db.opts.CompactionWorkers {
-		tree := db.pickerTreeLocked(db.busyFiles)
-		d, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now())
-		if !ok {
-			return nil
-		}
-		job := db.prepareCompactionLocked(d)
-		if job.kind == compactNoop || db.conflictsLocked(job) {
-			// The picker is deterministic, so re-picking now would return
-			// the same decision; wait for an in-flight job to finish.
-			return job
-		}
-		db.claimLocked(job)
-		db.inflight++
-		db.bg.Add(1)
-		go db.runBackgroundCompaction(job)
+	defer db.mu.Unlock()
+	if db.closed || db.pauseBG > 0 || db.bgErr != nil {
+		return 0
 	}
-	return nil
+	n := len(db.imm)
+	if db.flushActive && n > 0 {
+		n-- // the head buffer is being flushed, not queued
+	}
+	tree := db.pickerTreeLocked(db.busyFiles)
+	if _, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now()); ok {
+		n++
+	}
+	return n
+}
+
+// compactionPriorityLocked scores a pick for the global queue: TTL-expired
+// picks rank by how far past the level's TTL the oldest tombstone is (all
+// above ttlPriorityBase), saturation picks by the triggering level's
+// overflow ratio — so the pool drains the most overdue delete debt and the
+// most saturated level anywhere in the database first. Callers hold db.mu.
+func (db *DB) compactionPriorityLocked(d compaction.Decision) float64 {
+	if d.Trigger == compaction.TriggerTTL {
+		now := db.opts.Clock.Now()
+		var over float64
+		for _, f := range d.Files {
+			age := f.Meta.AMax(now)
+			if d.Level < len(db.ttls) {
+				if o := (age - db.ttls[d.Level]).Seconds(); o > over {
+					over = o
+				}
+			}
+		}
+		return ttlPriorityBase + over
+	}
+	l := d.Level
+	if l >= len(db.current.levels) {
+		return 0
+	}
+	if db.opts.Tiering {
+		if db.opts.SizeRatio <= 0 {
+			return 0
+		}
+		return float64(len(db.current.levels[l])) / float64(db.opts.SizeRatio)
+	}
+	cap := db.capacityBytes(l)
+	if cap <= 0 {
+		return 0
+	}
+	return float64(liveBytes(db.current, l, nil)) / float64(cap)
+}
+
+// cancelFlush releases an offered-but-not-run flush claim.
+func (db *DB) cancelFlush() {
+	db.mu.Lock()
+	db.flushActive = false
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+}
+
+// cancelCompaction releases an offered-but-not-run compaction claim.
+func (db *DB) cancelCompaction(job *compactionJob) {
+	db.mu.Lock()
+	db.unclaimLocked(job)
+	db.inflight--
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+	job.release()
+}
+
+// runBackgroundFlush executes one claimed flush: build the run outside
+// db.mu, install it under the lock, release the sealed WAL segment.
+func (db *DB) runBackgroundFlush(fl *flushable) {
+	newRun, maxSeq, err := db.buildFlushRun(fl, db.maintFS)
+
+	db.mu.Lock()
+	if err == nil {
+		err = db.installFlushLocked(fl, newRun, maxSeq)
+	}
+	if err == nil {
+		db.m.bgFlushes.Add(1)
+	}
+	db.flushActive = false
+	db.setBackgroundErrLocked(err)
+	db.updateMemoryUsageLocked()
+	db.bgCond.Broadcast()
+	db.mu.Unlock()
+	// The install freed budget and may have armed compaction triggers (or
+	// left more sealed buffers queued).
+	db.kickMaintenance()
 }
 
 // conflictsLocked reports whether the job touches a level an in-flight
@@ -219,7 +296,6 @@ func (db *DB) unclaimLocked(job *compactionJob) {
 // runBackgroundCompaction executes one dispatched job: merge outside db.mu,
 // install under it.
 func (db *DB) runBackgroundCompaction(job *compactionJob) {
-	defer db.bg.Done()
 	err := db.executeCompaction(job)
 
 	db.mu.Lock()
@@ -238,5 +314,62 @@ func (db *DB) runBackgroundCompaction(job *compactionJob) {
 	job.release()
 	// The install may have armed new triggers (or unblocked a conflicting
 	// pick).
-	db.kickCompact()
+	db.kickMaintenance()
+}
+
+// updateMemoryUsageLocked reports this instance's memtable footprint
+// (mutable buffer plus sealed queue) to the runtime's global budget.
+// Callers hold db.mu.
+func (db *DB) updateMemoryUsageLocked() {
+	if db.rt == nil {
+		return
+	}
+	total := int64(db.mem.ApproxBytes())
+	for _, fl := range db.imm {
+		total += int64(fl.mem.ApproxBytes())
+	}
+	db.rt.SetMemoryUsage(db.srcID, total)
+}
+
+// admitMemory gates a writer on the runtime's global memtable budget before
+// it enters the commit path (no engine locks are held, so flush installs
+// proceed while the writer waits). The progress callback seals this
+// instance's buffer so the shared pool has something to drain — without it
+// a hot shard whose bytes sit entirely in the mutable buffer below
+// BufferBytes would stall forever — and aborts the wait on close or on a
+// poisoned engine.
+func (db *DB) admitMemory() error {
+	if db.rt == nil {
+		return nil
+	}
+	return db.rt.AdmitMemory(db.srcID, func() error {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return ErrClosed
+		}
+		if db.bgErr != nil {
+			err := db.bgErr
+			db.mu.Unlock()
+			return err
+		}
+		if err := db.sealMemtableLocked(); err != nil {
+			db.mu.Unlock()
+			return err
+		}
+		db.updateMemoryUsageLocked()
+		db.mu.Unlock()
+		db.kickMaintenance()
+		return nil
+	})
+}
+
+// RuntimeStats returns the shared maintenance runtime's statistics (pool,
+// global queue, memory budget, rate limiter, cache); ok is false in
+// synchronous mode, which has no runtime.
+func (db *DB) RuntimeStats() (runtime.Stats, bool) {
+	if db.rt == nil {
+		return runtime.Stats{}, false
+	}
+	return db.rt.Stats(), true
 }

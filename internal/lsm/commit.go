@@ -68,6 +68,14 @@ func (db *DB) commit(entries []base.Entry) error {
 	if db.usePipeline() {
 		return db.commitPipeline(entries)
 	}
+	if db.bgStarted {
+		// Background mode on the serialized path (SyncAlways): gate on the
+		// global memtable budget before taking db.mu, so a budget stall
+		// never blocks the flush installs that resolve it.
+		if err := db.admitMemory(); err != nil {
+			return err
+		}
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.writableLocked(); err != nil {
@@ -105,6 +113,7 @@ func (db *DB) commitInlineLocked(entries []base.Entry) error {
 		}
 	}
 	db.mem.ApplyAll(entries)
+	db.updateMemoryUsageLocked()
 	db.m.commitGroups.Add(1)
 	db.m.commitBatches.Add(1)
 	db.m.commitEntries.Add(int64(len(entries)))
@@ -115,6 +124,12 @@ func (db *DB) commitInlineLocked(entries []base.Entry) error {
 // commitPipeline enqueues the entries as one batch and drives or joins the
 // group-commit protocol described at the top of the file.
 func (db *DB) commitPipeline(entries []base.Entry) error {
+	// Cross-shard memory gate, before the batch takes a sequence number or
+	// queue position: a writer stalled here holds nothing, so the shared
+	// pool's flushes drain the backlog that releases it.
+	if err := db.admitMemory(); err != nil {
+		return err
+	}
 	b := &commitBatch{
 		entries:    entries,
 		applyReady: make(chan struct{}),
@@ -202,6 +217,9 @@ func (db *DB) commitGroup(group []*commitBatch, self *commitBatch) error {
 	if err == nil {
 		mem = db.mem
 		mem.BeginApplies(len(group))
+		// Re-sync the global budget with the buffer's growth since the last
+		// group (applies run outside db.mu; this is the cheap sync point).
+		db.updateMemoryUsageLocked()
 	}
 	db.mu.Unlock()
 

@@ -7,6 +7,7 @@ import (
 	"lethe/internal/base"
 	"lethe/internal/compaction"
 	"lethe/internal/sstable"
+	"lethe/internal/vfs"
 )
 
 // Compactions are split into three phases so the background workers can do
@@ -50,8 +51,12 @@ const (
 
 // compactionJob carries one compaction through its three phases.
 type compactionJob struct {
-	kind       compactionKind
-	d          compaction.Decision
+	kind compactionKind
+	d    compaction.Decision
+	// fs is the filesystem the merge outputs are written through: the
+	// rate-limited maintenance FS for scheduler-dispatched jobs (identical
+	// to the raw FS in synchronous mode, which has no limiter).
+	fs         vfs.FS
 	v          *version // pinned snapshot the decision was resolved against
 	src        int
 	target     int
@@ -118,8 +123,7 @@ func (db *DB) Maintain() error {
 				}
 			}
 		}
-		db.kickFlush()
-		db.kickCompact()
+		db.kickMaintenance()
 		db.bgCond.Wait()
 	}
 }
@@ -165,7 +169,7 @@ func (db *DB) walMaintenanceLocked() (bool, error) {
 		if err := db.sealMemtableLocked(); err != nil {
 			return true, err
 		}
-		db.kickFlush()
+		db.kickMaintenance()
 		return true, nil
 	}
 	return false, nil
@@ -221,7 +225,7 @@ func (db *DB) pickerTreeLocked(mask map[uint64]bool) *compaction.Tree {
 // and every run of that level participates, tombstones are discarded — the
 // deletes persist (§3.1.1).
 func (db *DB) prepareCompactionLocked(d compaction.Decision) *compactionJob {
-	job := &compactionJob{d: d, v: db.current.ref(), src: d.Level}
+	job := &compactionJob{d: d, fs: db.maintFS, v: db.current.ref(), src: d.Level}
 	lv := job.v.levels
 
 	if db.opts.Tiering {
@@ -314,7 +318,7 @@ func (db *DB) executeCompaction(job *compactionJob) error {
 	if job.kind == compactTrivialMove || job.kind == compactNoop {
 		return nil
 	}
-	outputs, err := db.mergeFiles(job.srcHandles, job.overlap, job.isLast, job.d.Trigger)
+	outputs, err := db.mergeFiles(job.srcHandles, job.overlap, job.isLast, job.d.Trigger, job.fs)
 	if err != nil {
 		return err
 	}
@@ -449,11 +453,12 @@ func (db *DB) installTrivialMoveLocked(job *compactionJob) error {
 }
 
 // mergeFiles sort-merges upper (newer) and lower (older) inputs into new
-// files at the configured file size, applying the merge rules. It updates
-// the engine's (atomic) compaction counters. Safe without db.mu: inputs are
-// pinned by the job's version reference and file numbers are allocated
-// atomically.
-func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.TriggerKind) (run, error) {
+// files at the configured file size, applying the merge rules; outputs are
+// written through fs (rate-limited for background jobs, raw for foreground
+// callers). It updates the engine's (atomic) compaction counters. Safe
+// without db.mu: inputs are pinned by the job's version reference and file
+// numbers are allocated atomically.
+func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.TriggerKind, fs vfs.FS) (run, error) {
 	var iters []compaction.Iterator
 	var rts []base.RangeTombstone
 	var bytesIn int64
@@ -486,7 +491,7 @@ func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.Tr
 		keepRTs = rts
 	}
 
-	outputs, _, err := db.writeRun(entries, keepRTs)
+	outputs, _, err := db.writeRun(entries, keepRTs, fs)
 	if err != nil {
 		return nil, err
 	}
@@ -537,7 +542,10 @@ func (db *DB) FullTreeCompact() error {
 	if len(inputs) == 0 {
 		return nil
 	}
-	outputs, err := db.mergeFiles(inputs, nil, true, compaction.TriggerSaturation)
+	// FullTreeCompact blocks every operation while it runs (db.mu is held
+	// throughout): pace it like maintenance and the stall multiplies, so it
+	// writes through the raw filesystem.
+	outputs, err := db.mergeFiles(inputs, nil, true, compaction.TriggerSaturation, db.opts.FS)
 	if err != nil {
 		return err
 	}

@@ -12,7 +12,9 @@ import (
 	"lethe/internal/manifest"
 	"lethe/internal/memtable"
 	"lethe/internal/metrics"
+	"lethe/internal/runtime"
 	"lethe/internal/sstable"
+	"lethe/internal/vfs"
 	"lethe/internal/wal"
 )
 
@@ -46,17 +48,20 @@ const manifestName = "MANIFEST"
 // flushed sstable always contains every group whose records precede the
 // rotation point.
 //
-// Maintenance runs in the background by default: a flush worker drains the
-// immutable queue (writers stall, with metrics, when the queue exceeds
-// MaxImmutableBuffers), and a compaction scheduler dispatches FADE-picked
-// compactions to up to CompactionWorkers goroutines, each of which merges
-// outside db.mu and installs its result atomically. Setting
-// Options.DisableBackgroundMaintenance — automatic when a manual clock is
-// injected — reverts to the paper's synchronous mode: the commit pipeline
-// is bypassed for a serialized inline path (as it is under SyncAlways), and
-// flushes and compactions run inline inside the writing goroutine,
-// preserving the deterministic execution the experiments and the
-// reproduction harness depend on.
+// Maintenance runs in the background by default, on the shared runtime's
+// worker pool (internal/runtime): the DB registers as a job source, and
+// the pool's CompactionWorkers goroutines — shared by every shard of a
+// database — poll it for its best ready job. Flushes outrank compactions
+// (writers stall, with metrics, when the immutable queue exceeds
+// MaxImmutableBuffers, and additionally when the runtime's global memory
+// budget is exceeded); compactions carry a FADE-derived priority compared
+// across shards. Each job merges outside db.mu and installs its result
+// atomically. Setting Options.DisableBackgroundMaintenance — automatic
+// when a manual clock is injected — reverts to the paper's synchronous
+// mode: the commit pipeline is bypassed for a serialized inline path (as
+// it is under SyncAlways), and flushes and compactions run inline inside
+// the writing goroutine, preserving the deterministic execution the
+// experiments and the reproduction harness depend on.
 type DB struct {
 	opts Options
 
@@ -77,7 +82,14 @@ type DB struct {
 	seq        base.SeqNum
 	flushedSeq base.SeqNum // highest seq durable in sstables
 	memSeed    int64
-	cache      *sstable.PageCache
+	// cache is this instance's namespaced handle on the page cache — shared
+	// across every shard when a runtime is attached.
+	cache *sstable.CacheHandle
+	// maintFS is the filesystem maintenance writes go through: opts.FS
+	// wrapped by the runtime's I/O rate limiter when one is configured, so
+	// flush and compaction sstable builds are paced while foreground WAL
+	// appends and reads are not.
+	maintFS vfs.FS
 
 	// cq is the commit pipeline's queue (commit.go): pending batches in
 	// enqueue order plus the leader-active flag. idle is broadcast when the
@@ -103,15 +115,17 @@ type DB struct {
 	// after every flush and whenever the tree height changes (§4.1.2).
 	ttls []time.Duration
 
-	// Background machinery. bgCond (on mu) is broadcast on every background
-	// state transition: flush completion, compaction completion, pause and
-	// resume. Stalled writers, Maintain, and pause waiters all block on it.
+	// Background machinery. Maintenance executes on the shared runtime's
+	// worker pool (rt): the runtime polls this instance through the
+	// runtime.Source interface (background.go) and runs the claimed jobs.
+	// bgCond (on mu) is broadcast on every background state transition:
+	// flush completion, compaction completion, pause and resume. Stalled
+	// writers, Maintain, Close, and pause waiters all block on it.
 	bgStarted   bool
 	bgCond      *sync.Cond
-	flushC      chan struct{}
-	compactC    chan struct{}
-	quit        chan struct{}
-	bg          sync.WaitGroup
+	rt          *runtime.Runtime
+	ownRT       bool // rt is private to this instance; Close closes it
+	srcID       int  // this instance's id in rt's memory budget
 	flushActive bool
 	inflight    int             // running background compactions
 	busyFiles   map[uint64]bool // inputs claimed by in-flight compactions
@@ -161,16 +175,54 @@ type internalMetrics struct {
 
 // Open creates or re-opens a database on opts.FS, replaying any WAL segments
 // left by a crash.
-func Open(opts Options) (*DB, error) {
+func Open(opts Options) (db *DB, err error) {
 	o := opts.withDefaults()
 	if o.FS == nil {
 		return nil, errors.New("lsm: Options.FS is required")
 	}
-	db := &DB{
+	db = &DB{
 		opts:    o,
 		store:   manifest.NewStore(o.FS, manifestName),
 		memSeed: o.Seed,
-		cache:   sstable.NewPageCache(o.CacheBytes),
+		maintFS: o.FS,
+		// srcID is assigned by the runtime at registration (startBackground,
+		// after recovery). Until then it must not alias another shard's id:
+		// WAL-recovery flushes report memory usage, and id 0 belongs to the
+		// first registered shard. The budget ignores unregistered ids.
+		srcID: -1,
+	}
+	// Attach (or build) the maintenance runtime before any file opens: the
+	// page cache handle and the throttled maintenance filesystem come from
+	// it. Synchronous mode has no runtime — a private cache and unthrottled
+	// writes keep the paper's inline execution path bit-for-bit.
+	if !o.DisableBackgroundMaintenance {
+		if o.Runtime != nil {
+			db.rt = o.Runtime
+		} else {
+			db.rt = runtime.New(runtime.Config{
+				Workers:             o.CompactionWorkers,
+				CacheBytes:          o.CacheBytes,
+				MemoryBudget:        o.MemoryBudget,
+				CompactionRateBytes: o.CompactionRateBytes,
+			})
+			db.ownRT = true
+			defer func() {
+				if err != nil {
+					db.rt.Close()
+				}
+			}()
+		}
+		db.cache = db.rt.CacheHandle()
+		if lim := db.rt.Limiter(); lim != nil {
+			db.maintFS = vfs.NewThrottled(o.FS, lim)
+		}
+	} else if o.Cache != nil {
+		// Synchronous mode with a database-provided shared cache (a sharded
+		// DB reopened synchronously): a fresh namespace on it, so the
+		// whole-database budget holds without a runtime.
+		db.cache = o.Cache.Handle()
+	} else {
+		db.cache = sstable.NewPageCache(o.CacheBytes).Handle()
 	}
 	db.bgCond = sync.NewCond(&db.mu)
 	db.cq.idle = sync.NewCond(&db.cq.mu)
@@ -301,6 +353,9 @@ func (db *DB) Close() error {
 	db.closed = true
 	db.bgCond.Broadcast() // release stalled writers with ErrClosed
 	db.mu.Unlock()
+	if db.rt != nil {
+		db.rt.WakeMemoryWaiters() // budget-stalled writers recheck and fail
+	}
 
 	// Wait for the commit pipeline to go idle before touching the WAL:
 	// in-flight groups finish (or fail against the closed flag), and any
@@ -308,8 +363,27 @@ func (db *DB) Close() error {
 	db.drainCommits()
 
 	if db.bgStarted {
-		close(db.quit)
-		db.bg.Wait() // workers exit; in-flight compactions install
+		if db.ownRT {
+			// Private runtime: nothing else shares the limiter, so release
+			// it now — the in-flight jobs waited on below must drain at
+			// device speed, not wait out their token debt. A shared
+			// runtime's limiter is released by the database handle that
+			// owns it, before it closes the shards.
+			db.rt.ReleaseLimiter()
+		}
+		// Leave the shared scheduler: the runtime stops polling this
+		// instance (a claim attempt racing the closed flag offers nothing),
+		// then in-flight jobs — already claimed before the flag — finish
+		// and install. After the wait no job of this instance runs again.
+		db.rt.Deregister(db, db.srcID)
+		db.mu.Lock()
+		for db.flushActive || db.inflight > 0 {
+			db.bgCond.Wait()
+		}
+		db.mu.Unlock()
+		if db.ownRT {
+			db.rt.Close()
+		}
 	}
 
 	db.mu.Lock()

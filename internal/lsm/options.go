@@ -4,10 +4,11 @@
 //
 // The engine has two execution models. In background mode (the default with
 // a wall clock) maintenance is pipelined: full buffers are sealed onto an
-// immutable-flush queue drained by a flush worker, FADE's triggers are
-// evaluated by a compaction scheduler that dispatches merges to worker
-// goroutines, and readers run against immutable refcounted version
-// snapshots without blocking behind either. In synchronous mode
+// immutable-flush queue, FADE's triggers are evaluated on demand, and both
+// kinds of work execute on a shared maintenance runtime's worker pool
+// (internal/runtime) that spans every engine instance registered with it —
+// readers run against immutable refcounted version snapshots without
+// blocking behind either. In synchronous mode
 // (DisableBackgroundMaintenance, forced with a manual clock) flushes and
 // compactions run inline in the writing goroutine, byte-for-byte matching
 // the paper's single-threaded experiments.
@@ -18,6 +19,8 @@ import (
 
 	"lethe/internal/base"
 	"lethe/internal/compaction"
+	"lethe/internal/runtime"
+	"lethe/internal/sstable"
 	"lethe/internal/vfs"
 )
 
@@ -111,7 +114,9 @@ type Options struct {
 	// to estimate rd_f. Nil disables range-tombstone weight in b_f.
 	CoverageEstimator func(start, end []byte) float64
 	// CacheBytes bounds the shared decoded-page cache (the block cache the
-	// paper's experiments enable). Zero disables caching.
+	// paper's experiments enable). Zero disables caching. Ignored when
+	// Runtime is set — the shared runtime's cache (sized by its own
+	// CacheBytes) is the whole-database budget.
 	CacheBytes int64
 	// Seed makes memtable skiplist towers deterministic.
 	Seed int64
@@ -124,9 +129,30 @@ type Options struct {
 	// MaxImmutableBuffers bounds the immutable-memtable flush queue in
 	// background mode; writers stall when it is full (default 2).
 	MaxImmutableBuffers int
-	// CompactionWorkers is the number of concurrent background compactions
-	// (default 1). Ignored in synchronous mode.
+	// CompactionWorkers sizes the shared maintenance pool: the total number
+	// of goroutines executing flushes and compactions (default 1). When
+	// Runtime is set the pool belongs to the runtime and this field is
+	// ignored. Ignored in synchronous mode.
 	CompactionWorkers int
+	// Runtime attaches this instance to a shared maintenance runtime: one
+	// worker pool, page cache, memory budget, and I/O rate limiter spanning
+	// every instance registered with it (the shards of one database). Nil in
+	// background mode creates a private runtime sized from the options
+	// above; synchronous mode never uses one.
+	Runtime *runtime.Runtime
+	// Cache shares an existing page cache (via a fresh namespace handle)
+	// instead of building one from CacheBytes. A sharded database reopened
+	// in synchronous mode uses it so the whole-database CacheBytes budget
+	// holds without a runtime. Ignored when Runtime is set.
+	Cache *sstable.PageCache
+	// MemoryBudget bounds total memtable bytes (mutable plus sealed) for a
+	// private runtime; writers stall above it. Zero disables the budget.
+	// Ignored when Runtime is set or in synchronous mode.
+	MemoryBudget int64
+	// CompactionRateBytes caps maintenance write I/O (flush and compaction
+	// sstable builds) in bytes/second for a private runtime. Zero means
+	// unlimited. Ignored when Runtime is set or in synchronous mode.
+	CompactionRateBytes int64
 }
 
 func (o Options) withDefaults() Options {

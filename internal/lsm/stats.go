@@ -113,6 +113,15 @@ type Stats struct {
 	// LastPublishedSeq is the ordered sequence-publication frontier: every
 	// sequence at or below it has fully committed. Nondecreasing, gapless.
 	LastPublishedSeq uint64
+
+	// Page-cache accounting. The cache is shared across every shard of a
+	// database (one CacheBytes budget total, not per shard), so these
+	// fields report the same shared cache from every shard; a sharded
+	// aggregation takes their maximum, never their sum.
+	CacheCapacity int64
+	CacheUsed     int64
+	CacheHits     int64
+	CacheMisses   int64
 }
 
 // Stats returns a consistent snapshot.
@@ -170,6 +179,12 @@ func (db *DB) Stats() Stats {
 	s.CommitQueueDepth = len(db.cq.pending)
 	db.cq.mu.Unlock()
 	s.LastPublishedSeq = uint64(db.PublishedSeq())
+	if c := db.cache.Cache(); c != nil {
+		s.CacheCapacity = c.Capacity()
+		s.CacheUsed = c.UsedBytes()
+		s.CacheHits = c.Hits.Load()
+		s.CacheMisses = c.Misses.Load()
+	}
 	return s
 }
 

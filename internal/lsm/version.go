@@ -195,7 +195,7 @@ func (db *DB) acquireReadState() (readState, error) {
 	}, nil
 }
 
-// flushable is one sealed memtable waiting for the flush worker, paired
+// flushable is one sealed memtable waiting for a background flush, paired
 // with the WAL segment that made it durable.
 type flushable struct {
 	mem *memtable.Memtable

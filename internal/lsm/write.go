@@ -8,6 +8,7 @@ import (
 	"lethe/internal/base"
 	"lethe/internal/memtable"
 	"lethe/internal/sstable"
+	"lethe/internal/vfs"
 )
 
 // Put inserts or updates a key. dkey is the secondary delete key D (for
@@ -85,7 +86,7 @@ func (db *DB) writableLocked() error {
 			stalled = true
 			stallStart = time.Now()
 			db.m.writeStalls.Add(1)
-			db.kickFlush()
+			db.kickMaintenance()
 		}
 		db.bgCond.Wait()
 	}
@@ -173,7 +174,7 @@ func (db *DB) maybeRotateBufferLocked() error {
 		if err := db.sealMemtableLocked(); err != nil {
 			return err
 		}
-		db.kickFlush()
+		db.kickMaintenance()
 		return nil
 	}
 	if err := db.flushLocked(); err != nil {
@@ -183,7 +184,7 @@ func (db *DB) maybeRotateBufferLocked() error {
 }
 
 // Flush forces the memory buffer to disk. In background mode it seals the
-// buffer and waits for the flush worker to drain the queue, so the buffer is
+// buffer and waits for the shared pool to drain the queue, so the buffer is
 // durable in sstables when Flush returns.
 func (db *DB) Flush() error {
 	db.mu.Lock()
@@ -197,7 +198,7 @@ func (db *DB) Flush() error {
 	if err := db.sealMemtableLocked(); err != nil {
 		return err
 	}
-	db.kickFlush()
+	db.kickMaintenance()
 	for len(db.imm) > 0 && !db.closed && db.bgErr == nil {
 		db.bgCond.Wait()
 	}
@@ -229,6 +230,7 @@ func (db *DB) sealMemtableLocked() error {
 	db.imm = append(db.imm, &flushable{mem: db.mem, sealedWAL: sealedWAL})
 	db.memSeed++
 	db.mem = memtable.New(db.memSeed)
+	db.updateMemoryUsageLocked()
 	return nil
 }
 
@@ -246,7 +248,7 @@ func (db *DB) flushLocked() error {
 func (db *DB) flushQueueLocked() error {
 	for len(db.imm) > 0 {
 		fl := db.imm[0]
-		newRun, maxSeq, err := db.buildFlushRun(fl)
+		newRun, maxSeq, err := db.buildFlushRun(fl, db.opts.FS)
 		if err != nil {
 			return err
 		}
@@ -258,12 +260,15 @@ func (db *DB) flushQueueLocked() error {
 }
 
 // buildFlushRun writes one sealed buffer as a new run at the first disk
-// level. The run is split into files of FilePages pages each. Per §4.1.3,
-// file metadata (a_max, tombstone counts) is assigned at flush time by the
-// sstable writer. It performs only file I/O — no db.mu is required, so the
-// background flush worker calls it outside the lock.
-func (db *DB) buildFlushRun(fl *flushable) (run, base.SeqNum, error) {
-	return db.writeRun(fl.mem.All(), fl.mem.RangeTombstones())
+// level, through fs (the rate-limited maintenance filesystem for background
+// flushes; the raw one for foreground flushes — recovery, Close, Flush in
+// synchronous mode — which must not be paced like maintenance). The run is
+// split into files of FilePages pages each. Per §4.1.3, file metadata
+// (a_max, tombstone counts) is assigned at flush time by the sstable
+// writer. It performs only file I/O — no db.mu is required, so the
+// background flush job calls it outside the lock.
+func (db *DB) buildFlushRun(fl *flushable, fs vfs.FS) (run, base.SeqNum, error) {
+	return db.writeRun(fl.mem.All(), fl.mem.RangeTombstones(), fs)
 }
 
 // installFlushLocked commits a flushed run: the manifest records the new
@@ -300,15 +305,19 @@ func (db *DB) installFlushLocked(fl *flushable, newRun run, maxSeq base.SeqNum) 
 	}
 	// §4.1.2: "FADE re-calculates d_i after every buffer flush."
 	db.recomputeTTLs()
+	db.updateMemoryUsageLocked()
 	db.bgCond.Broadcast()
 	return nil
 }
 
 // writeRun writes sorted entries (plus range tombstones attached to the
-// first output file) as a sequence of files and returns the new handles.
-// File numbers come from an atomic counter, so concurrent background workers
-// can build runs without holding db.mu.
-func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone) (run, base.SeqNum, error) {
+// first output file) as a sequence of files through fs and returns the new
+// handles. Background jobs pass db.maintFS so a configured compaction I/O
+// rate limit paces the build; foreground callers (recovery, Close,
+// FullTreeCompact, synchronous mode) pass db.opts.FS and are never
+// throttled. File numbers come from an atomic counter, so concurrent
+// background workers can build runs without holding db.mu.
+func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone, fs vfs.FS) (run, base.SeqNum, error) {
 	var out run
 	var maxSeq base.SeqNum
 	targetBytes := db.opts.FilePages * db.opts.PageSize
@@ -317,7 +326,7 @@ func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone) (run, ba
 	first := true
 	for i < len(entries) || (first && len(rts) > 0) {
 		num := db.nextFileNum.Add(1) - 1
-		f, err := db.opts.FS.Create(db.fileName(num))
+		f, err := fs.Create(db.fileName(num))
 		if err != nil {
 			return nil, 0, fmt.Errorf("lsm: create sstable: %w", err)
 		}

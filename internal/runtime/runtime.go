@@ -1,0 +1,472 @@
+// Package runtime provides the shared cross-shard maintenance runtime: one
+// worker pool, one page cache, one memtable memory budget, and one
+// compaction I/O rate limiter for all LSM instances of a database.
+//
+// Range sharding (shard.go in the root package) multiplies every engine
+// instance's background resources by the shard count: without a shared
+// runtime a 16-shard database burns 16x the configured cache memory and 16x
+// the maintenance goroutines, and FADE's priorities are only ever compared
+// within one shard. Production LSM engines (the RocksDB baseline the paper
+// benchmarks against) instead share one block cache, one compaction thread
+// pool, and one write-buffer budget across all column families; Runtime is
+// that layer here.
+//
+// The scheduler is pull-based: shards register as Sources, and each of the
+// pool's Workers goroutines repeatedly asks every source for its best ready
+// job (a claimed flush, or the top FADE-scored compaction), runs the
+// globally best offer, and cancels the rest. Flushes always outrank
+// compactions — a stalled flush queue blocks writers, while a deferred
+// compaction only defers read amplification — and compactions order by
+// their cross-shard priority score; a dedicated flush lane (one extra
+// goroutine that only runs flushes) guarantees a flush is picked up even
+// while every general worker is inside a long merge. A periodic tick
+// drives time-based maintenance (TTL expiry, WAL age) even when the write
+// path is idle.
+//
+// Synchronous mode (DisableBackgroundMaintenance, forced under a manual
+// clock) never constructs a Runtime: flushes and compactions run inline in
+// the writing goroutine, preserving the paper harness's deterministic
+// execution bit for bit.
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lethe/internal/metrics"
+	"lethe/internal/sstable"
+)
+
+// defaultTickInterval bounds how long the runtime sleeps between time-driven
+// trigger re-evaluations (TTL expiry and WAL tombstone age fire as time
+// passes even while the write path is idle).
+const defaultTickInterval = 500 * time.Millisecond
+
+// JobKind discriminates maintenance job classes for scheduling priority.
+type JobKind int
+
+const (
+	// JobFlush drains one sealed memtable to disk. Flushes always schedule
+	// ahead of compactions: a backed-up flush queue stalls writers.
+	JobFlush JobKind = iota
+	// JobCompaction merges on-disk runs, ordered across shards by Priority.
+	JobCompaction
+)
+
+// Job is one claimed unit of maintenance work offered by a Source. Exactly
+// one of Run and Cancel is invoked: Run executes the work (blocking until
+// it completes), Cancel releases the source-side claim without running.
+type Job struct {
+	Kind JobKind
+	// Priority orders compactions across shards (higher first); FADE's
+	// TTL-expired picks score above every saturation pick. Ignored for
+	// flushes, which outrank all compactions by kind.
+	Priority float64
+	Run      func()
+	Cancel   func()
+}
+
+// Source is one registered producer of maintenance work — an LSM instance
+// (shard). Implementations must be safe for concurrent use.
+type Source interface {
+	// OfferJob returns the source's best ready job with its claim taken
+	// (conflicting work will not be offered again until the job runs or is
+	// canceled), or nil when the source has nothing ready. With flushOnly
+	// set (the flush lane asking), only a flush may be returned, and
+	// compaction picking must be skipped entirely — not claimed and
+	// canceled. retry reports transient contention (the source could not
+	// be examined this round, e.g. its engine lock was held): the caller
+	// schedules a near-term re-poll instead of waiting for the next kick.
+	OfferJob(flushOnly bool) (job *Job, retry bool)
+	// MaintenanceTick performs periodic time-driven maintenance checks; it
+	// must not block on long I/O.
+	MaintenanceTick()
+	// PendingJobs estimates how many jobs the source could offer right now,
+	// for queue-depth reporting.
+	PendingJobs() int
+}
+
+// Config sizes a Runtime. The zero value of any field selects its default.
+type Config struct {
+	// Workers is the size of the shared maintenance pool: the number of
+	// compaction-capable goroutines across every shard (default 1). One
+	// extra flush-only lane goroutine is always added on top.
+	Workers int
+	// CacheBytes bounds the shared decoded-page cache for the whole
+	// database, regardless of shard count. Zero disables caching.
+	CacheBytes int64
+	// MemoryBudget bounds the total memtable bytes (mutable and sealed)
+	// across all shards; writers of over-share shards stall when the sum
+	// exceeds it. Zero disables the budget.
+	MemoryBudget int64
+	// CompactionRateBytes caps maintenance write I/O (flush and compaction
+	// sstable builds) in bytes per second via a token bucket. Zero means
+	// unlimited.
+	CompactionRateBytes int64
+	// TickInterval overrides the periodic maintenance tick (tests).
+	TickInterval time.Duration
+}
+
+// Runtime is the shared maintenance layer. One Runtime is owned by the
+// sharded database handle and passed to every shard; a standalone engine
+// opened in background mode creates a private one.
+type Runtime struct {
+	cache   *sstable.PageCache
+	limiter *RateLimiter
+	budget  memoryBudget
+
+	// notifyC wakes the general workers, flushNotifyC the flush lane: two
+	// channels so one lane consuming a token cannot starve the other (a
+	// flush-lane wake for compaction-only work would otherwise swallow the
+	// general workers' only token, leaving the compaction for the tick).
+	notifyC      chan struct{}
+	flushNotifyC chan struct{}
+	quit         chan struct{}
+	wg           sync.WaitGroup
+	retryPending atomic.Bool
+
+	mu                    sync.Mutex
+	sources               []Source
+	closed                bool
+	running               int
+	maxRunning            int
+	runningCompactions    int
+	maxRunningCompactions int
+	workers               int
+	nextSrcID             int
+
+	flushJobs      metrics.Counter
+	compactionJobs metrics.Counter
+}
+
+// New builds a Runtime and starts its worker pool and maintenance ticker.
+func New(cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.TickInterval <= 0 {
+		cfg.TickInterval = defaultTickInterval
+	}
+	rt := &Runtime{
+		cache:        sstable.NewPageCache(cfg.CacheBytes),
+		limiter:      NewRateLimiter(cfg.CompactionRateBytes),
+		notifyC:      make(chan struct{}, 1),
+		flushNotifyC: make(chan struct{}, 1),
+		quit:         make(chan struct{}),
+		workers:      cfg.Workers,
+	}
+	rt.budget.init(cfg.MemoryBudget)
+	// Workers compaction-capable goroutines plus one dedicated flush lane:
+	// with a single-worker pool a long merge would otherwise block every
+	// flush behind it, stalling writers for the full merge duration (the
+	// regression a per-shard flush worker never had). The lane runs only
+	// flushes, so compaction concurrency stays exactly Workers.
+	rt.wg.Add(cfg.Workers + 2)
+	for i := 0; i < cfg.Workers; i++ {
+		go rt.worker(false)
+	}
+	go rt.worker(true)
+	go rt.ticker(cfg.TickInterval)
+	return rt
+}
+
+// CacheHandle allocates a namespaced view of the shared page cache for one
+// shard (nil when caching is disabled).
+func (rt *Runtime) CacheHandle() *sstable.CacheHandle { return rt.cache.Handle() }
+
+// Cache returns the shared page cache (nil when caching is disabled).
+func (rt *Runtime) Cache() *sstable.PageCache { return rt.cache }
+
+// Limiter returns the maintenance I/O rate limiter (nil when unlimited).
+func (rt *Runtime) Limiter() *RateLimiter { return rt.limiter }
+
+// Register adds a source to the scheduler and returns its id for memory
+// accounting.
+func (rt *Runtime) Register(s Source) int {
+	rt.mu.Lock()
+	rt.sources = append(rt.sources, s)
+	id := rt.nextSrcID
+	rt.nextSrcID++
+	rt.mu.Unlock()
+	rt.budget.register(id)
+	rt.Notify()
+	return id
+}
+
+// Deregister removes a source: the scheduler stops polling it and its
+// memory-budget share is released. Jobs the source already has running are
+// unaffected — the caller waits for them on its own state.
+func (rt *Runtime) Deregister(s Source, id int) {
+	rt.mu.Lock()
+	for i, x := range rt.sources {
+		if x == s {
+			rt.sources = append(rt.sources[:i], rt.sources[i+1:]...)
+			break
+		}
+	}
+	rt.mu.Unlock()
+	rt.budget.drop(id)
+}
+
+// Notify nudges the worker pool: some source may have work. Non-blocking
+// and safe to call while holding engine locks.
+func (rt *Runtime) Notify() {
+	select {
+	case rt.notifyC <- struct{}{}:
+	default:
+	}
+	select {
+	case rt.flushNotifyC <- struct{}{}:
+	default:
+	}
+}
+
+// scheduleRetry re-notifies the pool shortly: a source was skipped under
+// transient lock contention, and no event may arrive to retry it (the
+// contender could have been the very kick that woke us). Coalesced so a
+// storm of contended polls arms at most one timer.
+func (rt *Runtime) scheduleRetry() {
+	if !rt.retryPending.CompareAndSwap(false, true) {
+		return
+	}
+	time.AfterFunc(time.Millisecond, func() {
+		rt.retryPending.Store(false)
+		rt.Notify()
+	})
+}
+
+// SetMemoryUsage records a source's current memtable footprint (mutable
+// buffer plus sealed queue) for the global budget.
+func (rt *Runtime) SetMemoryUsage(id int, bytes int64) { rt.budget.set(id, bytes) }
+
+// AdmitMemory gates a writer on the global memtable budget: it blocks while
+// the database is over budget AND the writer's shard is at or above its fair
+// share (budget / registered shards), so one hot shard stalls without
+// starving the cold ones. progress is invoked once per stall check outside
+// the budget lock: it reports a terminal engine error (aborting the wait)
+// and may free memory (sealing the hot buffer so a flush can drain it).
+func (rt *Runtime) AdmitMemory(id int, progress func() error) error {
+	return rt.budget.admit(id, progress)
+}
+
+// WakeMemoryWaiters re-evaluates all budget stalls (engine close or error).
+func (rt *Runtime) WakeMemoryWaiters() { rt.budget.wakeAll() }
+
+// Close stops the worker pool and ticker, waiting for in-flight jobs to
+// finish. Sources must be deregistered (or idle) first.
+func (rt *Runtime) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	close(rt.quit)
+	rt.limiter.Release() // in-flight paced writes drain at device speed
+	rt.budget.wakeAll()
+	rt.wg.Wait()
+}
+
+// ReleaseLimiter permanently disables maintenance I/O pacing — called by a
+// closing database before it drains in-flight jobs, which must not wait
+// out their token debt (minutes at a low configured rate) just to shut
+// down.
+func (rt *Runtime) ReleaseLimiter() { rt.limiter.Release() }
+
+// worker is one goroutine of the shared pool: wake on notify, then drain the
+// globally best jobs until none remain. The flushOnly worker is the flush
+// lane — it never runs compactions, so a flush is always picked up even
+// while every general worker is inside a long merge.
+func (rt *Runtime) worker(flushOnly bool) {
+	defer rt.wg.Done()
+	wake := rt.notifyC
+	if flushOnly {
+		wake = rt.flushNotifyC
+	}
+	for {
+		select {
+		case <-rt.quit:
+			return
+		case <-wake:
+		}
+		for {
+			job := rt.takeJob(flushOnly)
+			if job == nil {
+				break
+			}
+			// A sibling may find more ready work while this job runs.
+			rt.Notify()
+			job.Run()
+			rt.mu.Lock()
+			rt.running--
+			if job.Kind == JobCompaction {
+				rt.runningCompactions--
+			}
+			rt.mu.Unlock()
+		}
+	}
+}
+
+// takeJob collects one offer per source, keeps the globally best (flushes
+// first, then priority), and cancels the rest. Claims are released outside
+// rt.mu — Cancel may take engine locks and drop version references.
+func (rt *Runtime) takeJob(flushOnly bool) *Job {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	var offers []*Job
+	contended := false
+	haveFlush := false
+	for _, s := range rt.sources {
+		// Once some source offered a flush no compaction can win the
+		// round; poll the rest flush-only so their pickers don't run (and
+		// claim) merges that would be canceled immediately.
+		j, retry := s.OfferJob(flushOnly || haveFlush)
+		if retry {
+			contended = true
+		}
+		if j != nil {
+			offers = append(offers, j)
+			if j.Kind == JobFlush {
+				haveFlush = true
+			}
+		}
+	}
+	best := -1
+	for i, j := range offers {
+		if best < 0 || betterJob(j, offers[best]) {
+			best = i
+		}
+	}
+	var job *Job
+	if best >= 0 {
+		job = offers[best]
+		rt.running++
+		if rt.running > rt.maxRunning {
+			rt.maxRunning = rt.running
+		}
+		if job.Kind == JobFlush {
+			rt.flushJobs.Add(1)
+		} else {
+			rt.compactionJobs.Add(1)
+			rt.runningCompactions++
+			if rt.runningCompactions > rt.maxRunningCompactions {
+				rt.maxRunningCompactions = rt.runningCompactions
+			}
+		}
+	}
+	rt.mu.Unlock()
+	for i, j := range offers {
+		if i != best {
+			j.Cancel()
+		}
+	}
+	if job == nil && contended {
+		rt.scheduleRetry()
+	}
+	return job
+}
+
+// betterJob orders offers: flushes before compactions, then higher priority.
+func betterJob(a, b *Job) bool {
+	if a.Kind != b.Kind {
+		return a.Kind == JobFlush
+	}
+	return a.Priority > b.Priority
+}
+
+// ticker drives the periodic maintenance pass.
+func (rt *Runtime) ticker(interval time.Duration) {
+	defer rt.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.quit:
+			return
+		case <-t.C:
+		}
+		rt.mu.Lock()
+		srcs := append([]Source(nil), rt.sources...)
+		rt.mu.Unlock()
+		for _, s := range srcs {
+			s.MaintenanceTick()
+		}
+		rt.Notify()
+	}
+}
+
+// Stats is a snapshot of the runtime's health: the shared pool, the memory
+// budget, the rate limiter, and the shared cache.
+type Stats struct {
+	// Workers is the compaction pool size (the dedicated flush lane is one
+	// more goroutine on top). RunningJobs counts jobs executing now, of
+	// any kind, and MaxRunningJobs their high-water mark (at most
+	// Workers+1); MaxRunningCompactions never exceeds Workers.
+	Workers               int
+	RunningJobs           int
+	MaxRunningJobs        int
+	MaxRunningCompactions int
+	// QueueDepth estimates the maintenance jobs ready across all shards
+	// that no worker has picked up yet.
+	QueueDepth int
+	// FlushJobs and CompactionJobs count jobs the pool has dispatched.
+	FlushJobs      int64
+	CompactionJobs int64
+
+	// MemoryBudget/MemoryUsed describe the global memtable budget;
+	// MemoryStalls counts writers gated by it and MemoryStallTime their
+	// cumulative wait.
+	MemoryBudget    int64
+	MemoryUsed      int64
+	MemoryStalls    int64
+	MemoryStallTime time.Duration
+
+	// CompactionRateBytes is the configured write cap (0 = unlimited);
+	// ThrottleWaitTime is the cumulative time maintenance writers spent
+	// paced by it.
+	CompactionRateBytes int64
+	ThrottleWaitTime    time.Duration
+
+	// Cache occupancy and efficiency of the shared page cache.
+	CacheCapacity int64
+	CacheUsed     int64
+	CacheHits     int64
+	CacheMisses   int64
+}
+
+// Stats returns a point-in-time snapshot.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	s := Stats{
+		Workers:               rt.workers,
+		RunningJobs:           rt.running,
+		MaxRunningJobs:        rt.maxRunning,
+		MaxRunningCompactions: rt.maxRunningCompactions,
+		FlushJobs:             rt.flushJobs.Load(),
+		CompactionJobs:        rt.compactionJobs.Load(),
+	}
+	srcs := append([]Source(nil), rt.sources...)
+	rt.mu.Unlock()
+	for _, src := range srcs {
+		s.QueueDepth += src.PendingJobs()
+	}
+	s.MemoryBudget, s.MemoryUsed = rt.budget.usage()
+	s.MemoryStalls = rt.budget.stalls.Load()
+	s.MemoryStallTime = time.Duration(rt.budget.stallNanos.Load())
+	if rt.limiter != nil {
+		s.CompactionRateBytes = rt.limiter.Rate()
+		s.ThrottleWaitTime = rt.limiter.WaitTime()
+	}
+	if rt.cache != nil {
+		s.CacheCapacity = rt.cache.Capacity()
+		s.CacheUsed = rt.cache.UsedBytes()
+		s.CacheHits = rt.cache.Hits.Load()
+		s.CacheMisses = rt.cache.Misses.Load()
+	}
+	return s
+}

@@ -3,6 +3,7 @@ package sstable
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"lethe/internal/base"
 	"lethe/internal/metrics"
@@ -10,9 +11,13 @@ import (
 
 // PageCache is a shared LRU cache of decoded data pages, the engine's
 // analogue of RocksDB's block cache (the paper's experiments run with the
-// block cache enabled). Pages are keyed by (file number, page index); file
-// numbers are never reused, so stale entries can only linger until evicted,
-// never alias. Partial page drops invalidate their page explicitly.
+// block cache enabled). Pages are keyed by (namespace, file number, page
+// index): the namespace comes from a CacheHandle, so independent LSM
+// instances — the shards of one database — can share a single cache (one
+// whole-database memory budget) even though each numbers its files from
+// zero. Within a namespace file numbers are never reused, so stale entries
+// can only linger until evicted, never alias. Partial page drops invalidate
+// their page explicitly.
 type PageCache struct {
 	mu       sync.Mutex
 	capacity int64
@@ -20,13 +25,61 @@ type PageCache struct {
 	lru      *list.List // front = most recent
 	items    map[pageKey]*list.Element
 
+	nextNS atomic.Uint64
+
 	// Hits and Misses count lookups for cache-efficiency reporting.
 	Hits, Misses metrics.Counter
 }
 
 type pageKey struct {
+	ns   uint64
 	file uint64
 	page int
+}
+
+// CacheHandle is one client's namespaced view of a shared PageCache. Every
+// reader of one LSM instance uses that instance's handle, so two shards'
+// files with the same number occupy distinct cache keys. A nil handle (from
+// a nil or disabled cache) is valid and caches nothing.
+type CacheHandle struct {
+	c  *PageCache
+	ns uint64
+}
+
+// Handle allocates a fresh namespace on the cache. Returns nil for a nil
+// cache, so callers can pass the result around without nil checks.
+func (c *PageCache) Handle() *CacheHandle {
+	if c == nil {
+		return nil
+	}
+	return &CacheHandle{c: c, ns: c.nextNS.Add(1)}
+}
+
+// Cache returns the underlying shared cache (nil for a nil handle).
+func (h *CacheHandle) Cache() *PageCache {
+	if h == nil {
+		return nil
+	}
+	return h.c
+}
+
+func (h *CacheHandle) get(file uint64, page int) ([]base.Entry, bool) {
+	if h == nil {
+		return nil, false
+	}
+	return h.c.get(h.ns, file, page)
+}
+
+func (h *CacheHandle) put(file uint64, page int, entries []base.Entry) {
+	if h != nil {
+		h.c.put(h.ns, file, page, entries)
+	}
+}
+
+func (h *CacheHandle) invalidate(file uint64, page int) {
+	if h != nil {
+		h.c.invalidate(h.ns, file, page)
+	}
 }
 
 type pageEntry struct {
@@ -57,13 +110,13 @@ func entriesBytes(entries []base.Entry) int64 {
 }
 
 // get returns the cached page, if present.
-func (c *PageCache) get(file uint64, page int) ([]base.Entry, bool) {
+func (c *PageCache) get(ns, file uint64, page int) ([]base.Entry, bool) {
 	if c == nil {
 		return nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.items[pageKey{file, page}]
+	el, ok := c.items[pageKey{ns, file, page}]
 	if !ok {
 		c.Misses.Add(1)
 		return nil, false
@@ -74,13 +127,13 @@ func (c *PageCache) get(file uint64, page int) ([]base.Entry, bool) {
 }
 
 // put inserts a decoded page, evicting LRU pages as needed.
-func (c *PageCache) put(file uint64, page int, entries []base.Entry) {
+func (c *PageCache) put(ns, file uint64, page int, entries []base.Entry) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := pageKey{file, page}
+	key := pageKey{ns, file, page}
 	if el, ok := c.items[key]; ok {
 		c.lru.MoveToFront(el)
 		return
@@ -104,13 +157,13 @@ func (c *PageCache) put(file uint64, page int, entries []base.Entry) {
 }
 
 // invalidate removes a page (after an in-place rewrite or drop).
-func (c *PageCache) invalidate(file uint64, page int) {
+func (c *PageCache) invalidate(ns, file uint64, page int) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[pageKey{file, page}]; ok {
+	if el, ok := c.items[pageKey{ns, file, page}]; ok {
 		victim := el.Value.(*pageEntry)
 		c.lru.Remove(el)
 		delete(c.items, victim.key)
@@ -126,4 +179,12 @@ func (c *PageCache) UsedBytes() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.used
+}
+
+// Capacity reports the configured byte budget (0 for a nil cache).
+func (c *PageCache) Capacity() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.capacity
 }

@@ -10,20 +10,21 @@ import (
 
 func TestPageCacheBasics(t *testing.T) {
 	c := NewPageCache(1 << 20)
+	h := c.Handle()
 	entries := []base.Entry{base.MakeEntry([]byte("k"), 1, base.KindSet, 0, []byte("v"))}
-	if _, ok := c.get(1, 0); ok {
+	if _, ok := h.get(1, 0); ok {
 		t.Fatal("empty cache can't hit")
 	}
-	c.put(1, 0, entries)
-	got, ok := c.get(1, 0)
+	h.put(1, 0, entries)
+	got, ok := h.get(1, 0)
 	if !ok || len(got) != 1 {
 		t.Fatal("cached page must be returned")
 	}
 	if c.Hits.Load() != 1 || c.Misses.Load() != 1 {
 		t.Fatalf("hit/miss accounting: %d/%d", c.Hits.Load(), c.Misses.Load())
 	}
-	c.invalidate(1, 0)
-	if _, ok := c.get(1, 0); ok {
+	h.invalidate(1, 0)
+	if _, ok := h.get(1, 0); ok {
 		t.Fatal("invalidated page must be gone")
 	}
 	if c.UsedBytes() != 0 {
@@ -34,6 +35,7 @@ func TestPageCacheBasics(t *testing.T) {
 func TestPageCacheEviction(t *testing.T) {
 	// Each entry ≈ 1+8+8+1 = 18 bytes; budget fits ~5 pages of 2 entries.
 	c := NewPageCache(180)
+	h := c.Handle()
 	page := func(i int) []base.Entry {
 		return []base.Entry{
 			base.MakeEntry([]byte{byte(i)}, 1, base.KindSet, 0, []byte("v")),
@@ -41,16 +43,16 @@ func TestPageCacheEviction(t *testing.T) {
 		}
 	}
 	for i := 0; i < 10; i++ {
-		c.put(1, i, page(i))
+		h.put(1, i, page(i))
 	}
 	if c.UsedBytes() > 180 {
 		t.Fatalf("over budget: %d", c.UsedBytes())
 	}
 	// The most recent pages survive; the earliest were evicted.
-	if _, ok := c.get(1, 9); !ok {
+	if _, ok := h.get(1, 9); !ok {
 		t.Fatal("most recent page must survive")
 	}
-	if _, ok := c.get(1, 0); ok {
+	if _, ok := h.get(1, 0); ok {
 		t.Fatal("oldest page must be evicted")
 	}
 	// An over-budget page is never cached.
@@ -58,19 +60,48 @@ func TestPageCacheEviction(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		huge = append(huge, base.MakeEntry([]byte{byte(i)}, 1, base.KindSet, 0, make([]byte, 16)))
 	}
-	c.put(2, 0, huge)
-	if _, ok := c.get(2, 0); ok {
+	h.put(2, 0, huge)
+	if _, ok := h.get(2, 0); ok {
 		t.Fatal("oversized page must not be cached")
+	}
+}
+
+// TestCacheHandleNamespaces verifies two handles on one cache never alias:
+// shards number their files independently, so file 1 page 0 means different
+// bytes in each shard.
+func TestCacheHandleNamespaces(t *testing.T) {
+	c := NewPageCache(1 << 20)
+	h1, h2 := c.Handle(), c.Handle()
+	pageA := []base.Entry{base.MakeEntry([]byte("a"), 1, base.KindSet, 0, []byte("va"))}
+	pageB := []base.Entry{base.MakeEntry([]byte("b"), 1, base.KindSet, 0, []byte("vb"))}
+	h1.put(1, 0, pageA)
+	if _, ok := h2.get(1, 0); ok {
+		t.Fatal("handle 2 must not see handle 1's page under the same (file, page) key")
+	}
+	h2.put(1, 0, pageB)
+	got1, _ := h1.get(1, 0)
+	got2, _ := h2.get(1, 0)
+	if string(got1[0].Key.UserKey) != "a" || string(got2[0].Key.UserKey) != "b" {
+		t.Fatalf("namespaced pages aliased: %q / %q", got1[0].Key.UserKey, got2[0].Key.UserKey)
+	}
+	// Invalidation is namespaced too.
+	h1.invalidate(1, 0)
+	if _, ok := h2.get(1, 0); !ok {
+		t.Fatal("invalidating handle 1's page must not evict handle 2's")
 	}
 }
 
 func TestNilPageCacheIsNoop(t *testing.T) {
 	var c *PageCache // nil
-	c.put(1, 0, nil)
-	if _, ok := c.get(1, 0); ok {
+	h := c.Handle()
+	if h != nil {
+		t.Fatal("nil cache must yield a nil handle")
+	}
+	h.put(1, 0, nil)
+	if _, ok := h.get(1, 0); ok {
 		t.Fatal("nil cache hits nothing")
 	}
-	c.invalidate(1, 0)
+	h.invalidate(1, 0)
 	if c.UsedBytes() != 0 {
 		t.Fatal("nil cache has no bytes")
 	}
@@ -96,7 +127,7 @@ func TestReaderServesFromCache(t *testing.T) {
 	}
 	defer r.Close()
 	cache := NewPageCache(1 << 20)
-	r.SetCache(cache)
+	r.SetCache(cache.Handle())
 
 	// First read: I/O. Second read of the same key: cache, no I/O.
 	if _, ok, _ := r.Get([]byte("k00042")); !ok {

@@ -31,12 +31,14 @@ type Reader struct {
 	// RangeTombstones is the file's range tombstone block. It is immutable
 	// after open.
 	RangeTombstones []base.RangeTombstone
-	// cache, when non-nil, holds decoded pages shared across readers.
-	cache *PageCache
+	// cache, when non-nil, is this instance's namespaced view of the
+	// shared decoded-page cache.
+	cache *CacheHandle
 }
 
-// SetCache attaches a shared page cache (nil disables caching).
-func (r *Reader) SetCache(c *PageCache) { r.cache = c }
+// SetCache attaches a namespaced handle on the shared page cache (nil
+// disables caching).
+func (r *Reader) SetCache(c *CacheHandle) { r.cache = c }
 
 // OpenReader loads the metadata of the sstable stored in f.
 func OpenReader(f vfs.File) (*Reader, error) {

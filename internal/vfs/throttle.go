@@ -1,0 +1,73 @@
+package vfs
+
+// Limiter paces byte-sized I/O: WaitN blocks until n bytes of budget are
+// available. The engine's maintenance rate limiter (a token bucket over
+// compaction/flush writes) implements it; vfs depends only on this
+// interface so the pacing policy lives above the filesystem.
+type Limiter interface {
+	WaitN(n int)
+}
+
+// ThrottledFS wraps an FS so that every write through files it vends first
+// waits on a Limiter. The engine wraps only its maintenance write path
+// (sstable builds by flushes and compactions) with it, so background I/O is
+// paced without adding latency to foreground WAL appends or reads.
+type ThrottledFS struct {
+	inner FS
+	lim   Limiter
+}
+
+// NewThrottled wraps fs with write pacing; a nil limiter returns fs
+// unchanged.
+func NewThrottled(fs FS, lim Limiter) FS {
+	if lim == nil {
+		return fs
+	}
+	return &ThrottledFS{inner: fs, lim: lim}
+}
+
+// Create implements FS.
+func (fs *ThrottledFS) Create(name string) (File, error) {
+	f, err := fs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &throttledFile{File: f, lim: fs.lim}, nil
+}
+
+// Open implements FS.
+func (fs *ThrottledFS) Open(name string) (File, error) {
+	f, err := fs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &throttledFile{File: f, lim: fs.lim}, nil
+}
+
+// Remove implements FS.
+func (fs *ThrottledFS) Remove(name string) error { return fs.inner.Remove(name) }
+
+// Rename implements FS.
+func (fs *ThrottledFS) Rename(oldname, newname string) error {
+	return fs.inner.Rename(oldname, newname)
+}
+
+// List implements FS.
+func (fs *ThrottledFS) List() ([]string, error) { return fs.inner.List() }
+
+// throttledFile pays for each write's bytes before issuing it; reads and
+// metadata operations pass through.
+type throttledFile struct {
+	File
+	lim Limiter
+}
+
+func (f *throttledFile) Write(p []byte) (int, error) {
+	f.lim.WaitN(len(p))
+	return f.File.Write(p)
+}
+
+func (f *throttledFile) WriteAt(p []byte, off int64) (int, error) {
+	f.lim.WaitN(len(p))
+	return f.File.WriteAt(p, off)
+}

@@ -37,8 +37,15 @@ import (
 	"lethe/internal/base"
 	"lethe/internal/compaction"
 	"lethe/internal/lsm"
+	"lethe/internal/runtime"
+	"lethe/internal/sstable"
 	"lethe/internal/vfs"
 )
+
+// RuntimeStats describes the shared maintenance runtime: the global worker
+// pool, queue, memory budget, I/O rate limiter, and page cache that span
+// every shard. See DB.RuntimeStats.
+type RuntimeStats = runtime.Stats
 
 // DeleteKey is the secondary delete key D attached to every entry —
 // typically a creation timestamp. Secondary range deletes select on it.
@@ -140,8 +147,11 @@ type Options struct {
 	// primary range delete, used to weight range tombstones in FADE's file
 	// selection.
 	CoverageEstimator func(start, end []byte) float64
-	// CacheBytes bounds the decoded-page cache shared across the tree's
-	// files (RocksDB's block cache analogue). Zero disables it.
+	// CacheBytes bounds the decoded-page cache (RocksDB's block cache
+	// analogue). This is a whole-database budget: with Shards > 1 every
+	// shard shares one cache through the maintenance runtime, so total
+	// cache memory equals CacheBytes regardless of shard count. Zero
+	// disables it.
 	CacheBytes int64
 	// Seed fixes internal randomness for reproducibility.
 	Seed int64
@@ -156,10 +166,31 @@ type Options struct {
 	// background flush; writers stall (with stall metrics in Stats) while
 	// the queue is full. Default 2. Ignored in synchronous mode.
 	MaxImmutableBuffers int
-	// CompactionWorkers is the number of compactions the background
-	// scheduler may run concurrently. Default 1. Ignored in synchronous
-	// mode.
+	// CompactionWorkers sizes the shared maintenance pool: the number of
+	// goroutines executing compactions across the whole database (plus one
+	// dedicated flush lane, so a flush never waits behind a long merge).
+	// With Shards > 1 the pool is global — shards feed one priority queue
+	// (flushes first, then compactions by FADE urgency across shards)
+	// rather than each spawning its own workers, so the maintenance
+	// goroutine count never scales with the shard count. Default 1.
+	// Ignored in synchronous mode.
 	CompactionWorkers int
+	// MemoryBudget bounds the total memtable bytes (mutable buffers plus
+	// sealed buffers awaiting flush) across all shards. When the sum
+	// exceeds it, writers to shards at or above their fair share
+	// (MemoryBudget/Shards) stall until the shared pool flushes the
+	// backlog; writers to under-share shards proceed, so one hot shard
+	// cannot starve the others. Zero disables the budget (each shard is
+	// then bounded only by its own BufferBytes and MaxImmutableBuffers).
+	// Ignored in synchronous mode. See DB.RuntimeStats for stall metrics.
+	MemoryBudget int64
+	// CompactionRateBytes caps maintenance write I/O — flush and
+	// compaction sstable builds, across all shards — in bytes per second
+	// via a token bucket at the filesystem layer, so background merges
+	// stop trampling foreground read latency on a shared device. Foreground
+	// WAL appends and reads are never throttled. Zero means unlimited.
+	// Ignored in synchronous mode. See DB.RuntimeStats for throttle time.
+	CompactionRateBytes int64
 	// Shards partitions the database by sort-key range into this many
 	// independent LSM instances, each with its own buffer, WAL directory,
 	// and maintenance pipeline (see shard.go and the guidance in tuning.go).
@@ -188,7 +219,7 @@ type Options struct {
 // WALSync) one sync, with memory-buffer inserts running concurrently and
 // sequence numbers published in submission order — see Stats().CommitGroups
 // and friends for the batching it achieves. When the background flush queue
-// is saturated, writers stall until the flush worker catches up (see
+// is saturated, writers stall until the shared maintenance pool catches up (see
 // Stats().WriteStalls). With DisableBackgroundMaintenance — automatic under
 // a manual clock — commits serialize on the engine lock and all maintenance
 // runs inline inside the writing goroutine, preserving the paper's
@@ -207,6 +238,11 @@ type DB struct {
 	// [boundaries[i-1], boundaries[i]).
 	shards     []*lsm.DB
 	boundaries [][]byte
+	// rt is the shared maintenance runtime every shard registers with: one
+	// worker pool, page cache, memory budget, and I/O rate limiter for the
+	// whole database. Nil in synchronous mode, where maintenance runs
+	// inline in the writing goroutine.
+	rt *runtime.Runtime
 }
 
 // Open creates or reopens a database.
@@ -233,6 +269,33 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One maintenance runtime for the whole database: every shard shares
+	// its worker pool, page cache, memory budget, and I/O rate limiter.
+	// Synchronous mode (explicit, or forced by a manual clock) runs
+	// maintenance inline and constructs none.
+	var rt *runtime.Runtime
+	_, manual := opts.Clock.(*base.ManualClock)
+	if !opts.DisableBackgroundMaintenance && !manual {
+		rt = runtime.New(runtime.Config{
+			Workers:             opts.CompactionWorkers,
+			CacheBytes:          opts.CacheBytes,
+			MemoryBudget:        opts.MemoryBudget,
+			CompactionRateBytes: opts.CompactionRateBytes,
+		})
+	}
+	closeRT := func() {
+		if rt != nil {
+			rt.Close()
+		}
+	}
+	// A sharded database reopened in synchronous mode (the shard manifest
+	// wins over the requested mode) has no runtime to share the page cache
+	// through; give the shards one shared cache directly so CacheBytes
+	// stays a whole-database budget in that corner too.
+	var sharedCache *sstable.PageCache
+	if rt == nil && len(boundaries) > 0 {
+		sharedCache = sstable.NewPageCache(opts.CacheBytes)
+	}
 	innerOpts := func(shardFS vfs.FS) lsm.Options {
 		return lsm.Options{
 			FS:                   shardFS,
@@ -255,7 +318,8 @@ func Open(opts Options) (*DB, error) {
 
 			DisableBackgroundMaintenance: opts.DisableBackgroundMaintenance,
 			MaxImmutableBuffers:          opts.MaxImmutableBuffers,
-			CompactionWorkers:            opts.CompactionWorkers,
+			Runtime:                      rt,
+			Cache:                        sharedCache,
 		}
 	}
 	if len(boundaries) == 0 {
@@ -263,9 +327,10 @@ func Open(opts Options) (*DB, error) {
 		// byte-identical to the unsharded layout.
 		inner, err := lsm.Open(innerOpts(fs))
 		if err != nil {
+			closeRT()
 			return nil, err
 		}
-		return &DB{shards: []*lsm.DB{inner}}, nil
+		return &DB{shards: []*lsm.DB{inner}, rt: rt}, nil
 	}
 	shards := make([]*lsm.DB, 0, len(boundaries)+1)
 	for i := 0; i <= len(boundaries); i++ {
@@ -274,11 +339,12 @@ func Open(opts Options) (*DB, error) {
 			for _, s := range shards {
 				s.Close()
 			}
+			closeRT()
 			return nil, err
 		}
 		shards = append(shards, inner)
 	}
-	return &DB{shards: shards, boundaries: boundaries}, nil
+	return &DB{shards: shards, boundaries: boundaries, rt: rt}, nil
 }
 
 // shardFor routes a sort key to its owning shard.
@@ -463,15 +529,36 @@ func (db *DB) FullTreeCompact() error {
 	return first
 }
 
-// Close flushes and releases every shard, returning the first error.
+// Close flushes and releases every shard, then stops the shared maintenance
+// runtime, returning the first error.
 func (db *DB) Close() error {
+	if db.rt != nil {
+		// Stop pacing maintenance I/O first: each shard's Close drains its
+		// in-flight flushes and compactions, and shutdown must not wait
+		// out their rate-limiter debt.
+		db.rt.ReleaseLimiter()
+	}
 	var first error
 	for _, s := range db.shards {
 		if err := s.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
+	if db.rt != nil {
+		db.rt.Close()
+	}
 	return first
+}
+
+// RuntimeStats returns the shared maintenance runtime's statistics: worker
+// pool occupancy, global queue depth, memory-budget stalls, rate-limiter
+// throttle time, and the shared page cache. The zero value is returned in
+// synchronous mode, which has no runtime.
+func (db *DB) RuntimeStats() RuntimeStats {
+	if db.rt == nil {
+		return RuntimeStats{}
+	}
+	return db.rt.Stats()
 }
 
 // Stats returns engine statistics. For a sharded database the counters are

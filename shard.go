@@ -230,6 +230,21 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 		agg.CommitQueueDepth += s.CommitQueueDepth
 		agg.WALSyncs += s.WALSyncs
 		agg.LastPublishedSeq += s.LastPublishedSeq
+		// The page cache is shared: every shard reports the same cache, so
+		// the aggregate takes the maximum rather than summing — summing
+		// would claim Shards x the real budget.
+		if s.CacheCapacity > agg.CacheCapacity {
+			agg.CacheCapacity = s.CacheCapacity
+		}
+		if s.CacheUsed > agg.CacheUsed {
+			agg.CacheUsed = s.CacheUsed
+		}
+		if s.CacheHits > agg.CacheHits {
+			agg.CacheHits = s.CacheHits
+		}
+		if s.CacheMisses > agg.CacheMisses {
+			agg.CacheMisses = s.CacheMisses
+		}
 	}
 	return agg
 }

@@ -27,35 +27,66 @@
 // Batches (DB.Apply) already amortize WAL I/O within one writer; WALSync
 // governs amortization across writers.
 //
-// # Scaling out the engine: Options.Shards vs Options.CompactionWorkers
+// # Scaling out the engine: Shards, the shared runtime, and its budgets
 //
-// Two knobs parallelize maintenance, and they compose; pick by bottleneck:
+// Options.Shards splits the key space into n independent engines (shard.go)
+// and so parallelizes everything that is per-instance serial: the memory
+// buffer's insert lock, the WAL append stream and its syncs, and the commit
+// pipeline's leader. It is the right knob when a single pipeline's serial
+// capacity is the ceiling — the classic symptoms are write stalls
+// (Stats().WriteStalls climbing) or commit-queue convoys at high writer
+// counts. BenchmarkShardedPuts models this with per-page device write
+// latency: at 16 writers, 4 shards sustain ~2.7x the aggregate put
+// throughput of 1 shard because the shards' write pipelines overlap their
+// device time (numbers in BENCH.md).
 //
-//   - CompactionWorkers > 1 runs several compactions of one tree
-//     concurrently. It is the right first knob when reads and writes are
-//     fine but compaction debt accumulates (Stats().Levels piling up runs):
-//     it adds merge parallelism without changing the data layout, scan
-//     behavior, or memory footprint.
+// What sharding does NOT multiply: background resources. Every shard
+// registers with one shared maintenance runtime owned by the database
+// handle, which provides four global facilities (see DB.RuntimeStats for
+// all of their health counters):
 //
-//   - Shards = n splits the key space into n independent engines (shard.go)
-//     and so parallelizes everything that is per-instance serial: the
-//     memory buffer's insert lock, the WAL append stream and its syncs, the
-//     flush worker, and the commit pipeline's leader. It is the right knob
-//     when a single pipeline's serial capacity is the ceiling — the classic
-//     symptoms are write stalls (Stats().WriteStalls climbing while the
-//     flush worker is saturated) or commit-queue convoys at high writer
-//     counts. BenchmarkShardedPuts models this with per-page device write
-//     latency: at 16 writers, 4 shards sustain ~2.7x the aggregate put
-//     throughput of 1 shard because the shards' flush pipelines overlap
-//     their device time (numbers in BENCH.md).
+//   - CompactionWorkers sizes the one worker pool that executes every
+//     shard's flushes and compactions. Workers drain a global priority
+//     queue — flushes first (a backed-up flush queue stalls writers), then
+//     compactions ordered by FADE urgency compared across shards, so the
+//     most overdue delete debt anywhere in the database is paid first.
+//     A dedicated flush lane (one extra goroutine) guarantees a flush is
+//     never queued behind a long merge even at CompactionWorkers=1. Raise
+//     the knob when compaction debt accumulates (runs piling up in
+//     Stats().Levels) across shards; the maintenance goroutine count stays
+//     CompactionWorkers+1 no matter how many shards exist.
 //
-// What sharding costs: n memory buffers and worker sets; cross-shard scans
-// pay a k-way merge (~25% on full scans in BenchmarkShardedScan, nothing on
-// point reads, which route directly); SecondaryRangeScan/Delete fan out to
-// every shard since D is not the partitioning key; and cross-shard batches
-// lose whole-batch atomicity. Workloads dominated by scans or secondary
-// range deletes should prefer CompactionWorkers; write-heavy multi-tenant
-// traffic wants shards.
+//   - CacheBytes is the whole-database page-cache budget. Shards share one
+//     cache through namespaced handles (no aliasing between shards' file
+//     numbers), so 16 shards still use CacheBytes of cache memory, not
+//     16x it. Watch Stats().CacheUsed/CacheHits/CacheMisses.
+//
+//   - MemoryBudget bounds total memtable bytes across shards. When the sum
+//     exceeds it, writers to shards at or above their fair share
+//     (MemoryBudget/Shards) stall — and the stall seals the hot shard's
+//     buffer so the pool can flush it — while under-share shards keep
+//     writing: one hot tenant cannot starve the others. Size it at a few
+//     multiples of BufferBytes times the shard count you expect to be hot
+//     simultaneously; RuntimeStats().MemoryStalls/MemoryStallTime show when
+//     it binds.
+//
+//   - CompactionRateBytes caps maintenance write I/O in bytes/second via a
+//     token bucket at the vfs layer. Unthrottled compaction bursts queue
+//     foreground reads behind maintenance writes on the device;
+//     BenchmarkCompactionInterference measures the effect — the rate
+//     limiter trades maintenance progress (and, under sustained overload,
+//     writer stalls) for flatter Get tails. Start at 2-4x the sustained
+//     user write rate; RuntimeStats().ThrottleWaitTime shows how hard it
+//     is braking.
+//
+// What sharding still costs: n memory buffers and WAL streams; cross-shard
+// scans pay a k-way merge (~25% on full scans in BenchmarkShardedScan,
+// nothing on point reads, which route directly); SecondaryRangeScan/Delete
+// fan out to every shard since D is not the partitioning key; and
+// cross-shard batches lose whole-batch atomicity. Workloads dominated by
+// scans or secondary range deletes should prefer CompactionWorkers over
+// more shards; write-heavy multi-tenant traffic wants shards plus a
+// MemoryBudget.
 //
 // Boundaries are fixed at creation and recorded in the shard manifest.
 // DefaultShardBoundaries assumes uniformly distributed leading key bytes;
