@@ -848,3 +848,108 @@ func BenchmarkConcurrentPuts(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkIteratorFirstK is the streaming-iterator acceptance benchmark:
+// iterate the first K entries of an unbounded NewIter over databases of
+// increasing size. Before the lazy cursor, NewIter materialized the whole
+// range, so bytes/op grew linearly with database size; now the cursor reads
+// only what the loop consumes, and B/op must stay flat as dbsize grows
+// 16-fold. Run with -benchmem to see it.
+func BenchmarkIteratorFirstK(b *testing.B) {
+	const k = 100
+	val := bytes.Repeat([]byte("x"), 64)
+	for _, size := range []int{4000, 16000, 64000} {
+		b.Run(fmt.Sprintf("dbsize=%d", size), func(b *testing.B) {
+			db, err := lethe.Open(lethe.Options{InMemory: true, DisableWAL: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			for i := 0; i < size; i++ {
+				if err := db.Put(hexShardKey(i), lethe.DeleteKey(i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Flush so iteration runs against sstables; an unflushed buffer
+			// is copied at cursor construction and would scale with size.
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Maintain(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it, err := db.NewIter(nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				for ; n < k && it.Next(); n++ {
+				}
+				if n != k {
+					b.Fatalf("iterated %d of %d", n, k)
+				}
+				if err := it.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotReads measures the snapshot read path on a sharded
+// database: pinning a whole-database snapshot (every shard, one pass) and
+// serving a point Get plus a short consistent scan from it, per op. This is
+// the price of cross-shard read consistency — compare with the raw Get/Scan
+// numbers in BenchmarkEngineOps and BenchmarkShardedScan.
+func BenchmarkSnapshotReads(b *testing.B) {
+	const keys = 20000
+	val := bytes.Repeat([]byte("x"), 64)
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			db, err := lethe.Open(lethe.Options{
+				InMemory:        true,
+				DisableWAL:      true,
+				Shards:          shards,
+				ShardBoundaries: hexShardBoundaries(shards),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			for i := 0; i < keys; i++ {
+				if err := db.Put(hexShardKey(i), lethe.DeleteKey(i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Maintain(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap, err := db.NewSnapshot()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := snap.Get(hexShardKey(i % keys)); err != nil {
+					b.Fatal(err)
+				}
+				n := 0
+				if err := snap.Scan(nil, nil, func(k []byte, d lethe.DeleteKey, v []byte) bool {
+					n++
+					return n < 100
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if err := snap.Release(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

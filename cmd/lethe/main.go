@@ -30,7 +30,14 @@
 //	srd <dlo> <dhi>
 //	scan [start [end]]
 //	dscan <dlo> <dhi>
+//	snap | release
 //	stats | levels | flush | maintain | compactall | quit
+//
+// snap pins a point-in-time snapshot of every shard; while one is held,
+// get, scan, and dscan are served from it — concurrent writes, flushes,
+// and compactions are invisible — until release drops it (or snap replaces
+// it). The scan output is streamed from a lazy cursor either way, so
+// scanning a huge range stays cheap to abandon.
 package main
 
 import (
@@ -88,17 +95,34 @@ func main() {
 	}
 	defer db.Close()
 
+	sh := &shell{db: db}
+	defer sh.dropSnapshot()
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
 	for sc.Scan() {
-		if done := execute(db, strings.Fields(sc.Text())); done {
+		if done := sh.execute(strings.Fields(sc.Text())); done {
 			return
 		}
 		fmt.Print("> ")
 	}
 }
 
-func execute(db *lethe.DB, args []string) (quit bool) {
+// shell holds the interactive state: the database plus, between snap and
+// release, the pinned snapshot reads are served from.
+type shell struct {
+	db   *lethe.DB
+	snap *lethe.Snapshot
+}
+
+func (sh *shell) dropSnapshot() {
+	if sh.snap != nil {
+		sh.snap.Release()
+		sh.snap = nil
+	}
+}
+
+func (sh *shell) execute(args []string) (quit bool) {
+	db := sh.db
 	if len(args) == 0 {
 		return false
 	}
@@ -123,7 +147,16 @@ func execute(db *lethe.DB, args []string) (quit bool) {
 			fmt.Println("usage: get <key>")
 			return false
 		}
-		v, d, err := db.GetWithDeleteKey([]byte(args[1]))
+		var (
+			v   []byte
+			d   lethe.DeleteKey
+			err error
+		)
+		if sh.snap != nil {
+			v, d, err = sh.snap.GetWithDeleteKey([]byte(args[1]))
+		} else {
+			v, d, err = db.GetWithDeleteKey([]byte(args[1]))
+		}
 		switch {
 		case errors.Is(err, lethe.ErrNotFound):
 			fmt.Println("(not found)")
@@ -168,8 +201,12 @@ func execute(db *lethe.DB, args []string) (quit bool) {
 		if len(args) > 2 {
 			end = []byte(args[2])
 		}
+		scan := db.Scan
+		if sh.snap != nil {
+			scan = sh.snap.Scan
+		}
 		n := 0
-		err := db.Scan(start, end, func(k []byte, d lethe.DeleteKey, v []byte) bool {
+		err := scan(start, end, func(k []byte, d lethe.DeleteKey, v []byte) bool {
 			fmt.Printf("%s = %s (deletekey=%d)\n", k, v, d)
 			n++
 			return n < 100
@@ -183,7 +220,11 @@ func execute(db *lethe.DB, args []string) (quit bool) {
 			fmt.Println("usage: dscan <dlo> <dhi>")
 			return false
 		}
-		items, err := db.SecondaryRangeScan(parseD(args[1]), parseD(args[2]))
+		dscan := db.SecondaryRangeScan
+		if sh.snap != nil {
+			dscan = sh.snap.SecondaryRangeScan
+		}
+		items, err := dscan(parseD(args[1]), parseD(args[2]))
 		if err != nil {
 			fail(err)
 			return false
@@ -245,10 +286,26 @@ func execute(db *lethe.DB, args []string) (quit bool) {
 		if err := db.FullTreeCompact(); err != nil {
 			fail(err)
 		}
+	case "snap":
+		sh.dropSnapshot()
+		snap, err := db.NewSnapshot()
+		if err != nil {
+			fail(err)
+			return false
+		}
+		sh.snap = snap
+		fmt.Println("snapshot pinned: get/scan/dscan serve this view until release")
+	case "release":
+		if sh.snap == nil {
+			fmt.Println("no snapshot held")
+			return false
+		}
+		sh.dropSnapshot()
+		fmt.Println("snapshot released")
 	case "quit", "exit":
 		return true
 	default:
-		fmt.Println("commands: put get del rangedel srd scan dscan stats levels flush maintain compactall quit")
+		fmt.Println("commands: put get del rangedel srd scan dscan snap release stats levels flush maintain compactall quit")
 	}
 	return false
 }

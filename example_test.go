@@ -54,6 +54,7 @@ func ExampleDB_NewIter() {
 		db.Put([]byte(k), 0, []byte("animal"))
 	}
 	it, _ := db.NewIter([]byte("b"), []byte("d"))
+	defer it.Close()
 	for it.Next() {
 		fmt.Println(string(it.Key()))
 	}

@@ -5,6 +5,7 @@ package compaction
 
 import (
 	"container/heap"
+	"sort"
 
 	"lethe/internal/base"
 )
@@ -14,6 +15,15 @@ import (
 type Iterator interface {
 	Next() (base.Entry, bool)
 	Error() error
+}
+
+// Seeker is an Iterator that can reposition itself so the next Next returns
+// the first entry with user key >= key. Seeks are absolute: a Seeker may be
+// repositioned backward as well as forward. MergeIter propagates SeekGE to
+// inputs implementing it and falls back to draining forward otherwise, so a
+// merge whose inputs are all Seekers supports absolute seeks end to end.
+type Seeker interface {
+	SeekGE(key []byte)
 }
 
 // SliceIter iterates a pre-sorted in-memory entry slice (used for memtable
@@ -40,6 +50,14 @@ func (it *SliceIter) Next() (base.Entry, bool) {
 
 // Error implements Iterator.
 func (it *SliceIter) Error() error { return nil }
+
+// SeekGE implements Seeker: the next Next returns the first entry with user
+// key >= key.
+func (it *SliceIter) SeekGE(key []byte) {
+	it.pos = sort.Search(len(it.entries), func(i int) bool {
+		return base.CompareUserKeys(it.entries[i].Key.UserKey, key) >= 0
+	})
+}
 
 // ---------------------------------------------------------------------------
 // K-way merge
@@ -176,6 +194,53 @@ func (m *MergeIter) Next() (base.Entry, bool) {
 		return top, true
 	}
 	return base.Entry{}, false
+}
+
+// SeekGE repositions the merge so the next Next returns the first surviving
+// entry with user key >= key. Inputs implementing Seeker are repositioned
+// absolutely (backward seeks included; their buffered heap entries are
+// stale and discarded); other inputs are drained forward until they reach
+// key — starting from their buffered heap entry, which is their next
+// unconsumed position — so a merge over non-Seeker inputs supports only
+// forward seeks.
+func (m *MergeIter) SeekGE(key []byte) {
+	// Remember each source's buffered (pulled but unreturned) entry before
+	// resetting the heap: for a forward-drained source that entry is still
+	// pending and may itself satisfy the seek.
+	buffered := make(map[int]base.Entry, len(m.h))
+	for _, it := range m.h {
+		buffered[it.src] = it.entry
+	}
+	m.h = m.h[:0]
+	for i, src := range m.srcs {
+		if s, ok := src.(Seeker); ok {
+			s.SeekGE(key)
+			if e, ok := src.Next(); ok {
+				m.h = append(m.h, mergeItem{entry: e, src: i})
+			} else if err := src.Error(); err != nil && m.err == nil {
+				m.err = err
+			}
+			continue
+		}
+		if e, ok := buffered[i]; ok && base.CompareUserKeys(e.Key.UserKey, key) >= 0 {
+			m.h = append(m.h, mergeItem{entry: e, src: i})
+			continue
+		}
+		for {
+			e, ok := src.Next()
+			if !ok {
+				if err := src.Error(); err != nil && m.err == nil {
+					m.err = err
+				}
+				break
+			}
+			if base.CompareUserKeys(e.Key.UserKey, key) >= 0 {
+				m.h = append(m.h, mergeItem{entry: e, src: i})
+				break
+			}
+		}
+	}
+	heap.Init(&m.h)
 }
 
 // Error returns the first input error.

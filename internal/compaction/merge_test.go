@@ -181,3 +181,64 @@ func TestMergeQuickEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// nonSeeker hides SliceIter's SeekGE, modeling an input that only supports
+// the forward-drain fallback.
+type nonSeeker struct{ it *SliceIter }
+
+func (n *nonSeeker) Next() (base.Entry, bool) { return n.it.Next() }
+func (n *nonSeeker) Error() error             { return n.it.Error() }
+
+func TestMergeIterSeekGE(t *testing.T) {
+	entries := func(keys ...string) []base.Entry {
+		var out []base.Entry
+		for i, k := range keys {
+			out = append(out, e(k, base.SeqNum(i+1), base.KindSet, "v-"+k))
+		}
+		return out
+	}
+	for _, wrap := range []struct {
+		name  string
+		build func(es []base.Entry) Iterator
+	}{
+		{"seeker", func(es []base.Entry) Iterator { return NewSliceIter(es) }},
+		{"non-seeker", func(es []base.Entry) Iterator { return &nonSeeker{it: NewSliceIter(es)} }},
+	} {
+		t.Run(wrap.name, func(t *testing.T) {
+			m := NewMergeIter(MergeConfig{},
+				wrap.build(entries("a", "c", "e", "g")),
+				wrap.build(entries("b", "d", "f")))
+			// Seek to the very first key before consuming anything: the
+			// buffered heads still qualify and must not be lost.
+			m.SeekGE([]byte("a"))
+			e, ok := m.Next()
+			if !ok || string(e.Key.UserKey) != "a" {
+				t.Fatalf("SeekGE(a) lost the buffered head: %q ok=%v", e.Key.UserKey, ok)
+			}
+			// Forward seek lands on the first key >= target across inputs.
+			m.SeekGE([]byte("d"))
+			for _, want := range []string{"d", "e", "f", "g"} {
+				e, ok := m.Next()
+				if !ok || string(e.Key.UserKey) != want {
+					t.Fatalf("after SeekGE(d): got %q ok=%v, want %q", e.Key.UserKey, ok, want)
+				}
+			}
+			if _, ok := m.Next(); ok {
+				t.Fatal("merge not exhausted")
+			}
+			if err := m.Error(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Absolute (backward) seek on all-Seeker inputs.
+	m := NewMergeIter(MergeConfig{}, NewSliceIter(entries("a", "b", "c")))
+	m.SeekGE([]byte("c"))
+	if e, ok := m.Next(); !ok || string(e.Key.UserKey) != "c" {
+		t.Fatalf("forward seek: %q ok=%v", e.Key.UserKey, ok)
+	}
+	m.SeekGE([]byte("a"))
+	if e, ok := m.Next(); !ok || string(e.Key.UserKey) != "a" {
+		t.Fatalf("backward seek: %q ok=%v", e.Key.UserKey, ok)
+	}
+}

@@ -3,6 +3,7 @@ package lsm
 import (
 	"lethe/internal/base"
 	"lethe/internal/compaction"
+	"lethe/internal/sstable"
 )
 
 // ErrNotFound is returned by Get when the key does not exist (or has been
@@ -29,7 +30,7 @@ func (db *DB) Get(key []byte) ([]byte, base.DeleteKey, error) {
 		return nil, 0, err
 	}
 	defer rs.release()
-	e, ok, err := getEntry(rs, key)
+	e, ok, err := getEntry(rs.memtables(), rs.v, key)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -39,16 +40,18 @@ func (db *DB) Get(key []byte) ([]byte, base.DeleteKey, error) {
 	return append([]byte(nil), e.Value...), e.DKey, nil
 }
 
-// getEntry performs the versioned lookup, returning the newest entry for key
-// (possibly a tombstone) with range-tombstone shadowing applied.
-func getEntry(rs readState, key []byte) (base.Entry, bool, error) {
+// getEntry performs the versioned lookup over a set of memory views and a
+// pinned version, returning the newest entry for key (possibly a tombstone)
+// with range-tombstone shadowing applied. Both the live read path (views
+// straight off the readState) and Snapshot.Get (frozen views) funnel here.
+func getEntry(views []memView, v *version, key []byte) (base.Entry, bool, error) {
 	// maxRTSeq carries the newest covering range tombstone seen so far in
 	// the descent. Per-key versions are depth-ordered (shallower = newer),
 	// so a tombstone found at or above the entry's level decides.
 	var maxRTSeq base.SeqNum
 	// Each buffer resolves its own range tombstones; tombstones from newer
 	// buffers shadow entries found in older ones.
-	for _, mt := range rs.memtables() {
+	for _, mt := range views {
 		if e, ok := mt.Get(key); ok {
 			if e.Key.SeqNum() < maxRTSeq {
 				return base.MakeEntry(key, maxRTSeq, base.KindDelete, 0, nil), true, nil
@@ -61,7 +64,7 @@ func getEntry(rs readState, key []byte) (base.Entry, bool, error) {
 			}
 		}
 	}
-	for _, runs := range rs.v.levels {
+	for _, runs := range v.levels {
 		for _, r := range runs {
 			for _, h := range r {
 				if !handleCoversKey(h, key) {
@@ -123,14 +126,25 @@ func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteKey, v
 // ScanIter is the pull-based form of Scan: a lazy, merged stream of the live
 // entries in [start, end), tombstones already applied, yielding only KindSet
 // entries in ascending key order. It pins a read state for its lifetime —
-// callers must Close it to release the snapshot. It satisfies
-// compaction.Iterator, so higher layers (the sharded engine's cross-shard
-// merge) can feed ScanIters straight into the merging machinery.
+// callers must Close it to release the snapshot. Memory stays bounded
+// regardless of range size: the in-memory buffers contribute a bounded copy
+// of the scanned range, and each disk run streams through one open file at
+// a time (runIter), so iterating the first K entries of an unbounded scan
+// costs K entries' worth of pages plus one tile per run, not the range.
+//
+// ScanIter satisfies compaction.Iterator and compaction.Seeker, so higher
+// layers (the sharded engine's cross-shard cursor) can feed ScanIters
+// straight into the merging machinery and seek them.
 type ScanIter struct {
-	rs     readState
-	pinned bool
-	merged compaction.Iterator
-	closed bool
+	start, end []byte
+	merged     *compaction.MergeIter
+	onClose    func() error
+	closed     bool
+}
+
+// emptyScanIter returns an exhausted iterator pinning nothing.
+func emptyScanIter() *ScanIter {
+	return &ScanIter{merged: compaction.NewMergeIter(compaction.MergeConfig{})}
 }
 
 // NewScanIter opens a streaming scan over [start, end). A degenerate range
@@ -138,18 +152,33 @@ type ScanIter struct {
 // rather than pinning any state.
 func (db *DB) NewScanIter(start, end []byte) (*ScanIter, error) {
 	if start != nil && end != nil && base.CompareUserKeys(start, end) >= 0 {
-		return &ScanIter{merged: compaction.NewSliceIter(nil)}, nil
+		return emptyScanIter(), nil
 	}
 	rs, err := db.acquireReadState()
 	if err != nil {
 		return nil, err
 	}
+	return buildScanIter(rs.memtables(), rs.v, start, end, func() error { rs.release(); return nil }), nil
+}
 
+// buildScanIter assembles the merged stream: one bounded in-memory copy per
+// buffer view (newest sources first) and one lazy runIter per disk run.
+// onClose releases whatever pin keeps views and v alive; it is called
+// exactly once, by Close.
+func buildScanIter(views []memView, v *version, start, end []byte, onClose func() error) *ScanIter {
 	var inputs []compaction.Iterator
 	var rts []base.RangeTombstone
 
-	// The buffers go first (newest sources first).
-	for _, mt := range rs.memtables() {
+	// The buffers go first (newest sources first). Copying just the scanned
+	// range keeps the cost proportional to the range, bounded above by the
+	// buffer capacity; a frozen view is already an immutable sorted slice,
+	// so it is sub-sliced in place rather than copied again.
+	for _, mt := range views {
+		if f, ok := mt.(*frozenMem); ok {
+			inputs = append(inputs, compaction.NewSliceIter(f.slice(start, end)))
+			rts = append(rts, f.rts...)
+			continue
+		}
 		var memEntries []base.Entry
 		mt.Iter(func(e base.Entry) bool {
 			if start != nil && base.CompareUserKeys(e.Key.UserKey, start) < 0 {
@@ -165,27 +194,23 @@ func (db *DB) NewScanIter(start, end []byte) (*ScanIter, error) {
 		rts = append(rts, mt.RangeTombstones()...)
 	}
 
-	for _, runs := range rs.v.levels {
+	// One lazy iterator per run: files within a run are S-ordered and
+	// disjoint, so the run streams them one at a time — the merge holds
+	// open one file per run, independent of how many files the range
+	// covers. Range tombstones are collected from every file up front
+	// (metadata only; a tombstone anchored outside the scanned point-key
+	// range can still cover keys inside it).
+	for _, runs := range v.levels {
 		for _, r := range runs {
 			for _, h := range r {
 				rts = append(rts, h.r.RangeTombstones...)
-				if end != nil && len(h.meta.MinS) > 0 && base.CompareUserKeys(h.meta.MinS, end) >= 0 {
-					continue
-				}
-				if start != nil && len(h.meta.MaxS) > 0 && base.CompareUserKeys(h.meta.MaxS, start) < 0 {
-					continue
-				}
-				it := h.r.NewIter()
-				if start != nil {
-					it.SeekGE(start)
-				}
-				inputs = append(inputs, &boundedIter{it: it, end: end})
 			}
+			inputs = append(inputs, &runIter{files: r, start: start, end: end, low: start})
 		}
 	}
 
 	merged := compaction.NewMergeIter(compaction.MergeConfig{RangeTombstones: rts}, inputs...)
-	return &ScanIter{rs: rs, pinned: true, merged: merged}, nil
+	return &ScanIter{start: start, end: end, merged: merged, onClose: onClose}
 }
 
 // Next returns the next live entry, skipping tombstones. It implements
@@ -206,6 +231,21 @@ func (it *ScanIter) Next() (base.Entry, bool) {
 	}
 }
 
+// SeekGE repositions the scan so the next Next returns the first live entry
+// with key >= key. Seeks are absolute within the scan bounds: the key is
+// clamped to [start, end), so seeking backward past start restarts at start
+// and seeking at or past end exhausts the iterator. It implements
+// compaction.Seeker.
+func (it *ScanIter) SeekGE(key []byte) {
+	if it.closed {
+		return
+	}
+	if it.start != nil && base.CompareUserKeys(key, it.start) < 0 {
+		key = it.start
+	}
+	it.merged.SeekGE(key)
+}
+
 // Error reports the first error the merge encountered. It implements
 // compaction.Iterator.
 func (it *ScanIter) Error() error { return it.merged.Error() }
@@ -215,56 +255,127 @@ func (it *ScanIter) Error() error { return it.merged.Error() }
 func (it *ScanIter) Close() error {
 	if !it.closed {
 		it.closed = true
-		if it.pinned {
-			it.rs.release()
+		if it.onClose != nil {
+			if err := it.onClose(); err != nil && it.merged.Error() == nil {
+				return err
+			}
 		}
 	}
 	return it.merged.Error()
 }
 
-// boundedIter adapts an sstable iterator to stop at an exclusive end bound.
-type boundedIter struct {
-	it interface {
-		Next() (base.Entry, bool)
-		Error() error
-	}
-	end  []byte
+// runIter streams one sorted run lazily: files are S-ordered and disjoint,
+// so it opens file i+1's block iterator only after file i is exhausted, and
+// stops early at the end bound. At most one sstable iterator (one decoded
+// tile) is live per run at any moment — the property that keeps unbounded
+// scans' memory bounded.
+type runIter struct {
+	files      run
+	start, end []byte
+	// low is the current lower bound: start at construction, the seek key
+	// after a SeekGE. Newly opened files position at low; files whose MaxS
+	// precedes it are skipped without I/O.
+	low  []byte
+	idx  int // next file to consider opening
+	cur  *sstable.Iter
+	err  error
 	done bool
 }
 
+// openNext advances to the next file overlapping [low, end), opening its
+// iterator positioned at low. It returns false when the run is exhausted.
+func (r *runIter) openNext() bool {
+	for r.idx < len(r.files) {
+		h := r.files[r.idx]
+		r.idx++
+		m := h.meta
+		if r.low != nil && len(m.MaxS) > 0 && base.CompareUserKeys(m.MaxS, r.low) < 0 {
+			continue // wholly before the bound: skip without I/O
+		}
+		if r.end != nil && len(m.MinS) > 0 && base.CompareUserKeys(m.MinS, r.end) >= 0 {
+			// Files are S-ordered: everything later is out of range too.
+			r.idx = len(r.files)
+			return false
+		}
+		it := h.r.NewIter()
+		if r.low != nil {
+			it.SeekGE(r.low)
+		}
+		r.cur = it
+		return true
+	}
+	return false
+}
+
 // Next implements compaction.Iterator.
-func (b *boundedIter) Next() (base.Entry, bool) {
-	if b.done {
-		return base.Entry{}, false
+func (r *runIter) Next() (base.Entry, bool) {
+	for r.err == nil && !r.done {
+		if r.cur == nil {
+			if !r.openNext() {
+				r.done = true
+				return base.Entry{}, false
+			}
+		}
+		e, ok := r.cur.Next()
+		if !ok {
+			if err := r.cur.Error(); err != nil {
+				r.err = err
+				return base.Entry{}, false
+			}
+			r.cur = nil
+			continue
+		}
+		if r.end != nil && base.CompareUserKeys(e.Key.UserKey, r.end) >= 0 {
+			// The run is sorted: nothing further qualifies.
+			r.done = true
+			r.cur = nil
+			return base.Entry{}, false
+		}
+		return e, true
 	}
-	e, ok := b.it.Next()
-	if !ok {
-		b.done = true
-		return base.Entry{}, false
+	return base.Entry{}, false
+}
+
+// SeekGE implements compaction.Seeker: absolute repositioning, clamped below
+// by the scan's start bound.
+func (r *runIter) SeekGE(key []byte) {
+	if r.err != nil {
+		return
 	}
-	if b.end != nil && base.CompareUserKeys(e.Key.UserKey, b.end) >= 0 {
-		b.done = true
-		return base.Entry{}, false
+	if r.start != nil && base.CompareUserKeys(key, r.start) < 0 {
+		key = r.start
 	}
-	return e, true
+	r.low = key
+	r.idx = 0
+	r.cur = nil
+	r.done = r.end != nil && base.CompareUserKeys(key, r.end) >= 0
 }
 
 // Error implements compaction.Iterator.
-func (b *boundedIter) Error() error { return b.it.Error() }
+func (r *runIter) Error() error { return r.err }
 
 // SecondaryRangeScan returns the live entries whose delete key D falls in
 // [lo, hi). KiWi serves it from the delete fences: only pages whose D fence
 // overlaps the range are read (§4.2.5 "Secondary Range Lookups"), instead of
-// scanning the whole tree. Results are verified against the primary read
-// path so only current, undeleted versions are returned. Like Get and Scan,
-// it runs outside db.mu on a pinned snapshot.
+// scanning the whole tree. Candidates are verified against the primary read
+// path of the same pinned state, so only versions current as of the scan's
+// snapshot are returned. Like Get and Scan, it runs outside db.mu. The
+// result order is unspecified at this layer; the public API sorts it.
 func (db *DB) SecondaryRangeScan(lo, hi base.DeleteKey) ([]base.Entry, error) {
 	rs, err := db.acquireReadState()
 	if err != nil {
 		return nil, err
 	}
+	defer rs.release()
+	return secondaryRangeScanViews(rs.memtables(), rs.v, lo, hi)
+}
+
+// secondaryRangeScanViews is the scan core shared by the live path and
+// Snapshot.SecondaryRangeScan: collect candidates from the views and the
+// pinned version's delete fences, then verify each against the same state.
+func secondaryRangeScanViews(views []memView, v *version, lo, hi base.DeleteKey) ([]base.Entry, error) {
 	var candidates []base.Entry
-	for _, mt := range rs.memtables() {
+	for _, mt := range views {
 		mt.Iter(func(e base.Entry) bool {
 			if e.Key.Kind() == base.KindSet && e.DKey >= lo && e.DKey < hi {
 				candidates = append(candidates, e)
@@ -272,7 +383,7 @@ func (db *DB) SecondaryRangeScan(lo, hi base.DeleteKey) ([]base.Entry, error) {
 			return true
 		})
 	}
-	for _, runs := range rs.v.levels {
+	for _, runs := range v.levels {
 		for _, r := range runs {
 			for _, h := range r {
 				m := h.r.MetaCopy()
@@ -281,16 +392,15 @@ func (db *DB) SecondaryRangeScan(lo, hi base.DeleteKey) ([]base.Entry, error) {
 				}
 				got, err := h.r.CollectByDeleteKey(lo, hi)
 				if err != nil {
-					rs.release()
 					return nil, err
 				}
 				candidates = append(candidates, got...)
 			}
 		}
 	}
-	rs.release()
 
-	// Verify candidates: only the newest live version of each key counts.
+	// Verify candidates: only the newest live version of each key counts,
+	// judged against the same pinned state the candidates came from.
 	var out []base.Entry
 	seen := map[string]bool{}
 	for _, c := range candidates {
@@ -299,15 +409,16 @@ func (db *DB) SecondaryRangeScan(lo, hi base.DeleteKey) ([]base.Entry, error) {
 			continue
 		}
 		seen[k] = true
-		value, dkey, err := db.Get(c.Key.UserKey)
-		if err == ErrNotFound {
-			continue
-		}
+		e, ok, err := getEntry(views, v, c.Key.UserKey)
 		if err != nil {
 			return nil, err
 		}
-		if dkey >= lo && dkey < hi {
-			out = append(out, base.MakeEntry(c.Key.UserKey, 0, base.KindSet, dkey, value))
+		if !ok || e.Key.Kind() != base.KindSet {
+			continue
+		}
+		if e.DKey >= lo && e.DKey < hi {
+			out = append(out, base.MakeEntry(c.Key.UserKey, 0, base.KindSet, e.DKey,
+				append([]byte(nil), e.Value...)))
 		}
 	}
 	return out, nil

@@ -1,0 +1,260 @@
+package lsm
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+
+	"lethe/internal/base"
+)
+
+// ErrSnapshotReleased is returned by reads on a released Snapshot.
+var ErrSnapshotReleased = errors.New("lsm: snapshot released")
+
+// memView is the read-side view of one memory buffer. The live
+// *memtable.Memtable satisfies it directly; a Snapshot substitutes a
+// frozenMem for the mutable buffer so the view stops moving.
+type memView interface {
+	// Get returns the buffered entry for key (possibly a tombstone),
+	// honoring buffered range tombstones.
+	Get(key []byte) (base.Entry, bool)
+	// Iter visits buffered point entries in sort-key order until fn
+	// returns false.
+	Iter(fn func(base.Entry) bool)
+	// RangeTombstones returns the buffered range tombstones.
+	RangeTombstones() []base.RangeTombstone
+}
+
+// frozenMem is an immutable point-in-time copy of a mutable buffer's
+// contents: the point entries (sorted on S, possibly bounded to a key range)
+// plus every buffered range tombstone. Entry structs are copied shallowly —
+// the memtable never mutates the byte slices behind an inserted entry (an
+// in-place replace installs a freshly cloned entry), so the frozen view
+// stays stable while the live buffer moves on.
+type frozenMem struct {
+	entries []base.Entry
+	rts     []base.RangeTombstone
+}
+
+// Get implements memView with the same shadowing rule as memtable.Get: a
+// covering range tombstone newer than the point entry (or covering a key
+// with no point entry) reads as a delete.
+func (f *frozenMem) Get(key []byte) (base.Entry, bool) {
+	i := sort.Search(len(f.entries), func(i int) bool {
+		return base.CompareUserKeys(f.entries[i].Key.UserKey, key) >= 0
+	})
+	var e base.Entry
+	found := false
+	if i < len(f.entries) && base.CompareUserKeys(f.entries[i].Key.UserKey, key) == 0 {
+		e, found = f.entries[i], true
+	}
+	for _, rt := range f.rts {
+		if rt.Contains(key) && (!found || rt.Seq > e.Key.SeqNum()) {
+			e, found = base.MakeEntry(key, rt.Seq, base.KindDelete, rt.DKey, nil), true
+		}
+	}
+	return e, found
+}
+
+// Iter implements memView.
+func (f *frozenMem) Iter(fn func(base.Entry) bool) {
+	for _, e := range f.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// RangeTombstones implements memView.
+func (f *frozenMem) RangeTombstones() []base.RangeTombstone { return f.rts }
+
+// slice returns the frozen entries with start <= key < end without copying
+// — scan construction over a frozen view feeds this straight to a
+// SliceIter instead of re-copying the already-bounded, already-sorted data.
+func (f *frozenMem) slice(start, end []byte) []base.Entry {
+	lo := 0
+	if start != nil {
+		lo = sort.Search(len(f.entries), func(i int) bool {
+			return base.CompareUserKeys(f.entries[i].Key.UserKey, start) >= 0
+		})
+	}
+	hi := len(f.entries)
+	if end != nil {
+		hi = sort.Search(len(f.entries), func(i int) bool {
+			return base.CompareUserKeys(f.entries[i].Key.UserKey, end) >= 0
+		})
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return f.entries[lo:hi]
+}
+
+// Snapshot is a pinned point-in-time view of the engine: the mutable
+// buffer's contents frozen by copy, the sealed flush-queue buffers (already
+// immutable), and the current version with a reference held so no file it
+// names is deleted while the snapshot lives. Get, Scan, NewScanIter, and
+// SecondaryRangeScan on the snapshot observe exactly this state — later
+// writes, flushes, and compactions are invisible — until Release drops the
+// pin. Snapshots are cheap: one buffer copy (bounded by BufferBytes, or by
+// the scan bounds for NewScanSnapshot) plus reference-count bumps; they
+// trigger no I/O and block no writer or maintenance work. Obsolete sstables
+// a snapshot still references are deleted when the last holder releases.
+//
+// Two caveats, both documented on the operations themselves: a snapshot
+// taken mid-commit-group may see a batch the group has not fully published
+// yet (the same property every read path here has), and
+// SecondaryRangeDelete is a physical delete — it edits sealed buffers and
+// sstable pages in place, so entries it removes disappear from existing
+// snapshots too.
+type Snapshot struct {
+	views []memView
+	v     *version
+	// start/end record the bounds a NewScanSnapshot froze; reads outside
+	// them are rejected. Both nil for a full NewSnapshot.
+	start, end []byte
+	released   atomic.Bool
+}
+
+// NewSnapshot pins the engine's current read state: every read served from
+// the returned Snapshot sees the database exactly as of this call. The
+// caller must Release it.
+func (db *DB) NewSnapshot() (*Snapshot, error) { return db.newSnapshot(nil, nil) }
+
+// NewScanSnapshot pins the current read state for scans over [start, end)
+// only: the mutable buffer is frozen just for that range, so the copy cost
+// tracks the range, not the buffer. Reads outside the bounds fail with
+// ErrSnapshotOutOfBounds. The caller must Release it.
+func (db *DB) NewScanSnapshot(start, end []byte) (*Snapshot, error) {
+	return db.newSnapshot(start, end)
+}
+
+func (db *DB) newSnapshot(start, end []byte) (*Snapshot, error) {
+	rs, err := db.acquireReadState()
+	if err != nil {
+		return nil, err
+	}
+	mts := rs.memtables()
+	views := make([]memView, len(mts))
+	// The head view is the mutable buffer — the only one still receiving
+	// writes; freeze its entries and range tombstones atomically (one lock
+	// acquisition, so a concurrent range-delete-then-put can't tear the
+	// view). The sealed flush-queue buffers behind it are immutable and
+	// are referenced directly.
+	entries, rts := rs.mem.Capture(start, end)
+	views[0] = &frozenMem{entries: entries, rts: rts}
+	copy(views[1:], mts[1:])
+	return &Snapshot{
+		views: views,
+		v:     rs.v, // transfer the readState's version reference
+		start: append([]byte(nil), start...),
+		end:   append([]byte(nil), end...),
+	}, nil
+}
+
+// ErrSnapshotOutOfBounds is returned by reads outside the key range a
+// NewScanSnapshot was taken for.
+var ErrSnapshotOutOfBounds = errors.New("lsm: read outside snapshot bounds")
+
+// checkBounds rejects scan ranges not contained in a bounded snapshot's
+// frozen range.
+func (s *Snapshot) checkBounds(start, end []byte) error {
+	if len(s.start) > 0 && (start == nil || base.CompareUserKeys(start, s.start) < 0) {
+		return ErrSnapshotOutOfBounds
+	}
+	if len(s.end) > 0 && (end == nil || base.CompareUserKeys(end, s.end) > 0) {
+		return ErrSnapshotOutOfBounds
+	}
+	return nil
+}
+
+// checkKeyBounds rejects point reads outside a bounded snapshot's frozen
+// range.
+func (s *Snapshot) checkKeyBounds(key []byte) error {
+	if len(s.start) > 0 && base.CompareUserKeys(key, s.start) < 0 {
+		return ErrSnapshotOutOfBounds
+	}
+	if len(s.end) > 0 && base.CompareUserKeys(key, s.end) >= 0 {
+		return ErrSnapshotOutOfBounds
+	}
+	return nil
+}
+
+// Get returns the value and delete key stored for key as of the snapshot,
+// or ErrNotFound.
+func (s *Snapshot) Get(key []byte) ([]byte, base.DeleteKey, error) {
+	if s.released.Load() {
+		return nil, 0, ErrSnapshotReleased
+	}
+	if err := s.checkKeyBounds(key); err != nil {
+		return nil, 0, err
+	}
+	e, ok, err := getEntry(s.views, s.v, key)
+	if err != nil {
+		return nil, 0, err
+	}
+	if !ok || e.Key.Kind() != base.KindSet {
+		return nil, 0, ErrNotFound
+	}
+	return append([]byte(nil), e.Value...), e.DKey, nil
+}
+
+// NewScanIter opens a streaming scan over [start, end) of the snapshot. The
+// iterator holds its own reference on the pinned state, so closing it and
+// releasing the snapshot are independent, in either order.
+func (s *Snapshot) NewScanIter(start, end []byte) (*ScanIter, error) {
+	if s.released.Load() {
+		return nil, ErrSnapshotReleased
+	}
+	if start != nil && end != nil && base.CompareUserKeys(start, end) >= 0 {
+		return emptyScanIter(), nil
+	}
+	if err := s.checkBounds(start, end); err != nil {
+		return nil, err
+	}
+	v := s.v.ref()
+	return buildScanIter(s.views, v, start, end, func() error { return v.unref() }), nil
+}
+
+// Scan visits every live pair of the snapshot with start <= key < end in
+// key order until fn returns false.
+func (s *Snapshot) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteKey, value []byte) bool) error {
+	it, err := s.NewScanIter(start, end)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		if !fn(e.Key.UserKey, e.DKey, e.Value) {
+			break
+		}
+	}
+	return it.Close()
+}
+
+// SecondaryRangeScan returns the snapshot's live entries whose delete key
+// falls in [lo, hi), with candidates verified against the same pinned state
+// (never against later writes).
+func (s *Snapshot) SecondaryRangeScan(lo, hi base.DeleteKey) ([]base.Entry, error) {
+	if s.released.Load() {
+		return nil, ErrSnapshotReleased
+	}
+	if len(s.start) > 0 || len(s.end) > 0 {
+		return nil, ErrSnapshotOutOfBounds // bounded snapshots serve their scan range only
+	}
+	return secondaryRangeScanViews(s.views, s.v, lo, hi)
+}
+
+// Release drops the snapshot's pin, letting obsolete files it was holding
+// be deleted. Idempotent; reads after Release fail with
+// ErrSnapshotReleased.
+func (s *Snapshot) Release() error {
+	if s.released.Swap(true) {
+		return nil
+	}
+	return s.v.unref()
+}

@@ -166,9 +166,11 @@ type readState struct {
 }
 
 // memtables returns the buffer plus queued immutable tables, newest first —
-// the order lookups must probe them in.
-func (rs readState) memtables() []*memtable.Memtable {
-	out := make([]*memtable.Memtable, 0, len(rs.imm)+1)
+// the order lookups must probe them in. The views are live: the mutable
+// buffer keeps moving under them. Snapshots freeze the head view instead
+// (snapshot.go).
+func (rs readState) memtables() []memView {
+	out := make([]memView, 0, len(rs.imm)+1)
 	out = append(out, rs.mem)
 	for i := len(rs.imm) - 1; i >= 0; i-- {
 		out = append(out, rs.imm[i].mem)

@@ -102,7 +102,7 @@ func (db *DB) writableLocked() error {
 // mayContain reports whether any of the given components may hold key: a
 // buffer, or any file of v whose tile filters answer positive. It is the
 // blind-delete probe core shared by both Delete paths.
-func mayContain(mems []*memtable.Memtable, v *version, key []byte) bool {
+func mayContain(mems []memView, v *version, key []byte) bool {
 	for _, mt := range mems {
 		if _, ok := mt.Get(key); ok {
 			return true
@@ -122,7 +122,7 @@ func mayContain(mems []*memtable.Memtable, v *version, key []byte) bool {
 
 // mayContainLocked probes the live engine state. Callers hold db.mu.
 func (db *DB) mayContainLocked(key []byte) bool {
-	mems := make([]*memtable.Memtable, 0, 1+len(db.imm))
+	mems := make([]memView, 0, 1+len(db.imm))
 	mems = append(mems, db.mem)
 	for _, fl := range db.imm {
 		mems = append(mems, fl.mem)

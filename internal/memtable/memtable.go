@@ -279,6 +279,29 @@ func (m *Memtable) All() []base.Entry {
 	return out
 }
 
+// Capture returns the buffered point entries with start <= key < end (nil =
+// unbounded) together with every buffered range tombstone, taken under one
+// lock acquisition — the snapshot-freeze primitive. Capturing entries and
+// tombstones in separate calls would open a window for a concurrent
+// RangeDelete-then-Put to produce a torn view containing the Put but not
+// the tombstone that preceded it.
+func (m *Memtable) Capture(start, end []byte) ([]base.Entry, []base.RangeTombstone) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var entries []base.Entry
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		k := x.entry.Key.UserKey
+		if start != nil && base.CompareUserKeys(k, start) < 0 {
+			continue
+		}
+		if end != nil && base.CompareUserKeys(k, end) >= 0 {
+			break
+		}
+		entries = append(entries, x.entry)
+	}
+	return entries, append([]base.RangeTombstone(nil), m.rangeDels...)
+}
+
 // Iter calls fn for each buffered point entry in sort-key order until fn
 // returns false.
 func (m *Memtable) Iter(fn func(base.Entry) bool) {

@@ -2,125 +2,272 @@ package lethe
 
 import (
 	"lethe/internal/base"
-	"lethe/internal/compaction"
 	"lethe/internal/lsm"
 )
 
-// Cross-shard merging scans.
+// Streaming cross-shard iteration.
 //
-// A sharded database serves Scan and NewIter with a lazy k-way merge over
-// per-shard scan streams: each overlapping shard contributes an
-// lsm.ScanIter (a pull-based, tombstone-resolved stream pinning that
-// shard's snapshot), and compaction.NewMergeIter — the same machinery every
-// compaction and single-instance scan runs on — interleaves them in key
-// order. Shard ranges are disjoint, so the merge degenerates to
-// concatenation in shard order, but the heap keeps the code oblivious to
-// boundary placement. Entries stream on demand: a scan abandoned after ten
-// keys reads roughly ten keys' worth of pages from one shard, regardless of
-// shard count.
+// Iterator is a lazy cursor over the merged, tombstone-resolved view of a
+// key range: each shard contributes an lsm.ScanIter (a pull-based stream
+// over that shard's pinned snapshot), and because shard key ranges are
+// disjoint and ordered, the cross-shard merge is a concatenation — the
+// cursor drains shard i completely before touching shard i+1. Shard
+// snapshots are all pinned when the iterator (or its parent Snapshot) is
+// created, so the view is fixed up front; the per-shard scan machinery,
+// including its I/O, is opened lazily — a cursor abandoned after ten keys
+// reads roughly ten keys' worth of pages from the first shard and never
+// opens the others. Memory stays bounded regardless of range size: nothing
+// is materialized beyond each shard's in-buffer range copy and one decoded
+// tile per run.
+//
+// An iterator from DB.NewIter owns its pins and releases each shard's as
+// the cursor moves past it (and the rest on Close), so obsolete sstables
+// can be deleted mid-iteration; an iterator from Snapshot.NewIter borrows
+// the snapshot's pins, which live until Snapshot.Release.
 
-// shardMergeIter is the merged cross-shard stream. Close releases every
-// shard's pinned snapshot.
-type shardMergeIter struct {
-	iters  []*lsm.ScanIter
-	merged compaction.Iterator
+// Iterator walks a fixed snapshot of a key range in ascending key order,
+// streaming entries on demand. It starts positioned before the first item:
+//
+//	it, err := db.NewIter(nil, nil)
+//	if err != nil { ... }
+//	defer it.Close()
+//	for it.Next() {
+//	    use(it.Key(), it.Value())
+//	}
+//	if err := it.Close(); err != nil { ... }
+//
+// Key, DeleteKey, and Value are valid only until the next Next or SeekGE
+// call; copy them to retain them. Iterators must be Closed — an unclosed
+// iterator pins its snapshot's sstables, keeping obsolete files on disk.
+// An Iterator is not safe for concurrent use.
+type Iterator struct {
+	// snaps is indexed by shard; only [cur, hi] are non-nil. Owned pins are
+	// cleared as shards are exhausted.
+	snaps      []*lsm.Snapshot
+	boundaries [][]byte
+	owned      bool
+	start, end []byte
+	cur, hi    int
+	it         *lsm.ScanIter
+	// pendingSeek defers a SeekGE into a shard whose scan isn't open yet,
+	// preserving laziness: SeekGE immediately followed by Close opens
+	// nothing.
+	pendingSeek []byte
+	key         []byte
+	dkey        DeleteKey
+	value       []byte
+	valid       bool
+	exhausted   bool
+	closed      bool
+	err         error
 }
 
-// newShardMergeIter opens per-shard scan iterators for the shards
-// overlapping [start, end) and merges them. The per-shard snapshots are
-// taken as this returns, in shard order; the merge itself is lazy.
-func (db *DB) newShardMergeIter(start, end []byte) (*shardMergeIter, error) {
+// NewIter returns a streaming iterator over live keys in [start, end) (nil
+// end = unbounded; an empty or inverted range yields an empty iterator).
+// Every overlapping shard's read state is pinned here, in one pass, so the
+// iterator observes a fixed view regardless of concurrent writes; see the
+// Iterator documentation for the contract. The caller must Close it.
+func (db *DB) NewIter(start, end []byte) (*Iterator, error) {
+	if start != nil && end != nil && base.CompareUserKeys(start, end) >= 0 {
+		// Empty range: an exhausted cursor pinning nothing. owned keeps
+		// SeekGE from trying to revive it into shards it never pinned.
+		return &Iterator{exhausted: true, owned: true, cur: 0, hi: -1}, nil
+	}
 	lo, hi := 0, len(db.shards)-1
 	if start != nil || end != nil {
 		lo, hi = shardRange(db.boundaries, start, end)
 	}
-	it := &shardMergeIter{}
-	inputs := make([]compaction.Iterator, 0, hi-lo+1)
+	snaps := make([]*lsm.Snapshot, len(db.shards))
 	for i := lo; i <= hi; i++ {
-		si, err := db.shards[i].NewScanIter(start, end)
+		sn, err := db.shards[i].NewScanSnapshot(start, end)
 		if err != nil {
-			it.Close()
+			for j := lo; j < i; j++ {
+				snaps[j].Release()
+			}
 			return nil, err
 		}
-		it.iters = append(it.iters, si)
-		inputs = append(inputs, si)
+		snaps[i] = sn
 	}
-	it.merged = compaction.NewMergeIter(compaction.MergeConfig{}, inputs...)
-	return it, nil
+	return &Iterator{
+		snaps:      snaps,
+		boundaries: db.boundaries,
+		owned:      true,
+		start:      cloneKey(start),
+		end:        cloneKey(end),
+		cur:        lo,
+		hi:         hi,
+	}, nil
 }
 
-// Next returns the next live entry across all shards in ascending key
-// order.
-func (it *shardMergeIter) Next() (base.Entry, bool) { return it.merged.Next() }
-
-// Close releases every shard's snapshot, returning the first error from the
-// underlying streams. Idempotent.
-func (it *shardMergeIter) Close() error {
-	var first error
-	for _, si := range it.iters {
-		if err := si.Close(); err != nil && first == nil {
-			first = err
-		}
+func cloneKey(k []byte) []byte {
+	if k == nil {
+		return nil
 	}
-	return first
+	return append([]byte(nil), k...)
 }
 
-// Iterator walks a snapshot of a key range in ascending key order. It is
-// created by DB.NewIter, which materializes the merged view (buffer + every
-// run, tombstones applied; all shards, merged in key order, when sharded)
-// as of the moment the iterator was created; iteration itself is then
-// lock-free and unaffected by concurrent writes.
-type Iterator struct {
-	items []Item
-	pos   int // position of the item Next will move onto, 1-based after first Next
-}
-
-// NewIter returns an iterator over live keys in [start, end) (nil end =
-// unbounded; an empty or inverted range yields an empty iterator). The
-// iterator starts positioned before the first item:
-//
-//	it, err := db.NewIter(nil, nil)
-//	for it.Next() {
-//	    use(it.Key(), it.Value())
-//	}
-func (db *DB) NewIter(start, end []byte) (*Iterator, error) {
-	var items []Item
-	err := db.Scan(start, end, func(k []byte, d DeleteKey, v []byte) bool {
-		items = append(items, Item{
-			Key:   append([]byte(nil), k...),
-			DKey:  d,
-			Value: append([]byte(nil), v...),
-		})
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Iterator{items: items}, nil
-}
-
-// Next advances to the next item, returning false when exhausted. After a
-// false return the iterator is invalid for good.
+// Next advances to the next item, returning false when exhausted or on
+// error (check Error or Close). After a false return the iterator remains
+// exhausted.
 func (it *Iterator) Next() bool {
-	if it.pos >= len(it.items) {
-		it.pos = len(it.items) + 1 // past-the-end: Valid() turns false
+	it.valid = false
+	if it.closed || it.exhausted || it.err != nil {
 		return false
 	}
-	it.pos++
+	for {
+		if it.it == nil {
+			if it.cur > it.hi {
+				it.exhausted = true
+				return false
+			}
+			si, err := it.snaps[it.cur].NewScanIter(it.start, it.end)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			if it.pendingSeek != nil {
+				si.SeekGE(it.pendingSeek)
+				it.pendingSeek = nil
+			}
+			it.it = si
+		}
+		e, ok := it.it.Next()
+		if ok {
+			it.key, it.dkey, it.value = e.Key.UserKey, e.DKey, e.Value
+			it.valid = true
+			return true
+		}
+		if !it.closeCurrentShard() {
+			return false
+		}
+		it.cur++
+	}
+}
+
+// closeCurrentShard retires the open shard scan, releasing the shard's pin
+// when this iterator owns it. Returns false when the scan ended in error.
+func (it *Iterator) closeCurrentShard() bool {
+	err := it.it.Close()
+	it.it = nil
+	if it.owned && it.snaps[it.cur] != nil {
+		if rerr := it.snaps[it.cur].Release(); rerr != nil && err == nil {
+			err = rerr
+		}
+		it.snaps[it.cur] = nil
+	}
+	if err != nil {
+		it.err = err
+		return false
+	}
 	return true
 }
 
-// Valid reports whether the iterator is positioned on an item.
-func (it *Iterator) Valid() bool { return it.pos >= 1 && it.pos <= len(it.items) }
+// SeekGE repositions the cursor so the next Next returns the first entry
+// with key >= key (clamped into [start, end)). On an iterator from
+// Snapshot.NewIter seeks are absolute — backward seeks reopen earlier
+// shards from the snapshot's pins, and a seek can revive an exhausted
+// iterator. On an iterator from DB.NewIter, shards the cursor has passed
+// have had their pins released, so seeks are forward-only: a backward
+// target is clamped to the current shard's range, and an exhausted
+// iterator stays exhausted.
+func (it *Iterator) SeekGE(key []byte) {
+	it.valid = false
+	if it.closed || it.err != nil {
+		return
+	}
+	if it.start != nil && base.CompareUserKeys(key, it.start) < 0 {
+		key = it.start
+	}
+	lo := 0
+	if it.start != nil {
+		lo, _ = shardRange(it.boundaries, it.start, it.end)
+	}
+	target := shardIndex(it.boundaries, key)
+	if target < lo {
+		target = lo
+	}
+	if target > it.hi {
+		// Past the last overlapping shard: exhaust.
+		if it.it != nil {
+			it.closeCurrentShard()
+		}
+		it.cur = it.hi + 1
+		it.exhausted = true
+		return
+	}
+	if it.owned && target < it.cur {
+		target = it.cur // earlier shards' pins are gone: forward-only
+	}
+	if it.exhausted {
+		if it.owned {
+			return
+		}
+		it.exhausted = false
+	}
+	key = cloneKey(key)
+	if target == it.cur && it.it != nil {
+		it.it.SeekGE(key)
+		return
+	}
+	if it.it != nil && !it.closeCurrentShard() {
+		return
+	}
+	// Skip over shards the seek jumps past, releasing owned pins promptly.
+	if it.owned {
+		for i := it.cur; i < target; i++ {
+			if it.snaps[i] != nil {
+				if err := it.snaps[i].Release(); err != nil && it.err == nil {
+					it.err = err
+				}
+				it.snaps[i] = nil
+			}
+		}
+	}
+	it.cur = target
+	it.pendingSeek = key
+}
 
-// Key returns the current sort key. Only valid after a true Next.
-func (it *Iterator) Key() []byte { return it.items[it.pos-1].Key }
+// Valid reports whether the iterator is positioned on an item.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current sort key. Only valid after a true Next; the slice
+// is valid until the next Next or SeekGE call.
+func (it *Iterator) Key() []byte { return it.key }
 
 // DeleteKey returns the current entry's secondary delete key.
-func (it *Iterator) DeleteKey() DeleteKey { return it.items[it.pos-1].DKey }
+func (it *Iterator) DeleteKey() DeleteKey { return it.dkey }
 
-// Value returns the current value.
-func (it *Iterator) Value() []byte { return it.items[it.pos-1].Value }
+// Value returns the current value; the slice is valid until the next Next
+// or SeekGE call.
+func (it *Iterator) Value() []byte { return it.value }
 
-// Len returns the total number of items in the snapshot.
-func (it *Iterator) Len() int { return len(it.items) }
+// Error returns the first error the iteration encountered, if any.
+func (it *Iterator) Error() error { return it.err }
+
+// Close releases every pin the iterator still holds and returns the first
+// error the iteration encountered. Idempotent. Closing promptly matters:
+// the pins keep obsolete sstables alive on disk.
+func (it *Iterator) Close() error {
+	if it.closed {
+		return it.err
+	}
+	it.closed = true
+	it.valid = false
+	if it.it != nil {
+		if err := it.it.Close(); err != nil && it.err == nil {
+			it.err = err
+		}
+		it.it = nil
+	}
+	if it.owned {
+		for i, sn := range it.snaps {
+			if sn != nil {
+				if err := sn.Release(); err != nil && it.err == nil {
+					it.err = err
+				}
+				it.snaps[i] = nil
+			}
+		}
+	}
+	return it.err
+}

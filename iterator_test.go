@@ -20,11 +20,9 @@ func TestIteratorSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer it.Close()
 	if it.Valid() {
 		t.Fatal("fresh iterator is before the first item")
-	}
-	if it.Len() != 10 {
-		t.Fatalf("len = %d", it.Len())
 	}
 	// Writes after creation are invisible: a snapshot.
 	db.Put([]byte("k015x"), 0, []byte("new"))
@@ -54,6 +52,9 @@ func TestIteratorSnapshot(t *testing.T) {
 	if it.Valid() {
 		t.Fatal("exhausted iterator is not valid")
 	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
 	// The live view reflects the later writes.
 	if _, err := db.Get([]byte("k012")); !errors.Is(err, ErrNotFound) {
 		t.Fatal("live delete lost")
@@ -67,7 +68,65 @@ func TestIteratorEmptyRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if it.Next() || it.Len() != 0 {
+	if it.Next() {
 		t.Fatal("empty range iterates nothing")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIteratorSeekGE(t *testing.T) {
+	db, err := Open(Options{InMemory: true, DisableWAL: true,
+		BufferBytes: 1 << 12, PageSize: 256, FilePages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 200; i++ {
+		db.Put([]byte(fmt.Sprintf("k%03d", i)), DeleteKey(i), []byte("v"))
+	}
+
+	it, err := db.NewIter(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+
+	// Seek before reading anything.
+	it.SeekGE([]byte("k150"))
+	if !it.Next() || string(it.Key()) != "k150" {
+		t.Fatalf("seek to k150 landed on %q", it.Key())
+	}
+	// Seek between keys lands on the next one.
+	it.SeekGE([]byte("k160x"))
+	if !it.Next() || string(it.Key()) != "k161" {
+		t.Fatalf("seek to k160x landed on %q", it.Key())
+	}
+	// Seek past the end exhausts.
+	it.SeekGE([]byte("z"))
+	if it.Next() {
+		t.Fatalf("seek past end yielded %q", it.Key())
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bounded iterator clamps seeks to its range.
+	it2, err := db.NewIter([]byte("k050"), []byte("k060"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	it2.SeekGE([]byte("k000"))
+	if !it2.Next() || string(it2.Key()) != "k050" {
+		t.Fatalf("clamped seek landed on %q", it2.Key())
+	}
+	it2.SeekGE([]byte("k059x"))
+	if it2.Next() {
+		t.Fatalf("seek past bound yielded %q", it2.Key())
+	}
+	if err := it2.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -214,7 +214,13 @@ type Options struct {
 // Reads never block behind maintenance: Get, Scan, NewIter, and
 // SecondaryRangeScan take a refcounted snapshot of the tree under a brief
 // internal lock and then run against immutable state, so a compaction or
-// flush in flight cannot stall them. Writes flow through a group-commit
+// flush in flight cannot stall them. Each such call pins its own snapshot;
+// when several reads must agree with each other — a Get that must see
+// exactly what a Scan saw, across every shard — take a DB.NewSnapshot and
+// issue them against it. Range reads stream: NewIter returns a lazy cursor
+// (see iterator.go) whose memory is bounded regardless of range size and
+// whose Close releases its pins promptly, so obsolete sstables can be
+// deleted even while long scans are in flight. Writes flow through a group-commit
 // pipeline: concurrent commits are batched into one WAL write and (per
 // WALSync) one sync, with memory-buffer inserts running concurrently and
 // sequence numbers published in submission order — see Stats().CommitGroups
@@ -411,16 +417,33 @@ func (db *DB) RangeDelete(start, end []byte) error {
 // SRDStats for what it did. Intended for write-once data keyed by creation
 // time (the paper's DComp scenario); see the engine documentation for the
 // multi-version caveat.
+//
+// Partial application: the delete key is orthogonal to the sort-key
+// partitioning, so the delete fans out to every shard, in shard order, and
+// each shard's portion applies independently. If shard k's delete fails,
+// shards 0..k-1 are fully applied, shard k may be partially applied (its
+// counts in the breakdown cover the work done before the failure), and
+// shards after k are untouched — the error is returned alongside the stats
+// accumulated so far, and SRDStats.Shards records exactly how far the
+// fan-out got (one entry per shard reached, the last carrying the error).
+// Re-issuing the same delete after a failure is safe: the operation is
+// idempotent for a fixed [lo, hi).
 func (db *DB) SecondaryRangeDelete(lo, hi DeleteKey) (SRDStats, error) {
-	// The delete key is orthogonal to the sort-key partitioning, so the
-	// delete fans out to every shard; the aggregate work is returned.
 	var agg SRDStats
-	for _, s := range db.shards {
+	for i, s := range db.shards {
 		st, err := s.SecondaryRangeDelete(lo, hi)
 		agg.FullPageDrops += st.FullDrops
 		agg.PartialPageDrops += st.PartialDrops
 		agg.EntriesDropped += st.EntriesDropped
 		agg.PagesUntouched += st.PagesUntouched
+		agg.Shards = append(agg.Shards, ShardSRDStats{
+			Shard:            i,
+			FullPageDrops:    st.FullDrops,
+			PartialPageDrops: st.PartialDrops,
+			EntriesDropped:   st.EntriesDropped,
+			PagesUntouched:   st.PagesUntouched,
+			Err:              err,
+		})
 		if err != nil {
 			return agg, err
 		}
@@ -438,28 +461,49 @@ type SRDStats struct {
 	EntriesDropped int
 	// PagesUntouched is the number of pages the delete fences excluded.
 	PagesUntouched int
+	// Shards is the per-shard breakdown, in shard (key-range) order,
+	// mirroring DB.ShardStats: one entry per shard the fan-out reached. On
+	// success it has ShardCount entries; after a mid-loop failure it stops
+	// at the failing shard (whose Err is set), and later shards — untouched
+	// by the delete — are absent. Unsharded databases get a single entry.
+	Shards []ShardSRDStats
+}
+
+// ShardSRDStats is one shard's portion of a secondary range delete.
+type ShardSRDStats struct {
+	// Shard is the shard index (key-range order, as in ShardStats).
+	Shard int
+	// FullPageDrops, PartialPageDrops, EntriesDropped, and PagesUntouched
+	// mirror the aggregate fields, scoped to this shard. For a failed shard
+	// they count the work completed before the error.
+	FullPageDrops    int
+	PartialPageDrops int
+	EntriesDropped   int
+	PagesUntouched   int
+	// Err is the error this shard's delete returned, nil on success. At
+	// most the last entry of SRDStats.Shards has it set.
+	Err error
 }
 
 // Scan visits every live pair with start <= key < end (nil end = unbounded)
 // in key order until fn returns false. An empty or inverted range (both
-// bounds set, start >= end) visits nothing. On a sharded database the
-// per-shard streams are merged lazily in key order (see iterator.go); each
-// shard's portion is a consistent snapshot, taken as the scan opens.
+// bounds set, start >= end) visits nothing. On a sharded database every
+// overlapping shard's read state is pinned in one pass as the scan opens,
+// so the whole scan observes one fixed view; the per-shard streams are then
+// merged lazily in key order (see iterator.go), opening each shard's scan
+// machinery only when the cursor reaches it. For a Get that must agree with
+// a Scan, take a DB.NewSnapshot and issue both against it.
 func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey DeleteKey, value []byte) bool) error {
 	if len(db.shards) == 1 {
 		return db.shards[0].Scan(start, end, fn)
 	}
-	it, err := db.newShardMergeIter(start, end)
+	it, err := db.NewIter(start, end)
 	if err != nil {
 		return err
 	}
 	defer it.Close()
-	for {
-		e, ok := it.Next()
-		if !ok {
-			break
-		}
-		if !fn(e.Key.UserKey, e.DKey, e.Value) {
+	for it.Next() {
+		if !fn(it.Key(), it.DeleteKey(), it.Value()) {
 			break
 		}
 	}
@@ -468,8 +512,9 @@ func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey DeleteKey, value 
 
 // SecondaryRangeScan returns live entries with lo <= D < hi, served by the
 // delete fences. On a sharded database every shard is consulted (D is not
-// the partitioning key) and the results are concatenated in shard order;
-// ordering within the result is unspecified, as for a single instance.
+// the partitioning key). Results are sorted deterministically — by delete
+// key, then sort key — on both the sharded and single-instance paths, so
+// the order never depends on shard layout or fence traversal order.
 func (db *DB) SecondaryRangeScan(lo, hi DeleteKey) ([]Item, error) {
 	var items []Item
 	for _, s := range db.shards {
@@ -481,6 +526,7 @@ func (db *DB) SecondaryRangeScan(lo, hi DeleteKey) ([]Item, error) {
 			items = append(items, Item{Key: e.Key.UserKey, DKey: e.DKey, Value: e.Value})
 		}
 	}
+	sortSecondaryItems(items)
 	return items, nil
 }
 

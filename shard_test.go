@@ -200,13 +200,18 @@ func TestShardedScanMergesInKeyOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if it.Len() != len(want) {
-		t.Fatalf("iter len %d, want %d", it.Len(), len(want))
-	}
-	for i := 0; it.Next(); i++ {
-		if !bytes.Equal(it.Key(), want[i]) {
-			t.Fatalf("iter[%d] = %x, want %x", i, it.Key(), want[i])
+	defer it.Close()
+	iterated := 0
+	for ; it.Next(); iterated++ {
+		if !bytes.Equal(it.Key(), want[iterated]) {
+			t.Fatalf("iter[%d] = %x, want %x", iterated, it.Key(), want[iterated])
 		}
+	}
+	if iterated != len(want) {
+		t.Fatalf("iter yielded %d keys, want %d", iterated, len(want))
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -246,8 +251,11 @@ func TestScanDegenerateRange(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s: iter: %v", name, err)
 				}
-				if it.Len() != 0 || it.Next() {
-					t.Errorf("%s: iterator not empty (len %d)", name, it.Len())
+				if it.Next() || it.Valid() {
+					t.Errorf("%s: iterator not empty", name)
+				}
+				if err := it.Close(); err != nil {
+					t.Errorf("%s: close: %v", name, err)
 				}
 			}
 		})

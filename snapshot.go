@@ -1,0 +1,167 @@
+package lethe
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"lethe/internal/base"
+	"lethe/internal/lsm"
+)
+
+// Snapshot is a pinned, point-in-time view of the whole database. It is
+// created by DB.NewSnapshot, which pins every shard's refcounted read state
+// in one pass, so — unlike issuing independent Gets and Scans, each of
+// which pins per-shard states at slightly different instants — every read
+// served from one Snapshot observes the same fixed view: a Get after a
+// Scan sees exactly the states the scan saw, on every shard. Later writes,
+// flushes, and compactions are invisible until Release.
+//
+// Snapshots are cheap (per shard: one bounded buffer copy plus reference-
+// count bumps, no I/O) and block nothing: writers and the maintenance
+// pipeline proceed; sstables the snapshot pins are deleted once the last
+// holder releases them. Hold snapshots for the duration of a read, not for
+// the lifetime of the process — a long-lived snapshot keeps every file it
+// pins on disk.
+//
+// One caveat carried over from the engine's delete design:
+// SecondaryRangeDelete is physical (it edits sealed buffers and sstable
+// pages in place, per the paper), so entries it removes from those
+// disappear from existing snapshots too. Only entries still in the mutable
+// buffer at snapshot time are immune — the snapshot holds a frozen copy of
+// that buffer, which the delete cannot reach.
+//
+// A Snapshot is safe for concurrent reads; Release must not race other
+// method calls.
+type Snapshot struct {
+	db       *DB
+	shards   []*lsm.Snapshot
+	released atomic.Bool
+}
+
+// NewSnapshot pins the current read state of every shard, in one pass, and
+// returns a consistent point-in-time view served by the Snapshot's Get,
+// Scan, NewIter, and SecondaryRangeScan. The caller must Release it.
+func (db *DB) NewSnapshot() (*Snapshot, error) {
+	shards := make([]*lsm.Snapshot, len(db.shards))
+	for i, s := range db.shards {
+		sn, err := s.NewSnapshot()
+		if err != nil {
+			for j := 0; j < i; j++ {
+				shards[j].Release()
+			}
+			return nil, err
+		}
+		shards[i] = sn
+	}
+	return &Snapshot{db: db, shards: shards}, nil
+}
+
+// Get returns the value stored for key as of the snapshot, or ErrNotFound.
+func (s *Snapshot) Get(key []byte) ([]byte, error) {
+	v, _, err := s.GetWithDeleteKey(key)
+	return v, err
+}
+
+// GetWithDeleteKey also returns the entry's secondary delete key.
+func (s *Snapshot) GetWithDeleteKey(key []byte) ([]byte, DeleteKey, error) {
+	if s.released.Load() {
+		return nil, 0, lsm.ErrSnapshotReleased
+	}
+	i := 0
+	if len(s.shards) > 1 {
+		i = shardIndex(s.db.boundaries, key)
+	}
+	return s.shards[i].Get(key)
+}
+
+// Scan visits every live pair with start <= key < end (nil end = unbounded)
+// in key order, as of the snapshot, until fn returns false.
+func (s *Snapshot) Scan(start, end []byte, fn func(key []byte, dkey DeleteKey, value []byte) bool) error {
+	it, err := s.NewIter(start, end)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for it.Next() {
+		if !fn(it.Key(), it.DeleteKey(), it.Value()) {
+			break
+		}
+	}
+	return it.Close()
+}
+
+// NewIter returns a streaming iterator over [start, end) of the snapshot.
+// The iterator borrows the snapshot's pins — close it before releasing the
+// snapshot. Unlike DB.NewIter's, its SeekGE is absolute: backward seeks
+// reopen earlier shards from the still-held pins.
+func (s *Snapshot) NewIter(start, end []byte) (*Iterator, error) {
+	if s.released.Load() {
+		return nil, lsm.ErrSnapshotReleased
+	}
+	if start != nil && end != nil && base.CompareUserKeys(start, end) >= 0 {
+		return &Iterator{exhausted: true, owned: true, cur: 0, hi: -1}, nil
+	}
+	lo, hi := 0, len(s.shards)-1
+	if start != nil || end != nil {
+		lo, hi = shardRange(s.db.boundaries, start, end)
+	}
+	return &Iterator{
+		snaps:      s.shards,
+		boundaries: s.db.boundaries,
+		owned:      false,
+		start:      cloneKey(start),
+		end:        cloneKey(end),
+		cur:        lo,
+		hi:         hi,
+	}, nil
+}
+
+// SecondaryRangeScan returns the snapshot's live entries with lo <= D < hi,
+// served by the delete fences and verified against the same pinned state.
+// Results are sorted by delete key, then sort key, exactly as
+// DB.SecondaryRangeScan sorts them.
+func (s *Snapshot) SecondaryRangeScan(lo, hi DeleteKey) ([]Item, error) {
+	if s.released.Load() {
+		return nil, lsm.ErrSnapshotReleased
+	}
+	var items []Item
+	for _, sn := range s.shards {
+		entries, err := sn.SecondaryRangeScan(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			items = append(items, Item{Key: e.Key.UserKey, DKey: e.DKey, Value: e.Value})
+		}
+	}
+	sortSecondaryItems(items)
+	return items, nil
+}
+
+// sortSecondaryItems orders secondary-scan results deterministically: by
+// delete key, then sort key. Both the sharded fan-out (whose natural order
+// would otherwise change with shard layout) and the single-instance path
+// (whose natural order follows fence traversal) funnel through it.
+func sortSecondaryItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].DKey != items[j].DKey {
+			return items[i].DKey < items[j].DKey
+		}
+		return base.CompareUserKeys(items[i].Key, items[j].Key) < 0
+	})
+}
+
+// Release drops every shard's pin, letting obsolete sstables the snapshot
+// was holding be deleted. Idempotent; reads after Release fail.
+func (s *Snapshot) Release() error {
+	if s.released.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, sn := range s.shards {
+		if err := sn.Release(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -93,6 +93,45 @@
 // clustered key spaces (common prefixes, zero-padded counters) must pass
 // Options.ShardBoundaries quantiles of the real distribution, or every key
 // lands in one shard and the others idle.
+//
+// # Reading at scale: snapshots and streaming iterators
+//
+// Every read primitive pins a refcounted view and streams from it — none
+// materializes its result, so cost tracks what the caller consumes:
+//
+//   - Point reads (Get) route to one shard and read at most one page per
+//     level after Bloom filters and fence pointers have their say. Nothing
+//     to tune beyond CacheBytes.
+//
+//   - Range reads (Scan, NewIter) are lazy cursors: per shard they hold a
+//     bounded copy of the buffered range plus one decoded tile per run, so
+//     iterating the first K entries of an unbounded range costs K entries'
+//     worth of pages — independent of how large the range is
+//     (BenchmarkIteratorFirstK measures bytes/op flat across database
+//     sizes). Prefer NewIter over Scan-into-a-slice for anything large;
+//     use SeekGE to skip, and Close the moment you are done — an open
+//     iterator pins its snapshot's sstables, which keeps files a
+//     compaction has obsoleted on disk. A cursor from DB.NewIter releases
+//     each shard's pin as it passes the shard, so even a full-database
+//     scan holds at most one shard's obsolete files at a time.
+//
+//   - Multi-read consistency costs one DB.NewSnapshot: every shard's read
+//     state is pinned in one pass (per shard: a buffer copy bounded by
+//     BufferBytes, reference bumps, no I/O), and Get/Scan/NewIter/
+//     SecondaryRangeScan against the snapshot all observe that single
+//     view. Snapshots block nothing — writers and the maintenance pool
+//     proceed — but a held snapshot retains every file it pins, so space
+//     amplification grows with snapshot lifetime. Take them per logical
+//     read (a report, a backup pass), release promptly, and watch
+//     Stats().Levels file counts if you suspect a leaked pin.
+//
+// SecondaryRangeScan verifies candidates against the same pinned state it
+// collected them from and returns results sorted by (delete key, sort key)
+// deterministically. SecondaryRangeDelete remains physical: it edits
+// sealed buffers and sstable pages in place, so what it removes from those
+// vanishes from snapshots taken before it ran (only a snapshot's frozen
+// copy of the mutable buffer is immune) — order retention deletes after
+// reads that must not observe them.
 
 package lethe
 
