@@ -930,6 +930,7 @@ func BenchmarkSnapshotReads(b *testing.B) {
 			if err := db.Maintain(); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				snap, err := db.NewSnapshot()

@@ -13,10 +13,12 @@
 // whole `go test` output can be piped in unfiltered.
 //
 // With -baseline PREV.json (a previous -json output, e.g. the committed
-// BENCH_PR3.json), a "versus baseline" Markdown section is appended diffing
-// ns/op per benchmark, and every regression past -threshold percent
-// (default 20) emits a GitHub Actions ::warning:: annotation on stderr —
-// the CI bench-regression gate. The gate warns instead of failing: CI
+// BENCH_PR6.json), a "versus baseline" Markdown section is appended diffing
+// ns/op, B/op, and allocs/op per benchmark, and every regression past
+// -threshold percent (default 20) emits a GitHub Actions ::warning::
+// annotation on stderr — the CI bench-regression gate. Memory columns are
+// diffed only when both sides have them (runs without -benchmem, or
+// baselines predating it, show "—"). The gate warns instead of failing: CI
 // runner noise must not block merges, but regressions must be visible.
 package main
 
@@ -51,7 +53,7 @@ func main() {
 	in := flag.String("in", "", "input file (default: stdin)")
 	jsonOut := flag.String("json", "", "write the JSON document to this file")
 	md := flag.Bool("md", false, "print a Markdown summary table to stdout")
-	baseline := flag.String("baseline", "", "baseline JSON (a previous -json output) to diff ns/op against")
+	baseline := flag.String("baseline", "", "baseline JSON (a previous -json output) to diff ns/op, B/op, and allocs/op against")
 	threshold := flag.Float64("threshold", 20, "regression warning threshold in percent (with -baseline)")
 	flag.Parse()
 
@@ -138,33 +140,60 @@ func loadBaseline(path string) (map[string]result, error) {
 	return doc.Benchmarks, nil
 }
 
-// printDiff emits a Markdown section comparing ns/op against the baseline,
-// flagging regressions past the threshold, and a GitHub Actions ::warning::
-// command per flagged benchmark so the job page surfaces them. The gate
-// warns rather than fails: benchmark noise on shared CI runners must not
-// block merges, but regressions must be impossible to miss.
+// diffMetrics are the columns printDiff compares against the baseline. All
+// three share the regression threshold: more allocations per op is a
+// regression exactly like more nanoseconds per op.
+var diffMetrics = []struct {
+	unit string
+	get  func(result) float64
+}{
+	{"ns/op", func(r result) float64 { return r.NsPerOp }},
+	{"B/op", func(r result) float64 { return r.BytesPerOp }},
+	{"allocs/op", func(r result) float64 { return r.AllocsPerOp }},
+}
+
+// printDiff emits a Markdown section comparing ns/op, B/op, and allocs/op
+// against the baseline, flagging regressions past the threshold, and a
+// GitHub Actions ::warning:: command per flagged benchmark+metric so the
+// job page surfaces them. A metric missing on either side (a run without
+// -benchmem, or a baseline predating the memory columns) renders as "—" and
+// is never flagged. The gate warns rather than fails: benchmark noise on
+// shared CI runners must not block merges, but regressions must be
+// impossible to miss.
 func printDiff(w, warnw io.Writer, results, base map[string]result, order []string, threshold float64) {
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "### Versus baseline (warn at +%.0f%% ns/op)\n", threshold)
+	fmt.Fprintf(w, "### Versus baseline (warn at +%.0f%% ns/op, B/op, allocs/op)\n", threshold)
 	fmt.Fprintln(w)
-	fmt.Fprintln(w, "| benchmark | baseline ns/op | current ns/op | delta |")
+	fmt.Fprintln(w, "| benchmark | ns/op | B/op | allocs/op |")
 	fmt.Fprintln(w, "|---|---:|---:|---:|")
 	var regressions []string
 	for _, name := range order {
 		cur := results[name]
-		b, ok := base[name]
-		if !ok || b.NsPerOp <= 0 {
-			fmt.Fprintf(w, "| %s | — | %.0f | new |\n", name, cur.NsPerOp)
-			continue
+		b, inBase := base[name]
+		cells := make([]string, 0, len(diffMetrics))
+		for _, m := range diffMetrics {
+			cv, bv := m.get(cur), m.get(b)
+			switch {
+			case !inBase || bv <= 0:
+				if cv <= 0 {
+					cells = append(cells, "—")
+				} else {
+					cells = append(cells, fmt.Sprintf("%.0f (new)", cv))
+				}
+			case cv <= 0:
+				cells = append(cells, fmt.Sprintf("%.0f -> —", bv))
+			default:
+				delta := (cv - bv) / bv * 100
+				marker := ""
+				if delta > threshold {
+					marker = " ⚠️"
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %.0f -> %.0f %s (%+.1f%%)", name, bv, cv, m.unit, delta))
+				}
+				cells = append(cells, fmt.Sprintf("%.0f -> %.0f (%+.1f%%)%s", bv, cv, delta, marker))
+			}
 		}
-		delta := (cur.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
-		marker := ""
-		if delta > threshold {
-			marker = " ⚠️"
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)", name, b.NsPerOp, cur.NsPerOp, delta))
-		}
-		fmt.Fprintf(w, "| %s | %.0f | %.0f | %+.1f%%%s |\n", name, b.NsPerOp, cur.NsPerOp, delta, marker)
+		fmt.Fprintf(w, "| %s | %s |\n", name, strings.Join(cells, " | "))
 	}
 	var removed []string
 	for name := range base {
@@ -174,14 +203,14 @@ func printDiff(w, warnw io.Writer, results, base map[string]result, order []stri
 	}
 	sort.Strings(removed)
 	for _, name := range removed {
-		fmt.Fprintf(w, "| %s | %.0f | — | removed |\n", name, base[name].NsPerOp)
+		fmt.Fprintf(w, "| %s | %.0f -> removed | — | — |\n", name, base[name].NsPerOp)
 	}
 	fmt.Fprintln(w)
 	if len(regressions) == 0 {
-		fmt.Fprintf(w, "No ns/op regressions past %.0f%%.\n", threshold)
+		fmt.Fprintf(w, "No regressions past %.0f%% (ns/op, B/op, allocs/op).\n", threshold)
 		return
 	}
-	fmt.Fprintf(w, "%d benchmark(s) regressed past %.0f%% — see the job log annotations.\n",
+	fmt.Fprintf(w, "%d benchmark metric(s) regressed past %.0f%% — see the job log annotations.\n",
 		len(regressions), threshold)
 	sort.Strings(regressions)
 	for _, r := range regressions {

@@ -70,25 +70,28 @@ func TestStripProcsSuffix(t *testing.T) {
 
 func TestPrintDiff(t *testing.T) {
 	results := map[string]result{
-		"BenchA": {NsPerOp: 1300}, // +30%: regression
-		"BenchB": {NsPerOp: 900},  // -10%: fine
-		"BenchC": {NsPerOp: 500},  // new
+		"BenchA": {NsPerOp: 1300, BytesPerOp: 512, AllocsPerOp: 9},  // ns/op +30%: regression
+		"BenchB": {NsPerOp: 900, BytesPerOp: 1000, AllocsPerOp: 30}, // allocs/op +200%: regression
+		"BenchC": {NsPerOp: 500},                                    // new
+		"BenchE": {NsPerOp: 1000},                                   // memory columns absent on both sides
 	}
 	base := map[string]result{
-		"BenchA": {NsPerOp: 1000},
-		"BenchB": {NsPerOp: 1000},
+		"BenchA": {NsPerOp: 1000, BytesPerOp: 512, AllocsPerOp: 9},
+		"BenchB": {NsPerOp: 1000, BytesPerOp: 1024, AllocsPerOp: 10},
 		"BenchD": {NsPerOp: 700}, // removed
+		"BenchE": {NsPerOp: 1000},
 	}
 	var out, warn strings.Builder
-	printDiff(&out, &warn, results, base, []string{"BenchA", "BenchB", "BenchC"}, 20)
+	printDiff(&out, &warn, results, base, []string{"BenchA", "BenchB", "BenchC", "BenchE"}, 20)
 
 	table := out.String()
 	for _, want := range []string{
-		"| BenchA | 1000 | 1300 | +30.0% ⚠️ |",
-		"| BenchB | 1000 | 900 | -10.0% |",
-		"| BenchC | — | 500 | new |",
-		"| BenchD | 700 | — | removed |",
-		"1 benchmark(s) regressed past 20%",
+		"| BenchA | 1000 -> 1300 (+30.0%) ⚠️ | 512 -> 512 (+0.0%) | 9 -> 9 (+0.0%) |",
+		"| BenchB | 1000 -> 900 (-10.0%) | 1024 -> 1000 (-2.3%) | 10 -> 30 (+200.0%) ⚠️ |",
+		"| BenchC | 500 (new) | — | — |",
+		"| BenchD | 700 -> removed | — | — |",
+		"| BenchE | 1000 -> 1000 (+0.0%) | — | — |",
+		"2 benchmark metric(s) regressed past 20%",
 	} {
 		if !strings.Contains(table, want) {
 			t.Fatalf("diff table missing %q in:\n%s", want, table)
@@ -96,17 +99,21 @@ func TestPrintDiff(t *testing.T) {
 	}
 	warnings := warn.String()
 	if !strings.Contains(warnings, "::warning title=Benchmark regression::BenchA: 1000 -> 1300 ns/op (+30.0%)") {
-		t.Fatalf("warning annotation missing in:\n%s", warnings)
+		t.Fatalf("ns/op warning annotation missing in:\n%s", warnings)
 	}
-	if strings.Contains(warnings, "BenchB") {
-		t.Fatal("non-regressed benchmark must not be flagged")
+	if !strings.Contains(warnings, "::warning title=Benchmark regression::BenchB: 10 -> 30 allocs/op (+200.0%)") {
+		t.Fatalf("allocs/op warning annotation missing in:\n%s", warnings)
+	}
+	if strings.Contains(warnings, "B/op") {
+		t.Fatal("non-regressed metric must not be flagged")
 	}
 
 	// No regressions: the table says so and no annotations are emitted.
 	out.Reset()
 	warn.Reset()
-	printDiff(&out, &warn, map[string]result{"BenchB": {NsPerOp: 900}}, base, []string{"BenchB"}, 20)
-	if !strings.Contains(out.String(), "No ns/op regressions past 20%") {
+	printDiff(&out, &warn, map[string]result{"BenchB": {NsPerOp: 900, BytesPerOp: 1000, AllocsPerOp: 10}},
+		base, []string{"BenchB"}, 20)
+	if !strings.Contains(out.String(), "No regressions past 20% (ns/op, B/op, allocs/op)") {
 		t.Fatalf("missing all-clear line:\n%s", out.String())
 	}
 	if warn.Len() != 0 {

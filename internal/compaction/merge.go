@@ -4,7 +4,6 @@
 package compaction
 
 import (
-	"container/heap"
 	"sort"
 
 	"lethe/internal/base"
@@ -38,6 +37,13 @@ func NewSliceIter(entries []base.Entry) *SliceIter {
 	return &SliceIter{entries: entries}
 }
 
+// Reset re-targets it at entries (which must already be sorted), rewinding to
+// the start. It lets a pooled frame be reused without reallocating.
+func (it *SliceIter) Reset(entries []base.Entry) {
+	it.entries = entries
+	it.pos = 0
+}
+
 // Next implements Iterator.
 func (it *SliceIter) Next() (base.Entry, bool) {
 	if it.pos >= len(it.entries) {
@@ -67,10 +73,13 @@ type mergeItem struct {
 	src   int // input index; lower index = newer source, breaks seq ties
 }
 
+// mergeHeap is a hand-rolled min-heap over mergeItems. container/heap is
+// deliberately not used: its interface{}-typed Push/Pop box one mergeItem per
+// call, which on the read hot path costs two heap allocations per merged key.
+// The typed sift operations below allocate nothing.
 type mergeHeap []mergeItem
 
-func (h mergeHeap) Len() int { return len(h) }
-func (h mergeHeap) Less(i, j int) bool {
+func (h mergeHeap) less(i, j int) bool {
 	if c := base.CompareUserKeys(h[i].entry.Key.UserKey, h[j].entry.Key.UserKey); c != 0 {
 		return c < 0
 	}
@@ -80,14 +89,58 @@ func (h mergeHeap) Less(i, j int) bool {
 	}
 	return h[i].src < h[j].src
 }
-func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeItem)) }
-func (h *mergeHeap) Pop() interface{} {
+
+func (h mergeHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h mergeHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && h.less(r, l) {
+			j = r
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+func (h mergeHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *mergeHeap) push(it mergeItem) {
+	*h = append(*h, it)
+	h.siftUp(len(*h) - 1)
+}
+
+// popTop removes the minimum element (which the caller has already read from
+// (*h)[0]). The vacated slot is zeroed so the shrunk heap does not pin the
+// popped entry's backing buffers.
+func (h *mergeHeap) popTop() {
 	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = mergeItem{}
+	*h = old[:n]
+	(*h).siftDown(0)
 }
 
 // MergeConfig controls what the merging iterator drops.
@@ -121,19 +174,38 @@ type MergeStats struct {
 
 // MergeIter merges k inputs, consolidating duplicate user keys (newest
 // version wins), applying range tombstones, and discarding tombstones at the
-// last level.
+// last level. Steady-state advancement allocates nothing: heap nodes live in
+// a reusable slice and SeekGE reuses a scratch buffer instead of building a
+// map per call. A MergeIter may be embedded by value and re-initialized in
+// place with Init, retaining its allocated capacity across uses.
 type MergeIter struct {
 	h     mergeHeap
 	srcs  []Iterator
 	cfg   MergeConfig
 	stats MergeStats
 	err   error
+	// seek is SeekGE's scratch for each source's buffered (pulled but
+	// unreturned) entry, reused across calls.
+	seek []mergeItem
 }
 
 // NewMergeIter builds a merging iterator over the inputs. Input index order
 // breaks sequence-number ties: inputs must be passed newest-source-first.
 func NewMergeIter(cfg MergeConfig, inputs ...Iterator) *MergeIter {
-	m := &MergeIter{srcs: inputs, cfg: cfg}
+	m := &MergeIter{}
+	m.Init(cfg, inputs)
+	return m
+}
+
+// Init (re)initializes m in place over inputs, priming the heap with each
+// input's first entry. Previously allocated heap and scratch capacity is
+// retained, so a pooled MergeIter's steady state stays allocation-free.
+func (m *MergeIter) Init(cfg MergeConfig, inputs []Iterator) {
+	m.cfg = cfg
+	m.srcs = inputs
+	m.stats = MergeStats{}
+	m.err = nil
+	m.h = m.h[:0]
 	for i, src := range inputs {
 		if e, ok := src.Next(); ok {
 			m.h = append(m.h, mergeItem{entry: e, src: i})
@@ -141,13 +213,30 @@ func NewMergeIter(cfg MergeConfig, inputs ...Iterator) *MergeIter {
 			m.err = err
 		}
 	}
-	heap.Init(&m.h)
-	return m
+	m.h.init()
+}
+
+// Reset drops the buffered state and input references so a pooled MergeIter
+// does not pin entry buffers or iterators between uses. Capacity is retained
+// for the next Init.
+func (m *MergeIter) Reset() {
+	for i := range m.h {
+		m.h[i] = mergeItem{}
+	}
+	m.h = m.h[:0]
+	for i := range m.seek {
+		m.seek[i] = mergeItem{}
+	}
+	m.seek = m.seek[:0]
+	m.srcs = nil
+	m.cfg = MergeConfig{}
+	m.stats = MergeStats{}
+	m.err = nil
 }
 
 func (m *MergeIter) advance(src int) {
 	if e, ok := m.srcs[src].Next(); ok {
-		heap.Push(&m.h, mergeItem{entry: e, src: src})
+		m.h.push(mergeItem{entry: e, src: src})
 	} else if err := m.srcs[src].Error(); err != nil && m.err == nil {
 		m.err = err
 	}
@@ -167,14 +256,14 @@ func (m *MergeIter) Next() (base.Entry, bool) {
 	for m.err == nil && len(m.h) > 0 {
 		top := m.h[0].entry
 		src := m.h[0].src
-		heap.Pop(&m.h)
+		m.h.popTop()
 		m.advance(src)
 		m.stats.EntriesIn++
 
 		// Swallow older versions of the same user key.
 		for len(m.h) > 0 && base.CompareUserKeys(m.h[0].entry.Key.UserKey, top.Key.UserKey) == 0 {
 			s := m.h[0].src
-			heap.Pop(&m.h)
+			m.h.popTop()
 			m.advance(s)
 			m.stats.EntriesIn++
 			m.stats.ObsoleteDropped++
@@ -207,10 +296,7 @@ func (m *MergeIter) SeekGE(key []byte) {
 	// Remember each source's buffered (pulled but unreturned) entry before
 	// resetting the heap: for a forward-drained source that entry is still
 	// pending and may itself satisfy the seek.
-	buffered := make(map[int]base.Entry, len(m.h))
-	for _, it := range m.h {
-		buffered[it.src] = it.entry
-	}
+	m.seek = append(m.seek[:0], m.h...)
 	m.h = m.h[:0]
 	for i, src := range m.srcs {
 		if s, ok := src.(Seeker); ok {
@@ -222,8 +308,9 @@ func (m *MergeIter) SeekGE(key []byte) {
 			}
 			continue
 		}
-		if e, ok := buffered[i]; ok && base.CompareUserKeys(e.Key.UserKey, key) >= 0 {
-			m.h = append(m.h, mergeItem{entry: e, src: i})
+		buffered, have := m.buffered(i)
+		if have && base.CompareUserKeys(buffered.Key.UserKey, key) >= 0 {
+			m.h = append(m.h, mergeItem{entry: buffered, src: i})
 			continue
 		}
 		for {
@@ -240,7 +327,19 @@ func (m *MergeIter) SeekGE(key []byte) {
 			}
 		}
 	}
-	heap.Init(&m.h)
+	m.h.init()
+}
+
+// buffered returns the scratch-saved heap entry of source src, if any. The
+// heap holds at most one entry per source, so a linear scan over at most k
+// items replaces the per-call map the old implementation allocated.
+func (m *MergeIter) buffered(src int) (base.Entry, bool) {
+	for i := range m.seek {
+		if m.seek[i].src == src {
+			return m.seek[i].entry, true
+		}
+	}
+	return base.Entry{}, false
 }
 
 // Error returns the first input error.

@@ -73,8 +73,13 @@ type DB struct {
 	imm []*flushable
 	// current is the installed version of the disk structure.
 	current *version
-	wal     *wal.Manager
-	store   *manifest.Store
+	// rh is the cached point-lookup read handle (version.go): the prebuilt
+	// view stack Gets share between read-state transitions. Nil until the
+	// first Get after a transition; invalidated by sealMemtableLocked,
+	// installVersionLocked, and Close.
+	rh    *readHandle
+	wal   *wal.Manager
+	store *manifest.Store
 
 	// seq is the last assigned sequence number. In pipeline mode it is
 	// guarded by cq.mu (assignment happens at enqueue); in synchronous and
@@ -397,7 +402,10 @@ func (db *DB) Close() error {
 			first = err
 		}
 	}
-	// Drop the engine's reference; file readers close as refs drain.
+	// Drop the engine's reference; file readers close as refs drain. The
+	// cached read handle holds its own version pin — retire it first so the
+	// files do not outlive the database.
+	db.invalidateReadHandleLocked()
 	old := db.current
 	db.current = &version{}
 	db.current.refs.Store(1)

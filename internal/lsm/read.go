@@ -1,6 +1,8 @@
 package lsm
 
 import (
+	"sync"
+
 	"lethe/internal/base"
 	"lethe/internal/compaction"
 	"lethe/internal/sstable"
@@ -21,29 +23,37 @@ func (errNotFound) Error() string { return "lsm: key not found" }
 // per-page Bloom filters guard page reads. Range tombstones at any level
 // shadow older entries.
 //
-// Get holds db.mu only long enough to snapshot the read state; the lookup
-// itself runs outside the lock and is never blocked by a flush or compaction
-// in flight.
+// Get rides the cached read handle (version.go): the probe stack is built
+// once per read-state transition and shared by every Get until the next
+// buffer seal or version install, so the steady-state lookup re-pins nothing
+// and allocates only the returned value copy. The lookup itself runs outside
+// db.mu and is never blocked by a flush or compaction in flight.
 func (db *DB) Get(key []byte) ([]byte, base.DeleteKey, error) {
-	rs, err := db.acquireReadState()
+	rh, err := db.acquireReadHandle()
 	if err != nil {
 		return nil, 0, err
 	}
-	defer rs.release()
-	e, ok, err := getEntry(rs.memtables(), rs.v, key)
+	defer rh.release()
+	e, ok, err := getEntry(rh.views, rh.v, key)
 	if err != nil {
 		return nil, 0, err
 	}
 	if !ok || e.Key.Kind() != base.KindSet {
 		return nil, 0, ErrNotFound
 	}
+	// Copy-out boundary: e.Value may alias a decoded sstable page or a
+	// memtable node; the caller gets bytes it owns.
 	return append([]byte(nil), e.Value...), e.DKey, nil
 }
 
 // getEntry performs the versioned lookup over a set of memory views and a
 // pinned version, returning the newest entry for key (possibly a tombstone)
-// with range-tombstone shadowing applied. Both the live read path (views
-// straight off the readState) and Snapshot.Get (frozen views) funnel here.
+// with range-tombstone shadowing applied. Both the live read path (views off
+// the cached read handle) and Snapshot.Get (frozen views) funnel here.
+//
+// The returned entry is a view: its bytes may alias a memtable node or a
+// decoded sstable page and stay valid only as long as the pinned state is
+// held. Callers that hand data across an API boundary copy there.
 func getEntry(views []memView, v *version, key []byte) (base.Entry, bool, error) {
 	// maxRTSeq carries the newest covering range tombstone seen so far in
 	// the descent. Per-key versions are depth-ordered (shallower = newer),
@@ -132,19 +142,47 @@ func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteKey, v
 // a time (runIter), so iterating the first K entries of an unbounded scan
 // costs K entries' worth of pages plus one tile per run, not the range.
 //
+// ScanIters are pooled, with Close as the recycle point: the merge heap, the
+// per-run frames (each embedding a reusable sstable iterator), the bounded
+// buffer copies, and the tombstone scratch all survive into the next scan,
+// so opening and draining a scan in the steady state allocates almost
+// nothing. Consequently a ScanIter must be Closed exactly once and never
+// used afterwards; entries it returned are views whose bytes remain valid
+// (they alias pinned pages or memtable nodes), but the iterator itself is
+// recycled.
+//
 // ScanIter satisfies compaction.Iterator and compaction.Seeker, so higher
 // layers (the sharded engine's cross-shard cursor) can feed ScanIters
 // straight into the merging machinery and seek them.
 type ScanIter struct {
 	start, end []byte
-	merged     *compaction.MergeIter
-	onClose    func() error
-	closed     bool
+	merged     compaction.MergeIter
+	// pin is the version reference Close releases (nil for an empty
+	// iterator). The views need no separate pin: memtables are reachable
+	// until scanning ends, and frozen views belong to a Snapshot with its
+	// own lifetime.
+	pin    *version
+	closed bool
+	err    error // result of Close, sticky for late Error calls
+
+	// Reusable construction state. Frames are index-addressed so the
+	// pointers handed to the merge stay stable; capacities survive
+	// recycling through scanIterPool.
+	views      []memView
+	inputs     []compaction.Iterator
+	rts        []base.RangeTombstone
+	sliceIters []compaction.SliceIter
+	runIters   []runIter
+	memScratch [][]base.Entry
 }
+
+var scanIterPool = sync.Pool{New: func() interface{} { return new(ScanIter) }}
 
 // emptyScanIter returns an exhausted iterator pinning nothing.
 func emptyScanIter() *ScanIter {
-	return &ScanIter{merged: compaction.NewMergeIter(compaction.MergeConfig{})}
+	it := scanIterPool.Get().(*ScanIter)
+	it.init(nil, nil, nil, nil, nil)
+	return it
 }
 
 // NewScanIter opens a streaming scan over [start, end). A degenerate range
@@ -154,44 +192,59 @@ func (db *DB) NewScanIter(start, end []byte) (*ScanIter, error) {
 	if start != nil && end != nil && base.CompareUserKeys(start, end) >= 0 {
 		return emptyScanIter(), nil
 	}
-	rs, err := db.acquireReadState()
+	it := scanIterPool.Get().(*ScanIter)
+	views, v, err := db.acquireReadViews(it.views)
 	if err != nil {
+		scanIterPool.Put(it)
 		return nil, err
 	}
-	return buildScanIter(rs.memtables(), rs.v, start, end, func() error { rs.release(); return nil }), nil
+	it.views = views
+	it.init(views, v, start, end, v)
+	return it, nil
 }
 
-// buildScanIter assembles the merged stream: one bounded in-memory copy per
-// buffer view (newest sources first) and one lazy runIter per disk run.
-// onClose releases whatever pin keeps views and v alive; it is called
-// exactly once, by Close.
-func buildScanIter(views []memView, v *version, start, end []byte, onClose func() error) *ScanIter {
-	var inputs []compaction.Iterator
-	var rts []base.RangeTombstone
+// init (re)builds the merged stream in place: one bounded in-memory copy per
+// buffer view (newest sources first) and one lazy runIter per disk run. pin
+// is the version reference Close releases (exactly once). A nil v builds an
+// empty, exhausted iterator.
+func (it *ScanIter) init(views []memView, v *version, start, end []byte, pin *version) {
+	it.start, it.end = start, end
+	it.pin = pin
+	it.closed = false
+	it.err = nil
+	it.inputs = it.inputs[:0]
+	it.rts = it.rts[:0]
+
+	nViews := len(views)
+	if cap(it.sliceIters) < nViews {
+		it.sliceIters = make([]compaction.SliceIter, nViews)
+	} else {
+		it.sliceIters = it.sliceIters[:nViews]
+	}
+	if cap(it.memScratch) < nViews {
+		grown := make([][]base.Entry, nViews)
+		copy(grown, it.memScratch[:cap(it.memScratch)])
+		it.memScratch = grown
+	} else {
+		it.memScratch = it.memScratch[:nViews]
+	}
 
 	// The buffers go first (newest sources first). Copying just the scanned
 	// range keeps the cost proportional to the range, bounded above by the
 	// buffer capacity; a frozen view is already an immutable sorted slice,
 	// so it is sub-sliced in place rather than copied again.
-	for _, mt := range views {
+	for i, mt := range views {
+		si := &it.sliceIters[i]
 		if f, ok := mt.(*frozenMem); ok {
-			inputs = append(inputs, compaction.NewSliceIter(f.slice(start, end)))
-			rts = append(rts, f.rts...)
-			continue
+			si.Reset(f.slice(start, end))
+			it.rts = append(it.rts, f.rts...)
+		} else {
+			buf := mt.AppendRange(start, end, it.memScratch[i][:0])
+			it.memScratch[i] = buf
+			si.Reset(buf)
+			it.rts = append(it.rts, mt.RangeTombstones()...)
 		}
-		var memEntries []base.Entry
-		mt.Iter(func(e base.Entry) bool {
-			if start != nil && base.CompareUserKeys(e.Key.UserKey, start) < 0 {
-				return true
-			}
-			if end != nil && base.CompareUserKeys(e.Key.UserKey, end) >= 0 {
-				return false
-			}
-			memEntries = append(memEntries, e)
-			return true
-		})
-		inputs = append(inputs, compaction.NewSliceIter(memEntries))
-		rts = append(rts, mt.RangeTombstones()...)
+		it.inputs = append(it.inputs, si)
 	}
 
 	// One lazy iterator per run: files within a run are S-ordered and
@@ -200,17 +253,33 @@ func buildScanIter(views []memView, v *version, start, end []byte, onClose func(
 	// covers. Range tombstones are collected from every file up front
 	// (metadata only; a tombstone anchored outside the scanned point-key
 	// range can still cover keys inside it).
-	for _, runs := range v.levels {
-		for _, r := range runs {
-			for _, h := range r {
-				rts = append(rts, h.r.RangeTombstones...)
+	nRuns := 0
+	if v != nil {
+		for _, runs := range v.levels {
+			nRuns += len(runs)
+		}
+	}
+	if cap(it.runIters) < nRuns {
+		it.runIters = make([]runIter, nRuns)
+	} else {
+		it.runIters = it.runIters[:nRuns]
+	}
+	if v != nil {
+		ri := 0
+		for _, runs := range v.levels {
+			for _, r := range runs {
+				for _, h := range r {
+					it.rts = append(it.rts, h.r.RangeTombstones...)
+				}
+				f := &it.runIters[ri]
+				ri++
+				f.init(r, start, end)
+				it.inputs = append(it.inputs, f)
 			}
-			inputs = append(inputs, &runIter{files: r, start: start, end: end, low: start})
 		}
 	}
 
-	merged := compaction.NewMergeIter(compaction.MergeConfig{RangeTombstones: rts}, inputs...)
-	return &ScanIter{start: start, end: end, merged: merged, onClose: onClose}
+	it.merged.Init(compaction.MergeConfig{RangeTombstones: it.rts}, it.inputs)
 }
 
 // Next returns the next live entry, skipping tombstones. It implements
@@ -248,27 +317,74 @@ func (it *ScanIter) SeekGE(key []byte) {
 
 // Error reports the first error the merge encountered. It implements
 // compaction.Iterator.
-func (it *ScanIter) Error() error { return it.merged.Error() }
-
-// Close releases the pinned read state. It is idempotent and returns the
-// iterator's error state.
-func (it *ScanIter) Close() error {
-	if !it.closed {
-		it.closed = true
-		if it.onClose != nil {
-			if err := it.onClose(); err != nil && it.merged.Error() == nil {
-				return err
-			}
-		}
+func (it *ScanIter) Error() error {
+	if it.closed {
+		return it.err
 	}
 	return it.merged.Error()
+}
+
+// Close releases the pinned read state and recycles the iterator into the
+// pool, returning the scan's error state. It must be called exactly once:
+// after Close the iterator may already be serving another scan.
+func (it *ScanIter) Close() error {
+	if it.closed {
+		return it.err
+	}
+	it.closed = true
+	err := it.merged.Error()
+	if it.pin != nil {
+		if uerr := it.pin.unref(); uerr != nil && err == nil {
+			err = uerr
+		}
+		it.pin = nil
+	}
+	it.err = err
+	it.recycle()
+	return err
+}
+
+// recycle drops every reference the scan accumulated — pinned entries,
+// frames, views — keeping the allocated capacity, and returns the iterator
+// to the pool.
+func (it *ScanIter) recycle() {
+	it.merged.Reset()
+	for i := range it.inputs {
+		it.inputs[i] = nil
+	}
+	it.inputs = it.inputs[:0]
+	for i := range it.rts {
+		it.rts[i] = base.RangeTombstone{}
+	}
+	it.rts = it.rts[:0]
+	for i := range it.sliceIters {
+		it.sliceIters[i].Reset(nil)
+	}
+	for i := range it.runIters {
+		it.runIters[i].release()
+	}
+	for i := range it.memScratch {
+		sc := it.memScratch[i]
+		for j := range sc {
+			sc[j] = base.Entry{}
+		}
+		it.memScratch[i] = sc[:0]
+	}
+	for i := range it.views {
+		it.views[i] = nil
+	}
+	it.views = it.views[:0]
+	it.start, it.end = nil, nil
+	scanIterPool.Put(it)
 }
 
 // runIter streams one sorted run lazily: files are S-ordered and disjoint,
 // so it opens file i+1's block iterator only after file i is exhausted, and
 // stops early at the end bound. At most one sstable iterator (one decoded
 // tile) is live per run at any moment — the property that keeps unbounded
-// scans' memory bounded.
+// scans' memory bounded. The frame is reused across the run's files (and,
+// through the ScanIter pool, across scans): opening the next file Resets it
+// in place instead of allocating a fresh iterator.
 type runIter struct {
 	files      run
 	start, end []byte
@@ -280,10 +396,36 @@ type runIter struct {
 	cur  *sstable.Iter
 	err  error
 	done bool
+	// frame is the reusable sstable iterator backing cur.
+	frame sstable.Iter
 }
 
-// openNext advances to the next file overlapping [low, end), opening its
-// iterator positioned at low. It returns false when the run is exhausted.
+// init points the iterator at a run, retaining the frame's buffer capacity.
+func (r *runIter) init(files run, start, end []byte) {
+	r.files = files
+	r.start, r.end = start, end
+	r.low = start
+	r.idx = 0
+	r.cur = nil
+	r.err = nil
+	r.done = false
+}
+
+// release drops every reference so a pooled frame does not pin files or
+// decoded pages between scans.
+func (r *runIter) release() {
+	r.files = nil
+	r.start, r.end, r.low = nil, nil, nil
+	r.idx = 0
+	r.cur = nil
+	r.err = nil
+	r.done = false
+	r.frame.Reset(nil)
+}
+
+// openNext advances to the next file overlapping [low, end), re-targeting
+// the reusable frame at it positioned at low. It returns false when the run
+// is exhausted.
 func (r *runIter) openNext() bool {
 	for r.idx < len(r.files) {
 		h := r.files[r.idx]
@@ -297,11 +439,11 @@ func (r *runIter) openNext() bool {
 			r.idx = len(r.files)
 			return false
 		}
-		it := h.r.NewIter()
+		r.frame.Reset(h.r)
 		if r.low != nil {
-			it.SeekGE(r.low)
+			r.frame.SeekGE(r.low)
 		}
-		r.cur = it
+		r.cur = &r.frame
 		return true
 	}
 	return false

@@ -21,6 +21,10 @@ type memView interface {
 	// Iter visits buffered point entries in sort-key order until fn
 	// returns false.
 	Iter(fn func(base.Entry) bool)
+	// AppendRange appends the buffered point entries with start <= key <
+	// end (nil = unbounded) to buf and returns it — the allocation-free
+	// form of a bounded Iter, feeding scan construction's reusable scratch.
+	AppendRange(start, end []byte, buf []base.Entry) []base.Entry
 	// RangeTombstones returns the buffered range tombstones.
 	RangeTombstones() []base.RangeTombstone
 }
@@ -63,6 +67,13 @@ func (f *frozenMem) Iter(fn func(base.Entry) bool) {
 			return
 		}
 	}
+}
+
+// AppendRange implements memView. (Scan construction prefers slice, which
+// shares the frozen entries without copying; this exists for interface
+// completeness and for callers that need their own buffer.)
+func (f *frozenMem) AppendRange(start, end []byte, buf []base.Entry) []base.Entry {
+	return append(buf, f.slice(start, end)...)
 }
 
 // RangeTombstones implements memView.
@@ -213,7 +224,9 @@ func (s *Snapshot) NewScanIter(start, end []byte) (*ScanIter, error) {
 		return nil, err
 	}
 	v := s.v.ref()
-	return buildScanIter(s.views, v, start, end, func() error { return v.unref() }), nil
+	it := scanIterPool.Get().(*ScanIter)
+	it.init(s.views, v, start, end, v)
+	return it, nil
 }
 
 // Scan visits every live pair of the snapshot with start <= key < end in
@@ -223,7 +236,6 @@ func (s *Snapshot) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteK
 	if err != nil {
 		return err
 	}
-	defer it.Close()
 	for {
 		e, ok := it.Next()
 		if !ok {
@@ -233,6 +245,8 @@ func (s *Snapshot) Scan(start, end []byte, fn func(key []byte, dkey base.DeleteK
 			break
 		}
 	}
+	// Exactly one Close: ScanIters are pooled, and closing a recycled
+	// iterator would tear down whatever scan reused it.
 	return it.Close()
 }
 

@@ -142,11 +142,13 @@ func (v *version) withoutFiles(drop map[uint64]bool) [][]run {
 
 // installVersionLocked makes v the current version, transferring handle
 // references: every handle in v is referenced, then the previous version is
-// released (so handles present in both keep a stable count). Callers hold
-// db.mu.
+// released (so handles present in both keep a stable count). The cached
+// point-lookup read handle is retired — it pins the outgoing version — and
+// is rebuilt lazily by the next Get. Callers hold db.mu.
 func (db *DB) installVersionLocked(v *version) {
 	v.refs.Store(1)
 	v.forEach(func(h *fileHandle) { h.ref() })
+	db.invalidateReadHandleLocked()
 	old := db.current
 	db.current = v
 	if old != nil {
@@ -154,6 +156,81 @@ func (db *DB) installVersionLocked(v *version) {
 		// longer references them and a leaked file is benign.
 		_ = old.unref()
 	}
+}
+
+// readHandle is the cached lookup stack point Gets ride: the memory views in
+// probe order plus the pinned version, built once per read-state transition
+// instead of once per Get. The DB holds one reference for as long as the
+// handle is current; each in-flight Get holds one more, so a handle retired
+// mid-lookup stays valid until the lookup finishes.
+type readHandle struct {
+	views []memView
+	v     *version
+	refs  atomic.Int32
+}
+
+// release drops one reference, unpinning the version when the count drains.
+func (rh *readHandle) release() {
+	n := rh.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("lsm: readHandle refcount underflow")
+	}
+	_ = rh.v.unref()
+}
+
+// acquireReadHandle returns the cached read handle with a reference held,
+// building it under db.mu if no current one exists. The caller must release
+// it. Unlike acquireReadState, the steady state allocates nothing: every Get
+// between two read-state transitions (buffer seal, version install) shares
+// one handle.
+func (db *DB) acquireReadHandle() (*readHandle, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	rh := db.rh
+	if rh == nil {
+		rh = &readHandle{v: db.current.ref()}
+		rh.views = append(rh.views, db.mem)
+		for i := len(db.imm) - 1; i >= 0; i-- {
+			rh.views = append(rh.views, db.imm[i].mem)
+		}
+		rh.refs.Store(1) // the DB's own reference
+		db.rh = rh
+	}
+	rh.refs.Add(1)
+	return rh, nil
+}
+
+// invalidateReadHandleLocked retires the cached read handle after a
+// read-state transition, dropping the DB's reference. In-flight Gets keep
+// theirs; the next Get rebuilds. Callers hold db.mu.
+func (db *DB) invalidateReadHandleLocked() {
+	if rh := db.rh; rh != nil {
+		db.rh = nil
+		rh.release()
+	}
+}
+
+// acquireReadViews appends the memory views in probe order (mutable buffer
+// first, then sealed buffers newest first) to buf and pins the current
+// version — the scan path's read-state capture, reusing the caller's scratch
+// so steady-state scans allocate nothing here.
+func (db *DB) acquireReadViews(buf []memView) ([]memView, *version, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, nil, ErrClosed
+	}
+	buf = append(buf[:0], db.mem)
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		buf = append(buf, db.imm[i].mem)
+	}
+	return buf, db.current.ref(), nil
 }
 
 // readState is a consistent snapshot of everything a read needs: the

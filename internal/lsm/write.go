@@ -230,6 +230,9 @@ func (db *DB) sealMemtableLocked() error {
 	db.imm = append(db.imm, &flushable{mem: db.mem, sealedWAL: sealedWAL})
 	db.memSeed++
 	db.mem = memtable.New(db.memSeed)
+	// The buffer rotation changed the read view: retire the cached read
+	// handle so the next Get rebuilds against the new stack.
+	db.invalidateReadHandleLocked()
 	db.updateMemoryUsageLocked()
 	return nil
 }

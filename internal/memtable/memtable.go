@@ -261,10 +261,15 @@ func (m *Memtable) Empty() bool {
 }
 
 // RangeTombstones returns the buffered range tombstones in insertion order.
+// The returned slice is a read-only view: elements are immutable once
+// appended (a later RangeDelete appends, never edits in place), so the view
+// stays correct — it just does not see tombstones added after the call.
+// Returning the view keeps the per-lookup tombstone probe allocation-free;
+// callers that outlive the buffer (snapshots) copy via Capture instead.
 func (m *Memtable) RangeTombstones() []base.RangeTombstone {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return append([]base.RangeTombstone(nil), m.rangeDels...)
+	return m.rangeDels
 }
 
 // All returns every buffered point entry in sort-key order — the flush
@@ -300,6 +305,26 @@ func (m *Memtable) Capture(start, end []byte) ([]base.Entry, []base.RangeTombsto
 		entries = append(entries, x.entry)
 	}
 	return entries, append([]base.RangeTombstone(nil), m.rangeDels...)
+}
+
+// AppendRange appends the buffered point entries with start <= key < end
+// (nil = unbounded) to buf in sort-key order and returns it. It is the
+// allocation-free equivalent of a bounded Iter: callers pass reusable
+// scratch and no closure is constructed.
+func (m *Memtable) AppendRange(start, end []byte, buf []base.Entry) []base.Entry {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for x := m.head.next[0]; x != nil; x = x.next[0] {
+		k := x.entry.Key.UserKey
+		if start != nil && base.CompareUserKeys(k, start) < 0 {
+			continue
+		}
+		if end != nil && base.CompareUserKeys(k, end) >= 0 {
+			break
+		}
+		buf = append(buf, x.entry)
+	}
+	return buf
 }
 
 // Iter calls fn for each buffered point entry in sort-key order until fn

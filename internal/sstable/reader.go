@@ -134,6 +134,14 @@ func (r *Reader) findTile(key []byte) int {
 //
 // It returns the entry (which may be a point tombstone — the caller decides
 // what a tombstone means at its level) and whether the key was found.
+//
+// The returned entry is a view: its key and value bytes alias the decoded
+// page (possibly shared with the page cache) and must be treated as
+// read-only. The bytes stay valid as long as the entry is referenced — page
+// buffers are never mutated in place, a secondary range delete re-encodes
+// into fresh buffers — so callers that hand data across an API boundary copy
+// there (lsm's public Get copies the value), not here. This keeps the point-
+// lookup hot path free of per-hit key/value allocations.
 func (r *Reader) Get(key []byte) (base.Entry, bool, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -159,7 +167,7 @@ func (r *Reader) Get(key []byte) (base.Entry, bool, error) {
 			return base.CompareUserKeys(entries[j].Key.UserKey, key) >= 0
 		})
 		if j < len(entries) && base.CompareUserKeys(entries[j].Key.UserKey, key) == 0 {
-			return entries[j].Clone(), true, nil
+			return entries[j], true, nil
 		}
 		// False positive: fall through to the next page of the tile.
 	}
@@ -241,17 +249,50 @@ func (r *Reader) CollectByDeleteKey(lo, hi base.DeleteKey) ([]base.Entry, error)
 // Iter iterates a file's entries in sort-key order. Within each tile the
 // pages (D-ordered) are loaded and merged back into S order, which is why a
 // short range scan costs O(h) pages per touched tile (§4.2.5).
+//
+// An exhausted Iter can be re-targeted at another file with Reset, which
+// retains the decoded-tile buffer's capacity — the free-list primitive run
+// iterators use to stream a run of files through one frame.
 type Iter struct {
 	r       *Reader
 	tileIdx int
 	buf     []base.Entry // current tile's entries, S-ordered
 	bufPos  int
 	err     error
+	sorter  tileSorter
 }
+
+// tileSorter sorts a tile's entries by S through a plain sort.Interface
+// value embedded in the Iter: unlike sort.Slice, which allocates a closure
+// and a reflect-based swapper on every call, sorting through a pointer to
+// this embedded struct allocates nothing.
+type tileSorter struct{ buf []base.Entry }
+
+func (s *tileSorter) Len() int { return len(s.buf) }
+func (s *tileSorter) Less(i, j int) bool {
+	return base.CompareUserKeys(s.buf[i].Key.UserKey, s.buf[j].Key.UserKey) < 0
+}
+func (s *tileSorter) Swap(i, j int) { s.buf[i], s.buf[j] = s.buf[j], s.buf[i] }
 
 // NewIter returns an iterator positioned before the first entry.
 func (r *Reader) NewIter() *Iter {
 	return &Iter{r: r, tileIdx: -1}
+}
+
+// Reset re-targets the iterator at r (nil parks it), positioned before the
+// first entry. The decoded-tile buffer keeps its capacity — reusing one Iter
+// across the files of a run avoids a per-file allocation — but its entries
+// are zeroed so a parked frame does not pin the previous file's pages.
+func (it *Iter) Reset(r *Reader) {
+	it.r = r
+	it.tileIdx = -1
+	for i := range it.buf {
+		it.buf[i] = base.Entry{}
+	}
+	it.buf = it.buf[:0]
+	it.sorter.buf = nil
+	it.bufPos = 0
+	it.err = nil
 }
 
 // loadTile reads every live page of tile ti and merges them into S order.
@@ -268,9 +309,8 @@ func (it *Iter) loadTile(ti int) bool {
 		}
 		it.buf = append(it.buf, entries...)
 	}
-	sort.Slice(it.buf, func(i, j int) bool {
-		return base.CompareUserKeys(it.buf[i].Key.UserKey, it.buf[j].Key.UserKey) < 0
-	})
+	it.sorter.buf = it.buf
+	sort.Sort(&it.sorter)
 	it.bufPos = 0
 	return true
 }

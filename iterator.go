@@ -1,9 +1,60 @@
 package lethe
 
 import (
+	"errors"
+	"sync"
+
 	"lethe/internal/base"
 	"lethe/internal/lsm"
 )
+
+// ErrIteratorClosed is the sticky error an Iterator reports when Next or
+// SeekGE is called after Close. The guard exists because closing recycles
+// the cursor's internal state into a pool: a use-after-Close returns false
+// and surfaces this error instead of touching recycled state.
+var ErrIteratorClosed = errors.New("lethe: iterator used after Close")
+
+// iterAlloc is the poolable part of a cursor: the per-shard pin slice and
+// the key scratch buffers. Iterators acquire one at creation and recycle it
+// at Close, so steady-state open/iterate/close cycles reuse the same
+// allocations. The Iterator handle itself is deliberately NOT pooled — a
+// handle is cheap, and recycling it would make a double Close (or any stale
+// reference) tear down whatever cursor reused it; recycling only the inner
+// state keeps Close idempotent and use-after-Close inert.
+type iterAlloc struct {
+	snaps                     []*lsm.Snapshot
+	startBuf, endBuf, seekBuf []byte
+}
+
+var iterAllocPool = sync.Pool{New: func() interface{} { return new(iterAlloc) }}
+
+// setStart copies k into the reusable start scratch (nil stays nil —
+// unbounded).
+func (a *iterAlloc) setStart(k []byte) []byte {
+	if k == nil {
+		return nil
+	}
+	a.startBuf = append(a.startBuf[:0], k...)
+	return a.startBuf
+}
+
+// setEnd copies k into the reusable end scratch (nil stays nil — unbounded).
+func (a *iterAlloc) setEnd(k []byte) []byte {
+	if k == nil {
+		return nil
+	}
+	a.endBuf = append(a.endBuf[:0], k...)
+	return a.endBuf
+}
+
+// recycle clears the pin references and returns the alloc to the pool. Byte
+// scratch keeps its capacity (bytes pin nothing).
+func (a *iterAlloc) recycle() {
+	for i := range a.snaps {
+		a.snaps[i] = nil
+	}
+	iterAllocPool.Put(a)
+}
 
 // Streaming cross-shard iteration.
 //
@@ -36,13 +87,21 @@ import (
 //	}
 //	if err := it.Close(); err != nil { ... }
 //
-// Key, DeleteKey, and Value are valid only until the next Next or SeekGE
-// call; copy them to retain them. Iterators must be Closed — an unclosed
-// iterator pins its snapshot's sstables, keeping obsolete files on disk.
-// An Iterator is not safe for concurrent use.
+// Validity contract: the slices returned by Key and Value are views into
+// the engine's pooled read buffers — they are valid only until the next
+// Next, SeekGE, or Close call. Copy them (CloneBytes) to retain them.
+// Iterators must be Closed — an unclosed iterator pins its snapshot's
+// sstables, keeping obsolete files on disk. Close is idempotent, and Next or
+// SeekGE after Close returns false with ErrIteratorClosed sticky in Error,
+// rather than touching the recycled cursor state. An Iterator is not safe
+// for concurrent use.
 type Iterator struct {
+	// a is the pooled cursor state; nil once Close has recycled it (and for
+	// degenerate empty-range iterators, which never allocate one).
+	a *iterAlloc
 	// snaps is indexed by shard; only [cur, hi] are non-nil. Owned pins are
-	// cleared as shards are exhausted.
+	// cleared as shards are exhausted. For owned iterators it aliases
+	// a.snaps; for borrowed ones it is the parent Snapshot's slice.
 	snaps      []*lsm.Snapshot
 	boundaries [][]byte
 	owned      bool
@@ -77,41 +136,64 @@ func (db *DB) NewIter(start, end []byte) (*Iterator, error) {
 	if start != nil || end != nil {
 		lo, hi = shardRange(db.boundaries, start, end)
 	}
-	snaps := make([]*lsm.Snapshot, len(db.shards))
+	a := iterAllocPool.Get().(*iterAlloc)
+	if cap(a.snaps) < len(db.shards) {
+		a.snaps = make([]*lsm.Snapshot, len(db.shards))
+	} else {
+		a.snaps = a.snaps[:len(db.shards)]
+		for i := range a.snaps {
+			a.snaps[i] = nil
+		}
+	}
+	snaps := a.snaps
 	for i := lo; i <= hi; i++ {
 		sn, err := db.shards[i].NewScanSnapshot(start, end)
 		if err != nil {
 			for j := lo; j < i; j++ {
 				snaps[j].Release()
 			}
+			a.recycle()
 			return nil, err
 		}
 		snaps[i] = sn
 	}
 	return &Iterator{
+		a:          a,
 		snaps:      snaps,
 		boundaries: db.boundaries,
 		owned:      true,
-		start:      cloneKey(start),
-		end:        cloneKey(end),
+		start:      a.setStart(start),
+		end:        a.setEnd(end),
 		cur:        lo,
 		hi:         hi,
 	}, nil
 }
 
-func cloneKey(k []byte) []byte {
-	if k == nil {
+// CloneBytes returns a copy of b that stays valid indefinitely. Use it to
+// retain an Iterator's Key or Value beyond the next Next, SeekGE, or Close —
+// the raw slices are views into pooled buffers and do not survive those
+// calls.
+func CloneBytes(b []byte) []byte {
+	if b == nil {
 		return nil
 	}
-	return append([]byte(nil), k...)
+	return append([]byte(nil), b...)
 }
 
 // Next advances to the next item, returning false when exhausted or on
 // error (check Error or Close). After a false return the iterator remains
-// exhausted.
+// exhausted. Calling Next after Close returns false and makes
+// ErrIteratorClosed sticky: the cursor state was recycled at Close and is
+// never touched again.
 func (it *Iterator) Next() bool {
 	it.valid = false
-	if it.closed || it.exhausted || it.err != nil {
+	if it.closed {
+		if it.err == nil {
+			it.err = ErrIteratorClosed
+		}
+		return false
+	}
+	if it.exhausted || it.err != nil {
 		return false
 	}
 	for {
@@ -172,7 +254,13 @@ func (it *Iterator) closeCurrentShard() bool {
 // iterator stays exhausted.
 func (it *Iterator) SeekGE(key []byte) {
 	it.valid = false
-	if it.closed || it.err != nil {
+	if it.closed {
+		if it.err == nil {
+			it.err = ErrIteratorClosed
+		}
+		return
+	}
+	if it.err != nil {
 		return
 	}
 	if it.start != nil && base.CompareUserKeys(key, it.start) < 0 {
@@ -204,7 +292,10 @@ func (it *Iterator) SeekGE(key []byte) {
 		}
 		it.exhausted = false
 	}
-	key = cloneKey(key)
+	// Copy the seek key into the reusable scratch: the scan machinery
+	// retains it (as a lower bound) until the next seek overwrites it.
+	it.a.seekBuf = append(it.a.seekBuf[:0], key...)
+	key = it.a.seekBuf
 	if target == it.cur && it.it != nil {
 		it.it.SeekGE(key)
 		return
@@ -244,9 +335,11 @@ func (it *Iterator) Value() []byte { return it.value }
 // Error returns the first error the iteration encountered, if any.
 func (it *Iterator) Error() error { return it.err }
 
-// Close releases every pin the iterator still holds and returns the first
-// error the iteration encountered. Idempotent. Closing promptly matters:
-// the pins keep obsolete sstables alive on disk.
+// Close releases every pin the iterator still holds, recycles the cursor
+// state into the pool, and returns the first error the iteration
+// encountered. Idempotent. Closing promptly matters twice over: the pins
+// keep obsolete sstables alive on disk, and the recycled state is what
+// makes the next iterator allocation-free.
 func (it *Iterator) Close() error {
 	if it.closed {
 		return it.err
@@ -268,6 +361,18 @@ func (it *Iterator) Close() error {
 				it.snaps[i] = nil
 			}
 		}
+	}
+	// Drop every view before the pool hands the state to the next cursor.
+	// Key/value slices the caller captured without CloneBytes are invalid
+	// from here on, per the contract.
+	it.snaps = nil
+	it.boundaries = nil
+	it.start, it.end, it.pendingSeek = nil, nil, nil
+	it.key, it.value = nil, nil
+	if it.a != nil {
+		a := it.a
+		it.a = nil
+		a.recycle()
 	}
 	return it.err
 }

@@ -1,0 +1,305 @@
+package lethe
+
+// Pooled read-path regression tests: the PR6 zero-alloc work recycles
+// cursor state (iterAlloc, lsm.ScanIter frames, merge heaps) through
+// sync.Pools, so these tests pin the behaviors that make pooling safe —
+// Close idempotency, the use-after-Close guard, the CloneBytes validity
+// contract, and reuse under concurrency (run with -race, as CI does).
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func poolTestDB(t *testing.T, shards int) *DB {
+	t.Helper()
+	opts := Options{InMemory: true, DisableWAL: true,
+		BufferBytes: 1 << 12, PageSize: 256, FilePages: 4}
+	if shards > 1 {
+		opts.Shards = shards
+		boundaries := make([][]byte, 0, shards-1)
+		for i := 1; i < shards; i++ {
+			boundaries = append(boundaries, []byte(fmt.Sprintf("k%03d", i*100)))
+		}
+		opts.ShardBoundaries = boundaries
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	for i := 0; i < shards*100; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), DeleteKey(i),
+			[]byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush half the data to sstables so iteration exercises both the
+	// memtable and the pooled sstable cursor frames.
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < shards*100; i += 2 {
+		if err := db.Put([]byte(fmt.Sprintf("k%03d", i)), DeleteKey(i),
+			[]byte(fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestIteratorCloseIdempotent locks in the use-after-Close contract: Close
+// may be called any number of times, and Next/SeekGE after Close return
+// false with ErrIteratorClosed sticky instead of touching cursor state that
+// the pool may already have handed to another iterator.
+func TestIteratorCloseIdempotent(t *testing.T) {
+	db := poolTestDB(t, 1)
+	it, err := db.NewIter(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.Next() {
+		t.Fatal("expected at least one entry")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if it.Next() {
+		t.Fatal("Next after Close returned true")
+	}
+	if !errors.Is(it.Error(), ErrIteratorClosed) {
+		t.Fatalf("Error after use-after-Close = %v, want ErrIteratorClosed", it.Error())
+	}
+	it.SeekGE([]byte("k050")) // must not panic or reposition
+	if it.Next() {
+		t.Fatal("Next after SeekGE-after-Close returned true")
+	}
+	if it.Valid() {
+		t.Fatal("closed iterator reports Valid")
+	}
+
+	// Open a new iterator immediately: it may reuse the recycled state, and
+	// must be completely unaffected by the dead handle above.
+	it2, err := db.NewIter(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	if !it2.Next() {
+		t.Fatalf("fresh iterator after recycle: %v", it2.Error())
+	}
+	if string(it2.Key()) != "k000" {
+		t.Fatalf("fresh iterator first key = %q", it2.Key())
+	}
+
+	// The degenerate empty-range iterator has no pooled state but honors the
+	// same contract.
+	empty, err := db.NewIter([]byte("z"), []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Next() {
+		t.Fatal("empty-range iterator yielded an entry")
+	}
+	if err := empty.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Close(); err != nil {
+		t.Fatalf("second Close on empty iterator: %v", err)
+	}
+	if empty.Next() || !errors.Is(empty.Error(), ErrIteratorClosed) {
+		t.Fatalf("empty iterator use-after-Close: next=%v err=%v", false, empty.Error())
+	}
+}
+
+// TestSnapshotIteratorCloseLeavesPins verifies that closing a borrowed
+// (Snapshot.NewIter) iterator recycles only the cursor state — the
+// snapshot's own pins stay live and keep serving reads.
+func TestSnapshotIteratorCloseLeavesPins(t *testing.T) {
+	db := poolTestDB(t, 2)
+	snap, err := db.NewSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	it, err := snap.NewIter(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.Next() {
+		t.Fatalf("snapshot iterator empty: %v", it.Error())
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot must still serve reads from its (un-released) pins.
+	if _, err := snap.Get([]byte("k001")); err != nil {
+		t.Fatalf("snapshot Get after iterator Close: %v", err)
+	}
+	it2, err := snap.NewIter([]byte("k100"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it2.Close()
+	if !it2.Next() || string(it2.Key()) != "k100" {
+		t.Fatalf("second snapshot iterator: valid=%v key=%q err=%v",
+			it2.Valid(), it2.Key(), it2.Error())
+	}
+}
+
+// TestIteratorCloneBytesAliasing is the aliasing regression test for the
+// view-returning read path: Key/Value slices are views into pooled buffers
+// (valid only until the next Next/SeekGE/Close), and CloneBytes is the
+// supported way to retain them. Clones taken during one iteration must
+// compare equal after arbitrary later cursor activity, including pool reuse
+// by subsequent iterators.
+func TestIteratorCloneBytesAliasing(t *testing.T) {
+	db := poolTestDB(t, 2)
+	type pair struct{ k, v []byte }
+	var cloned []pair
+	it, err := db.NewIter(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it.Next() {
+		cloned = append(cloned, pair{CloneBytes(it.Key()), CloneBytes(it.Value())})
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cloned) != 200 {
+		t.Fatalf("iterated %d entries, want 200", len(cloned))
+	}
+
+	// Churn the pools: several full open/iterate/close cycles reuse the
+	// recycled cursor state and overwrite its scratch buffers.
+	for round := 0; round < 3; round++ {
+		it2, err := db.NewIter(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it2.Next() {
+		}
+		if err := it2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The clones survived; re-iterate and compare.
+	it3, err := db.NewIter(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it3.Close()
+	for i := 0; it3.Next(); i++ {
+		if !bytes.Equal(cloned[i].k, it3.Key()) || !bytes.Equal(cloned[i].v, it3.Value()) {
+			t.Fatalf("clone %d diverged: key %q/%q value %q/%q",
+				i, cloned[i].k, it3.Key(), cloned[i].v, it3.Value())
+		}
+	}
+
+	// CloneBytes(nil) stays nil — callers can clone unconditionally.
+	if CloneBytes(nil) != nil {
+		t.Fatal("CloneBytes(nil) != nil")
+	}
+}
+
+// TestIteratorPoolReuseStress hammers the pooled read path from many
+// goroutines — concurrent open/iterate/seek/close across shards, mixed with
+// snapshot cursors, point Gets (the cached read-handle path), and writes
+// that force read-state transitions. Run under -race (as CI does) it checks
+// that recycled cursors and the shared read handle never leak state between
+// concurrent users; single-threaded it still verifies ordering and values.
+func TestIteratorPoolReuseStress(t *testing.T) {
+	db := poolTestDB(t, 4)
+	const goroutines = 8
+	const rounds = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				switch (g + r) % 4 {
+				case 0: // full scan, verify ascending order
+					it, err := db.NewIter(nil, nil)
+					if err != nil {
+						errs <- err
+						return
+					}
+					var prev []byte
+					for it.Next() {
+						if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+							it.Close()
+							errs <- fmt.Errorf("order violation: %q then %q", prev, it.Key())
+							return
+						}
+						prev = CloneBytes(it.Key())
+					}
+					if err := it.Close(); err != nil {
+						errs <- err
+						return
+					}
+				case 1: // bounded scan with a seek, abandoned early
+					it, err := db.NewIter([]byte("k050"), []byte("k350"))
+					if err != nil {
+						errs <- err
+						return
+					}
+					it.SeekGE([]byte(fmt.Sprintf("k%03d", 100+r)))
+					for n := 0; n < 10 && it.Next(); n++ {
+					}
+					if err := it.Close(); err != nil {
+						errs <- err
+						return
+					}
+				case 2: // snapshot cursor + point reads from the same snapshot
+					snap, err := db.NewSnapshot()
+					if err != nil {
+						errs <- err
+						return
+					}
+					it, err := snap.NewIter(nil, nil)
+					if err != nil {
+						snap.Release()
+						errs <- err
+						return
+					}
+					for n := 0; n < 25 && it.Next(); n++ {
+					}
+					if err := it.Close(); err != nil {
+						snap.Release()
+						errs <- err
+						return
+					}
+					if err := snap.Release(); err != nil {
+						errs <- err
+						return
+					}
+				case 3: // writes + Gets: churn the cached read handle
+					key := []byte(fmt.Sprintf("k%03d", (g*37+r)%400))
+					if err := db.Put(key, DeleteKey(r), []byte("stress")); err != nil {
+						errs <- err
+						return
+					}
+					if _, err := db.Get(key); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -105,12 +105,14 @@ func (s *Snapshot) NewIter(start, end []byte) (*Iterator, error) {
 	if start != nil || end != nil {
 		lo, hi = shardRange(s.db.boundaries, start, end)
 	}
+	a := iterAllocPool.Get().(*iterAlloc)
 	return &Iterator{
-		snaps:      s.shards,
+		a:          a,
+		snaps:      s.shards, // borrowed: never recycled into a
 		boundaries: s.db.boundaries,
 		owned:      false,
-		start:      cloneKey(start),
-		end:        cloneKey(end),
+		start:      a.setStart(start),
+		end:        a.setEnd(end),
 		cur:        lo,
 		hi:         hi,
 	}, nil

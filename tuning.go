@@ -132,6 +132,34 @@
 // vanishes from snapshots taken before it ran (only a snapshot's frozen
 // copy of the mutable buffer is immune) — order retention deletes after
 // reads that must not observe them.
+//
+// # GC pressure and buffer reuse
+//
+// The read hot paths recycle their transient state instead of allocating it
+// per operation, so steady-state read traffic puts almost nothing on the
+// garbage collector: opening an Iterator reuses a pooled cursor (shard pins,
+// seek scratch, per-run sstable frames, and the k-way merge heap all come
+// from sync.Pools keyed by Close), point Gets ride a cached per-shard read
+// handle that is rebuilt only when the shard's read state actually changes
+// (a buffer seal, a flush or compaction installing a new version — between
+// transitions, Gets share one pinned handle and allocate only the returned
+// value copy), and sstable/memtable decode paths hand out views into pooled
+// buffers rather than copies. BenchmarkIteratorFirstK and
+// BenchmarkSnapshotReads track this as allocs/op, and CI diffs both against
+// the committed baseline (BENCH_PR6.json) exactly like ns/op — an
+// accidental per-key allocation is a flagged regression, not silent noise.
+//
+// The visible consequence is the Iterator validity contract: Key and Value
+// return views into those recycled buffers, valid only until the next Next,
+// SeekGE, or Close on that iterator. Copy with CloneBytes (or retain the
+// value DB.Get returns, which is already a private copy) when a slice must
+// outlive the cursor position. Close is the recycle point — it is
+// idempotent, and Next/SeekGE after Close return false with
+// ErrIteratorClosed sticky rather than touching state the pool may have
+// already handed to another cursor. Nothing here needs tuning; the knob-
+// shaped advice is simply to Close iterators promptly (which both unpins
+// sstables and feeds the pools) and to reach for CloneBytes instead of
+// retaining raw views.
 
 package lethe
 
