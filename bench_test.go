@@ -779,6 +779,7 @@ func BenchmarkShardedScan(b *testing.B) {
 				if b.N > 0 {
 					b.ReportMetric(float64(total)/float64(b.N), "keys/op")
 				}
+				b.ReportMetric(float64(db.Stats().BytesOnDisk), "bytes-on-disk")
 			})
 		}
 	}
@@ -895,6 +896,8 @@ func BenchmarkIteratorFirstK(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(db.Stats().BytesOnDisk), "bytes-on-disk")
 		})
 	}
 }
@@ -951,6 +954,8 @@ func BenchmarkSnapshotReads(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(db.Stats().BytesOnDisk), "bytes-on-disk")
 		})
 	}
 }

@@ -31,7 +31,16 @@
 //	scan [start [end]]
 //	dscan <dlo> <dhi>
 //	snap | release
-//	stats | levels | flush | maintain | compactall | quit
+//	stats | levels | verify | flush | maintain | compactall | quit
+//
+// Run non-interactively with a positional subcommand:
+//
+//	lethe -path DIR verify
+//
+// walks every live sstable in every shard, validating footer and metadata
+// checksums, per-block CRCs, and index ordering, prints per-shard totals, and
+// exits non-zero if any file is corrupt — the post-crash integrity check the
+// CI recovery job runs after fault injection.
 //
 // snap pins a point-in-time snapshot of every shard; while one is held,
 // get, scan, and dscan are served from it — concurrent writes, flushes,
@@ -95,6 +104,21 @@ func main() {
 	}
 	defer db.Close()
 
+	if flag.NArg() > 0 {
+		switch cmd := flag.Arg(0); cmd {
+		case "verify":
+			if !runVerify(db) {
+				db.Close()
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown subcommand %q (want verify)\n", cmd)
+			db.Close()
+			os.Exit(1)
+		}
+		return
+	}
+
 	sh := &shell{db: db}
 	defer sh.dropSnapshot()
 	sc := bufio.NewScanner(os.Stdin)
@@ -105,6 +129,28 @@ func main() {
 		}
 		fmt.Print("> ")
 	}
+}
+
+// runVerify walks every live sstable, prints per-shard totals, and reports
+// whether the database is clean.
+func runVerify(db *lethe.DB) (ok bool) {
+	vs, err := db.VerifyTables()
+	for _, s := range vs.Shards {
+		status := "ok"
+		if s.Err != nil {
+			status = fmt.Sprintf("CORRUPT (%d files)", s.CorruptFiles)
+		}
+		fmt.Printf("shard %d: files=%d blocks=%d (dropped %d) entries=%d bytes=%d %s\n",
+			s.Shard, s.Files, s.Blocks, s.DroppedBlocks, s.Entries, s.Bytes, status)
+	}
+	fmt.Printf("total: files=%d blocks=%d (dropped %d) entries=%d bytes=%d\n",
+		vs.Files, vs.Blocks, vs.DroppedBlocks, vs.Entries, vs.Bytes)
+	if err != nil {
+		fmt.Printf("verification FAILED: %v\n", err)
+		return false
+	}
+	fmt.Println("verification passed")
+	return true
 }
 
 // shell holds the interactive state: the database plus, between snap and
@@ -274,6 +320,8 @@ func (sh *shell) execute(args []string) (quit bool) {
 			fmt.Printf("L%d: runs=%d files=%d bytes=%d entries=%d tombstones=%d\n",
 				i+1, l.Runs, l.Files, l.LiveBytes, l.Entries, l.PointTombstones)
 		}
+	case "verify":
+		runVerify(db)
 	case "flush":
 		if err := db.Flush(); err != nil {
 			fail(err)
@@ -305,7 +353,7 @@ func (sh *shell) execute(args []string) (quit bool) {
 	case "quit", "exit":
 		return true
 	default:
-		fmt.Println("commands: put get del rangedel srd scan dscan snap release stats levels flush maintain compactall quit")
+		fmt.Println("commands: put get del rangedel srd scan dscan snap release stats levels verify flush maintain compactall quit")
 	}
 	return false
 }

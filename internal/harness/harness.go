@@ -125,12 +125,17 @@ func NewEnv(cfg Config, sys System, wl workload.Config) (*Env, error) {
 	}
 	gen := workload.New(wl)
 	db, err := lethe.Open(lethe.Options{
-		FS:                   fs,
-		Clock:                clock,
-		SizeRatio:            cfg.SizeRatio,
-		BufferBytes:          cfg.BufferBytes,
-		PageSize:             cfg.PageSize,
-		FilePages:            cfg.FilePages,
+		FS:          fs,
+		Clock:       clock,
+		SizeRatio:   cfg.SizeRatio,
+		BufferBytes: cfg.BufferBytes,
+		PageSize:    cfg.PageSize,
+		FilePages:   cfg.FilePages,
+		// The paper's figures reason in pages: a delete tile is h fixed-size
+		// pages. Format v2 partitions tiles by encoded block size instead,
+		// so pin the block target to the page size to keep the tile
+		// geometry — and the figures' monotone relations — in page units.
+		BlockSizeBytes:       cfg.PageSize,
 		TilePages:            sys.TilePages,
 		Mode:                 sys.Mode,
 		Dth:                  sys.Dth,

@@ -87,6 +87,14 @@ type Options struct {
 	FilePages int
 	// TilePages is h, the pages per delete tile. 1 = classical layout.
 	TilePages int
+	// BlockSizeBytes is the target encoded size of a format-v2 data block
+	// (PageSize when zero, so the tile geometry — h blocks per delete tile —
+	// and per-read block cost match the fixed-page layout by default).
+	BlockSizeBytes int
+	// SSTableFormat pins the sstable format version new files are written
+	// with (sstable.FormatV2 when zero). Only mixed-version and
+	// backward-compat tests set it; readers always open both formats.
+	SSTableFormat int
 	// BloomBitsPerKey sizes Bloom filters (Table 1: 10 bits/entry).
 	BloomBitsPerKey int
 	// Mode selects the compaction policy family (baseline vs Lethe).
@@ -185,6 +193,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BloomBitsPerKey == 0 {
 		o.BloomBitsPerKey = 10
+	}
+	if o.BlockSizeBytes == 0 {
+		// Default the block target to the page size: compression then shrinks
+		// the disk footprint while a delete tile keeps costing h page-sized
+		// reads, so scan and point-read work match the fixed-page layout.
+		// Larger blocks (e.g. sstable.DefaultBlockSize) are an explicit
+		// opt-in for scan-heavy workloads; see "Block size" in tuning.go.
+		o.BlockSizeBytes = o.PageSize
+	}
+	if o.SSTableFormat == 0 {
+		o.SSTableFormat = sstable.FormatV2
 	}
 	return o
 }

@@ -15,6 +15,10 @@ type LevelStats struct {
 	Files int
 	// LiveBytes is the level's live byte count (dropped pages excluded).
 	LiveBytes int64
+	// BytesOnDisk is the level's physical footprint: the summed file sizes,
+	// dropped pages and dead (relocated) block bytes included. The gap to
+	// LiveBytes is reclaimable-but-unreclaimed space.
+	BytesOnDisk int64
 	// Entries counts live entries, tombstones included.
 	Entries int
 	// PointTombstones counts live point tombstones.
@@ -37,6 +41,9 @@ type Stats struct {
 	// LivePointTombstones counts tombstones still in the tree (Fig. 6E's
 	// population).
 	LivePointTombstones int
+	// BytesOnDisk is the database's physical sstable footprint — the space
+	// amplification denominator benchmarks report as bytes-on-disk.
+	BytesOnDisk int64
 
 	// Compactions counts compactions since open, split by trigger.
 	Compactions           int64
@@ -135,6 +142,7 @@ func (db *DB) Stats() Stats {
 			ls.Files += len(r)
 			for _, h := range r {
 				ls.LiveBytes += h.r.LiveBytesOf()
+				ls.BytesOnDisk += h.r.MetaCopy().Size
 				ls.Entries += h.meta.NumEntries
 				ls.PointTombstones += h.meta.NumPointTombstones
 				ls.RangeTombstones += h.meta.NumRangeTombstones
@@ -143,6 +151,7 @@ func (db *DB) Stats() Stats {
 		s.Levels = append(s.Levels, ls)
 		s.TreeEntries += ls.Entries
 		s.LivePointTombstones += ls.PointTombstones
+		s.BytesOnDisk += ls.BytesOnDisk
 	}
 	s.BufferEntries = db.mem.Count()
 	s.ImmutableBuffers = len(db.imm)

@@ -335,7 +335,9 @@ func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone, fs vfs.F
 		}
 		w := sstable.NewWriter(f, sstable.WriterOptions{
 			FileNum:           num,
+			FormatVersion:     db.opts.SSTableFormat,
 			PageSize:          db.opts.PageSize,
+			BlockSizeBytes:    db.opts.BlockSizeBytes,
 			TilePages:         db.opts.TilePages,
 			BloomBitsPerKey:   db.opts.BloomBitsPerKey,
 			Clock:             db.opts.Clock,

@@ -3,6 +3,7 @@ package sstable
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"sync"
@@ -40,42 +41,130 @@ type Reader struct {
 // disables caching).
 func (r *Reader) SetCache(c *CacheHandle) { r.cache = c }
 
-// OpenReader loads the metadata of the sstable stored in f.
+// OpenReader loads the metadata of the sstable stored in f. It opens both
+// format versions: the trailing magic selects the footer layout (see the
+// package doc's versioning rules), so v1 files written before the block
+// format keep working alongside v2 output.
 func OpenReader(f vfs.File) (*Reader, error) {
 	size, err := f.Size()
 	if err != nil {
 		return nil, fmt.Errorf("sstable: size: %w", err)
 	}
 	if size < FooterSize {
-		return nil, fmt.Errorf("sstable: file too small (%d bytes): %w", size, base.ErrCorrupt)
+		return nil, fmt.Errorf("sstable: file too small (%d bytes): %w", size, ErrCorruption)
 	}
-	footer := make([]byte, FooterSize)
-	if _, err := f.ReadAt(footer, size-FooterSize); err != nil && err != io.EOF {
-		return nil, fmt.Errorf("sstable: read footer: %w", err)
+	var magicBuf [8]byte
+	if _, err := f.ReadAt(magicBuf[:], size-8); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("sstable: read footer magic: %w", err)
 	}
-	metaOff := binary.LittleEndian.Uint64(footer[0:8])
-	metaLen := binary.LittleEndian.Uint64(footer[8:16])
-	magic := binary.LittleEndian.Uint64(footer[16:24])
-	if magic != Magic {
-		return nil, fmt.Errorf("sstable: bad magic %x: %w", magic, base.ErrCorrupt)
-	}
-	if metaOff+metaLen+FooterSize != uint64(size) {
-		return nil, fmt.Errorf("sstable: inconsistent footer: %w", base.ErrCorrupt)
+	var metaOff, metaLen uint64
+	var metaCRC uint32
+	format := 0
+	switch magic := binary.LittleEndian.Uint64(magicBuf[:]); magic {
+	case Magic:
+		format = FormatV1
+		footer := make([]byte, FooterSize)
+		if _, err := f.ReadAt(footer, size-FooterSize); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("sstable: read footer: %w", err)
+		}
+		metaOff = binary.LittleEndian.Uint64(footer[0:8])
+		metaLen = binary.LittleEndian.Uint64(footer[8:16])
+		if metaOff+metaLen+FooterSize != uint64(size) {
+			return nil, fmt.Errorf("sstable: inconsistent footer: %w", ErrCorruption)
+		}
+	case MagicV2:
+		if size < FooterSizeV2 {
+			return nil, fmt.Errorf("sstable: file too small for v2 footer (%d bytes): %w", size, ErrCorruption)
+		}
+		footer := make([]byte, FooterSizeV2)
+		if _, err := f.ReadAt(footer, size-FooterSizeV2); err != nil && err != io.EOF {
+			return nil, fmt.Errorf("sstable: read footer: %w", err)
+		}
+		metaOff = binary.LittleEndian.Uint64(footer[0:8])
+		metaLen = binary.LittleEndian.Uint64(footer[8:16])
+		metaCRC = binary.LittleEndian.Uint32(footer[16:20])
+		version := binary.LittleEndian.Uint32(footer[20:24])
+		if version != FormatV2 {
+			return nil, fmt.Errorf("sstable: unknown format version %d: %w", version, ErrCorruption)
+		}
+		format = FormatV2
+		if metaOff+metaLen+FooterSizeV2 != uint64(size) {
+			return nil, fmt.Errorf("sstable: inconsistent footer: %w", ErrCorruption)
+		}
+	default:
+		return nil, fmt.Errorf("sstable: bad magic %x: %w", magic, ErrCorruption)
 	}
 	metaBlock := make([]byte, metaLen)
 	if _, err := f.ReadAt(metaBlock, int64(metaOff)); err != nil && err != io.EOF {
 		return nil, fmt.Errorf("sstable: read meta block: %w", err)
 	}
-	meta, tiles, rts, err := decodeMetaBlock(metaBlock)
+	if format >= FormatV2 {
+		if got := crc32.Checksum(metaBlock, crc32.MakeTable(crc32.Castagnoli)); got != metaCRC {
+			return nil, fmt.Errorf("sstable: meta block checksum mismatch: %w", ErrCorruption)
+		}
+	}
+	meta, tiles, rts, err := decodeMetaBlock(metaBlock, format)
 	if err != nil {
 		return nil, err
 	}
 	meta.Size = size
+	if format >= FormatV2 && meta.DataEnd != int64(metaOff) {
+		return nil, fmt.Errorf("sstable: meta offset %d disagrees with data end %d: %w",
+			metaOff, meta.DataEnd, ErrCorruption)
+	}
 	return &Reader{f: f, Meta: meta, Tiles: tiles, RangeTombstones: rts}, nil
 }
 
 // Close releases the underlying file handle.
 func (r *Reader) Close() error { return r.f.Close() }
+
+// readPageRaw reads and CRC-checks one page/block's sealed bytes at its
+// recorded offset, returning the payload. The buffer carries pm.KeyBytes of
+// spare capacity so a v2 decode can materialize every prefix-compressed key
+// into the same allocation (decodeBlock uses the payload's tail as its
+// arena); pm.KeyBytes is zero for v1.
+func (r *Reader) readPageRaw(pm *PageMeta, pi int) ([]byte, error) {
+	buf := make([]byte, pm.Bytes, pm.Bytes+pm.KeyBytes)
+	if _, err := r.f.ReadAt(buf, pm.Offset); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("sstable: read page %d: %w", pi, err)
+	}
+	payload, err := openPage(buf)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: page %d: %w", pi, err)
+	}
+	return payload, nil
+}
+
+// decodePagePayload decodes a CRC-verified page/block payload into entries,
+// cross-checking the decoded count against the metadata's.
+func (r *Reader) decodePagePayload(pm *PageMeta, pi int, payload []byte) ([]base.Entry, error) {
+	var entries []base.Entry
+	if r.Meta.Format >= FormatV2 {
+		var err error
+		if entries, err = decodeBlock(payload); err != nil {
+			return nil, fmt.Errorf("sstable: block %d: %w", pi, err)
+		}
+	} else {
+		count, rest, err := base.Uvarint(payload)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: page %d header: %w", pi, err)
+		}
+		entries = make([]base.Entry, 0, count)
+		for i := uint64(0); i < count; i++ {
+			var e base.Entry
+			e, rest, err = base.DecodeEntry(rest)
+			if err != nil {
+				return nil, fmt.Errorf("sstable: page %d entry %d: %w", pi, i, err)
+			}
+			entries = append(entries, e)
+		}
+	}
+	if len(entries) != pm.Count {
+		return nil, fmt.Errorf("sstable: page %d holds %d entries, meta says %d: %w",
+			pi, len(entries), pm.Count, ErrCorruption)
+	}
+	return entries, nil
+}
 
 // readPage loads and decodes the entries of page index pi. Dropped pages
 // yield nil without I/O.
@@ -88,26 +177,13 @@ func (r *Reader) readPage(tile *TileMeta, pageInTile int) ([]base.Entry, error) 
 	if cached, ok := r.cache.get(r.Meta.FileNum, pi); ok {
 		return cached, nil
 	}
-	buf := make([]byte, pm.Bytes)
-	if _, err := r.f.ReadAt(buf, int64(pi)*int64(r.Meta.PageSize)); err != nil && err != io.EOF {
-		return nil, fmt.Errorf("sstable: read page %d: %w", pi, err)
-	}
-	payload, err := openPage(buf)
+	payload, err := r.readPageRaw(pm, pi)
 	if err != nil {
-		return nil, fmt.Errorf("sstable: page %d: %w", pi, err)
+		return nil, err
 	}
-	count, rest, err := base.Uvarint(payload)
+	entries, err := r.decodePagePayload(pm, pi, payload)
 	if err != nil {
-		return nil, fmt.Errorf("sstable: page %d header: %w", pi, err)
-	}
-	entries := make([]base.Entry, 0, count)
-	for i := uint64(0); i < count; i++ {
-		var e base.Entry
-		e, rest, err = base.DecodeEntry(rest)
-		if err != nil {
-			return nil, fmt.Errorf("sstable: page %d entry %d: %w", pi, i, err)
-		}
-		entries = append(entries, e)
+		return nil, err
 	}
 	r.cache.put(r.Meta.FileNum, pi, entries)
 	return entries, nil
@@ -156,6 +232,24 @@ func (r *Reader) Get(key []byte) (base.Entry, bool, error) {
 			continue
 		}
 		if !pm.Filter.MayContain(key) {
+			continue
+		}
+		if r.cache == nil && r.Meta.Format >= FormatV2 {
+			// No cache to populate: search the raw block via its restart
+			// points — binary search over whole-key restart entries, then a
+			// bounded forward decode — instead of materializing every entry
+			// of a block only to binary-search it once.
+			payload, err := r.readPageRaw(pm, tile.FirstPage+pi)
+			if err != nil {
+				return base.Entry{}, false, err
+			}
+			e, ok, err := blockSeekGE(payload, key)
+			if err != nil {
+				return base.Entry{}, false, err
+			}
+			if ok && base.CompareUserKeys(e.Key.UserKey, key) == 0 {
+				return e, true, nil
+			}
 			continue
 		}
 		entries, err := r.readPage(tile, pi)

@@ -53,10 +53,14 @@ func (r *Reader) ApplySecondaryRangeDelete(lo, hi base.DeleteKey, bitsPerKey int
 				// Fully covered pure-value page: full page drop, zero I/O.
 				stats.EntriesDropped += pm.ValueCount
 				r.cache.invalidate(r.Meta.FileNum, tile.FirstPage+pi)
+				if r.Meta.Format >= FormatV2 {
+					r.Meta.DeadBytes += int64(pm.Bytes)
+				}
 				pm.Dropped = true
 				pm.Count = 0
 				pm.ValueCount = 0
 				pm.Bytes = 0
+				pm.KeyBytes = 0
 				pm.Filter = nil
 				stats.FullDrops++
 			default:
@@ -110,26 +114,38 @@ func (r *Reader) partialDrop(tile *TileMeta, pi int, lo, hi base.DeleteKey, bits
 		// The page emptied out: it becomes a drop (but it already cost a
 		// read; it is still counted as a partial drop by the caller).
 		r.cache.invalidate(r.Meta.FileNum, tile.FirstPage+pi)
+		if r.Meta.Format >= FormatV2 {
+			r.Meta.DeadBytes += int64(pm.Bytes)
+		}
 		pm.Dropped = true
 		pm.Count = 0
 		pm.ValueCount = 0
 		pm.Bytes = 0
+		pm.KeyBytes = 0
 		pm.Filter = nil
 		return removed, nil
 	}
 
-	// Re-encode and overwrite the page in place (entries are already in S
-	// order since we preserved their order).
-	buf := base.AppendUvarint(nil, uint64(len(kept)))
+	// Re-encode the surviving entries (already in S order since we preserved
+	// their order) in the file's format.
 	newPM := PageMeta{
-		Count: len(kept),
-		MinS:  append([]byte(nil), kept[0].Key.UserKey...),
-		MaxS:  append([]byte(nil), kept[len(kept)-1].Key.UserKey...),
-		MinD:  ^base.DeleteKey(0),
+		Count:  len(kept),
+		Offset: pm.Offset,
+		MinS:   append([]byte(nil), kept[0].Key.UserKey...),
+		MaxS:   append([]byte(nil), kept[len(kept)-1].Key.UserKey...),
+		MinD:   ^base.DeleteKey(0),
 	}
 	keys := make([][]byte, 0, len(kept))
+	var buf []byte
+	if r.Meta.Format < FormatV2 {
+		buf = base.AppendUvarint(nil, uint64(len(kept)))
+	}
 	for _, e := range kept {
-		buf = base.AppendEntry(buf, e)
+		if r.Meta.Format < FormatV2 {
+			buf = base.AppendEntry(buf, e)
+		} else {
+			newPM.KeyBytes += len(e.Key.UserKey)
+		}
 		keys = append(keys, e.Key.UserKey)
 		switch e.Key.Kind() {
 		case base.KindDelete:
@@ -147,15 +163,34 @@ func (r *Reader) partialDrop(tile *TileMeta, pi int, lo, hi base.DeleteKey, bits
 	if newPM.ValueCount == 0 {
 		newPM.MinD, newPM.MaxD = 0, 0
 	}
-	buf = sealPage(buf)
-	newPM.Bytes = len(buf)
 	newPM.Filter = bloom.New(keys, bitsPerKey)
 
-	padded := make([]byte, r.Meta.PageSize)
-	copy(padded, buf)
-	off := int64(tile.FirstPage+pi) * int64(r.Meta.PageSize)
-	if _, err := r.f.WriteAt(padded, off); err != nil {
-		return 0, fmt.Errorf("sstable: rewrite page: %w", err)
+	if r.Meta.Format < FormatV2 {
+		buf = sealPage(buf)
+		newPM.Bytes = len(buf)
+		padded := make([]byte, r.Meta.PageSize)
+		copy(padded, buf)
+		if _, err := r.f.WriteAt(padded, pm.Offset); err != nil {
+			return 0, fmt.Errorf("sstable: rewrite page: %w", err)
+		}
+	} else {
+		// Dropping an entry can lengthen its successor's unshared suffix, so
+		// a shrunken entry set does not guarantee a shorter block. Overwrite
+		// in place when the new block fits the old footprint; otherwise
+		// relocate it to the end of the data region (the old bytes become
+		// dead space either way).
+		sealed := encodeBlock(kept)
+		newPM.Bytes = len(sealed)
+		if len(sealed) <= pm.Bytes {
+			r.Meta.DeadBytes += int64(pm.Bytes - len(sealed))
+		} else {
+			newPM.Offset = r.Meta.DataEnd
+			r.Meta.DataEnd += int64(len(sealed))
+			r.Meta.DeadBytes += int64(pm.Bytes)
+		}
+		if _, err := r.f.WriteAt(sealed, newPM.Offset); err != nil {
+			return 0, fmt.Errorf("sstable: rewrite block: %w", err)
+		}
 	}
 	r.cache.invalidate(r.Meta.FileNum, tile.FirstPage+pi)
 	tile.Pages[pi] = newPM
@@ -194,20 +229,21 @@ func (r *Reader) recomputeFileMeta() error {
 	return nil
 }
 
-// rewriteMetaBlock re-serializes the metadata block at its fixed offset
-// (data pages are untouched by drops) and truncates the file behind the new
-// footer.
+// rewriteMetaBlock re-serializes the metadata block — at its fixed offset
+// past the page array in v1 (data pages are untouched by drops), at the
+// current end of the data region in v2 (relocated blocks may have extended
+// it) — and truncates the file behind the new footer.
 func (r *Reader) rewriteMetaBlock() error {
 	metaOff := int64(r.Meta.NumPages) * int64(r.Meta.PageSize)
+	if r.Meta.Format >= FormatV2 {
+		metaOff = r.Meta.DataEnd
+	}
 	metaBlock := encodeMetaBlock(r.Meta, r.Tiles, r.RangeTombstones)
-	var footer []byte
-	footer = base.AppendUint64(footer, uint64(metaOff))
-	footer = base.AppendUint64(footer, uint64(len(metaBlock)))
-	footer = base.AppendUint64(footer, Magic)
+	footer := appendFooter(nil, r.Meta.Format, metaOff, metaBlock)
 	if _, err := r.f.WriteAt(append(metaBlock, footer...), metaOff); err != nil {
 		return fmt.Errorf("sstable: rewrite meta block: %w", err)
 	}
-	newSize := metaOff + int64(len(metaBlock)) + FooterSize
+	newSize := metaOff + int64(len(metaBlock)) + int64(len(footer))
 	if err := r.f.Truncate(newSize); err != nil {
 		return fmt.Errorf("sstable: truncate after meta rewrite: %w", err)
 	}

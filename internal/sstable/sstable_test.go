@@ -19,6 +19,7 @@ func testOpts(h int) WriterOptions {
 	return WriterOptions{
 		FileNum:         1,
 		PageSize:        256,
+		BlockSizeBytes:  256,
 		TilePages:       h,
 		BloomBitsPerKey: 10,
 		Clock:           testClock,
@@ -312,12 +313,16 @@ func TestWriterRejectsOutOfOrder(t *testing.T) {
 }
 
 func TestWriterRejectsOversizeEntry(t *testing.T) {
+	// v1 pages are fixed-size, so an entry that cannot fit one page is an
+	// error; v2 blocks are variable-length and give it a block of its own.
 	fs := vfs.NewMem()
 	f, _ := fs.Create("x.sst")
-	w := NewWriter(f, testOpts(1))
+	opts := testOpts(1)
+	opts.FormatVersion = FormatV1
+	w := NewWriter(f, opts)
 	huge := base.MakeEntry([]byte("k"), 1, base.KindSet, 0, bytes.Repeat([]byte{'v'}, 4096))
 	if err := w.Add(huge); err == nil {
-		t.Fatal("oversize entry accepted")
+		t.Fatal("oversize entry accepted by v1 writer")
 	}
 }
 

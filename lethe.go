@@ -124,6 +124,11 @@ type Options struct {
 	PageSize int
 	// FilePages is the number of pages per sstable (default 256).
 	FilePages int
+	// BlockSizeBytes is the target encoded size of an sstable data block
+	// (default: PageSize, preserving the classical per-read cost). Larger
+	// blocks compress and scan better; smaller blocks cost less I/O and
+	// decode per point lookup. See "Block size" in tuning.go.
+	BlockSizeBytes int
 	// BloomBitsPerKey sizes the Bloom filters (default 10).
 	BloomBitsPerKey int
 	// Tiering selects tiered merging instead of leveling.
@@ -311,6 +316,7 @@ func Open(opts Options) (*DB, error) {
 			PageSize:             opts.PageSize,
 			FilePages:            opts.FilePages,
 			TilePages:            opts.TilePages,
+			BlockSizeBytes:       opts.BlockSizeBytes,
 			BloomBitsPerKey:      opts.BloomBitsPerKey,
 			Mode:                 mode,
 			Dth:                  opts.Dth,
@@ -626,6 +632,53 @@ func (db *DB) ShardStats() []lsm.Stats {
 		out[i] = s.Stats()
 	}
 	return out
+}
+
+// VerifyStats aggregates a whole-database integrity walk, with the
+// per-shard breakdown the `lethe verify` subcommand reports.
+type VerifyStats struct {
+	// Files, Blocks, DroppedBlocks, Entries, Bytes, and CorruptFiles total
+	// the walk across every shard; see lsm.VerifyResult for the fields.
+	lsm.VerifyResult
+	// Shards is the per-shard breakdown in shard (key-range) order. Err
+	// carries that shard's joined per-file corruption errors, nil when clean.
+	Shards []ShardVerifyStats
+}
+
+// ShardVerifyStats is one shard's portion of a verification walk.
+type ShardVerifyStats struct {
+	Shard int
+	lsm.VerifyResult
+	Err error
+}
+
+// ErrCorruption is the typed error wrapped by every integrity failure —
+// checksum mismatches, malformed blocks, inconsistent footers or fences.
+// Test with errors.Is.
+var ErrCorruption = lsm.ErrCorruption
+
+// VerifyTables walks every live sstable in every shard and verifies footer
+// and metadata checksums, per-block CRCs, index ordering, and full block
+// decodes. It runs on pinned snapshots and never blocks reads or writes. All
+// shards are walked even after a corruption hit; the returned error joins
+// every corrupt file's failure (each wrapping ErrCorruption).
+func (db *DB) VerifyTables() (VerifyStats, error) {
+	var out VerifyStats
+	var errs []error
+	for i, s := range db.shards {
+		vr, err := s.VerifyTables()
+		out.Files += vr.Files
+		out.Blocks += vr.Blocks
+		out.DroppedBlocks += vr.DroppedBlocks
+		out.Entries += vr.Entries
+		out.Bytes += vr.Bytes
+		out.CorruptFiles += vr.CorruptFiles
+		out.Shards = append(out.Shards, ShardVerifyStats{Shard: i, VerifyResult: vr, Err: err})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return out, errors.Join(errs...)
 }
 
 // SpaceAmp measures the current space amplification (full scan; a

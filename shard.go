@@ -188,6 +188,7 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 			agg.Levels[i].Runs += l.Runs
 			agg.Levels[i].Files += l.Files
 			agg.Levels[i].LiveBytes += l.LiveBytes
+			agg.Levels[i].BytesOnDisk += l.BytesOnDisk
 			agg.Levels[i].Entries += l.Entries
 			agg.Levels[i].PointTombstones += l.PointTombstones
 			agg.Levels[i].RangeTombstones += l.RangeTombstones
@@ -195,6 +196,7 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 		agg.TreeEntries += s.TreeEntries
 		agg.BufferEntries += s.BufferEntries
 		agg.LivePointTombstones += s.LivePointTombstones
+		agg.BytesOnDisk += s.BytesOnDisk
 		agg.Compactions += s.Compactions
 		agg.CompactionsTTL += s.CompactionsTTL
 		agg.CompactionsSaturation += s.CompactionsSaturation

@@ -133,6 +133,40 @@
 // copy of the mutable buffer is immune) — order retention deletes after
 // reads that must not observe them.
 //
+// # Block size: Options.BlockSizeBytes
+//
+// Format v2 (internal/sstable/format.go) stores each delete-tile page as a
+// variable-length block: entries are prefix-compressed against their
+// predecessor, restart points every 16 entries keep in-block binary search
+// possible, and each block carries its own CRC. BlockSizeBytes is the target
+// *encoded* size at which the writer cuts a block (default: PageSize, so the
+// unit of read I/O is unchanged and v2 is purely a footprint win), and it
+// trades scans against point reads:
+//
+//   - Larger blocks compress better (longer runs share prefixes, fewer
+//     restart points and per-block headers per entry) and make scans
+//     cheaper — one CRC check and one decode amortized over more entries.
+//     bytes-on-disk in the benchmark output and Stats().BytesOnDisk track
+//     the footprint side of this.
+//
+//   - Smaller blocks make point Gets cheaper: a lookup reads and checks one
+//     whole block per Bloom-positive page, so BlockSizeBytes is the unit of
+//     read amplification. With the page cache disabled the Get path does a
+//     restart-point binary search over the raw block and decodes at most
+//     one 16-entry run, so CPU stays modest either way — the block size
+//     mostly prices the I/O and checksum work.
+//
+// Interaction with delete-tile granularity: a delete tile is TilePages
+// blocks, and KiWi's secondary range deletes drop whole blocks whose delete
+// fences fall inside the range. The block is therefore also the unit of
+// SRD precision — bigger blocks mean coarser drops (more partial-block
+// rewrites at range edges), smaller blocks mean more full drops but more
+// fence metadata. Workloads leaning on SecondaryRangeDelete should keep
+// blocks near the v1 page size they replaced (a few KiB); scan-heavy,
+// rarely-deleting workloads can raise BlockSizeBytes toward 32-64KiB for
+// the compression win. The paper-experiment harness pins BlockSizeBytes to
+// PageSize so the figures keep reasoning in the paper's page units.
+//
 // # GC pressure and buffer reuse
 //
 // The read hot paths recycle their transient state instead of allocating it
