@@ -468,7 +468,7 @@ func BenchmarkCompactionInterference(b *testing.B) {
 				return nil
 			})
 			db, err := lethe.Open(lethe.Options{
-				FS:                  fs,
+				Storage:             lethe.StorageOptions{FS: fs},
 				DisableWAL:          true,
 				BufferBytes:         64 << 10,
 				PageSize:            4096,
@@ -689,7 +689,7 @@ func BenchmarkShardedPuts(b *testing.B) {
 				return nil
 			})
 			db, err := lethe.Open(lethe.Options{
-				FS:              fs,
+				Storage:         lethe.StorageOptions{FS: fs},
 				Shards:          shards,
 				ShardBoundaries: hexShardBoundaries(shards),
 				BufferBytes:     256 << 10,
@@ -810,7 +810,7 @@ func BenchmarkConcurrentPuts(b *testing.B) {
 					return nil
 				})
 				db, err := lethe.Open(lethe.Options{
-					FS:          fs,
+					Storage:     lethe.StorageOptions{FS: fs},
 					WALSync:     pol.policy,
 					BufferBytes: 4 << 20,
 				})
@@ -956,6 +956,157 @@ func BenchmarkSnapshotReads(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(db.Stats().BytesOnDisk), "bytes-on-disk")
+		})
+	}
+}
+
+// BenchmarkTieredColdScan measures full-scan throughput against the remote
+// tier: the tree's cold levels live on a vfs.RemoteFS modeling a 100MB/s
+// link with 100us per-op latency, blocks are sized at 64KiB so each remote
+// read amortizes the latency, and the iterator's one-tile read-ahead keeps
+// the next fetch in flight while the current tile is consumed. No page
+// cache, so every scan is genuinely cold. Reported alongside ns/op:
+// remote-mb-per-s (achieved streaming rate over the remote device) and
+// link-util-pct (that rate as a percentage of the modeled bandwidth — the
+// read-ahead's report card; the PR8 target is >=80).
+func BenchmarkTieredColdScan(b *testing.B) {
+	const (
+		keys      = 10000
+		linkBytes = 100 << 20
+		latency   = 100 * time.Microsecond
+	)
+	val := bytes.Repeat([]byte("x"), 512)
+	local, remoteDev := vfs.NewMem(), vfs.NewMem()
+	remote := vfs.NewRemote(remoteDev, vfs.RemoteConfig{
+		Latency:              latency,
+		BandwidthBytesPerSec: linkBytes,
+	})
+	db, err := lethe.Open(lethe.Options{
+		Storage: lethe.StorageOptions{
+			FS:             local,
+			RemoteFS:       remote,
+			Placement:      lethe.PlacementPolicy{LocalLevels: 1},
+			BlockSizeBytes: 64 << 10,
+		},
+		DisableWAL:                   true,
+		DisableBackgroundMaintenance: true,
+		BufferBytes:                  256 << 10,
+		SizeRatio:                    4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < keys; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("key-%08d", i)), lethe.DeleteKey(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Maintain(); err != nil {
+		b.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Tier.RemoteFiles == 0 {
+		b.Fatal("setup left nothing on the remote tier")
+	}
+	readBefore := st.Tier.RemoteBytesRead
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := db.Scan(nil, nil, func(k []byte, d lethe.DeleteKey, v []byte) bool {
+			n++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != keys {
+			b.Fatalf("scan saw %d of %d keys", n, keys)
+		}
+	}
+	elapsed := b.Elapsed()
+	b.StopTimer()
+	remoteRead := db.Stats().Tier.RemoteBytesRead - readBefore
+	if elapsed > 0 && remoteRead > 0 {
+		mbps := float64(remoteRead) / elapsed.Seconds() / (1 << 20)
+		b.ReportMetric(mbps, "remote-mb-per-s")
+		b.ReportMetric(100*float64(remoteRead)/(elapsed.Seconds()*float64(linkBytes)), "link-util-pct")
+	}
+	b.ReportMetric(float64(db.Stats().Tier.RemoteBytes), "remote-bytes")
+}
+
+// BenchmarkTieredHotGet prices what tiering costs the hot path: point Gets
+// over a recently-written working set, on a local-only database versus one
+// whose cold levels live on a modeled remote device. The hot set sits in
+// the local level both times (flush output is always local and the working
+// set hasn't cooled), so the tiered configuration should answer within ~2x
+// of local-only — the slack covers Bloom-negative probes brushing past the
+// remote level's filters, never remote I/O on the hit path.
+func BenchmarkTieredHotGet(b *testing.B) {
+	const (
+		coldKeys = 10000
+		hotKeys  = 1000
+	)
+	val := bytes.Repeat([]byte("x"), 512)
+	for _, tier := range []string{"local", "tiered"} {
+		b.Run(tier, func(b *testing.B) {
+			local := vfs.NewMem()
+			storage := lethe.StorageOptions{FS: local, BlockSizeBytes: 64 << 10}
+			if tier == "tiered" {
+				storage.RemoteFS = vfs.NewRemote(vfs.NewMem(), vfs.RemoteConfig{
+					Latency:              100 * time.Microsecond,
+					BandwidthBytesPerSec: 100 << 20,
+				})
+				storage.Placement = lethe.PlacementPolicy{LocalLevels: 1}
+			}
+			db, err := lethe.Open(lethe.Options{
+				Storage:                      storage,
+				DisableWAL:                   true,
+				DisableBackgroundMaintenance: true,
+				BufferBytes:                  256 << 10,
+				SizeRatio:                    4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			for i := 0; i < coldKeys; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%08d", i)), lethe.DeleteKey(i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if err := db.Maintain(); err != nil {
+				b.Fatal(err)
+			}
+			// Rewrite the hot working set so its newest versions land in
+			// the (always local) flush output.
+			for i := 0; i < hotKeys; i++ {
+				if err := db.Put([]byte(fmt.Sprintf("key-%08d", i)), lethe.DeleteKey(coldKeys+i), val); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if tier == "tiered" && db.Stats().Tier.RemoteFiles == 0 {
+				b.Fatal("tiered setup left nothing on the remote tier")
+			}
+			readBefore := db.Stats().Tier.RemoteBytesRead
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := []byte(fmt.Sprintf("key-%08d", i%hotKeys))
+				if _, err := db.Get(k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(db.Stats().Tier.RemoteBytesRead-readBefore)/float64(b.N), "remote-bytes/op")
 		})
 	}
 }

@@ -4,7 +4,16 @@
 //
 // Usage:
 //
-//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-wal-sync grouped|always|never] [-shards N] [-memory-budget BYTES] [-compaction-rate BYTES/S]
+//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-wal-sync grouped|always|never] [-shards N] [-memory-budget BYTES] [-compaction-rate BYTES/S] [-local-levels N] [-remote-latency DURATION] [-remote-bandwidth BYTES/S]
+//
+// -local-levels N > 0 enables tiered storage: the first N disk levels (plus
+// the WAL and manifest) stay on the local filesystem, colder levels live on
+// a remote tier. With -path the remote tier is the directory DIR-remote;
+// in-memory databases model it in memory. -remote-latency and
+// -remote-bandwidth wrap the remote tier in a modeled device (per-op round
+// trip and link bandwidth cap; 0 = free), so cold-read behavior is
+// observable without real remote hardware. The stats command reports the
+// per-tier file populations, migration totals, and remote traffic.
 //
 // -shards N range-partitions the database over N independent LSM instances
 // (see the sharding guidance in the lethe package's tuning.go); an existing
@@ -60,7 +69,16 @@ import (
 	"time"
 
 	"lethe"
+	"lethe/internal/vfs"
 )
+
+// bytesPerSec renders a bandwidth flag value for the startup banner.
+func bytesPerSec(n int64) string {
+	if n == 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%dB/s", n)
+}
 
 func main() {
 	path := flag.String("path", "", "database directory (default: in-memory)")
@@ -72,6 +90,9 @@ func main() {
 	compRate := flag.Int64("compaction-rate", 0, "maintenance write I/O cap in bytes/second (0 = unlimited)")
 	walSync := flag.String("wal-sync", "grouped", "WAL sync policy: grouped, always, or never")
 	shards := flag.Int("shards", 1, "range shards (independent LSM instances; >1 requires background maintenance)")
+	localLevels := flag.Int("local-levels", 0, "disk levels kept on the local tier (0 = tiering disabled)")
+	remoteLatency := flag.Duration("remote-latency", 0, "modeled per-operation round trip of the remote tier (0 = free)")
+	remoteBandwidth := flag.Int64("remote-bandwidth", 0, "modeled remote link bandwidth in bytes/second (0 = unlimited)")
 	flag.Parse()
 
 	var policy lethe.WALSyncPolicy
@@ -97,6 +118,29 @@ func main() {
 	} else {
 		opts.Path = *path
 	}
+	if *localLevels > 0 {
+		var remoteDev vfs.FS
+		if *path == "" {
+			remoteDev = vfs.NewMem()
+		} else {
+			osfs, err := vfs.NewOS(*path + "-remote")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "open remote tier:", err)
+				os.Exit(1)
+			}
+			remoteDev = osfs
+		}
+		opts.Storage.RemoteFS = vfs.NewRemote(remoteDev, vfs.RemoteConfig{
+			Latency:              *remoteLatency,
+			BandwidthBytesPerSec: *remoteBandwidth,
+		})
+		opts.Storage.Placement = lethe.PlacementPolicy{LocalLevels: *localLevels}
+		fmt.Printf("tiered: %d local level(s), remote latency %v bandwidth %s\n",
+			*localLevels, *remoteLatency, bytesPerSec(*remoteBandwidth))
+	} else if *remoteLatency != 0 || *remoteBandwidth != 0 {
+		fmt.Fprintln(os.Stderr, "-remote-latency/-remote-bandwidth require -local-levels > 0")
+		os.Exit(1)
+	}
 	db, err := lethe.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "open:", err)
@@ -119,7 +163,7 @@ func main() {
 		return
 	}
 
-	sh := &shell{db: db}
+	sh := &shell{db: db, tiered: *localLevels > 0}
 	defer sh.dropSnapshot()
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
@@ -158,6 +202,9 @@ func runVerify(db *lethe.DB) (ok bool) {
 type shell struct {
 	db   *lethe.DB
 	snap *lethe.Snapshot
+	// tiered notes that a remote tier is configured, so the stats command
+	// prints the tier section even before anything has migrated.
+	tiered bool
 }
 
 func (sh *shell) dropSnapshot() {
@@ -307,6 +354,13 @@ func (sh *shell) execute(args []string) (quit bool) {
 			st.CommitGroups, st.CommitBatches, st.CommitEntries, groupFactor,
 			st.MaxCommitGroupBatches, st.CommitQueueDepth, st.WALSyncs, st.LastPublishedSeq)
 		fmt.Printf("max tombstone age: %v (TTLs: %v)\n", db.MaxTombstoneAge(), db.TTLs())
+		if t := st.Tier; sh.tiered || t.RemoteFiles > 0 || t.Migrations > 0 {
+			fmt.Printf("tier: local=%d files/%dB remote=%d files/%dB migrations=%d (%dB)\n",
+				t.LocalFiles, t.LocalBytes, t.RemoteFiles, t.RemoteBytes,
+				t.Migrations, t.MigratedBytes)
+			fmt.Printf("tier remote io: reads=%d (%dB) writes=%d (%dB)\n",
+				t.RemoteReadOps, t.RemoteBytesRead, t.RemoteWriteOps, t.RemoteBytesWritten)
+		}
 		if rs := db.RuntimeStats(); rs.Workers > 0 {
 			fmt.Printf("runtime: workers=%d running=%d (max %d) queue=%d jobs(flush=%d compact=%d)\n",
 				rs.Workers, rs.RunningJobs, rs.MaxRunningJobs, rs.QueueDepth, rs.FlushJobs, rs.CompactionJobs)

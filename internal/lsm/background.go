@@ -123,11 +123,16 @@ func (db *DB) OfferJob(flushOnly bool) (*runtime.Job, bool) {
 	}
 	tree := db.pickerTreeLocked(db.busyFiles)
 	d, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now())
-	if !ok {
+	var job *compactionJob
+	if ok {
+		job = db.prepareCompactionLocked(d)
+	} else if job = db.pickMigrationLocked(db.busyFiles); job == nil {
+		// No compaction trigger and placement is satisfied — migrations run
+		// only when the picker is quiet, so tier repair never delays a
+		// saturated or TTL-expired level.
 		db.mu.Unlock()
 		return nil, false
 	}
-	job := db.prepareCompactionLocked(d)
 	if job.kind == compactNoop || db.conflictsLocked(job) {
 		// The picker is deterministic, so re-picking now would return the
 		// same decision; offer nothing until an in-flight job finishes.
@@ -137,7 +142,10 @@ func (db *DB) OfferJob(flushOnly bool) (*runtime.Job, bool) {
 	}
 	db.claimLocked(job)
 	db.inflight++
-	prio := db.compactionPriorityLocked(d)
+	var prio float64
+	if ok {
+		prio = db.compactionPriorityLocked(d)
+	}
 	db.mu.Unlock()
 	return &runtime.Job{
 		Kind:     runtime.JobCompaction,
@@ -183,6 +191,8 @@ func (db *DB) PendingJobs() int {
 	}
 	tree := db.pickerTreeLocked(db.busyFiles)
 	if _, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now()); ok {
+		n++
+	} else if _, _, misplaced := db.findMisplacedLocked(db.busyFiles); misplaced {
 		n++
 	}
 	return n

@@ -44,6 +44,12 @@ const (
 	// compactRewriteLast rewrites TTL-expired last-level file(s) in place,
 	// persisting their tombstones.
 	compactRewriteLast
+	// compactMigrate copies files across the tier boundary — a trivial move
+	// whose destination level lives on the other tier, or a placement repair
+	// for a file the policy no longer matches. The copy lands under the same
+	// file number; the manifest commit naming the new tier is the durability
+	// point, and the stale copy is deleted only after it.
+	compactMigrate
 	// compactNoop is a defensive empty decision (e.g. a tiered pick on an
 	// empty level); it changes nothing.
 	compactNoop
@@ -56,11 +62,14 @@ type compactionJob struct {
 	// fs is the filesystem the merge outputs are written through: the
 	// rate-limited maintenance FS for scheduler-dispatched jobs (identical
 	// to the raw FS in synchronous mode, which has no limiter).
-	fs         vfs.FS
-	v          *version // pinned snapshot the decision was resolved against
-	src        int
-	target     int
-	isLast     bool
+	fs     vfs.FS
+	v      *version // pinned snapshot the decision was resolved against
+	src    int
+	target int
+	isLast bool
+	// remote is the tier the job's outputs land on — the target level's
+	// placement. fs is the matching tier's maintenance filesystem.
+	remote     bool
 	srcHandles run
 	overlap    run // target-run files joining the merge (leveled only)
 	outputs    run // filled by execute
@@ -113,7 +122,8 @@ func (db *DB) Maintain() error {
 		}
 		if db.quiescentLocked() {
 			tree := db.pickerTreeLocked(nil)
-			if _, ok := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now()); !ok {
+			_, picked := compaction.Pick(tree, db.opts.Mode, db.ttls, db.opts.Clock.Now())
+			if _, _, misplaced := db.findMisplacedLocked(nil); !picked && !misplaced {
 				changed, err := db.walMaintenanceLocked()
 				if err != nil {
 					return err
@@ -137,6 +147,23 @@ func (db *DB) maintainLocked() error {
 			break
 		}
 		if err := db.runCompactionLocked(decision); err != nil {
+			return err
+		}
+	}
+	// With the tree settled, repair placement: files whose tier no longer
+	// matches their level (a policy change across a reopen, or a
+	// FullTreeCompact output) are copied across the boundary one at a time.
+	for {
+		job := db.pickMigrationLocked(nil)
+		if job == nil {
+			break
+		}
+		err := db.executeCompaction(job)
+		if err == nil {
+			err = db.installCompactionLocked(job)
+		}
+		job.release()
+		if err != nil {
 			return err
 		}
 	}
@@ -225,6 +252,41 @@ func (db *DB) pickerTreeLocked(mask map[uint64]bool) *compaction.Tree {
 // and every run of that level participates, tombstones are discarded — the
 // deletes persist (§3.1.1).
 func (db *DB) prepareCompactionLocked(d compaction.Decision) *compactionJob {
+	job := db.prepareCompactionShapeLocked(d)
+	db.setJobTierLocked(job)
+	return job
+}
+
+// setJobTierLocked finalizes a job's tier routing once its target level is
+// known: outputs land on the target level's tier, written through that
+// tier's maintenance filesystem. A trivial move whose inputs sit on the
+// wrong side of the boundary becomes a migration — the bytes must change
+// devices; tier membership is never reassigned in place. Callers hold db.mu.
+func (db *DB) setJobTierLocked(job *compactionJob) {
+	job.remote = db.remoteLevel(job.target)
+	job.fs = db.maintTierFS(job.remote)
+	if job.kind == compactTrivialMove {
+		for _, h := range job.srcHandles {
+			if h.remote != job.remote {
+				job.kind = compactMigrate
+				break
+			}
+		}
+	}
+}
+
+// maintTierFS returns the maintenance (rate-limited in background mode)
+// filesystem of a tier.
+func (db *DB) maintTierFS(remote bool) vfs.FS {
+	if remote {
+		return db.maintRemoteFS
+	}
+	return db.maintFS
+}
+
+// prepareCompactionShapeLocked resolves the structural shape of a decision;
+// prepareCompactionLocked layers tier routing on top.
+func (db *DB) prepareCompactionShapeLocked(d compaction.Decision) *compactionJob {
 	job := &compactionJob{d: d, fs: db.maintFS, v: db.current.ref(), src: d.Level}
 	lv := job.v.levels
 
@@ -318,11 +380,52 @@ func (db *DB) executeCompaction(job *compactionJob) error {
 	if job.kind == compactTrivialMove || job.kind == compactNoop {
 		return nil
 	}
-	outputs, err := db.mergeFiles(job.srcHandles, job.overlap, job.isLast, job.d.Trigger, job.fs)
+	if job.kind == compactMigrate {
+		return db.executeMigration(job)
+	}
+	outputs, err := db.mergeFiles(job.srcHandles, job.overlap, job.isLast, job.d.Trigger, job.fs, job.remote)
 	if err != nil {
 		return err
 	}
 	job.outputs = outputs
+	return nil
+}
+
+// executeMigration copies each misplaced input to the job's tier — same file
+// number and name, different device — fsyncs the copy, and opens a fresh
+// handle on it. The manifest is untouched until install, so a crash mid-copy
+// leaves the original the only manifest-visible copy and the partial is
+// collected as an orphan at the next open. Correctly-placed inputs pass
+// through by handle with no I/O. Safe without db.mu: inputs are pinned by
+// the job's version reference.
+func (db *DB) executeMigration(job *compactionJob) error {
+	for _, h := range job.srcHandles {
+		if h.remote == job.remote {
+			job.outputs = append(job.outputs, h)
+			continue
+		}
+		g, err := job.fs.Create(h.name)
+		if err != nil {
+			return fmt.Errorf("lsm: migrate %s: create copy: %w", h.name, err)
+		}
+		n, err := h.r.CopyTo(g)
+		if err == nil {
+			err = g.Sync()
+		}
+		if cerr := g.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("lsm: migrate %s: %w", h.name, err)
+		}
+		newH, err := db.openFileAt(h.meta.FileNum, job.remote)
+		if err != nil {
+			return fmt.Errorf("lsm: migrate %s: %w", h.name, err)
+		}
+		job.outputs = append(job.outputs, newH)
+		db.m.tierMigrations.Add(1)
+		db.m.tierMigratedBytes.Add(n)
+	}
 	return nil
 }
 
@@ -334,6 +437,9 @@ func (db *DB) installCompactionLocked(job *compactionJob) error {
 	}
 	if job.kind == compactTrivialMove {
 		return db.installTrivialMoveLocked(job)
+	}
+	if job.kind == compactMigrate {
+		return db.installMigrationLocked(job)
 	}
 
 	consumed := job.inputs()
@@ -452,13 +558,129 @@ func (db *DB) installTrivialMoveLocked(job *compactionJob) error {
 	return nil
 }
 
+// installMigrationLocked swaps migrated handles into the tree and commits:
+// the manifest commit naming the files on their new tier is the migration's
+// durability point. The stale originals are marked obsolete, so they are
+// removed from their old device once the last reader drains. Callers hold
+// db.mu.
+func (db *DB) installMigrationLocked(job *compactionJob) error {
+	var levels [][]run
+	if job.src == job.target {
+		// Placement repair: each migrated handle replaces its original at
+		// the same run position, preserving recency order within the level
+		// (tiered levels hold several runs whose order shadows entries).
+		byNum := make(map[uint64]*fileHandle, len(job.outputs))
+		for _, nh := range job.outputs {
+			byNum[nh.meta.FileNum] = nh
+		}
+		levels = db.current.cloneLevels()
+		for ri, r := range levels[job.target] {
+			for fi, h := range r {
+				if nh, ok := byNum[h.meta.FileNum]; ok {
+					levels[job.target][ri][fi] = nh
+				}
+			}
+		}
+	} else {
+		// A trivial move that crossed the tier boundary: the copies join the
+		// target level exactly as the move would have placed the originals.
+		drop := make(map[uint64]bool, len(job.srcHandles))
+		for _, h := range job.srcHandles {
+			drop[h.meta.FileNum] = true
+		}
+		levels = db.current.withoutFiles(drop)
+		for len(levels) <= job.target {
+			levels = append(levels, nil)
+		}
+		var newRun run
+		if len(levels[job.target]) > 0 {
+			newRun = append(newRun, levels[job.target][0]...)
+		}
+		newRun = append(newRun, job.outputs...)
+		sortRunByMinS(newRun)
+		if len(levels[job.target]) > 0 {
+			levels[job.target][0] = newRun
+		} else {
+			levels[job.target] = []run{newRun}
+		}
+		// The move resolves a picker decision; count it like the trivial
+		// move it structurally is.
+		db.m.compactions.Add(1)
+		db.m.trivialMoves.Add(1)
+		if job.d.Trigger == compaction.TriggerTTL {
+			db.m.compactionsTTL.Add(1)
+		} else {
+			db.m.compactionsSaturation.Add(1)
+		}
+	}
+
+	v := &version{levels: levels}
+	if err := db.commitManifestLocked(v); err != nil {
+		return err
+	}
+	for _, h := range job.srcHandles {
+		if h.remote != job.remote {
+			h.obsolete.Store(true)
+		}
+	}
+	grew := len(v.levels) != len(db.current.levels)
+	db.installVersionLocked(v)
+	if grew {
+		db.recomputeTTLs()
+	}
+	return nil
+}
+
+// findMisplacedLocked returns a file whose tier disagrees with its level's
+// placement (the policy changed across a reopen, or FullTreeCompact wrote
+// the last level locally), skipping files claimed by in-flight jobs.
+// Callers hold db.mu.
+func (db *DB) findMisplacedLocked(mask map[uint64]bool) (*fileHandle, int, bool) {
+	if db.remoteFS == nil {
+		return nil, 0, false
+	}
+	for l, runs := range db.current.levels {
+		want := db.remoteLevel(l)
+		for _, r := range runs {
+			for _, h := range r {
+				if !mask[h.meta.FileNum] && h.remote != want {
+					return h, l, true
+				}
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// pickMigrationLocked builds a single-file placement-repair job, or nil when
+// every file sits on its level's tier. One file per job keeps migrations
+// incremental: each claims only its own file, installs quickly, and yields
+// the scheduler between copies. Callers hold db.mu; the job pins the current
+// version until released.
+func (db *DB) pickMigrationLocked(mask map[uint64]bool) *compactionJob {
+	h, l, ok := db.findMisplacedLocked(mask)
+	if !ok {
+		return nil
+	}
+	want := db.remoteLevel(l)
+	return &compactionJob{
+		kind:       compactMigrate,
+		fs:         db.maintTierFS(want),
+		v:          db.current.ref(),
+		src:        l,
+		target:     l,
+		remote:     want,
+		srcHandles: run{h},
+	}
+}
+
 // mergeFiles sort-merges upper (newer) and lower (older) inputs into new
 // files at the configured file size, applying the merge rules; outputs are
 // written through fs (rate-limited for background jobs, raw for foreground
 // callers). It updates the engine's (atomic) compaction counters. Safe
 // without db.mu: inputs are pinned by the job's version reference and file
 // numbers are allocated atomically.
-func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.TriggerKind, fs vfs.FS) (run, error) {
+func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.TriggerKind, fs vfs.FS, remote bool) (run, error) {
 	var iters []compaction.Iterator
 	var rts []base.RangeTombstone
 	var bytesIn int64
@@ -491,7 +713,7 @@ func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.Tr
 		keepRTs = rts
 	}
 
-	outputs, _, err := db.writeRun(entries, keepRTs, fs)
+	outputs, _, err := db.writeRun(entries, keepRTs, fs, remote)
 	if err != nil {
 		return nil, err
 	}
@@ -544,8 +766,10 @@ func (db *DB) FullTreeCompact() error {
 	}
 	// FullTreeCompact blocks every operation while it runs (db.mu is held
 	// throughout): pace it like maintenance and the stall multiplies, so it
-	// writes through the raw filesystem.
-	outputs, err := db.mergeFiles(inputs, nil, true, compaction.TriggerSaturation, db.opts.FS)
+	// writes through the raw local filesystem. The output level is unknown
+	// until the merged size is — if placement puts it on the remote tier,
+	// the next maintenance pass migrates the files there.
+	outputs, err := db.mergeFiles(inputs, nil, true, compaction.TriggerSaturation, db.opts.FS, false)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,8 @@ package lsm
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +98,21 @@ type DB struct {
 	// appends and reads are not.
 	maintFS vfs.FS
 
+	// Tiered placement (nil/zero when Options.RemoteFS is unset). remoteFS
+	// is the remote device wrapped in a CountingFS (remoteIO) so tier
+	// traffic is measurable; maintRemoteFS adds the runtime's independent
+	// remote-tier rate limiter on top for background writes; dataFS is the
+	// vfs.TieredFS both tiers compose into, routing each sstable by the
+	// placement registry (tierReg: file name -> present means remote). The
+	// registry is loaded from the manifest's Remote list at open and
+	// updated before any create or open, so WAL segments, the manifest,
+	// and every unregistered name route local.
+	remoteFS      vfs.FS
+	remoteIO      *vfs.CountingFS
+	maintRemoteFS vfs.FS
+	dataFS        vfs.FS
+	tierReg       sync.Map
+
 	// cq is the commit pipeline's queue (commit.go): pending batches in
 	// enqueue order plus the leader-active flag. idle is broadcast when the
 	// pipeline goes quiescent (leadership released with an empty queue).
@@ -162,6 +179,11 @@ type internalMetrics struct {
 	trivialMoves           metrics.Counter
 	maxCompactionBytes     metrics.Gauge
 
+	// Tiered-placement metrics: completed cross-tier migrations and the
+	// bytes they copied to the remote device.
+	tierMigrations    metrics.Counter
+	tierMigratedBytes metrics.Counter
+
 	// Pipeline metrics (background mode).
 	writeStalls     metrics.Counter
 	writeStallNanos metrics.Counter
@@ -190,6 +212,7 @@ func Open(opts Options) (db *DB, err error) {
 		store:   manifest.NewStore(o.FS, manifestName),
 		memSeed: o.Seed,
 		maintFS: o.FS,
+		dataFS:  o.FS,
 		// srcID is assigned by the runtime at registration (startBackground,
 		// after recovery). Until then it must not alias another shard's id:
 		// WAL-recovery flushes report memory usage, and id 0 belongs to the
@@ -229,6 +252,26 @@ func Open(opts Options) (db *DB, err error) {
 	} else {
 		db.cache = sstable.NewPageCache(o.CacheBytes).Handle()
 	}
+	if o.RemoteFS != nil {
+		// Tiered placement: count all remote traffic, pace background
+		// remote writes with the runtime's independent remote bucket (so a
+		// migration cannot starve local flushes of local tokens), and
+		// compose both tiers into the TieredFS sstable opens route through.
+		db.remoteIO = vfs.NewCounting(o.RemoteFS, o.PageSize)
+		db.remoteFS = db.remoteIO
+		db.maintRemoteFS = db.remoteFS
+		if db.rt != nil {
+			if rlim := db.rt.RemoteLimiter(); rlim != nil {
+				db.maintRemoteFS = vfs.NewThrottled(db.remoteFS, rlim)
+			}
+		}
+		db.dataFS = vfs.NewTiered(o.FS, db.remoteFS, func(name string) vfs.Tier {
+			if _, ok := db.tierReg.Load(name); ok {
+				return vfs.TierRemote
+			}
+			return vfs.TierLocal
+		})
+	}
 	db.bgCond = sync.NewCond(&db.mu)
 	db.cq.idle = sync.NewCond(&db.cq.mu)
 	db.pubCond = sync.NewCond(&db.pubMu)
@@ -242,13 +285,29 @@ func Open(opts Options) (db *DB, err error) {
 	db.seq = base.SeqNum(state.LastSeq)
 	db.flushedSeq = base.SeqNum(state.LastSeq)
 
+	// Tier membership is manifest state: seed the placement registry before
+	// any file opens so dataFS routes each sstable to the device it lives
+	// on, then drop remote orphans — partial copies left by a crash before
+	// the manifest commit that would have made the migration durable.
+	remoteSet := state.RemoteSet()
+	if db.remoteFS != nil {
+		for num := range remoteSet {
+			db.tierReg.Store(db.fileName(num), struct{}{})
+		}
+		if err := db.cleanRemoteOrphans(remoteSet); err != nil {
+			return nil, err
+		}
+	} else if len(remoteSet) > 0 {
+		return nil, errors.New("lsm: manifest lists remote-tier files but Options.RemoteFS is unset")
+	}
+
 	v := &version{}
 	for _, runsIn := range state.Levels {
 		var runs []run
 		for _, fileNums := range runsIn {
 			var r run
 			for _, num := range fileNums {
-				h, err := db.openFile(num)
+				h, err := db.openFileAt(num, remoteSet[num])
 				if err != nil {
 					return nil, err
 				}
@@ -280,9 +339,40 @@ func Open(opts Options) (db *DB, err error) {
 
 func (db *DB) fileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
 
-func (db *DB) openFile(num uint64) (*fileHandle, error) {
+// parseFileName inverts fileName, reporting false for non-sstable names.
+func parseFileName(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, ".sst") {
+		return 0, false
+	}
+	num, err := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return num, true
+}
+
+// tierFS returns the concrete filesystem of a tier — the device an obsolete
+// file must be removed from.
+func (db *DB) tierFS(remote bool) vfs.FS {
+	if remote {
+		return db.remoteFS
+	}
+	return db.opts.FS
+}
+
+// openFileAt opens file num on its tier and returns a handle pinned to that
+// tier's concrete filesystem. The placement registry is updated first so a
+// concurrent open through dataFS routes consistently.
+func (db *DB) openFileAt(num uint64, remote bool) (*fileHandle, error) {
 	name := db.fileName(num)
-	f, err := db.opts.FS.Open(name)
+	if remote {
+		db.tierReg.Store(name, struct{}{})
+	} else {
+		// Clear any stale remote claim (a remote→local placement repair
+		// leaves both copies alive briefly; routing must prefer the new one).
+		db.tierReg.Delete(name)
+	}
+	f, err := db.dataFS.Open(name)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: open file %d: %w", num, err)
 	}
@@ -292,7 +382,29 @@ func (db *DB) openFile(num uint64) (*fileHandle, error) {
 		return nil, fmt.Errorf("lsm: read file %d: %w", num, err)
 	}
 	r.SetCache(db.cache)
-	return &fileHandle{meta: r.Meta, r: r, fs: db.opts.FS, name: name}, nil
+	r.SetRemote(remote)
+	return &fileHandle{meta: r.Meta, r: r, fs: db.tierFS(remote), name: name, remote: remote}, nil
+}
+
+// cleanRemoteOrphans removes remote-tier sstables the manifest does not
+// claim: partial migration copies from a crash between the remote fsync and
+// the manifest commit. Local files are never touched here — the local
+// original of an interrupted migration is still the live copy.
+func (db *DB) cleanRemoteOrphans(remoteSet map[uint64]bool) error {
+	names, err := db.remoteFS.List()
+	if err != nil {
+		return fmt.Errorf("lsm: list remote tier: %w", err)
+	}
+	for _, name := range names {
+		num, ok := parseFileName(name)
+		if !ok || remoteSet[num] {
+			continue
+		}
+		if err := db.remoteFS.Remove(name); err != nil {
+			return fmt.Errorf("lsm: remove remote orphan %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // recomputeTTLs refreshes the cumulative level TTLs for the current tree
@@ -428,12 +540,21 @@ func (db *DB) commitManifestLocked(v *version) error {
 			var nums []uint64
 			for _, h := range r {
 				nums = append(nums, h.meta.FileNum)
+				if h.remote {
+					st.Remote = append(st.Remote, h.meta.FileNum)
+				}
 			}
 			lvl = append(lvl, nums)
 		}
 		st.Levels = append(st.Levels, lvl)
 	}
 	return db.store.Commit(st)
+}
+
+// remoteLevel reports whether level index l (0-based slice index) places its
+// runs on the remote tier.
+func (db *DB) remoteLevel(l int) bool {
+	return db.remoteFS != nil && l >= db.opts.Placement.LocalLevels
 }
 
 // NumLevels returns the number of allocated disk levels.

@@ -71,6 +71,16 @@ type Options struct {
 	// vfs.PrefixFS so every shard's sstables, WAL segments, and manifest
 	// live in their own directory of one shared filesystem.
 	FS vfs.FS
+	// RemoteFS, when non-nil, enables tiered placement: levels at or past
+	// Placement.LocalLevels keep their sstables on this (slower, cheaper)
+	// filesystem while everything else — the WAL, the manifest, and the hot
+	// levels — stays on FS. Wrap it in a vfs.RemoteFS to model a remote
+	// device's latency and bandwidth. A sharded database hands each
+	// instance a vfs.PrefixFS over it, mirroring FS.
+	RemoteFS vfs.FS
+	// Placement assigns levels to storage tiers; meaningful only with a
+	// RemoteFS.
+	Placement PlacementPolicy
 	// Clock drives tombstone ages and TTL expiry. Defaults to the wall
 	// clock; experiments inject a base.ManualClock.
 	Clock base.Clock
@@ -163,9 +173,23 @@ type Options struct {
 	CompactionRateBytes int64
 }
 
+// PlacementPolicy decides which levels of the tree live on the local
+// filesystem and which on the remote tier.
+type PlacementPolicy struct {
+	// LocalLevels is the number of leading disk levels kept local; level
+	// indexes at or past it place their runs on the remote FS. Flush output
+	// (level 0) is always local, so the value is clamped to at least 1 when
+	// a RemoteFS is configured. Zero defaults to 1 — only the first level
+	// local, everything colder remote.
+	LocalLevels int
+}
+
 func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = base.RealClock{}
+	}
+	if o.RemoteFS != nil && o.Placement.LocalLevels < 1 {
+		o.Placement.LocalLevels = 1
 	}
 	if _, manual := o.Clock.(*base.ManualClock); manual {
 		o.DisableBackgroundMaintenance = true

@@ -129,6 +129,31 @@ type Stats struct {
 	CacheUsed     int64
 	CacheHits     int64
 	CacheMisses   int64
+
+	// Tier describes tiered placement (all zero without a RemoteFS).
+	Tier TierStats
+}
+
+// TierStats partitions the tree by storage tier and accounts cross-tier
+// traffic.
+type TierStats struct {
+	// LocalFiles/LocalBytes and RemoteFiles/RemoteBytes split the current
+	// version's sstables (physical sizes) by the device they live on.
+	LocalFiles  int
+	LocalBytes  int64
+	RemoteFiles int
+	RemoteBytes int64
+	// Migrations counts completed cross-tier file migrations;
+	// MigratedBytes the bytes those copies moved.
+	Migrations    int64
+	MigratedBytes int64
+	// Remote device traffic since open: every read and write the engine
+	// issued against the remote filesystem (scans, point reads, compaction
+	// output builds, migration copies).
+	RemoteReadOps      int64
+	RemoteBytesRead    int64
+	RemoteWriteOps     int64
+	RemoteBytesWritten int64
 }
 
 // Stats returns a consistent snapshot.
@@ -193,6 +218,25 @@ func (db *DB) Stats() Stats {
 		s.CacheUsed = c.UsedBytes()
 		s.CacheHits = c.Hits.Load()
 		s.CacheMisses = c.Misses.Load()
+	}
+	db.current.forEach(func(h *fileHandle) {
+		size := h.r.MetaCopy().Size
+		if h.remote {
+			s.Tier.RemoteFiles++
+			s.Tier.RemoteBytes += size
+		} else {
+			s.Tier.LocalFiles++
+			s.Tier.LocalBytes += size
+		}
+	})
+	s.Tier.Migrations = db.m.tierMigrations.Load()
+	s.Tier.MigratedBytes = db.m.tierMigratedBytes.Load()
+	if db.remoteIO != nil {
+		io := db.remoteIO.Stats.Snapshot()
+		s.Tier.RemoteReadOps = io.ReadOps
+		s.Tier.RemoteBytesRead = io.BytesRead
+		s.Tier.RemoteWriteOps = io.WriteOps
+		s.Tier.RemoteBytesWritten = io.BytesWritten
 	}
 	return s
 }

@@ -23,8 +23,14 @@ type fileHandle struct {
 
 	refs     atomic.Int32
 	obsolete atomic.Bool
-	fs       vfs.FS
-	name     string
+	// fs is the filesystem the file physically lives on — the concrete
+	// tier, so an obsolete remote file is removed from the remote device.
+	fs   vfs.FS
+	name string
+	// remote records the file's storage tier. It is fixed at handle
+	// creation: a migration across the tier boundary installs a new handle
+	// (over a copied file) rather than mutating this one.
+	remote bool
 }
 
 func (h *fileHandle) ref() { h.refs.Add(1) }

@@ -271,7 +271,9 @@ func (db *DB) flushQueueLocked() error {
 // writer. It performs only file I/O — no db.mu is required, so the
 // background flush job calls it outside the lock.
 func (db *DB) buildFlushRun(fl *flushable, fs vfs.FS) (run, base.SeqNum, error) {
-	return db.writeRun(fl.mem.All(), fl.mem.RangeTombstones(), fs)
+	// Flush output is always local: level 0 is the hottest level, and the
+	// placement policy clamps LocalLevels to at least 1.
+	return db.writeRun(fl.mem.All(), fl.mem.RangeTombstones(), fs, false)
 }
 
 // installFlushLocked commits a flushed run: the manifest records the new
@@ -315,12 +317,15 @@ func (db *DB) installFlushLocked(fl *flushable, newRun run, maxSeq base.SeqNum) 
 
 // writeRun writes sorted entries (plus range tombstones attached to the
 // first output file) as a sequence of files through fs and returns the new
-// handles. Background jobs pass db.maintFS so a configured compaction I/O
-// rate limit paces the build; foreground callers (recovery, Close,
-// FullTreeCompact, synchronous mode) pass db.opts.FS and are never
-// throttled. File numbers come from an atomic counter, so concurrent
-// background workers can build runs without holding db.mu.
-func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone, fs vfs.FS) (run, base.SeqNum, error) {
+// handles. Background jobs pass db.maintFS (or db.maintRemoteFS when remote)
+// so a configured I/O rate limit paces the build; foreground callers
+// (recovery, Close, FullTreeCompact, synchronous mode) pass the raw tier
+// filesystem and are never throttled. remote records the tier the caller's
+// fs writes to, so the handles and the placement registry stay consistent
+// with where the bytes physically landed. File numbers come from an atomic
+// counter, so concurrent background workers can build runs without holding
+// db.mu.
+func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone, fs vfs.FS, remote bool) (run, base.SeqNum, error) {
 	var out run
 	var maxSeq base.SeqNum
 	targetBytes := db.opts.FilePages * db.opts.PageSize
@@ -375,7 +380,7 @@ func (db *DB) writeRun(entries []base.Entry, rts []base.RangeTombstone, fs vfs.F
 		if err := f.Close(); err != nil {
 			return nil, 0, err
 		}
-		h, err := db.openFile(num)
+		h, err := db.openFileAt(num, remote)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -29,6 +29,13 @@ type State struct {
 	// S-ordered within a run. Leveling keeps one run per level below the
 	// first; tiering keeps up to T.
 	Levels [][][]uint64
+	// Remote lists the file numbers that live on the remote storage tier;
+	// every other file is local. Tier membership is structural state: a
+	// migration becomes durable only when the manifest naming the file in
+	// this list commits, so a crash mid-copy rolls back to the local
+	// original. Absent in manifests written before tiering existed, which
+	// decode as all-local.
+	Remote []uint64 `json:",omitempty"`
 }
 
 // Clone returns a deep copy of the state.
@@ -41,7 +48,22 @@ func (s *State) Clone() *State {
 			c.Levels[l][r] = append([]uint64(nil), files...)
 		}
 	}
+	if len(s.Remote) > 0 {
+		c.Remote = append([]uint64(nil), s.Remote...)
+	}
 	return c
+}
+
+// RemoteSet returns the remote tier membership as a set.
+func (s *State) RemoteSet() map[uint64]bool {
+	if len(s.Remote) == 0 {
+		return nil
+	}
+	set := make(map[uint64]bool, len(s.Remote))
+	for _, f := range s.Remote {
+		set[f] = true
+	}
+	return set
 }
 
 // FileCount returns the total number of files across all levels.
@@ -55,8 +77,9 @@ func (s *State) FileCount() int {
 	return n
 }
 
-// Validate checks structural sanity: no duplicate file numbers and no file
-// number at or above NextFileNum.
+// Validate checks structural sanity: no duplicate file numbers, no file
+// number at or above NextFileNum, and every remote-tier entry naming a file
+// that actually exists in some level.
 func (s *State) Validate() error {
 	seen := make(map[uint64]bool)
 	for l, runs := range s.Levels {
@@ -72,6 +95,16 @@ func (s *State) Validate() error {
 				seen[f] = true
 			}
 		}
+	}
+	remote := make(map[uint64]bool, len(s.Remote))
+	for _, f := range s.Remote {
+		if !seen[f] {
+			return fmt.Errorf("manifest: remote-tier file %d is not in any level", f)
+		}
+		if remote[f] {
+			return fmt.Errorf("manifest: remote-tier file %d listed twice", f)
+		}
+		remote[f] = true
 	}
 	return nil
 }

@@ -45,6 +45,37 @@ func TestCommitLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRemoteTierRoundTripAndValidation(t *testing.T) {
+	fs := vfs.NewMem()
+	store := NewStore(fs, "MANIFEST")
+	s := &State{
+		NextFileNum: 10,
+		Levels:      [][][]uint64{{{1, 2}}, {{4, 5}}},
+		Remote:      []uint64{4, 5},
+	}
+	if err := store.Commit(s); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := got.RemoteSet()
+	if len(set) != 2 || !set[4] || !set[5] || set[1] {
+		t.Fatalf("RemoteSet = %v", set)
+	}
+	if c := s.Clone(); len(c.Remote) != 2 || c.Remote[0] != 4 {
+		t.Fatalf("Clone dropped remote list: %+v", c.Remote)
+	}
+
+	if err := (&State{NextFileNum: 10, Levels: [][][]uint64{{{1}}}, Remote: []uint64{2}}).Validate(); err == nil {
+		t.Fatal("remote entry for unknown file passed Validate")
+	}
+	if err := (&State{NextFileNum: 10, Levels: [][][]uint64{{{1}}}, Remote: []uint64{1, 1}}).Validate(); err == nil {
+		t.Fatal("duplicate remote entry passed Validate")
+	}
+}
+
 func TestCommitReplacesAtomically(t *testing.T) {
 	fs := vfs.NewMem()
 	store := NewStore(fs, "MANIFEST")

@@ -104,6 +104,12 @@ type Config struct {
 	// sstable builds) in bytes per second via a token bucket. Zero means
 	// unlimited.
 	CompactionRateBytes int64
+	// RemoteRateBytes caps maintenance write I/O against the remote storage
+	// tier (cold-level compaction outputs and tier migrations) with its own
+	// token bucket, so a remote migration draining slowly through a modeled
+	// remote device never consumes the local bucket's tokens and stalls a
+	// flush. Zero inherits CompactionRateBytes (same cap, separate bucket).
+	RemoteRateBytes int64
 	// TickInterval overrides the periodic maintenance tick (tests).
 	TickInterval time.Duration
 }
@@ -112,9 +118,10 @@ type Config struct {
 // sharded database handle and passed to every shard; a standalone engine
 // opened in background mode creates a private one.
 type Runtime struct {
-	cache   *sstable.PageCache
-	limiter *RateLimiter
-	budget  memoryBudget
+	cache         *sstable.PageCache
+	limiter       *RateLimiter
+	remoteLimiter *RateLimiter
+	budget        memoryBudget
 
 	// notifyC wakes the general workers, flushNotifyC the flush lane: two
 	// channels so one lane consuming a token cannot starve the other (a
@@ -148,13 +155,17 @@ func New(cfg Config) *Runtime {
 	if cfg.TickInterval <= 0 {
 		cfg.TickInterval = defaultTickInterval
 	}
+	if cfg.RemoteRateBytes <= 0 {
+		cfg.RemoteRateBytes = cfg.CompactionRateBytes
+	}
 	rt := &Runtime{
-		cache:        sstable.NewPageCache(cfg.CacheBytes),
-		limiter:      NewRateLimiter(cfg.CompactionRateBytes),
-		notifyC:      make(chan struct{}, 1),
-		flushNotifyC: make(chan struct{}, 1),
-		quit:         make(chan struct{}),
-		workers:      cfg.Workers,
+		cache:         sstable.NewPageCache(cfg.CacheBytes),
+		limiter:       NewRateLimiter(cfg.CompactionRateBytes),
+		remoteLimiter: NewRateLimiter(cfg.RemoteRateBytes),
+		notifyC:       make(chan struct{}, 1),
+		flushNotifyC:  make(chan struct{}, 1),
+		quit:          make(chan struct{}),
+		workers:       cfg.Workers,
 	}
 	rt.budget.init(cfg.MemoryBudget)
 	// Workers compaction-capable goroutines plus one dedicated flush lane:
@@ -178,8 +189,14 @@ func (rt *Runtime) CacheHandle() *sstable.CacheHandle { return rt.cache.Handle()
 // Cache returns the shared page cache (nil when caching is disabled).
 func (rt *Runtime) Cache() *sstable.PageCache { return rt.cache }
 
-// Limiter returns the maintenance I/O rate limiter (nil when unlimited).
+// Limiter returns the local-tier maintenance I/O rate limiter (nil when
+// unlimited).
 func (rt *Runtime) Limiter() *RateLimiter { return rt.limiter }
+
+// RemoteLimiter returns the remote-tier maintenance I/O rate limiter (nil
+// when unlimited). It is a separate bucket from Limiter so remote-tier
+// writes are accounted — and capped — independently of local ones.
+func (rt *Runtime) RemoteLimiter() *RateLimiter { return rt.remoteLimiter }
 
 // Register adds a source to the scheduler and returns its id for memory
 // accounting.
@@ -265,6 +282,7 @@ func (rt *Runtime) Close() {
 	rt.mu.Unlock()
 	close(rt.quit)
 	rt.limiter.Release() // in-flight paced writes drain at device speed
+	rt.remoteLimiter.Release()
 	rt.budget.wakeAll()
 	rt.wg.Wait()
 }
@@ -273,7 +291,10 @@ func (rt *Runtime) Close() {
 // closing database before it drains in-flight jobs, which must not wait
 // out their token debt (minutes at a low configured rate) just to shut
 // down.
-func (rt *Runtime) ReleaseLimiter() { rt.limiter.Release() }
+func (rt *Runtime) ReleaseLimiter() {
+	rt.limiter.Release()
+	rt.remoteLimiter.Release()
+}
 
 // worker is one goroutine of the shared pool: wake on notify, then drain the
 // globally best jobs until none remain. The flushOnly worker is the flush
@@ -428,9 +449,13 @@ type Stats struct {
 
 	// CompactionRateBytes is the configured write cap (0 = unlimited);
 	// ThrottleWaitTime is the cumulative time maintenance writers spent
-	// paced by it.
-	CompactionRateBytes int64
-	ThrottleWaitTime    time.Duration
+	// paced by it. The Remote pair reports the independent remote-tier
+	// bucket, so migration pressure is visible separately from local flush
+	// and compaction pacing.
+	CompactionRateBytes    int64
+	ThrottleWaitTime       time.Duration
+	RemoteRateBytes        int64
+	RemoteThrottleWaitTime time.Duration
 
 	// Cache occupancy and efficiency of the shared page cache.
 	CacheCapacity int64
@@ -461,6 +486,10 @@ func (rt *Runtime) Stats() Stats {
 	if rt.limiter != nil {
 		s.CompactionRateBytes = rt.limiter.Rate()
 		s.ThrottleWaitTime = rt.limiter.WaitTime()
+	}
+	if rt.remoteLimiter != nil {
+		s.RemoteRateBytes = rt.remoteLimiter.Rate()
+		s.RemoteThrottleWaitTime = rt.remoteLimiter.WaitTime()
 	}
 	if rt.cache != nil {
 		s.CacheCapacity = rt.cache.Capacity()

@@ -70,9 +70,9 @@ func (h *CacheHandle) get(file uint64, page int) ([]base.Entry, bool) {
 	return h.c.get(h.ns, file, page)
 }
 
-func (h *CacheHandle) put(file uint64, page int, entries []base.Entry) {
+func (h *CacheHandle) put(file uint64, page int, entries []base.Entry, preferred bool) {
 	if h != nil {
-		h.c.put(h.ns, file, page, entries)
+		h.c.put(h.ns, file, page, entries, preferred)
 	}
 }
 
@@ -86,6 +86,12 @@ type pageEntry struct {
 	key     pageKey
 	entries []base.Entry
 	bytes   int64
+	// preferred marks a page whose miss is expensive to repay — one read
+	// from the remote storage tier. Eviction gives such pages a second
+	// chance: the first time one reaches the LRU tail it is demoted and
+	// recycled to the front instead of evicted, so a burst of cheap local
+	// fills cannot flush the remote working set.
+	preferred bool
 }
 
 // NewPageCache creates a cache bounded to capacity bytes of decoded entry
@@ -126,8 +132,10 @@ func (c *PageCache) get(ns, file uint64, page int) ([]base.Entry, bool) {
 	return el.Value.(*pageEntry).entries, true
 }
 
-// put inserts a decoded page, evicting LRU pages as needed.
-func (c *PageCache) put(ns, file uint64, page int, entries []base.Entry) {
+// put inserts a decoded page, evicting LRU pages as needed. preferred pages
+// (remote-tier reads) survive one trip to the LRU tail before becoming
+// eviction candidates.
+func (c *PageCache) put(ns, file uint64, page int, entries []base.Entry, preferred bool) {
 	if c == nil {
 		return
 	}
@@ -136,9 +144,12 @@ func (c *PageCache) put(ns, file uint64, page int, entries []base.Entry) {
 	key := pageKey{ns, file, page}
 	if el, ok := c.items[key]; ok {
 		c.lru.MoveToFront(el)
+		if preferred {
+			el.Value.(*pageEntry).preferred = true
+		}
 		return
 	}
-	pe := &pageEntry{key: key, entries: entries, bytes: entriesBytes(entries)}
+	pe := &pageEntry{key: key, entries: entries, bytes: entriesBytes(entries), preferred: preferred}
 	if pe.bytes > c.capacity {
 		return // never cache something bigger than the whole budget
 	}
@@ -150,6 +161,14 @@ func (c *PageCache) put(ns, file uint64, page int, entries []base.Entry) {
 			break
 		}
 		victim := back.Value.(*pageEntry)
+		if victim.preferred {
+			// Second chance: demote and recycle to the front. The loop
+			// terminates because each pass either evicts an entry or
+			// permanently clears a preferred bit.
+			victim.preferred = false
+			c.lru.MoveToFront(back)
+			continue
+		}
 		c.lru.Remove(back)
 		delete(c.items, victim.key)
 		c.used -= victim.bytes

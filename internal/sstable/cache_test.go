@@ -15,7 +15,7 @@ func TestPageCacheBasics(t *testing.T) {
 	if _, ok := h.get(1, 0); ok {
 		t.Fatal("empty cache can't hit")
 	}
-	h.put(1, 0, entries)
+	h.put(1, 0, entries, false)
 	got, ok := h.get(1, 0)
 	if !ok || len(got) != 1 {
 		t.Fatal("cached page must be returned")
@@ -43,7 +43,7 @@ func TestPageCacheEviction(t *testing.T) {
 		}
 	}
 	for i := 0; i < 10; i++ {
-		h.put(1, i, page(i))
+		h.put(1, i, page(i), false)
 	}
 	if c.UsedBytes() > 180 {
 		t.Fatalf("over budget: %d", c.UsedBytes())
@@ -60,9 +60,43 @@ func TestPageCacheEviction(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		huge = append(huge, base.MakeEntry([]byte{byte(i)}, 1, base.KindSet, 0, make([]byte, 16)))
 	}
-	h.put(2, 0, huge)
+	h.put(2, 0, huge, false)
 	if _, ok := h.get(2, 0); ok {
 		t.Fatal("oversized page must not be cached")
+	}
+}
+
+// TestPageCachePreferredAdmission verifies remote-tier pages get a second
+// chance at the LRU tail: a burst of non-preferred fills evicts other
+// non-preferred pages first, and a preferred page survives one full
+// eviction pass before becoming a victim.
+func TestPageCachePreferredAdmission(t *testing.T) {
+	page := func(i int) []base.Entry {
+		return []base.Entry{
+			base.MakeEntry([]byte{byte(i)}, 1, base.KindSet, 0, []byte("v")),
+		}
+	}
+	// Capacity for exactly two pages.
+	c := NewPageCache(2 * entriesBytes(page(0)))
+	h := c.Handle()
+	h.put(1, 0, page(0), true)  // the remote page, oldest
+	h.put(1, 1, page(1), false) // a younger local page
+	// Pressure: plain LRU would evict page 0 first. The second chance
+	// demotes it to the front instead, making page 1 the victim.
+	h.put(1, 2, page(2), false)
+	if _, ok := h.get(1, 0); !ok {
+		t.Fatal("preferred page evicted on its first trip to the LRU tail")
+	}
+	if _, ok := h.get(1, 1); ok {
+		t.Fatal("non-preferred page must be the eviction victim")
+	}
+	// Demoted now; further pressure without touching it evicts it. (The
+	// gets above moved page 0 to the front, so it takes two more fills to
+	// reach the tail again.)
+	h.put(1, 3, page(3), false)
+	h.put(1, 4, page(4), false)
+	if _, ok := h.get(1, 0); ok {
+		t.Fatal("demoted preferred page must eventually be evictable")
 	}
 }
 
@@ -74,11 +108,11 @@ func TestCacheHandleNamespaces(t *testing.T) {
 	h1, h2 := c.Handle(), c.Handle()
 	pageA := []base.Entry{base.MakeEntry([]byte("a"), 1, base.KindSet, 0, []byte("va"))}
 	pageB := []base.Entry{base.MakeEntry([]byte("b"), 1, base.KindSet, 0, []byte("vb"))}
-	h1.put(1, 0, pageA)
+	h1.put(1, 0, pageA, false)
 	if _, ok := h2.get(1, 0); ok {
 		t.Fatal("handle 2 must not see handle 1's page under the same (file, page) key")
 	}
-	h2.put(1, 0, pageB)
+	h2.put(1, 0, pageB, false)
 	got1, _ := h1.get(1, 0)
 	got2, _ := h2.get(1, 0)
 	if string(got1[0].Key.UserKey) != "a" || string(got2[0].Key.UserKey) != "b" {
@@ -97,7 +131,7 @@ func TestNilPageCacheIsNoop(t *testing.T) {
 	if h != nil {
 		t.Fatal("nil cache must yield a nil handle")
 	}
-	h.put(1, 0, nil)
+	h.put(1, 0, nil, false)
 	if _, ok := h.get(1, 0); ok {
 		t.Fatal("nil cache hits nothing")
 	}

@@ -35,11 +35,21 @@ type Reader struct {
 	// cache, when non-nil, is this instance's namespaced view of the
 	// shared decoded-page cache.
 	cache *CacheHandle
+	// remote marks a file living on the slow storage tier. Its pages enter
+	// the cache with admission preference (a remote miss is expensive to
+	// repay), and its iterators read the next delete tile ahead while the
+	// current one is consumed, hiding per-request latency behind decode and
+	// merge work.
+	remote bool
 }
 
 // SetCache attaches a namespaced handle on the shared page cache (nil
 // disables caching).
 func (r *Reader) SetCache(c *CacheHandle) { r.cache = c }
+
+// SetRemote marks the file as living on the remote storage tier, enabling
+// preferred cache admission and iterator read-ahead.
+func (r *Reader) SetRemote(remote bool) { r.remote = remote }
 
 // OpenReader loads the metadata of the sstable stored in f. It opens both
 // format versions: the trailing magic selects the footer layout (see the
@@ -185,8 +195,35 @@ func (r *Reader) readPage(tile *TileMeta, pageInTile int) ([]base.Entry, error) 
 	if err != nil {
 		return nil, err
 	}
-	r.cache.put(r.Meta.FileNum, pi, entries)
+	r.cache.put(r.Meta.FileNum, pi, entries, r.remote)
 	return entries, nil
+}
+
+// CopyTo streams the file's current bytes to w, returning the byte count.
+// It holds the reader's read lock for the duration, so an in-place
+// secondary-range-delete rewrite cannot tear the copy: the bytes written
+// are a point-in-time image of the file. Tier migration uses it to build
+// the remote replica of a local sstable.
+func (r *Reader) CopyTo(w io.Writer) (int64, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	size := r.Meta.Size
+	buf := make([]byte, 1<<20)
+	var off int64
+	for off < size {
+		n := int64(len(buf))
+		if size-off < n {
+			n = size - off
+		}
+		if _, err := r.f.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+			return off, fmt.Errorf("sstable: copy read at %d: %w", off, err)
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return off, fmt.Errorf("sstable: copy write at %d: %w", off, err)
+		}
+		off += n
+	}
+	return off, nil
 }
 
 // findTile locates the single tile that may contain key (tiles are disjoint
@@ -354,6 +391,25 @@ type Iter struct {
 	bufPos  int
 	err     error
 	sorter  tileSorter
+
+	// pf is the in-flight read-ahead of the next tile (remote readers
+	// only); pfScratch is a spare entry buffer ping-ponged between the
+	// consumer and the next prefetch so steady-state read-ahead reuses two
+	// buffers instead of allocating per tile.
+	pf        *iterPrefetch
+	pfScratch []base.Entry
+}
+
+// iterPrefetch is one asynchronous tile load: a goroutine reads and decodes
+// every live page of tile `tile` under the reader's read lock, merges them
+// into S order, and closes done. The goroutine touches only this struct and
+// the reader, so an abandoned prefetch (after a seek or reset) completes
+// harmlessly.
+type iterPrefetch struct {
+	tile int
+	done chan struct{}
+	buf  []base.Entry
+	err  error
 }
 
 // tileSorter sorts a tile's entries by S through a plain sort.Interface
@@ -378,19 +434,108 @@ func (r *Reader) NewIter() *Iter {
 // across the files of a run avoids a per-file allocation — but its entries
 // are zeroed so a parked frame does not pin the previous file's pages.
 func (it *Iter) Reset(r *Reader) {
+	if pf := it.pf; pf != nil {
+		// Wait out an in-flight read-ahead so it cannot touch the previous
+		// reader after the caller releases its pin on the file.
+		<-pf.done
+		it.pf = nil
+	}
 	it.r = r
 	it.tileIdx = -1
 	for i := range it.buf {
 		it.buf[i] = base.Entry{}
 	}
 	it.buf = it.buf[:0]
+	for i := range it.pfScratch {
+		it.pfScratch[i] = base.Entry{}
+	}
+	it.pfScratch = it.pfScratch[:0]
 	it.sorter.buf = nil
 	it.bufPos = 0
 	it.err = nil
 }
 
-// loadTile reads every live page of tile ti and merges them into S order.
+// startPrefetch kicks off the asynchronous load of tile ti, if the reader
+// is remote and ti exists. At most one prefetch is in flight per iterator.
+func (it *Iter) startPrefetch(ti int) {
+	if !it.r.remote || ti < 0 || ti >= len(it.r.Tiles) || it.pf != nil {
+		return
+	}
+	pf := &iterPrefetch{tile: ti, done: make(chan struct{}), buf: it.pfScratch[:0]}
+	it.pfScratch = nil
+	it.pf = pf
+	r := it.r
+	go func() {
+		defer close(pf.done)
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		tile := &r.Tiles[ti]
+		for pi := range tile.Pages {
+			entries, err := r.readPage(tile, pi)
+			if err != nil {
+				pf.err = err
+				return
+			}
+			pf.buf = append(pf.buf, entries...)
+		}
+		s := tileSorter{buf: pf.buf}
+		sort.Sort(&s)
+	}()
+}
+
+// takePrefetch consumes a completed read-ahead for tile ti. It returns true
+// when the prefetched buffer was adopted as the current tile. A prefetch
+// for the wrong tile (the iterator seeked) or one that failed is discarded;
+// the caller falls back to the synchronous path, which re-reads and reports
+// its own error.
+func (it *Iter) takePrefetch(ti int) bool {
+	pf := it.pf
+	if pf == nil {
+		return false
+	}
+	it.pf = nil
+	<-pf.done
+	if pf.tile != ti || pf.err != nil {
+		if pf.err == nil {
+			for i := range pf.buf {
+				pf.buf[i] = base.Entry{}
+			}
+			it.pfScratch = pf.buf[:0]
+		}
+		return false
+	}
+	// Adopt the prefetched buffer and recycle the old one into the next
+	// prefetch, zeroed so it does not pin the previous tile's pages.
+	old := it.buf
+	for i := range old {
+		old[i] = base.Entry{}
+	}
+	it.pfScratch = old[:0]
+	it.buf = pf.buf
+	it.sorter.buf = it.buf
+	it.bufPos = 0
+	return true
+}
+
+// loadTile makes tile ti current: adopt a matching read-ahead if one is in
+// flight, otherwise read every live page synchronously and merge them into
+// S order. Either way the read-ahead of tile ti+1 is started before
+// returning, so a sequential remote scan always has the next tile's pages
+// in flight while this one is decoded and consumed.
 func (it *Iter) loadTile(ti int) bool {
+	if it.takePrefetch(ti) {
+		it.startPrefetch(ti + 1)
+		return true
+	}
+	if !it.loadTileSync(ti) {
+		return false
+	}
+	it.startPrefetch(ti + 1)
+	return true
+}
+
+// loadTileSync is the synchronous tile load path.
+func (it *Iter) loadTileSync(ti int) bool {
 	it.r.mu.RLock()
 	defer it.r.mu.RUnlock()
 	tile := &it.r.Tiles[ti]

@@ -1,0 +1,137 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Tier identifies which device of a TieredFS holds a file.
+type Tier int
+
+// The two tiers of a TieredFS.
+const (
+	TierLocal Tier = iota
+	TierRemote
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	if t == TierRemote {
+		return "remote"
+	}
+	return "local"
+}
+
+// TieredFS composes a fast local FS and a slower remote FS into one
+// namespace, routing each file by a placement function. Creates go to the
+// placed tier; opens and removes prefer it but fall back to the other tier
+// when the file is not there, so a placement function that changes between
+// runs (or lags a migration) still finds every file — the placement decides
+// where new bytes land, not where old bytes are allowed to be. List merges
+// both tiers; a name present on both resolves to the local copy, matching
+// the engine's crash rule that a half-migrated file's local original stays
+// authoritative until the manifest says otherwise.
+type TieredFS struct {
+	local  FS
+	remote FS
+	place  func(name string) Tier
+}
+
+// NewTiered composes local and remote behind the placement function. A nil
+// place routes everything local.
+func NewTiered(local, remote FS, place func(name string) Tier) *TieredFS {
+	return &TieredFS{local: local, remote: remote, place: place}
+}
+
+// Local returns the local tier's filesystem.
+func (fs *TieredFS) Local() FS { return fs.local }
+
+// Remote returns the remote tier's filesystem.
+func (fs *TieredFS) Remote() FS { return fs.remote }
+
+// Tier returns the FS backing the given tier.
+func (fs *TieredFS) Tier(t Tier) FS {
+	if t == TierRemote {
+		return fs.remote
+	}
+	return fs.local
+}
+
+func (fs *TieredFS) placeOf(name string) Tier {
+	if fs.place == nil {
+		return TierLocal
+	}
+	return fs.place(name)
+}
+
+// Create implements FS, creating the file on its placed tier.
+func (fs *TieredFS) Create(name string) (File, error) {
+	return fs.Tier(fs.placeOf(name)).Create(name)
+}
+
+// Open implements FS. The placed tier is tried first; ErrNotExist falls
+// through to the other tier.
+func (fs *TieredFS) Open(name string) (File, error) {
+	t := fs.placeOf(name)
+	f, err := fs.Tier(t).Open(name)
+	if err != nil && errors.Is(err, ErrNotExist) {
+		if f2, err2 := fs.other(t).Open(name); err2 == nil {
+			return f2, nil
+		}
+	}
+	return f, err
+}
+
+// Remove implements FS, with the same placed-tier-then-fallback rule as
+// Open.
+func (fs *TieredFS) Remove(name string) error {
+	t := fs.placeOf(name)
+	err := fs.Tier(t).Remove(name)
+	if err != nil && errors.Is(err, ErrNotExist) {
+		if err2 := fs.other(t).Remove(name); err2 == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// Rename implements FS. Both names must place on the same tier: a rename is
+// the engine's atomic-install primitive (manifest commits), and atomicity
+// cannot span devices.
+func (fs *TieredFS) Rename(oldname, newname string) error {
+	to, tn := fs.placeOf(oldname), fs.placeOf(newname)
+	if to != tn {
+		return fmt.Errorf("vfs: rename %s -> %s crosses tiers (%s -> %s)", oldname, newname, to, tn)
+	}
+	return fs.Tier(to).Rename(oldname, newname)
+}
+
+// List implements FS, returning the union of both tiers, sorted and
+// deduplicated.
+func (fs *TieredFS) List() ([]string, error) {
+	local, err := fs.local.List()
+	if err != nil {
+		return nil, err
+	}
+	remote, err := fs.remote.List()
+	if err != nil {
+		return nil, err
+	}
+	names := append(append([]string(nil), local...), remote...)
+	sort.Strings(names)
+	out := names[:0]
+	for i, n := range names {
+		if i == 0 || n != names[i-1] {
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
+
+func (fs *TieredFS) other(t Tier) FS {
+	if t == TierRemote {
+		return fs.local
+	}
+	return fs.remote
+}

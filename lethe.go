@@ -66,10 +66,30 @@ const (
 	ModeLetheSO = compaction.ModeLetheSO
 )
 
-// Errors re-exported from the engine.
+// Error contract: every error a public DB, Snapshot, or Iterator method
+// returns is one of the sentinels below (or wraps one), so callers branch
+// with errors.Is rather than string matching:
+//
+//   - ErrNotFound — Get on a key that does not exist or was deleted.
+//   - ErrClosed — any operation on a closed DB.
+//   - ErrReadOnlySnapshot — reads on a Snapshot after Release.
+//   - ErrIteratorClosed — Iterator use after Close (iterator.go).
+//   - ErrCorruption — integrity failures from VerifyTables and reads.
+//   - ErrShardLayout — invalid shard configuration at Open: bad boundary
+//     keys, a shard count conflicting with the database's recorded layout,
+//     or sharding over an existing unsharded filesystem.
+//
+// Configuration mistakes caught by Open (missing filesystem, conflicting
+// deprecated aliases) return plain descriptive errors; everything reachable
+// at runtime maps to a sentinel.
 var (
 	ErrNotFound = lsm.ErrNotFound
 	ErrClosed   = lsm.ErrClosed
+	// ErrReadOnlySnapshot is returned by reads on a released Snapshot: the
+	// view is gone, not merely stale.
+	ErrReadOnlySnapshot = lsm.ErrSnapshotReleased
+	// ErrShardLayout is wrapped by every shard-layout rejection at Open.
+	ErrShardLayout = errors.New("lethe: invalid shard layout")
 )
 
 // WALSyncPolicy selects when commits sync the write-ahead log; see the
@@ -93,6 +113,54 @@ const (
 
 // Clock abstracts time for deterministic testing; see NewManualClock.
 type Clock = base.Clock
+
+// PlacementPolicy decides which levels of the tree live on the local tier
+// and which on StorageOptions.RemoteFS. See "Tiered storage" in tuning.go.
+type PlacementPolicy = lsm.PlacementPolicy
+
+// SSTable format versions for StorageOptions.SSTableFormat.
+const (
+	// SSTableFormatV1 is the original fixed-page KiWi layout.
+	SSTableFormatV1 = sstable.FormatV1
+	// SSTableFormatV2 (the default) is the block layout: prefix
+	// compression, restart points, per-block checksums.
+	SSTableFormatV2 = sstable.FormatV2
+)
+
+// StorageOptions groups everything about where and how bytes land: the
+// filesystems, the local/remote tier split, the on-disk block geometry, and
+// the page-cache budget. The zero value means "local only, defaults
+// throughout".
+type StorageOptions struct {
+	// FS overrides the filesystem entirely (advanced; takes precedence
+	// over Options.Path/InMemory). Wrap with vfs.NewCounting to measure
+	// I/O.
+	FS vfs.FS
+	// RemoteFS, when non-nil, enables tiered placement: levels at or past
+	// Placement.LocalLevels keep their sstables here while the WAL, the
+	// manifest, and the hot levels stay on the local filesystem. Wrap it
+	// in a vfs.RemoteFS to model a remote device's latency and bandwidth.
+	// Compaction migrates runs across the boundary as they move down the
+	// tree; a run's tier is recorded in the manifest and survives reopen.
+	// See "Tiered storage" in tuning.go.
+	RemoteFS vfs.FS
+	// Placement assigns levels to tiers; meaningful only with RemoteFS.
+	// The zero value keeps one level local.
+	Placement PlacementPolicy
+	// BlockSizeBytes is the target encoded size of an sstable data block
+	// (default: the page size, preserving the classical per-read cost).
+	// Larger blocks compress and scan better; smaller blocks cost less
+	// I/O and decode per point lookup. See "Block size" in tuning.go.
+	BlockSizeBytes int
+	// CacheBytes bounds the decoded-page cache (RocksDB's block cache
+	// analogue). This is a whole-database budget: with Shards > 1 every
+	// shard shares one cache. Zero disables it.
+	CacheBytes int64
+	// SSTableFormat pins the format version new sstables are written with
+	// (SSTableFormatV2 when zero). Only compatibility tests set it;
+	// readers always open both formats.
+	SSTableFormat int
+}
 
 // NewManualClock returns a manually advanced clock for tests and
 // simulations.
@@ -124,10 +192,9 @@ type Options struct {
 	PageSize int
 	// FilePages is the number of pages per sstable (default 256).
 	FilePages int
-	// BlockSizeBytes is the target encoded size of an sstable data block
-	// (default: PageSize, preserving the classical per-read cost). Larger
-	// blocks compress and scan better; smaller blocks cost less I/O and
-	// decode per point lookup. See "Block size" in tuning.go.
+	// BlockSizeBytes is the target encoded size of an sstable data block.
+	//
+	// Deprecated: use Storage.BlockSizeBytes. Setting both is an error.
 	BlockSizeBytes int
 	// BloomBitsPerKey sizes the Bloom filters (default 10).
 	BloomBitsPerKey int
@@ -145,18 +212,22 @@ type Options struct {
 	WALSync WALSyncPolicy
 	// Clock overrides the time source (tests/simulations).
 	Clock Clock
-	// FS overrides the filesystem entirely (advanced; takes precedence over
-	// Path/InMemory). Wrap with vfs.NewCounting to measure I/O.
+	// FS overrides the filesystem entirely.
+	//
+	// Deprecated: use Storage.FS. Setting both is an error.
 	FS vfs.FS
+	// Storage groups the filesystem, tiering, block geometry, and cache
+	// configuration. The flat FS, BlockSizeBytes, and CacheBytes fields
+	// remain as deprecated aliases; Open resolves them into Storage and
+	// rejects an Options value that sets a field both ways.
+	Storage StorageOptions
 	// CoverageEstimator estimates the key-domain fraction covered by a
 	// primary range delete, used to weight range tombstones in FADE's file
 	// selection.
 	CoverageEstimator func(start, end []byte) float64
-	// CacheBytes bounds the decoded-page cache (RocksDB's block cache
-	// analogue). This is a whole-database budget: with Shards > 1 every
-	// shard shares one cache through the maintenance runtime, so total
-	// cache memory equals CacheBytes regardless of shard count. Zero
-	// disables it.
+	// CacheBytes bounds the decoded-page cache.
+	//
+	// Deprecated: use Storage.CacheBytes. Setting both is an error.
 	CacheBytes int64
 	// Seed fixes internal randomness for reproducibility.
 	Seed int64
@@ -256,9 +327,42 @@ type DB struct {
 	rt *runtime.Runtime
 }
 
+// resolveStorage merges the Storage group with the deprecated flat aliases.
+// A field set both ways is a configuration conflict, not a precedence
+// question — Open refuses rather than silently preferring one.
+func (o Options) resolveStorage() (StorageOptions, error) {
+	s := o.Storage
+	if o.FS != nil {
+		if s.FS != nil {
+			return s, errors.New("lethe: both Options.FS and Options.Storage.FS are set")
+		}
+		s.FS = o.FS
+	}
+	if o.BlockSizeBytes != 0 {
+		if s.BlockSizeBytes != 0 {
+			return s, errors.New("lethe: both Options.BlockSizeBytes and Options.Storage.BlockSizeBytes are set")
+		}
+		s.BlockSizeBytes = o.BlockSizeBytes
+	}
+	if o.CacheBytes != 0 {
+		if s.CacheBytes != 0 {
+			return s, errors.New("lethe: both Options.CacheBytes and Options.Storage.CacheBytes are set")
+		}
+		s.CacheBytes = o.CacheBytes
+	}
+	if s.RemoteFS == nil && s.Placement.LocalLevels != 0 {
+		return s, errors.New("lethe: Storage.Placement is set but Storage.RemoteFS is nil")
+	}
+	return s, nil
+}
+
 // Open creates or reopens a database.
 func Open(opts Options) (*DB, error) {
-	fs := opts.FS
+	storage, err := opts.resolveStorage()
+	if err != nil {
+		return nil, err
+	}
+	fs := storage.FS
 	if fs == nil {
 		if opts.InMemory {
 			fs = vfs.NewMem()
@@ -269,7 +373,7 @@ func Open(opts Options) (*DB, error) {
 			}
 			fs = osfs
 		} else {
-			return nil, errors.New("lethe: set Path, InMemory, or FS")
+			return nil, errors.New("lethe: set Path, InMemory, or Storage.FS")
 		}
 	}
 	mode := opts.Mode
@@ -289,7 +393,7 @@ func Open(opts Options) (*DB, error) {
 	if !opts.DisableBackgroundMaintenance && !manual {
 		rt = runtime.New(runtime.Config{
 			Workers:             opts.CompactionWorkers,
-			CacheBytes:          opts.CacheBytes,
+			CacheBytes:          storage.CacheBytes,
 			MemoryBudget:        opts.MemoryBudget,
 			CompactionRateBytes: opts.CompactionRateBytes,
 		})
@@ -305,18 +409,21 @@ func Open(opts Options) (*DB, error) {
 	// stays a whole-database budget in that corner too.
 	var sharedCache *sstable.PageCache
 	if rt == nil && len(boundaries) > 0 {
-		sharedCache = sstable.NewPageCache(opts.CacheBytes)
+		sharedCache = sstable.NewPageCache(storage.CacheBytes)
 	}
-	innerOpts := func(shardFS vfs.FS) lsm.Options {
+	innerOpts := func(shardFS, shardRemoteFS vfs.FS) lsm.Options {
 		return lsm.Options{
 			FS:                   shardFS,
+			RemoteFS:             shardRemoteFS,
+			Placement:            storage.Placement,
 			Clock:                opts.Clock,
 			SizeRatio:            opts.SizeRatio,
 			BufferBytes:          opts.BufferBytes,
 			PageSize:             opts.PageSize,
 			FilePages:            opts.FilePages,
 			TilePages:            opts.TilePages,
-			BlockSizeBytes:       opts.BlockSizeBytes,
+			BlockSizeBytes:       storage.BlockSizeBytes,
+			SSTableFormat:        storage.SSTableFormat,
 			BloomBitsPerKey:      opts.BloomBitsPerKey,
 			Mode:                 mode,
 			Dth:                  opts.Dth,
@@ -325,7 +432,7 @@ func Open(opts Options) (*DB, error) {
 			DisableWAL:           opts.DisableWAL,
 			WALSync:              opts.WALSync,
 			CoverageEstimator:    opts.CoverageEstimator,
-			CacheBytes:           opts.CacheBytes,
+			CacheBytes:           storage.CacheBytes,
 			Seed:                 opts.Seed,
 
 			DisableBackgroundMaintenance: opts.DisableBackgroundMaintenance,
@@ -337,7 +444,7 @@ func Open(opts Options) (*DB, error) {
 	if len(boundaries) == 0 {
 		// Single instance: the engine owns the filesystem root directly,
 		// byte-identical to the unsharded layout.
-		inner, err := lsm.Open(innerOpts(fs))
+		inner, err := lsm.Open(innerOpts(fs, storage.RemoteFS))
 		if err != nil {
 			closeRT()
 			return nil, err
@@ -346,7 +453,13 @@ func Open(opts Options) (*DB, error) {
 	}
 	shards := make([]*lsm.DB, 0, len(boundaries)+1)
 	for i := 0; i <= len(boundaries); i++ {
-		inner, err := lsm.Open(innerOpts(vfs.NewPrefix(fs, shardDirPrefix(i))))
+		// The remote tier mirrors the local shard layout: each instance
+		// gets the same shard-directory prefix over the remote filesystem.
+		var shardRemote vfs.FS
+		if storage.RemoteFS != nil {
+			shardRemote = vfs.NewPrefix(storage.RemoteFS, shardDirPrefix(i))
+		}
+		inner, err := lsm.Open(innerOpts(vfs.NewPrefix(fs, shardDirPrefix(i)), shardRemote))
 		if err != nil {
 			for _, s := range shards {
 				s.Close()

@@ -156,8 +156,8 @@ func TestFullTreeCompactPublic(t *testing.T) {
 // point lookups on a cached working set stop doing I/O.
 func TestPageCacheSpeedsReads(t *testing.T) {
 	counting := vfsNewCountingForTest()
-	db, err := Open(Options{FS: counting, DisableWAL: true, CacheBytes: 1 << 20,
-		BufferBytes: 1 << 12, PageSize: 256, FilePages: 4})
+	db, err := Open(Options{Storage: StorageOptions{FS: counting, CacheBytes: 1 << 20},
+		DisableWAL: true, BufferBytes: 1 << 12, PageSize: 256, FilePages: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -153,7 +153,7 @@ func TestStatsExposed(t *testing.T) {
 
 func TestCountingFSIntegration(t *testing.T) {
 	counting := vfs.NewCounting(vfs.NewMem(), 256)
-	db, err := Open(Options{FS: counting, DisableWAL: true,
+	db, err := Open(Options{Storage: StorageOptions{FS: counting}, DisableWAL: true,
 		BufferBytes: 1 << 11, PageSize: 256, FilePages: 4})
 	if err != nil {
 		t.Fatal(err)

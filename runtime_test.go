@@ -25,7 +25,7 @@ func TestSharedCacheBudget(t *testing.T) {
 			InMemory:    true,
 			DisableWAL:  true,
 			Shards:      shards,
-			CacheBytes:  budget,
+			Storage:     StorageOptions{CacheBytes: budget},
 			BufferBytes: 4 << 10,
 		})
 		if err != nil {
@@ -155,7 +155,7 @@ func TestSharedSchedulerStress(t *testing.T) {
 		CompactionWorkers: 2,
 		BufferBytes:       8 << 10,
 		SizeRatio:         4,
-		CacheBytes:        256 << 10,
+		Storage:           StorageOptions{CacheBytes: 256 << 10},
 		MemoryBudget:      512 << 10,
 	})
 	if err != nil {
@@ -253,7 +253,7 @@ func TestNoJobRunsAfterClose(t *testing.T) {
 			return nil
 		})
 		db, err := Open(Options{
-			FS:                fs,
+			Storage:           StorageOptions{FS: fs},
 			DisableWAL:        true,
 			Shards:            4,
 			CompactionWorkers: 2,
@@ -293,7 +293,7 @@ func TestMemoryBudgetCrossShardStall(t *testing.T) {
 		return nil
 	})
 	db, err := Open(Options{
-		FS:                fs,
+		Storage:           StorageOptions{FS: fs},
 		DisableWAL:        true,
 		Shards:            4,
 		CompactionWorkers: 1,
@@ -397,7 +397,7 @@ func TestCompactionRateLimiterThrottles(t *testing.T) {
 func TestSharedCacheBudgetSyncReopen(t *testing.T) {
 	const budget = 1 << 20
 	fs := vfs.NewMem()
-	db, err := Open(Options{FS: fs, Shards: 4, CacheBytes: budget, BufferBytes: 4 << 10})
+	db, err := Open(Options{Storage: StorageOptions{FS: fs, CacheBytes: budget}, Shards: 4, BufferBytes: 4 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -411,7 +411,7 @@ func TestSharedCacheBudgetSyncReopen(t *testing.T) {
 	}
 
 	db, err = Open(Options{
-		FS: fs, CacheBytes: budget, BufferBytes: 4 << 10,
+		Storage: StorageOptions{FS: fs, CacheBytes: budget}, BufferBytes: 4 << 10,
 		DisableBackgroundMaintenance: true,
 	})
 	if err != nil {

@@ -75,7 +75,7 @@ func loadShardManifest(fs vfs.FS) (*shardManifest, bool, error) {
 		return nil, false, fmt.Errorf("lethe: decode shard manifest: %w", err)
 	}
 	if err := validateBoundaries(m.Boundaries); err != nil {
-		return nil, false, err
+		return nil, false, fmt.Errorf("%w (shard manifest): %w", ErrShardLayout, err)
 	}
 	return &m, true, nil
 }
@@ -114,10 +114,10 @@ func saveShardManifest(fs vfs.FS, m *shardManifest) error {
 func validateBoundaries(boundaries [][]byte) error {
 	for i, b := range boundaries {
 		if len(b) == 0 {
-			return fmt.Errorf("lethe: shard boundary %d is empty", i)
+			return fmt.Errorf("shard boundary %d is empty", i)
 		}
 		if i > 0 && bytes.Compare(boundaries[i-1], b) >= 0 {
-			return fmt.Errorf("lethe: shard boundaries not strictly increasing at %d", i)
+			return fmt.Errorf("shard boundaries not strictly increasing at %d", i)
 		}
 	}
 	return nil
@@ -232,6 +232,18 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 		agg.CommitQueueDepth += s.CommitQueueDepth
 		agg.WALSyncs += s.WALSyncs
 		agg.LastPublishedSeq += s.LastPublishedSeq
+		// Tier populations and traffic are per-shard (each instance wraps
+		// its own prefixed slice of the remote filesystem), so they sum.
+		agg.Tier.LocalFiles += s.Tier.LocalFiles
+		agg.Tier.LocalBytes += s.Tier.LocalBytes
+		agg.Tier.RemoteFiles += s.Tier.RemoteFiles
+		agg.Tier.RemoteBytes += s.Tier.RemoteBytes
+		agg.Tier.Migrations += s.Tier.Migrations
+		agg.Tier.MigratedBytes += s.Tier.MigratedBytes
+		agg.Tier.RemoteReadOps += s.Tier.RemoteReadOps
+		agg.Tier.RemoteBytesRead += s.Tier.RemoteBytesRead
+		agg.Tier.RemoteWriteOps += s.Tier.RemoteWriteOps
+		agg.Tier.RemoteBytesWritten += s.Tier.RemoteBytesWritten
 		// The page cache is shared: every shard reports the same cache, so
 		// the aggregate takes the maximum rather than summing — summing
 		// would claim Shards x the real budget.
@@ -265,8 +277,8 @@ func resolveShardLayout(fs vfs.FS, opts Options) (boundaries [][]byte, fromManif
 	if ok {
 		if opts.Shards > 1 && opts.Shards != len(m.Boundaries)+1 {
 			return nil, false, fmt.Errorf(
-				"lethe: database has %d shards, Options.Shards asks for %d (resharding is not supported)",
-				len(m.Boundaries)+1, opts.Shards)
+				"%w: database has %d shards, Options.Shards asks for %d (resharding is not supported)",
+				ErrShardLayout, len(m.Boundaries)+1, opts.Shards)
 		}
 		return m.Boundaries, true, nil
 	}
@@ -275,7 +287,7 @@ func resolveShardLayout(fs vfs.FS, opts Options) (boundaries [][]byte, fromManif
 		return nil, false, nil
 	}
 	if n > maxShards {
-		return nil, false, fmt.Errorf("lethe: Options.Shards %d exceeds the maximum %d", n, maxShards)
+		return nil, false, fmt.Errorf("%w: Options.Shards %d exceeds the maximum %d", ErrShardLayout, n, maxShards)
 	}
 	_, manual := opts.Clock.(*base.ManualClock)
 	if manual || opts.DisableBackgroundMaintenance {
@@ -290,19 +302,20 @@ func resolveShardLayout(fs vfs.FS, opts Options) (boundaries [][]byte, fromManif
 	if exists, err := unshardedEngineExists(fs); err != nil {
 		return nil, false, err
 	} else if exists {
-		return nil, false, errors.New(
-			"lethe: filesystem holds an unsharded database; Options.Shards > 1 would shadow it (resharding is not supported)")
+		return nil, false, fmt.Errorf(
+			"%w: filesystem holds an unsharded database; Options.Shards > 1 would shadow it (resharding is not supported)",
+			ErrShardLayout)
 	}
 	boundaries = opts.ShardBoundaries
 	if boundaries == nil {
 		boundaries = DefaultShardBoundaries(n)
 	}
 	if len(boundaries) != n-1 {
-		return nil, false, fmt.Errorf("lethe: Options.ShardBoundaries has %d keys, want Shards-1 = %d",
-			len(boundaries), n-1)
+		return nil, false, fmt.Errorf("%w: Options.ShardBoundaries has %d keys, want Shards-1 = %d",
+			ErrShardLayout, len(boundaries), n-1)
 	}
 	if err := validateBoundaries(boundaries); err != nil {
-		return nil, false, err
+		return nil, false, fmt.Errorf("%w: %w", ErrShardLayout, err)
 	}
 	// Deep-copy before persisting so later caller mutations can't skew
 	// routing.

@@ -21,7 +21,7 @@ func shardVal(i int) []byte { return []byte(fmt.Sprintf("val-%06d", i)) }
 
 func openSharded(t *testing.T, fs vfs.FS, shards int) *DB {
 	t.Helper()
-	db, err := Open(Options{FS: fs, Shards: shards, BufferBytes: 16 << 10})
+	db, err := Open(Options{Storage: StorageOptions{FS: fs}, Shards: shards, BufferBytes: 16 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -444,7 +444,7 @@ func TestShardedReopen(t *testing.T) {
 	}
 
 	// Reopen without specifying Shards: the manifest decides.
-	db2, err := Open(Options{FS: fs, BufferBytes: 16 << 10})
+	db2, err := Open(Options{Storage: StorageOptions{FS: fs}, BufferBytes: 16 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,7 +476,7 @@ func TestShardedReopen(t *testing.T) {
 	}
 
 	// Asking for a different explicit shard count is a resharding error.
-	if _, err := Open(Options{FS: fs, Shards: 2}); err == nil ||
+	if _, err := Open(Options{Storage: StorageOptions{FS: fs}, Shards: 2}); err == nil ||
 		!strings.Contains(err.Error(), "resharding") {
 		t.Fatalf("conflicting shard count: err=%v", err)
 	}
@@ -487,7 +487,7 @@ func TestShardedReopen(t *testing.T) {
 // sharded layout would shadow all root-level data behind empty shards.
 func TestUnshardedReopenWithShardsRejected(t *testing.T) {
 	fs := vfs.NewMem()
-	db, err := Open(Options{FS: fs})
+	db, err := Open(Options{Storage: StorageOptions{FS: fs}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -498,13 +498,13 @@ func TestUnshardedReopenWithShardsRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := Open(Options{FS: fs, Shards: 4}); err == nil ||
+	if _, err := Open(Options{Storage: StorageOptions{FS: fs}, Shards: 4}); err == nil ||
 		!strings.Contains(err.Error(), "unsharded") {
 		t.Fatalf("sharded open over unsharded data: err=%v", err)
 	}
 
 	// Reopening unsharded still works and sees the data.
-	db2, err := Open(Options{FS: fs})
+	db2, err := Open(Options{Storage: StorageOptions{FS: fs}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -532,7 +532,7 @@ func TestShardedWALReplayLandsInCorrectShards(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	db2, err := Open(Options{FS: fs, BufferBytes: 16 << 10})
+	db2, err := Open(Options{Storage: StorageOptions{FS: fs}, BufferBytes: 16 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -65,7 +65,7 @@ func (s *Snapshot) Get(key []byte) ([]byte, error) {
 // GetWithDeleteKey also returns the entry's secondary delete key.
 func (s *Snapshot) GetWithDeleteKey(key []byte) ([]byte, DeleteKey, error) {
 	if s.released.Load() {
-		return nil, 0, lsm.ErrSnapshotReleased
+		return nil, 0, ErrReadOnlySnapshot
 	}
 	i := 0
 	if len(s.shards) > 1 {
@@ -96,7 +96,7 @@ func (s *Snapshot) Scan(start, end []byte, fn func(key []byte, dkey DeleteKey, v
 // reopen earlier shards from the still-held pins.
 func (s *Snapshot) NewIter(start, end []byte) (*Iterator, error) {
 	if s.released.Load() {
-		return nil, lsm.ErrSnapshotReleased
+		return nil, ErrReadOnlySnapshot
 	}
 	if start != nil && end != nil && base.CompareUserKeys(start, end) >= 0 {
 		return &Iterator{exhausted: true, owned: true, cur: 0, hi: -1}, nil
@@ -124,7 +124,7 @@ func (s *Snapshot) NewIter(start, end []byte) (*Iterator, error) {
 // DB.SecondaryRangeScan sorts them.
 func (s *Snapshot) SecondaryRangeScan(lo, hi DeleteKey) ([]Item, error) {
 	if s.released.Load() {
-		return nil, lsm.ErrSnapshotReleased
+		return nil, ErrReadOnlySnapshot
 	}
 	var items []Item
 	for _, sn := range s.shards {

@@ -159,7 +159,7 @@ func listSST(t *testing.T, fs vfs.FS, prefix string) map[string]bool {
 // mid-iteration are deleted from the filesystem right away.
 func TestIteratorCloseReleasesObsoleteFiles(t *testing.T) {
 	fs := vfs.NewMem()
-	db, err := Open(Options{FS: fs, BufferBytes: 1 << 12, DisableWAL: true})
+	db, err := Open(Options{Storage: StorageOptions{FS: fs}, BufferBytes: 1 << 12, DisableWAL: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestIteratorCloseReleasesObsoleteFiles(t *testing.T) {
 func TestIteratorReleasesShardPinsMidIteration(t *testing.T) {
 	const n = 300
 	fs := vfs.NewMem()
-	db, err := Open(Options{FS: fs, Shards: 2, BufferBytes: 1 << 12})
+	db, err := Open(Options{Storage: StorageOptions{FS: fs}, Shards: 2, BufferBytes: 1 << 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,7 +426,7 @@ func TestSecondaryRangeDeletePartialFailure(t *testing.T) {
 		}
 		return nil
 	})
-	db, err := Open(Options{FS: fs, Shards: 4, BufferBytes: 16 << 10})
+	db, err := Open(Options{Storage: StorageOptions{FS: fs}, Shards: 4, BufferBytes: 16 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}

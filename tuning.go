@@ -133,7 +133,7 @@
 // copy of the mutable buffer is immune) — order retention deletes after
 // reads that must not observe them.
 //
-// # Block size: Options.BlockSizeBytes
+// # Block size: Storage.BlockSizeBytes
 //
 // Format v2 (internal/sstable/format.go) stores each delete-tile page as a
 // variable-length block: entries are prefix-compressed against their
@@ -166,6 +166,50 @@
 // rarely-deleting workloads can raise BlockSizeBytes toward 32-64KiB for
 // the compression win. The paper-experiment harness pins BlockSizeBytes to
 // PageSize so the figures keep reasoning in the paper's page units.
+//
+// # Tiered storage: Storage.RemoteFS and Storage.Placement
+//
+// Setting Storage.RemoteFS splits the tree across two devices: the WAL, the
+// manifest, and the first Placement.LocalLevels disk levels stay on the
+// local filesystem, while every colder level keeps its sstables on the
+// remote one. The intended shape is a small fast device (NVMe) in front of
+// a big cheap one (object store, network volume) — in experiments, wrap the
+// remote side in vfs.NewRemote to model its latency and bandwidth.
+//
+// Placement is a property of data, not of configuration alone: each run's
+// tier is recorded in the manifest, so a reopen reproduces the split
+// exactly, and reopening a database whose manifest names remote files
+// without supplying a RemoteFS is an error rather than a tree with holes.
+// Files change tier only by migration — copy to the destination device,
+// sync, then a manifest commit that flips the authoritative tier — so a
+// crash at any point leaves either the old copy or both, never neither.
+// Partial copies a crash strands are swept as orphans at the next open.
+//
+// Choosing LocalLevels: level sizes grow by SizeRatio, so each extra local
+// level multiplies the local footprint by T but also keeps T times more of
+// the tree at local latency. Start from the write side — flush output
+// (level 0) is always local, and the first compaction levels absorb most
+// rewrite traffic, so LocalLevels 1-2 already keeps the churn off the slow
+// device; raise it only when the read working set genuinely spans deeper
+// levels. Point Gets concentrate on recent data and Bloom filters keep
+// cold levels out of most lookups, so a tiered database typically serves
+// hot reads at local speed (BenchmarkTieredHotGet tracks this against the
+// local-only baseline).
+//
+// What to expect from cold scans: remote blocks are fetched with
+// sequential read-ahead (one tile ahead per iterator), so a full scan of a
+// remote level streams at device bandwidth rather than paying the latency
+// per block — BenchmarkTieredColdScan measures achieved throughput against
+// the modeled link. Remote blocks are also admitted to the page cache with
+// admission preference (they survive an eviction scan that would drop a
+// same-aged local block), so a cold-read working set warms into the cache
+// and stays there. Migrations are background work: they ride the
+// maintenance pool at the lowest priority, only when no compaction trigger
+// fires, and their bytes are paced by a separate remote token bucket
+// (runtime.Config.RemoteRateBytes, defaulting to the compaction rate) so a
+// bulk migration cannot starve local flushes of limiter budget.
+// Stats().Tier reports the split (files and bytes per tier), the migration
+// totals, and the raw remote-device traffic; `lethe stats` prints it.
 //
 // # GC pressure and buffer reuse
 //
