@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-wal-sync grouped|always|never] [-shards N] [-memory-budget BYTES] [-compaction-rate BYTES/S] [-local-levels N] [-remote-latency DURATION] [-remote-bandwidth BYTES/S]
+//	lethe [-path DIR] [-dth DURATION] [-h TILEPAGES] [-sync] [-compaction-workers N] [-subcompactions K] [-wal-sync grouped|always|never] [-shards N] [-memory-budget BYTES] [-compaction-rate BYTES/S] [-local-levels N] [-remote-latency DURATION] [-remote-bandwidth BYTES/S]
 //
 // -local-levels N > 0 enables tiered storage: the first N disk levels (plus
 // the WAL and manifest) stay on the local filesystem, colder levels live on
@@ -19,10 +19,13 @@
 // (see the sharding guidance in the lethe package's tuning.go); an existing
 // database reopens with its recorded shard count regardless of the flag.
 // All shards share one maintenance runtime: -compaction-workers sizes its
-// global worker pool, -memory-budget bounds total memtable bytes across
-// shards (0 = unlimited), and -compaction-rate caps maintenance write I/O
-// in bytes per second (0 = unlimited). The stats command reports the
-// runtime's queue depth, stall time, and throttle time.
+// global worker pool, -subcompactions lets a single compaction or migration
+// job fan out into up to K key-range subcompactions borrowing slots from
+// that pool (see "Compaction parallelism" in the lethe package's tuning.go),
+// -memory-budget bounds total memtable bytes across shards (0 = unlimited),
+// and -compaction-rate caps maintenance write I/O in bytes per second
+// (0 = unlimited). The stats command reports the runtime's queue depth,
+// stall time, throttle time, and subcompaction fan-out.
 //
 // -wal-sync selects the commit durability policy: "grouped" (default)
 // batches concurrent commits through the group-commit pipeline with one WAL
@@ -86,6 +89,7 @@ func main() {
 	tiles := flag.Int("h", 4, "delete tile granularity (pages per tile)")
 	syncMaint := flag.Bool("sync", false, "run flushes and compactions inline (no background workers)")
 	workers := flag.Int("compaction-workers", 0, "shared maintenance pool size across all shards (0 = default)")
+	subcompactions := flag.Int("subcompactions", 0, "max key-range subcompactions per compaction job, borrowed from the worker pool (0 = serial)")
 	memBudget := flag.Int64("memory-budget", 0, "total memtable bytes across shards before writers stall (0 = unlimited)")
 	compRate := flag.Int64("compaction-rate", 0, "maintenance write I/O cap in bytes/second (0 = unlimited)")
 	walSync := flag.String("wal-sync", "grouped", "WAL sync policy: grouped, always, or never")
@@ -110,7 +114,8 @@ func main() {
 
 	opts := lethe.Options{Dth: *dth, TilePages: *tiles,
 		DisableBackgroundMaintenance: *syncMaint, CompactionWorkers: *workers,
-		WALSync: policy, Shards: *shards,
+		Subcompactions: *subcompactions,
+		WALSync:        policy, Shards: *shards,
 		MemoryBudget: *memBudget, CompactionRateBytes: *compRate}
 	if *path == "" {
 		opts.InMemory = true
@@ -346,6 +351,8 @@ func (sh *shell) execute(args []string) (quit bool) {
 		fmt.Printf("pipeline: queued-buffers=%d bg-flushes=%d bg-compactions=%d stalls=%d (%v)\n",
 			st.ImmutableBuffers, st.BackgroundFlushes, st.BackgroundCompactions,
 			st.WriteStalls, st.WriteStallTime)
+		fmt.Printf("subcompactions: run=%d max-width=%d merge-time=%v throughput=%.1fMB/s\n",
+			st.Subcompactions, st.MaxMergeWidth, st.CompactionTime, st.CompactionThroughputMBps)
 		groupFactor := 0.0
 		if st.CommitGroups > 0 {
 			groupFactor = float64(st.CommitBatches) / float64(st.CommitGroups)
@@ -355,15 +362,16 @@ func (sh *shell) execute(args []string) (quit bool) {
 			st.MaxCommitGroupBatches, st.CommitQueueDepth, st.WALSyncs, st.LastPublishedSeq)
 		fmt.Printf("max tombstone age: %v (TTLs: %v)\n", db.MaxTombstoneAge(), db.TTLs())
 		if t := st.Tier; sh.tiered || t.RemoteFiles > 0 || t.Migrations > 0 {
-			fmt.Printf("tier: local=%d files/%dB remote=%d files/%dB migrations=%d (%dB)\n",
+			fmt.Printf("tier: local=%d files/%dB remote=%d files/%dB migrations=%d (%dB, %.1fMB/s)\n",
 				t.LocalFiles, t.LocalBytes, t.RemoteFiles, t.RemoteBytes,
-				t.Migrations, t.MigratedBytes)
+				t.Migrations, t.MigratedBytes, t.MigrationMBps)
 			fmt.Printf("tier remote io: reads=%d (%dB) writes=%d (%dB)\n",
 				t.RemoteReadOps, t.RemoteBytesRead, t.RemoteWriteOps, t.RemoteBytesWritten)
 		}
 		if rs := db.RuntimeStats(); rs.Workers > 0 {
-			fmt.Printf("runtime: workers=%d running=%d (max %d) queue=%d jobs(flush=%d compact=%d)\n",
-				rs.Workers, rs.RunningJobs, rs.MaxRunningJobs, rs.QueueDepth, rs.FlushJobs, rs.CompactionJobs)
+			fmt.Printf("runtime: workers=%d running=%d (max %d) queue=%d jobs(flush=%d compact=%d) subcompactions=%d (max parallel %d)\n",
+				rs.Workers, rs.RunningJobs, rs.MaxRunningJobs, rs.QueueDepth, rs.FlushJobs, rs.CompactionJobs,
+				rs.SubcompactionsRun, rs.MaxMergeParallelism)
 			fmt.Printf("runtime memory: used=%dB budget=%dB stalls=%d (%v stalled)\n",
 				rs.MemoryUsed, rs.MemoryBudget, rs.MemoryStalls, rs.MemoryStallTime)
 			fmt.Printf("runtime io: rate=%dB/s throttled=%v; cache %d/%dB hits=%d misses=%d\n",

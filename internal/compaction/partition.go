@@ -1,0 +1,80 @@
+package compaction
+
+import (
+	"sort"
+
+	"lethe/internal/base"
+)
+
+// Boundary is one candidate cut point for range-partitioning a compaction's
+// input key space: an existing block-index boundary (a delete tile's first
+// sort key) together with the live input bytes that start there. Cutting only
+// at boundaries that already exist in the inputs' indexes keeps partitioning
+// metadata-only — no data pages are read to choose subranges.
+type Boundary struct {
+	Key   []byte
+	Bytes int64
+}
+
+// PartitionKeys cuts the key space described by bounds into at most k
+// subranges of roughly equal input bytes, returning the cut keys in strictly
+// increasing order (at most k-1 of them). Subrange i is the half-open
+// interval [cuts[i-1], cuts[i]), the first unbounded below and the last
+// unbounded above, so the subranges tile the whole key space and every user
+// key — and with it every version of that key — falls in exactly one.
+//
+// Fewer than k-1 cuts come back when the inputs have too few distinct
+// boundaries (a tiny compaction) or when the byte distribution is so skewed
+// that several targets collapse onto one boundary; callers shrink their
+// fan-out to len(cuts)+1 rather than run empty subcompactions.
+func PartitionKeys(bounds []Boundary, k int) [][]byte {
+	if k <= 1 || len(bounds) < 2 {
+		return nil
+	}
+	// Order the boundaries and coalesce duplicate keys (the same tile fence
+	// can open a tile in several input files) so cumulative byte positions
+	// are well defined.
+	sorted := append([]Boundary(nil), bounds...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return base.CompareUserKeys(sorted[i].Key, sorted[j].Key) < 0
+	})
+	merged := sorted[:1]
+	for _, b := range sorted[1:] {
+		if base.CompareUserKeys(b.Key, merged[len(merged)-1].Key) == 0 {
+			merged[len(merged)-1].Bytes += b.Bytes
+		} else {
+			merged = append(merged, b)
+		}
+	}
+	var total int64
+	for _, b := range merged {
+		total += b.Bytes
+	}
+	if total <= 0 {
+		return nil
+	}
+	// Walk the boundaries once, snapping each byte target j*total/k to the
+	// first boundary whose cumulative position reaches it. before tracks the
+	// bytes strictly below merged[idx].Key; a cut is taken only when it puts
+	// nonzero bytes both behind it (past the previous cut) and ahead of it,
+	// so no subrange is ever empty by construction.
+	cuts := make([][]byte, 0, k-1)
+	before := merged[0].Bytes
+	idx := 1
+	var prevCum int64
+	for j := 1; j < k && idx < len(merged); j++ {
+		target := total * int64(j) / int64(k)
+		for idx < len(merged) && before < target {
+			before += merged[idx].Bytes
+			idx++
+		}
+		if idx >= len(merged) || before <= prevCum || before >= total {
+			continue
+		}
+		cuts = append(cuts, merged[idx].Key)
+		prevCum = before
+		before += merged[idx].Bytes
+		idx++
+	}
+	return cuts
+}

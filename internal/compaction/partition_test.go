@@ -1,0 +1,120 @@
+package compaction
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func pkey(i int) []byte { return []byte(fmt.Sprintf("key-%04d", i)) }
+
+func checkStrictlyIncreasing(t *testing.T, cuts [][]byte) {
+	t.Helper()
+	for i := 1; i < len(cuts); i++ {
+		if bytes.Compare(cuts[i-1], cuts[i]) >= 0 {
+			t.Fatalf("cuts not strictly increasing: %q then %q", cuts[i-1], cuts[i])
+		}
+	}
+}
+
+func TestPartitionKeysUniform(t *testing.T) {
+	// 8 equal-weight boundaries split 4 ways must cut at every second
+	// boundary, giving four 200-byte subranges.
+	var bounds []Boundary
+	for i := 0; i < 8; i++ {
+		bounds = append(bounds, Boundary{Key: pkey(i), Bytes: 100})
+	}
+	cuts := PartitionKeys(bounds, 4)
+	if len(cuts) != 3 {
+		t.Fatalf("got %d cuts, want 3: %q", len(cuts), cuts)
+	}
+	checkStrictlyIncreasing(t, cuts)
+	for i, want := range []int{2, 4, 6} {
+		if !bytes.Equal(cuts[i], pkey(want)) {
+			t.Fatalf("cut %d = %q, want %q", i, cuts[i], pkey(want))
+		}
+	}
+}
+
+func TestPartitionKeysDuplicateBoundaries(t *testing.T) {
+	// The same fence appearing in several files coalesces; cuts stay
+	// strictly increasing.
+	var bounds []Boundary
+	for file := 0; file < 3; file++ {
+		for i := 0; i < 6; i++ {
+			bounds = append(bounds, Boundary{Key: pkey(i), Bytes: 50})
+		}
+	}
+	cuts := PartitionKeys(bounds, 3)
+	checkStrictlyIncreasing(t, cuts)
+	if len(cuts) == 0 || len(cuts) > 2 {
+		t.Fatalf("got %d cuts, want 1..2", len(cuts))
+	}
+}
+
+func TestPartitionKeysSkewed(t *testing.T) {
+	// All bytes in the first boundary: no cut can balance anything, so the
+	// partitioner must not return cuts that create empty subranges on both
+	// sides — at most one cut directly after the heavy boundary.
+	bounds := []Boundary{
+		{Key: pkey(0), Bytes: 1000},
+		{Key: pkey(1), Bytes: 0},
+		{Key: pkey(2), Bytes: 0},
+		{Key: pkey(3), Bytes: 0},
+	}
+	cuts := PartitionKeys(bounds, 4)
+	checkStrictlyIncreasing(t, cuts)
+	if len(cuts) > 1 {
+		t.Fatalf("skewed input produced %d cuts, want <=1: %q", len(cuts), cuts)
+	}
+}
+
+func TestPartitionKeysDegenerate(t *testing.T) {
+	if cuts := PartitionKeys(nil, 4); cuts != nil {
+		t.Fatalf("nil bounds: got %q", cuts)
+	}
+	if cuts := PartitionKeys([]Boundary{{Key: pkey(0), Bytes: 10}}, 4); cuts != nil {
+		t.Fatalf("single boundary: got %q", cuts)
+	}
+	many := []Boundary{{Key: pkey(0), Bytes: 10}, {Key: pkey(1), Bytes: 10}}
+	if cuts := PartitionKeys(many, 1); cuts != nil {
+		t.Fatalf("k=1: got %q", cuts)
+	}
+	zero := []Boundary{{Key: pkey(0)}, {Key: pkey(1)}}
+	if cuts := PartitionKeys(zero, 4); cuts != nil {
+		t.Fatalf("zero bytes: got %q", cuts)
+	}
+}
+
+func TestPartitionKeysBalance(t *testing.T) {
+	// 100 boundaries of varying weight split 4 ways: each subrange's byte
+	// share must land within 2x of the ideal quarter (cuts snap to existing
+	// boundaries, so perfect balance is not required — gross imbalance is a
+	// bug).
+	var bounds []Boundary
+	var total int64
+	for i := 0; i < 100; i++ {
+		b := int64(50 + (i*37)%100)
+		bounds = append(bounds, Boundary{Key: pkey(i), Bytes: b})
+		total += b
+	}
+	cuts := PartitionKeys(bounds, 4)
+	if len(cuts) != 3 {
+		t.Fatalf("got %d cuts, want 3", len(cuts))
+	}
+	checkStrictlyIncreasing(t, cuts)
+	shares := make([]int64, len(cuts)+1)
+	for _, b := range bounds {
+		i := 0
+		for i < len(cuts) && bytes.Compare(b.Key, cuts[i]) >= 0 {
+			i++
+		}
+		shares[i] += b.Bytes
+	}
+	ideal := total / 4
+	for i, s := range shares {
+		if s > 2*ideal || s < ideal/2 {
+			t.Fatalf("subrange %d holds %d bytes, ideal %d: shares %v", i, s, ideal, shares)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package lsm
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"lethe/internal/base"
 	"lethe/internal/compaction"
@@ -398,34 +400,90 @@ func (db *DB) executeCompaction(job *compactionJob) error {
 // collected as an orphan at the next open. Correctly-placed inputs pass
 // through by handle with no I/O. Safe without db.mu: inputs are pinned by
 // the job's version reference.
+//
+// In background mode a multi-file job copies files concurrently under merge
+// slots borrowed from the shared worker pool, so a placement-repair wave
+// overlaps several paced tier transfers instead of serializing them.
 func (db *DB) executeMigration(job *compactionJob) error {
-	for _, h := range job.srcHandles {
+	began := time.Now()
+	job.outputs = make(run, len(job.srcHandles))
+	var pending []int
+	for i, h := range job.srcHandles {
 		if h.remote == job.remote {
-			job.outputs = append(job.outputs, h)
+			job.outputs[i] = h
 			continue
 		}
-		g, err := job.fs.Create(h.name)
-		if err != nil {
-			return fmt.Errorf("lsm: migrate %s: create copy: %w", h.name, err)
-		}
-		n, err := h.r.CopyTo(g)
-		if err == nil {
-			err = g.Sync()
-		}
-		if cerr := g.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			return fmt.Errorf("lsm: migrate %s: %w", h.name, err)
-		}
-		newH, err := db.openFileAt(h.meta.FileNum, job.remote)
-		if err != nil {
-			return fmt.Errorf("lsm: migrate %s: %w", h.name, err)
-		}
-		job.outputs = append(job.outputs, newH)
-		db.m.tierMigrations.Add(1)
-		db.m.tierMigratedBytes.Add(n)
+		pending = append(pending, i)
 	}
+	width := 1
+	if db.rt != nil && len(pending) > 1 {
+		want := len(pending) - 1
+		if limit := db.mergeWidth() - 1; want > limit {
+			want = limit
+		}
+		if want > 0 {
+			granted := db.rt.AcquireMergeSlots(want)
+			width = granted + 1
+			if granted > 0 {
+				defer db.rt.ReleaseMergeSlots(granted)
+			}
+		}
+	}
+	errs := make([]error, len(pending))
+	copyAt := func(p int) {
+		i := pending[p]
+		errs[p] = db.migrateFile(job, i, job.srcHandles[i])
+	}
+	var wg sync.WaitGroup
+	for g := 1; g < width; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for p := g; p < len(pending); p += width {
+				copyAt(p)
+			}
+		}(g)
+	}
+	for p := 0; p < len(pending); p += width {
+		copyAt(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Completed sibling copies are not in any manifest yet; the
+			// orphan sweep reclaims them at the next open.
+			return err
+		}
+	}
+	db.m.tierMigrateNanos.Add(time.Since(began).Nanoseconds())
+	return nil
+}
+
+// migrateFile copies one misplaced file across the tier boundary and installs
+// the fresh handle at its slot in job.outputs. Concurrent-safe: each call
+// touches a distinct index and the counters are atomic.
+func (db *DB) migrateFile(job *compactionJob, i int, h *fileHandle) error {
+	g, err := job.fs.Create(h.name)
+	if err != nil {
+		return fmt.Errorf("lsm: migrate %s: create copy: %w", h.name, err)
+	}
+	n, err := h.r.CopyTo(g)
+	if err == nil {
+		err = g.Sync()
+	}
+	if cerr := g.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("lsm: migrate %s: %w", h.name, err)
+	}
+	newH, err := db.openFileAt(h.meta.FileNum, job.remote)
+	if err != nil {
+		return fmt.Errorf("lsm: migrate %s: %w", h.name, err)
+	}
+	job.outputs[i] = newH
+	db.m.tierMigrations.Add(1)
+	db.m.tierMigratedBytes.Add(n)
 	return nil
 }
 
@@ -652,17 +710,33 @@ func (db *DB) findMisplacedLocked(mask map[uint64]bool) (*fileHandle, int, bool)
 	return nil, 0, false
 }
 
-// pickMigrationLocked builds a single-file placement-repair job, or nil when
-// every file sits on its level's tier. One file per job keeps migrations
-// incremental: each claims only its own file, installs quickly, and yields
-// the scheduler between copies. Callers hold db.mu; the job pins the current
-// version until released.
+// pickMigrationLocked builds a placement-repair job, or nil when every file
+// sits on its level's tier. In synchronous mode it repairs one file per job,
+// keeping the manifest history identical to the seed engine's; in background
+// mode it batches up to mergeWidth misplaced files of the same level into one
+// job so executeMigration can overlap their copies. Each job claims only its
+// own files, installs quickly, and yields the scheduler between waves.
+// Callers hold db.mu; the job pins the current version until released.
 func (db *DB) pickMigrationLocked(mask map[uint64]bool) *compactionJob {
 	h, l, ok := db.findMisplacedLocked(mask)
 	if !ok {
 		return nil
 	}
 	want := db.remoteLevel(l)
+	handles := run{h}
+	if limit := db.mergeWidth(); db.bgStarted && limit > 1 {
+	scan:
+		for _, r := range db.current.levels[l] {
+			for _, h2 := range r {
+				if len(handles) >= limit {
+					break scan
+				}
+				if h2 != h && !mask[h2.meta.FileNum] && h2.remote != want {
+					handles = append(handles, h2)
+				}
+			}
+		}
+	}
 	return &compactionJob{
 		kind:       compactMigrate,
 		fs:         db.maintTierFS(want),
@@ -670,24 +744,77 @@ func (db *DB) pickMigrationLocked(mask map[uint64]bool) *compactionJob {
 		src:        l,
 		target:     l,
 		remote:     want,
-		srcHandles: run{h},
+		srcHandles: handles,
 	}
 }
 
-// mergeFiles sort-merges upper (newer) and lower (older) inputs into new
-// files at the configured file size, applying the merge rules; outputs are
-// written through fs (rate-limited for background jobs, raw for foreground
-// callers). It updates the engine's (atomic) compaction counters. Safe
-// without db.mu: inputs are pinned by the job's version reference and file
-// numbers are allocated atomically.
-func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.TriggerKind, fs vfs.FS, remote bool) (run, error) {
+// mergeWidth returns the per-job fan-out cap: Subcompactions clamped to the
+// shared worker pool, and 1 in synchronous mode (the paper harness stays
+// strictly serial and bit-for-bit deterministic).
+func (db *DB) mergeWidth() int {
+	if db.rt == nil {
+		return 1
+	}
+	k := db.opts.Subcompactions
+	if k < 1 {
+		k = 1
+	}
+	if w := db.rt.Workers(); k > w {
+		k = w
+	}
+	return k
+}
+
+// partitionInputs collects the inputs' delete-tile index boundaries and cuts
+// the job's key space into at most k byte-balanced subranges. Metadata only —
+// no data pages are read.
+func partitionInputs(inputs run, k int) [][]byte {
+	var bounds []compaction.Boundary
+	for _, h := range inputs {
+		for _, sp := range h.r.TileSpans() {
+			bounds = append(bounds, compaction.Boundary{Key: sp.MinS, Bytes: sp.Bytes})
+		}
+	}
+	return compaction.PartitionKeys(bounds, k)
+}
+
+// boundedIter trims an sstable iterator to user keys strictly below end.
+// Subcompaction cuts are user-key boundaries, so every version of a key stays
+// within one subrange and the merge rules see the same neighborhoods they
+// would serially.
+type boundedIter struct {
+	it  *sstable.Iter
+	end []byte
+}
+
+func (b *boundedIter) Next() (base.Entry, bool) {
+	e, ok := b.it.Next()
+	if !ok || base.CompareUserKeys(e.Key.UserKey, b.end) >= 0 {
+		return base.Entry{}, false
+	}
+	return e, true
+}
+
+func (b *boundedIter) Error() error { return b.it.Error() }
+
+// mergeRange runs one merge pipeline over the inputs restricted to
+// [start, end) — nil meaning unbounded on that side — writing its own output
+// files. rts is the full tombstone set (shadowing must see every range
+// tombstone regardless of the cut); keepRTs is what the caller wants attached
+// to this range's output run, non-nil for exactly one subrange so the
+// surviving tombstones are installed once.
+func (db *DB) mergeRange(inputs run, rts []base.RangeTombstone, start, end []byte, lastLevel bool, keepRTs []base.RangeTombstone, fs vfs.FS, remote bool) (run, compaction.MergeStats, error) {
 	var iters []compaction.Iterator
-	var rts []base.RangeTombstone
-	var bytesIn int64
-	for _, h := range append(append(run{}, upper...), lower...) {
-		iters = append(iters, h.r.NewIter())
-		rts = append(rts, h.r.RangeTombstones...)
-		bytesIn += h.r.LiveBytesOf()
+	for _, h := range inputs {
+		it := h.r.NewIter()
+		if start != nil {
+			it.SeekGE(start)
+		}
+		if end != nil {
+			iters = append(iters, &boundedIter{it: it, end: end})
+		} else {
+			iters = append(iters, it)
+		}
 	}
 	merged := compaction.NewMergeIter(compaction.MergeConfig{
 		LastLevel:       lastLevel,
@@ -703,9 +830,40 @@ func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.Tr
 		entries = append(entries, e.Clone())
 	}
 	if err := merged.Error(); err != nil {
-		return nil, fmt.Errorf("lsm: compaction merge: %w", err)
+		return nil, compaction.MergeStats{}, fmt.Errorf("lsm: compaction merge: %w", err)
 	}
 
+	outputs, _, err := db.writeRun(entries, keepRTs, fs, remote)
+	if err != nil {
+		return nil, compaction.MergeStats{}, err
+	}
+	return outputs, merged.Stats(), nil
+}
+
+// mergeFiles sort-merges upper (newer) and lower (older) inputs into new
+// files at the configured file size, applying the merge rules; outputs are
+// written through fs (rate-limited for background jobs, raw for foreground
+// callers). It updates the engine's (atomic) compaction counters. Safe
+// without db.mu: inputs are pinned by the job's version reference and file
+// numbers are allocated atomically.
+//
+// In background mode the job may fan out into disjoint key-range
+// subcompactions: the input key space is cut at existing delete-tile
+// boundaries into byte-balanced subranges, each merged by its own pipeline
+// writing its own outputs, concatenated in key order afterwards. Parallelism
+// is borrowed from the shared worker pool via merge slots, so total merge
+// concurrency across all shards never exceeds CompactionWorkers. With no cuts
+// (tiny job, skewed inputs, synchronous mode) the serial path below runs the
+// exact pipeline this function always ran.
+func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.TriggerKind, fs vfs.FS, remote bool) (run, error) {
+	began := time.Now()
+	inputs := append(append(run{}, upper...), lower...)
+	var rts []base.RangeTombstone
+	var bytesIn int64
+	for _, h := range inputs {
+		rts = append(rts, h.r.RangeTombstones...)
+		bytesIn += h.r.LiveBytesOf()
+	}
 	// Range tombstones survive the merge unless this was a last-level
 	// compaction.
 	var keepRTs []base.RangeTombstone
@@ -713,12 +871,88 @@ func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.Tr
 		keepRTs = rts
 	}
 
-	outputs, _, err := db.writeRun(entries, keepRTs, fs, remote)
-	if err != nil {
-		return nil, err
+	var cuts [][]byte
+	if k := db.mergeWidth(); k > 1 {
+		cuts = partitionInputs(inputs, k)
+		if len(cuts) > 0 {
+			// Borrow worker slots for the extra pipelines; under pressure the
+			// grant shrinks, and the job re-partitions to the width it got
+			// rather than oversubscribe the pool.
+			granted := db.rt.AcquireMergeSlots(len(cuts))
+			if granted < len(cuts) {
+				cuts = partitionInputs(inputs, granted+1)
+				if len(cuts) > granted {
+					cuts = cuts[:granted]
+				}
+				db.rt.ReleaseMergeSlots(granted - len(cuts))
+				granted = len(cuts)
+			}
+			if granted > 0 {
+				defer db.rt.ReleaseMergeSlots(granted)
+			}
+		}
 	}
 
-	st := merged.Stats()
+	var st compaction.MergeStats
+	var outputs run
+	if len(cuts) == 0 {
+		var err error
+		outputs, st, err = db.mergeRange(inputs, rts, nil, nil, lastLevel, keepRTs, fs, remote)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		type subResult struct {
+			outputs run
+			st      compaction.MergeStats
+			err     error
+		}
+		results := make([]subResult, len(cuts)+1)
+		var wg sync.WaitGroup
+		for i := 1; i <= len(cuts); i++ {
+			start := cuts[i-1]
+			var end []byte
+			if i < len(cuts) {
+				end = cuts[i]
+			}
+			wg.Add(1)
+			go func(i int, start, end []byte) {
+				defer wg.Done()
+				r := &results[i]
+				r.outputs, r.st, r.err = db.mergeRange(inputs, rts, start, end, lastLevel, nil, fs, remote)
+			}(i, start, end)
+		}
+		// The first subrange runs on the calling goroutine (it holds the
+		// job's implicit worker slot) and carries the surviving range
+		// tombstones.
+		r0 := &results[0]
+		r0.outputs, r0.st, r0.err = db.mergeRange(inputs, rts, nil, cuts[0], lastLevel, keepRTs, fs, remote)
+		wg.Wait()
+		db.rt.CountSubcompactions(len(cuts) + 1)
+		db.m.subcompactions.Add(int64(len(cuts) + 1))
+		if w := int64(len(cuts) + 1); w > db.m.maxMergeWidth.Load() {
+			db.m.maxMergeWidth.Set(w)
+		}
+		for i := range results {
+			if err := results[i].err; err != nil {
+				// Sibling subranges may have written files already; they are
+				// unreferenced by any manifest and are swept as local orphans
+				// at the next open.
+				return nil, err
+			}
+		}
+		// Cuts ascend, so concatenating per-subrange outputs (each internally
+		// sorted by writeRun) yields the run in key order.
+		for i := range results {
+			outputs = append(outputs, results[i].outputs...)
+			st.EntriesIn += results[i].st.EntriesIn
+			st.EntriesOut += results[i].st.EntriesOut
+			st.ObsoleteDropped += results[i].st.ObsoleteDropped
+			st.TombstonesDropped += results[i].st.TombstonesDropped
+			st.RangeCovered += results[i].st.RangeCovered
+		}
+	}
+
 	var eventBytes int64 = bytesIn
 	for _, h := range outputs {
 		eventBytes += h.meta.Size
@@ -739,6 +973,7 @@ func (db *DB) mergeFiles(upper, lower run, lastLevel bool, trigger compaction.Tr
 	db.m.entriesDroppedObsolete.Add(int64(st.ObsoleteDropped))
 	db.m.tombstonesDropped.Add(int64(st.TombstonesDropped))
 	db.m.rangeCovered.Add(int64(st.RangeCovered))
+	db.m.compactionNanos.Add(time.Since(began).Nanoseconds())
 	return outputs, nil
 }
 

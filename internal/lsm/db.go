@@ -179,10 +179,19 @@ type internalMetrics struct {
 	trivialMoves           metrics.Counter
 	maxCompactionBytes     metrics.Gauge
 
-	// Tiered-placement metrics: completed cross-tier migrations and the
-	// bytes they copied to the remote device.
+	// Subcompaction fan-out: key-range pipelines run by split jobs, the
+	// widest single-job fan-out, and cumulative wall time inside mergeFiles
+	// (the compaction-throughput denominator).
+	subcompactions  metrics.Counter
+	maxMergeWidth   metrics.Gauge
+	compactionNanos metrics.Counter
+
+	// Tiered-placement metrics: completed cross-tier migrations, the bytes
+	// they copied to the remote device, and cumulative wall time inside
+	// executeMigration (the migration-bandwidth denominator).
 	tierMigrations    metrics.Counter
 	tierMigratedBytes metrics.Counter
+	tierMigrateNanos  metrics.Counter
 
 	// Pipeline metrics (background mode).
 	writeStalls     metrics.Counter
@@ -300,6 +309,9 @@ func Open(opts Options) (db *DB, err error) {
 	} else if len(remoteSet) > 0 {
 		return nil, errors.New("lsm: manifest lists remote-tier files but Options.RemoteFS is unset")
 	}
+	if err := db.cleanLocalOrphans(state.Levels, remoteSet); err != nil {
+		return nil, err
+	}
 
 	v := &version{}
 	for _, runsIn := range state.Levels {
@@ -402,6 +414,41 @@ func (db *DB) cleanRemoteOrphans(remoteSet map[uint64]bool) error {
 		}
 		if err := db.remoteFS.Remove(name); err != nil {
 			return fmt.Errorf("lsm: remove remote orphan %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// cleanLocalOrphans removes local sstables the manifest does not place on
+// the local tier: outputs of a flush, merge, or subcompaction that crashed
+// before its install committed (a fanned-out job can leave several siblings'
+// partial runs), or the stale local original of a committed local→remote
+// migration. The manifest commit is the engine's only durability point —
+// flushed-but-uncommitted data is regenerated from the WAL, never read from
+// orphaned files — so anything outside the committed local set is garbage.
+// Non-sstable names (WAL segments, MANIFEST) do not parse and are skipped.
+func (db *DB) cleanLocalOrphans(levels [][][]uint64, remoteSet map[uint64]bool) error {
+	localSet := make(map[uint64]bool)
+	for _, runs := range levels {
+		for _, nums := range runs {
+			for _, num := range nums {
+				if !remoteSet[num] {
+					localSet[num] = true
+				}
+			}
+		}
+	}
+	names, err := db.opts.FS.List()
+	if err != nil {
+		return fmt.Errorf("lsm: list local tier: %w", err)
+	}
+	for _, name := range names {
+		num, ok := parseFileName(name)
+		if !ok || localSet[num] {
+			continue
+		}
+		if err := db.opts.FS.Remove(name); err != nil {
+			return fmt.Errorf("lsm: remove local orphan %s: %w", name, err)
 		}
 	}
 	return nil

@@ -152,6 +152,14 @@ type Options struct {
 	// Runtime is set the pool belongs to the runtime and this field is
 	// ignored. Ignored in synchronous mode.
 	CompactionWorkers int
+	// Subcompactions caps how many key-range subcompactions one compaction
+	// (or tier-migration) job may fan out into (default 1: serial jobs). The
+	// extra pipelines borrow slots from the shared worker pool, so total
+	// merge parallelism across all instances never exceeds the pool's worker
+	// count; under pressure a job shrinks its fan-out rather than
+	// oversubscribe. Ignored in synchronous mode, which stays strictly
+	// serial and deterministic.
+	Subcompactions int
 	// Runtime attaches this instance to a shared maintenance runtime: one
 	// worker pool, page cache, memory budget, and I/O rate limiter spanning
 	// every instance registered with it (the shards of one database). Nil in
@@ -199,6 +207,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactionWorkers == 0 {
 		o.CompactionWorkers = 1
+	}
+	if o.Subcompactions == 0 {
+		o.Subcompactions = 1
 	}
 	if o.SizeRatio == 0 {
 		o.SizeRatio = 10

@@ -1,0 +1,8 @@
+//go:build race
+
+package lsm
+
+// raceEnabled reports whether the race detector is active; wall-clock
+// utilization assertions skip under it because instrumentation slows the
+// CPU side of the pipeline several-fold.
+const raceEnabled = true

@@ -98,6 +98,17 @@ type Stats struct {
 	// writing goroutine).
 	BackgroundFlushes     int64
 	BackgroundCompactions int64
+	// Subcompactions counts key-range merge pipelines run by fanned-out
+	// compaction jobs (only jobs that actually split; serial jobs add
+	// nothing). MaxMergeWidth is the widest fan-out one job achieved.
+	Subcompactions int64
+	MaxMergeWidth  int64
+	// CompactionTime is the cumulative wall time spent inside mergeFiles;
+	// CompactionThroughputMBps is (bytes read + bytes written) over that
+	// time — the merge bandwidth the subcompaction fan-out is meant to
+	// raise.
+	CompactionTime           time.Duration
+	CompactionThroughputMBps float64
 
 	// Commit-pipeline health (group commit; see commit.go).
 	//
@@ -154,6 +165,11 @@ type TierStats struct {
 	RemoteBytesRead    int64
 	RemoteWriteOps     int64
 	RemoteBytesWritten int64
+	// MigrationTime is the cumulative wall time spent inside
+	// executeMigration; MigrationMBps is MigratedBytes over that time — the
+	// tier-repair bandwidth parallel copies are meant to raise.
+	MigrationTime time.Duration
+	MigrationMBps float64
 }
 
 // Stats returns a consistent snapshot.
@@ -204,6 +220,12 @@ func (db *DB) Stats() Stats {
 	s.WriteStallTime = time.Duration(db.m.writeStallNanos.Load())
 	s.BackgroundFlushes = db.m.bgFlushes.Load()
 	s.BackgroundCompactions = db.m.bgCompactions.Load()
+	s.Subcompactions = db.m.subcompactions.Load()
+	s.MaxMergeWidth = db.m.maxMergeWidth.Load()
+	s.CompactionTime = time.Duration(db.m.compactionNanos.Load())
+	if secs := s.CompactionTime.Seconds(); secs > 0 {
+		s.CompactionThroughputMBps = float64(s.CompactionBytesRead+s.CompactionBytesWritten) / (1 << 20) / secs
+	}
 	s.CommitGroups = db.m.commitGroups.Load()
 	s.CommitBatches = db.m.commitBatches.Load()
 	s.CommitEntries = db.m.commitEntries.Load()
@@ -231,6 +253,10 @@ func (db *DB) Stats() Stats {
 	})
 	s.Tier.Migrations = db.m.tierMigrations.Load()
 	s.Tier.MigratedBytes = db.m.tierMigratedBytes.Load()
+	s.Tier.MigrationTime = time.Duration(db.m.tierMigrateNanos.Load())
+	if secs := s.Tier.MigrationTime.Seconds(); secs > 0 {
+		s.Tier.MigrationMBps = float64(s.Tier.MigratedBytes) / (1 << 20) / secs
+	}
 	if db.remoteIO != nil {
 		io := db.remoteIO.Stats.Snapshot()
 		s.Tier.RemoteReadOps = io.ReadOps

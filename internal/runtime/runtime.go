@@ -142,9 +142,18 @@ type Runtime struct {
 	maxRunningCompactions int
 	workers               int
 	nextSrcID             int
+	// mergeSlots counts the extra merge goroutines jobs have borrowed for
+	// subcompaction fan-out (AcquireMergeSlots). Borrowed slots come out of
+	// the same workers budget the dispatcher schedules compactions against,
+	// so runningCompactions + mergeSlots never exceeds workers and total
+	// merge parallelism across all shards is bounded by the configured pool
+	// size. maxMergeParallelism is that sum's high-water mark.
+	mergeSlots          int
+	maxMergeParallelism int
 
 	flushJobs      metrics.Counter
 	compactionJobs metrics.Counter
+	subcompactions metrics.Counter
 }
 
 // New builds a Runtime and starts its worker pool and maintenance ticker.
@@ -197,6 +206,57 @@ func (rt *Runtime) Limiter() *RateLimiter { return rt.limiter }
 // when unlimited). It is a separate bucket from Limiter so remote-tier
 // writes are accounted — and capped — independently of local ones.
 func (rt *Runtime) RemoteLimiter() *RateLimiter { return rt.remoteLimiter }
+
+// Workers returns the configured compaction pool size — the global merge
+// parallelism budget subcompaction fan-out borrows from.
+func (rt *Runtime) Workers() int { return rt.workers }
+
+// AcquireMergeSlots grants up to want extra merge slots to a job that wants
+// to fan its merge out into parallel key-range subcompactions, returning how
+// many it got (possibly zero — the caller then merges serially or narrower).
+// Concurrency is borrowed, not added: slots come out of the same Workers
+// budget the dispatcher schedules compactions against, so running compaction
+// jobs plus borrowed slots never exceed Workers no matter how many shards
+// fan out at once. Pair every grant with ReleaseMergeSlots.
+func (rt *Runtime) AcquireMergeSlots(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	rt.mu.Lock()
+	free := rt.workers - rt.runningCompactions - rt.mergeSlots
+	if free < 0 {
+		free = 0
+	}
+	if want > free {
+		want = free
+	}
+	rt.mergeSlots += want
+	if p := rt.runningCompactions + rt.mergeSlots; p > rt.maxMergeParallelism {
+		rt.maxMergeParallelism = p
+	}
+	rt.mu.Unlock()
+	return want
+}
+
+// ReleaseMergeSlots returns n borrowed merge slots to the pool and nudges
+// the workers: a compaction held back by the parallelism gate in takeJob may
+// now be dispatchable.
+func (rt *Runtime) ReleaseMergeSlots(n int) {
+	if n <= 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.mergeSlots -= n
+	if rt.mergeSlots < 0 {
+		rt.mergeSlots = 0
+	}
+	rt.mu.Unlock()
+	rt.Notify()
+}
+
+// CountSubcompactions records the pipelines of one fanned-out merge (a job
+// split K ways reports K).
+func (rt *Runtime) CountSubcompactions(n int) { rt.subcompactions.Add(int64(n)) }
 
 // Register adds a source to the scheduler and returns its id for memory
 // accounting.
@@ -339,6 +399,13 @@ func (rt *Runtime) takeJob(flushOnly bool) *Job {
 		rt.mu.Unlock()
 		return nil
 	}
+	// Borrowed subcompaction slots count against the same budget as running
+	// compaction jobs: once the sum reaches Workers, poll flush-only so an
+	// idle worker cannot push merge parallelism past the configured pool
+	// size. Flushes stay exempt — that is the flush lane's guarantee.
+	if rt.runningCompactions+rt.mergeSlots >= rt.workers {
+		flushOnly = true
+	}
 	var offers []*Job
 	contended := false
 	haveFlush := false
@@ -377,6 +444,9 @@ func (rt *Runtime) takeJob(flushOnly bool) *Job {
 			rt.runningCompactions++
 			if rt.runningCompactions > rt.maxRunningCompactions {
 				rt.maxRunningCompactions = rt.runningCompactions
+			}
+			if p := rt.runningCompactions + rt.mergeSlots; p > rt.maxMergeParallelism {
+				rt.maxMergeParallelism = p
 			}
 		}
 	}
@@ -438,6 +508,13 @@ type Stats struct {
 	// FlushJobs and CompactionJobs count jobs the pool has dispatched.
 	FlushJobs      int64
 	CompactionJobs int64
+	// SubcompactionsRun counts the bounded key-range merge pipelines run by
+	// jobs that fanned out (a job split K ways adds K; serial merges add
+	// nothing). MaxMergeParallelism is the high-water mark of concurrent
+	// merge work — running compaction jobs plus borrowed subcompaction
+	// slots — and never exceeds Workers.
+	SubcompactionsRun   int64
+	MaxMergeParallelism int
 
 	// MemoryBudget/MemoryUsed describe the global memtable budget;
 	// MemoryStalls counts writers gated by it and MemoryStallTime their
@@ -474,6 +551,8 @@ func (rt *Runtime) Stats() Stats {
 		MaxRunningCompactions: rt.maxRunningCompactions,
 		FlushJobs:             rt.flushJobs.Load(),
 		CompactionJobs:        rt.compactionJobs.Load(),
+		SubcompactionsRun:     rt.subcompactions.Load(),
+		MaxMergeParallelism:   rt.maxMergeParallelism,
 	}
 	srcs := append([]Source(nil), rt.sources...)
 	rt.mu.Unlock()

@@ -333,3 +333,55 @@ func TestStatsQueueDepth(t *testing.T) {
 	}
 	close(block)
 }
+
+// TestMergeSlotBorrowing exercises the subcompaction slot ledger: grants are
+// capped by the free worker budget, shrink as slots are consumed, and
+// releases restore capacity while the high-water mark records the peak.
+func TestMergeSlotBorrowing(t *testing.T) {
+	rt := New(Config{Workers: 4})
+	defer rt.Close()
+
+	if got := rt.Workers(); got != 4 {
+		t.Fatalf("Workers() = %d, want 4", got)
+	}
+	if got := rt.AcquireMergeSlots(3); got != 3 {
+		t.Fatalf("first acquire = %d, want 3", got)
+	}
+	// Only one worker's worth of budget remains: a request for three more is
+	// trimmed, not queued.
+	if got := rt.AcquireMergeSlots(3); got != 1 {
+		t.Fatalf("second acquire = %d, want 1", got)
+	}
+	// Pool exhausted: further requests get zero, and the caller is expected
+	// to merge serially.
+	if got := rt.AcquireMergeSlots(1); got != 0 {
+		t.Fatalf("acquire on exhausted pool = %d, want 0", got)
+	}
+	if got := rt.Stats().MaxMergeParallelism; got != 4 {
+		t.Fatalf("MaxMergeParallelism = %d, want 4", got)
+	}
+
+	rt.ReleaseMergeSlots(2)
+	if got := rt.AcquireMergeSlots(5); got != 2 {
+		t.Fatalf("acquire after release = %d, want 2", got)
+	}
+	rt.ReleaseMergeSlots(4)
+
+	// Zero and negative requests are no-ops.
+	if got := rt.AcquireMergeSlots(0); got != 0 {
+		t.Fatalf("acquire(0) = %d, want 0", got)
+	}
+	if got := rt.AcquireMergeSlots(-1); got != 0 {
+		t.Fatalf("acquire(-1) = %d, want 0", got)
+	}
+
+	rt.CountSubcompactions(4)
+	rt.CountSubcompactions(2)
+	s := rt.Stats()
+	if s.SubcompactionsRun != 6 {
+		t.Fatalf("SubcompactionsRun = %d, want 6", s.SubcompactionsRun)
+	}
+	if s.MaxMergeParallelism != 4 {
+		t.Fatalf("MaxMergeParallelism after release = %d, want 4 (high-water)", s.MaxMergeParallelism)
+	}
+}

@@ -204,26 +204,91 @@ func (r *Reader) readPage(tile *TileMeta, pageInTile int) ([]base.Entry, error) 
 // secondary-range-delete rewrite cannot tear the copy: the bytes written
 // are a point-in-time image of the file. Tier migration uses it to build
 // the remote replica of a local sstable.
+//
+// The copy is double-buffered: while one chunk drains into w, the next is
+// already being read, so a migration across a modeled remote link overlaps
+// the source read with the paced remote write instead of alternating between
+// them. The read-ahead goroutine touches only its own buffer and the file
+// (ReadAt is concurrent-safe), and every return path drains it first, so the
+// whole copy still runs inside this call's read-lock window.
 func (r *Reader) CopyTo(w io.Writer) (int64, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	size := r.Meta.Size
-	buf := make([]byte, 1<<20)
-	var off int64
-	for off < size {
+	const chunk = 1 << 20
+	var bufs [2][]byte
+	bufs[0] = make([]byte, chunk)
+	bufs[1] = make([]byte, chunk)
+	type chunkRead struct {
+		n   int64
+		err error
+	}
+	reads := make(chan chunkRead, 1)
+	readAt := func(buf []byte, off int64) {
 		n := int64(len(buf))
 		if size-off < n {
 			n = size - off
 		}
-		if _, err := r.f.ReadAt(buf[:n], off); err != nil && err != io.EOF {
-			return off, fmt.Errorf("sstable: copy read at %d: %w", off, err)
+		_, err := r.f.ReadAt(buf[:n], off)
+		if err == io.EOF {
+			err = nil
 		}
-		if _, err := w.Write(buf[:n]); err != nil {
+		reads <- chunkRead{n: n, err: err}
+	}
+	var off int64
+	cur := 0
+	if off < size {
+		go readAt(bufs[cur], off)
+	}
+	for off < size {
+		res := <-reads
+		if res.err != nil {
+			return off, fmt.Errorf("sstable: copy read at %d: %w", off, res.err)
+		}
+		next := off + res.n
+		inflight := next < size
+		if inflight {
+			go readAt(bufs[1-cur], next)
+		}
+		if _, err := w.Write(bufs[cur][:res.n]); err != nil {
+			if inflight {
+				<-reads // the read-ahead must not outlive the lock
+			}
 			return off, fmt.Errorf("sstable: copy write at %d: %w", off, err)
 		}
-		off += n
+		off = next
+		cur = 1 - cur
 	}
 	return off, nil
+}
+
+// TileSpan describes one delete tile for compaction range partitioning: the
+// tile's first sort key and the live (non-dropped) encoded bytes of its
+// pages.
+type TileSpan struct {
+	MinS  []byte
+	Bytes int64
+}
+
+// TileSpans snapshots the file's tile boundaries and live byte weights under
+// the read lock (page descriptors mutate under secondary range deletes). The
+// compaction range partitioner cuts a job's key space at these existing
+// index boundaries, so choosing subranges reads no data pages.
+func (r *Reader) TileSpans() []TileSpan {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	spans := make([]TileSpan, 0, len(r.Tiles))
+	for ti := range r.Tiles {
+		tile := &r.Tiles[ti]
+		var live int64
+		for pi := range tile.Pages {
+			if !tile.Pages[pi].Dropped {
+				live += int64(tile.Pages[pi].Bytes)
+			}
+		}
+		spans = append(spans, TileSpan{MinS: tile.MinS, Bytes: live})
+	}
+	return spans
 }
 
 // findTile locates the single tile that may contain key (tiles are disjoint

@@ -251,6 +251,19 @@ type Options struct {
 	// goroutine count never scales with the shard count. Default 1.
 	// Ignored in synchronous mode.
 	CompactionWorkers int
+	// Subcompactions caps how many key-range subcompactions a single
+	// compaction (or tier-migration) job may fan out into. A job splits its
+	// input key space at existing delete-tile boundaries into byte-balanced
+	// subranges and merges them concurrently, concatenating the outputs in
+	// key order — semantically identical to the serial merge, just faster on
+	// a multi-core host. The extra pipelines borrow slots from the
+	// CompactionWorkers pool, so total merge parallelism across all shards
+	// never exceeds the pool size and the CompactionRateBytes limiter still
+	// paces aggregate maintenance I/O; under a busy pool a job shrinks its
+	// fan-out instead of oversubscribing. Default 1 (serial jobs). Ignored
+	// in synchronous mode, which stays strictly serial and deterministic.
+	// See "Compaction parallelism" in tuning.go.
+	Subcompactions int
 	// MemoryBudget bounds the total memtable bytes (mutable buffers plus
 	// sealed buffers awaiting flush) across all shards. When the sum
 	// exceeds it, writers to shards at or above their fair share
@@ -437,6 +450,7 @@ func Open(opts Options) (*DB, error) {
 
 			DisableBackgroundMaintenance: opts.DisableBackgroundMaintenance,
 			MaxImmutableBuffers:          opts.MaxImmutableBuffers,
+			Subcompactions:               opts.Subcompactions,
 			Runtime:                      rt,
 			Cache:                        sharedCache,
 		}

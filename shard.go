@@ -223,6 +223,11 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 		agg.WriteStallTime += s.WriteStallTime
 		agg.BackgroundFlushes += s.BackgroundFlushes
 		agg.BackgroundCompactions += s.BackgroundCompactions
+		agg.Subcompactions += s.Subcompactions
+		if s.MaxMergeWidth > agg.MaxMergeWidth {
+			agg.MaxMergeWidth = s.MaxMergeWidth
+		}
+		agg.CompactionTime += s.CompactionTime
 		agg.CommitGroups += s.CommitGroups
 		agg.CommitBatches += s.CommitBatches
 		agg.CommitEntries += s.CommitEntries
@@ -240,6 +245,7 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 		agg.Tier.RemoteBytes += s.Tier.RemoteBytes
 		agg.Tier.Migrations += s.Tier.Migrations
 		agg.Tier.MigratedBytes += s.Tier.MigratedBytes
+		agg.Tier.MigrationTime += s.Tier.MigrationTime
 		agg.Tier.RemoteReadOps += s.Tier.RemoteReadOps
 		agg.Tier.RemoteBytesRead += s.Tier.RemoteBytesRead
 		agg.Tier.RemoteWriteOps += s.Tier.RemoteWriteOps
@@ -259,6 +265,16 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 		if s.CacheMisses > agg.CacheMisses {
 			agg.CacheMisses = s.CacheMisses
 		}
+	}
+	// Derived rates are recomputed from the summed operands: averaging
+	// per-shard ratios would weight idle shards incorrectly. Shard merge
+	// windows can overlap in wall time, so these are per-merge-second
+	// bandwidths, not host-level aggregates.
+	if secs := agg.CompactionTime.Seconds(); secs > 0 {
+		agg.CompactionThroughputMBps = float64(agg.CompactionBytesRead+agg.CompactionBytesWritten) / (1 << 20) / secs
+	}
+	if secs := agg.Tier.MigrationTime.Seconds(); secs > 0 {
+		agg.Tier.MigrationMBps = float64(agg.Tier.MigratedBytes) / (1 << 20) / secs
 	}
 	return agg
 }

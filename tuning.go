@@ -94,6 +94,46 @@
 // Options.ShardBoundaries quantiles of the real distribution, or every key
 // lands in one shard and the others idle.
 //
+// # Compaction parallelism: Options.Subcompactions
+//
+// CompactionWorkers parallelizes *across* jobs; Subcompactions parallelizes
+// *within* one. A single large compaction — a deep-level merge, a
+// FullTreeCompact, a placement-repair wave — is otherwise one serial merge
+// pipeline, and its duration bounds how fast the engine can pay down
+// compaction and delete-persistence debt no matter how many workers idle
+// beside it. With Subcompactions = K > 1, a job cuts its input key space at
+// delete-tile index boundaries (metadata only, no data reads) into up to K
+// byte-balanced subranges, merges them concurrently with each pipeline
+// writing its own output files, and concatenates the outputs in key order at
+// install. The result is semantically identical to the serial merge — same
+// key ranges, same tombstone accounting, same FADE bookkeeping — it just
+// finishes sooner; BenchmarkCompactionThroughput measures the speedup.
+//
+// The budget discipline: subcompactions borrow worker slots, they do not add
+// goroutine capacity. A job asks the runtime for K-1 extra slots and fans
+// out only as wide as the grant (runningCompactions + borrowed slots never
+// exceeds CompactionWorkers, across every shard), so a busy pool degrades a
+// job toward serial instead of oversubscribing the host, and the
+// CompactionRateBytes token bucket still paces the aggregate write I/O of
+// all pipelines together. Tier migrations reuse the same slots to overlap
+// their per-file copies, which matters when each copy is paced by a modeled
+// remote link: four overlapped transfers fill the link where serial copies
+// would idle it between files (BenchmarkColdMigration). Remote compaction
+// inputs stream through the same per-tile read-ahead scans use, so a
+// cold-tier merge reads at link bandwidth rather than a round trip per
+// block.
+//
+// Sizing: Subcompactions is a cap, clamped to CompactionWorkers; K = 2-4
+// with CompactionWorkers ≥ K is where the large-job wins live. Small jobs
+// with few distinct tile boundaries split less or not at all — fan-out
+// never manufactures empty subranges. Synchronous/manual-clock mode ignores
+// the knob entirely: the paper harness stays strictly serial and
+// bit-for-bit deterministic. Observability: Stats().Subcompactions,
+// MaxMergeWidth, CompactionTime, and CompactionThroughputMBps;
+// RuntimeStats().SubcompactionsRun and MaxMergeParallelism;
+// Stats().Tier.MigrationMBps for the migration side. `lethe stats` prints
+// all three lines.
+//
 // # Reading at scale: snapshots and streaming iterators
 //
 // Every read primitive pins a refcounted view and streams from it — none
