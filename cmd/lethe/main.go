@@ -18,6 +18,13 @@
 // -shards N range-partitions the database over N independent LSM instances
 // (see the sharding guidance in the lethe package's tuning.go); an existing
 // database reopens with its recorded shard count regardless of the flag.
+// The layout is not fixed for life: the reshard subcommand (below) splits
+// and merges shards online, and -auto-reshard enables the load-driven
+// balancer, which watches per-shard write stalls and footprint and splits
+// hot shards (merging cold adjacent pairs back) by itself. Both require
+// background maintenance — they are rejected under -sync. The stats command
+// prints one pressure line per shard (stalls, memtable bytes, disk bytes,
+// space-amp operands) plus the cumulative reshard counters.
 // All shards share one maintenance runtime: -compaction-workers sizes its
 // global worker pool, -subcompactions lets a single compaction or migration
 // job fan out into up to K key-range subcompactions borrowing slots from
@@ -43,16 +50,27 @@
 //	scan [start [end]]
 //	dscan <dlo> <dhi>
 //	snap | release
+//	reshard split <shard> [boundary] | reshard merge <shard>
 //	stats | levels | verify | flush | maintain | compactall | quit
 //
 // Run non-interactively with a positional subcommand:
 //
 //	lethe -path DIR verify
+//	lethe -path DIR reshard split <shard> [boundary]
+//	lethe -path DIR reshard merge <shard>
 //
-// walks every live sstable in every shard, validating footer and metadata
-// checksums, per-block CRCs, and index ordering, prints per-shard totals, and
-// exits non-zero if any file is corrupt — the post-crash integrity check the
-// CI recovery job runs after fault injection.
+// verify walks every live sstable in every shard, validating footer and
+// metadata checksums, per-block CRCs, and index ordering, prints per-shard
+// totals, and exits non-zero if any file is corrupt — the post-crash
+// integrity check the CI recovery job runs after fault injection.
+//
+// reshard split divides the shard at routing position <shard> in two, at
+// the given boundary key or (omitted) at a delete-tile fence chosen to
+// byte-balance the halves; reshard merge folds shards <shard> and <shard>+1
+// into one. Both run the online protocol — sstable-level handoff, bounded
+// straddler rewrites, crash-safe manifest swap — and print the resulting
+// layout. The same verbs work inside the shell as "reshard split ..." and
+// "reshard merge ...".
 //
 // snap pins a point-in-time snapshot of every shard; while one is held,
 // get, scan, and dscan are served from it — concurrent writes, flushes,
@@ -94,6 +112,7 @@ func main() {
 	compRate := flag.Int64("compaction-rate", 0, "maintenance write I/O cap in bytes/second (0 = unlimited)")
 	walSync := flag.String("wal-sync", "grouped", "WAL sync policy: grouped, always, or never")
 	shards := flag.Int("shards", 1, "range shards (independent LSM instances; >1 requires background maintenance)")
+	autoReshard := flag.Bool("auto-reshard", false, "enable the load-driven balancer (splits hot shards, merges cold pairs; requires background maintenance)")
 	localLevels := flag.Int("local-levels", 0, "disk levels kept on the local tier (0 = tiering disabled)")
 	remoteLatency := flag.Duration("remote-latency", 0, "modeled per-operation round trip of the remote tier (0 = free)")
 	remoteBandwidth := flag.Int64("remote-bandwidth", 0, "modeled remote link bandwidth in bytes/second (0 = unlimited)")
@@ -116,7 +135,8 @@ func main() {
 		DisableBackgroundMaintenance: *syncMaint, CompactionWorkers: *workers,
 		Subcompactions: *subcompactions,
 		WALSync:        policy, Shards: *shards,
-		MemoryBudget: *memBudget, CompactionRateBytes: *compRate}
+		MemoryBudget: *memBudget, CompactionRateBytes: *compRate,
+		AutoReshard: *autoReshard}
 	if *path == "" {
 		opts.InMemory = true
 		fmt.Println("in-memory database (use -path to persist)")
@@ -160,8 +180,14 @@ func main() {
 				db.Close()
 				os.Exit(1)
 			}
+		case "reshard":
+			if err := runReshard(db, flag.Args()[1:]); err != nil {
+				fmt.Fprintln(os.Stderr, "reshard:", err)
+				db.Close()
+				os.Exit(1)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown subcommand %q (want verify)\n", cmd)
+			fmt.Fprintf(os.Stderr, "unknown subcommand %q (want verify or reshard)\n", cmd)
 			db.Close()
 			os.Exit(1)
 		}
@@ -178,6 +204,40 @@ func main() {
 		}
 		fmt.Print("> ")
 	}
+}
+
+// runReshard executes "reshard split <shard> [boundary]" or
+// "reshard merge <shard>" and prints the resulting layout.
+func runReshard(db *lethe.DB, args []string) error {
+	usage := fmt.Errorf("usage: reshard split <shard> [boundary] | reshard merge <shard>")
+	if len(args) < 2 {
+		return usage
+	}
+	shard, err := strconv.Atoi(args[1])
+	if err != nil {
+		return fmt.Errorf("shard %q: %w", args[1], err)
+	}
+	switch args[0] {
+	case "split":
+		var boundary []byte
+		if len(args) > 2 {
+			boundary = []byte(args[2])
+		}
+		if err := db.SplitShard(shard, boundary); err != nil {
+			return err
+		}
+	case "merge":
+		if err := db.MergeShards(shard); err != nil {
+			return err
+		}
+	default:
+		return usage
+	}
+	rs := db.ReshardStats()
+	fmt.Printf("layout: %d shards at epoch %d (handed off %d files, rewrote %d straddlers / %dB, %d manifest ops)\n",
+		db.ShardCount(), rs.Epoch, rs.FilesHandedOff, rs.StraddlerRewrites,
+		rs.StraddlerRewriteBytes, rs.ManifestOps)
+	return nil
 }
 
 // runVerify walks every live sstable, prints per-shard totals, and reports
@@ -368,6 +428,22 @@ func (sh *shell) execute(args []string) (quit bool) {
 			fmt.Printf("tier remote io: reads=%d (%dB) writes=%d (%dB)\n",
 				t.RemoteReadOps, t.RemoteBytesRead, t.RemoteWriteOps, t.RemoteBytesWritten)
 		}
+		if n := db.ShardCount(); n > 1 || db.ShardEpoch() > 0 {
+			for _, p := range db.ShardPressures() {
+				amp := "n/a"
+				if p.SpaceAmpUnique > 0 {
+					amp = fmt.Sprintf("%.3f (%dB/%dB)",
+						float64(p.SpaceAmpTotal)/float64(p.SpaceAmpUnique)-1, p.SpaceAmpTotal, p.SpaceAmpUnique)
+				}
+				fmt.Printf("shard %d (id %d): stalls=%d (%v) memtable=%dB imm=%d disk=%dB space-amp=%s\n",
+					p.Shard, p.ID, p.WriteStalls, p.WriteStallTime,
+					p.MemtableBytes, p.ImmutableBuffers, p.BytesOnDisk, amp)
+			}
+			rst := db.ReshardStats()
+			fmt.Printf("reshard: epoch=%d splits=%d merges=%d handed-off=%d rewrites=%d (%dB) manifest-ops=%d\n",
+				rst.Epoch, rst.Splits, rst.Merges, rst.FilesHandedOff,
+				rst.StraddlerRewrites, rst.StraddlerRewriteBytes, rst.ManifestOps)
+		}
 		if rs := db.RuntimeStats(); rs.Workers > 0 {
 			fmt.Printf("runtime: workers=%d running=%d (max %d) queue=%d jobs(flush=%d compact=%d) subcompactions=%d (max parallel %d)\n",
 				rs.Workers, rs.RunningJobs, rs.MaxRunningJobs, rs.QueueDepth, rs.FlushJobs, rs.CompactionJobs,
@@ -396,6 +472,10 @@ func (sh *shell) execute(args []string) (quit bool) {
 		if err := db.FullTreeCompact(); err != nil {
 			fail(err)
 		}
+	case "reshard":
+		if err := runReshard(db, args[1:]); err != nil {
+			fail(err)
+		}
 	case "snap":
 		sh.dropSnapshot()
 		snap, err := db.NewSnapshot()
@@ -415,7 +495,7 @@ func (sh *shell) execute(args []string) (quit bool) {
 	case "quit", "exit":
 		return true
 	default:
-		fmt.Println("commands: put get del rangedel srd scan dscan snap release stats levels verify flush maintain compactall quit")
+		fmt.Println("commands: put get del rangedel srd scan dscan snap release reshard stats levels verify flush maintain compactall quit")
 	}
 	return false
 }

@@ -344,12 +344,23 @@ func Open(opts Options) (db *DB, err error) {
 	}
 	db.published = db.seq
 	if !o.DisableBackgroundMaintenance {
+		if o.HoldMaintenance {
+			// Start paused: startBackground registers with the runtime, and
+			// a positive pause count makes OfferJob decline until
+			// ResumeMaintenance drops it back to zero.
+			db.pauseBG = 1
+		}
 		db.startBackground()
 	}
 	return db, nil
 }
 
-func (db *DB) fileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
+// FileName returns the canonical sstable file name for a file number. It is
+// exported for the resharding orchestrator, which hands files off between
+// shard directories by renaming them.
+func FileName(num uint64) string { return fmt.Sprintf("%06d.sst", num) }
+
+func (db *DB) fileName(num uint64) string { return FileName(num) }
 
 // parseFileName inverts fileName, reporting false for non-sstable names.
 func parseFileName(name string) (uint64, bool) {

@@ -144,6 +144,12 @@ type Options struct {
 	// since background workers racing a manually advanced clock would make
 	// experiments unrepeatable.
 	DisableBackgroundMaintenance bool
+	// HoldMaintenance opens the instance with background maintenance
+	// paused: the shared runtime will not claim flush or compaction jobs
+	// from it until ResumeMaintenance is called. Resharding uses it so a
+	// freshly installed shard cannot start compacting before its routing
+	// epoch commits. Ignored in synchronous mode.
+	HoldMaintenance bool
 	// MaxImmutableBuffers bounds the immutable-memtable flush queue in
 	// background mode; writers stall when it is full (default 2).
 	MaxImmutableBuffers int

@@ -89,6 +89,10 @@ type Stats struct {
 	// ImmutableBuffers is the current depth of the immutable-flush queue;
 	// writers stall when it reaches Options.MaxImmutableBuffers.
 	ImmutableBuffers int
+	// MemtableBytes is the approximate in-memory footprint of the live
+	// memtable plus the immutable-flush queue — a direct read of write
+	// pressure, sampled by the reshard balancer.
+	MemtableBytes int64
 	// WriteStalls counts write operations that blocked on a full flush
 	// queue; WriteStallTime is their cumulative wait.
 	WriteStalls    int64
@@ -196,6 +200,10 @@ func (db *DB) Stats() Stats {
 	}
 	s.BufferEntries = db.mem.Count()
 	s.ImmutableBuffers = len(db.imm)
+	s.MemtableBytes = int64(db.mem.ApproxBytes())
+	for _, fl := range db.imm {
+		s.MemtableBytes += int64(fl.mem.ApproxBytes())
+	}
 
 	s.Compactions = db.m.compactions.Load()
 	s.CompactionsTTL = db.m.compactionsTTL.Load()

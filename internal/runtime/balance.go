@@ -1,0 +1,270 @@
+package runtime
+
+// Load-driven shard balancing. The Balancer is a maintenance Source like an
+// LSM instance: the runtime's ticker drives its sampling, and split/merge
+// work flows through the same OfferJob/claim protocol as flushes and
+// compactions — there is no second scheduler. The split signal is write
+// stalls (a shard whose flush queue backs up between samples is hotter than
+// its share of the worker pool can absorb); the merge signal is a pair of
+// adjacent shards that have stayed idle and small for many samples, so
+// collapsing them costs little and frees routing-table and per-shard
+// overhead.
+//
+// The Balancer never touches the routing table itself: it proposes, and the
+// ReshardController (the lethe router) executes under its own locking. At
+// most one proposal is armed or in flight at a time — resharding changes
+// the very signals being sampled, so the policy re-observes before acting
+// again.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ShardPressure is one shard's load sample, in routing order.
+type ShardPressure struct {
+	// Shard is the routing position; ID is the persistent shard identity
+	// (stable across layout epochs), which the balancer keys its history by.
+	Shard int
+	ID    int
+	// WriteStalls/WriteStallTime are cumulative; the balancer differences
+	// them between samples.
+	WriteStalls    int64
+	WriteStallTime time.Duration
+	// MemtableBytes and ImmutableBuffers are instantaneous write-path
+	// pressure; BytesOnDisk is the shard's physical footprint.
+	MemtableBytes    int64
+	ImmutableBuffers int
+	BytesOnDisk      int64
+	// SpaceAmpTotal/SpaceAmpUnique are the operands of the space
+	// amplification ratio (total/unique-1); -1 when not sampled (the
+	// balancer's cheap path skips them — computing unique bytes scans the
+	// tree).
+	SpaceAmpTotal  int64
+	SpaceAmpUnique int64
+}
+
+// ReshardKind discriminates proposal types.
+type ReshardKind int
+
+const (
+	ReshardSplit ReshardKind = iota
+	ReshardMerge
+)
+
+// ReshardProposal asks the controller to split Shard (at a boundary of its
+// choosing) or to merge Shard with Shard+1. Shard is a routing position at
+// proposal time; the controller revalidates against the current table.
+type ReshardProposal struct {
+	Kind   ReshardKind
+	Shard  int
+	Reason string
+}
+
+// ReshardController executes proposals. ShardPressures must be cheap (it is
+// called from the maintenance ticker); Reshard may block for the duration
+// of a split or merge and runs on a pool worker.
+type ReshardController interface {
+	ShardPressures() []ShardPressure
+	Reshard(ReshardProposal) error
+}
+
+// BalancerConfig tunes the policy. Zero values take the defaults noted.
+type BalancerConfig struct {
+	// MaxShards caps splits (default 8); MinShards floors merges (default 1).
+	MaxShards int
+	MinShards int
+	// SplitStallDelta is the number of new write stalls between two samples
+	// that marks a shard hot enough to split (default 1).
+	SplitStallDelta int64
+	// MergeIdleSamples is how many consecutive samples a shard must go
+	// without a new stall before it counts as cold (default 8).
+	MergeIdleSamples int
+	// MergeMaxBytes bounds the combined footprint (disk + memtable) of a
+	// mergeable pair (default 8 MiB) — merging big shards would re-create
+	// the hotspot a split just relieved.
+	MergeMaxBytes int64
+}
+
+func (c BalancerConfig) withDefaults() BalancerConfig {
+	if c.MaxShards <= 0 {
+		c.MaxShards = 8
+	}
+	if c.MinShards <= 0 {
+		c.MinShards = 1
+	}
+	if c.SplitStallDelta <= 0 {
+		c.SplitStallDelta = 1
+	}
+	if c.MergeIdleSamples <= 0 {
+		c.MergeIdleSamples = 8
+	}
+	if c.MergeMaxBytes <= 0 {
+		c.MergeMaxBytes = 8 << 20
+	}
+	return c
+}
+
+// Balancer samples shard pressure on the maintenance tick and arms at most
+// one split/merge proposal, offered to the pool as a JobReshard.
+type Balancer struct {
+	ctl ReshardController
+	cfg BalancerConfig
+
+	mu         sync.Mutex
+	armed      *ReshardProposal
+	inFlight   bool
+	lastStalls map[int]int64 // shard ID -> cumulative stalls at last sample
+	idle       map[int]int   // shard ID -> consecutive stall-free samples
+	proposals  int64
+	failures   int64
+	lastErr    error
+}
+
+// NewBalancer builds a Balancer; register it with Runtime.Register to start
+// receiving ticks.
+func NewBalancer(ctl ReshardController, cfg BalancerConfig) *Balancer {
+	return &Balancer{
+		ctl:        ctl,
+		cfg:        cfg.withDefaults(),
+		lastStalls: make(map[int]int64),
+		idle:       make(map[int]int),
+	}
+}
+
+// OfferJob implements Source. A reshard is never offered to the flush lane.
+func (b *Balancer) OfferJob(flushOnly bool) (*Job, bool) {
+	if flushOnly {
+		return nil, false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.armed == nil || b.inFlight {
+		return nil, false
+	}
+	p := *b.armed
+	b.inFlight = true
+	return &Job{
+		Kind: JobReshard,
+		Run:  func() { b.run(p) },
+		Cancel: func() {
+			b.mu.Lock()
+			b.inFlight = false
+			b.mu.Unlock()
+		},
+	}, false
+}
+
+func (b *Balancer) run(p ReshardProposal) {
+	err := b.ctl.Reshard(p)
+	b.mu.Lock()
+	b.inFlight = false
+	b.armed = nil
+	if err != nil {
+		b.failures++
+		b.lastErr = err
+	}
+	b.mu.Unlock()
+}
+
+// PendingJobs implements Source.
+func (b *Balancer) PendingJobs() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.armed != nil && !b.inFlight {
+		return 1
+	}
+	return 0
+}
+
+// MaintenanceTick implements Source: sample pressure, update per-shard
+// history, and arm a proposal if the policy fires.
+func (b *Balancer) MaintenanceTick() {
+	ps := b.ctl.ShardPressures()
+	if len(ps) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	newStalls := make(map[int]int64, len(ps))
+	hot, hotDelta := -1, int64(0)
+	for _, p := range ps {
+		prev, seen := b.lastStalls[p.ID]
+		newStalls[p.ID] = p.WriteStalls
+		var delta int64
+		if seen {
+			delta = p.WriteStalls - prev
+		}
+		// A shard fresh out of a split has no history: its first sample only
+		// establishes a baseline, which doubles as a cool-down between
+		// layout changes.
+		if seen && delta == 0 {
+			b.idle[p.ID]++
+		} else {
+			b.idle[p.ID] = 0
+		}
+		if delta > hotDelta {
+			hot, hotDelta = p.Shard, delta
+		}
+	}
+	b.lastStalls = newStalls
+
+	if b.armed != nil || b.inFlight {
+		return
+	}
+	if hot >= 0 && hotDelta >= b.cfg.SplitStallDelta && len(ps) < b.cfg.MaxShards {
+		b.armed = &ReshardProposal{
+			Kind:   ReshardSplit,
+			Shard:  hot,
+			Reason: fmt.Sprintf("%d new write stalls since last sample", hotDelta),
+		}
+		b.proposals++
+		return
+	}
+	if len(ps) <= b.cfg.MinShards {
+		return
+	}
+	for i := 0; i+1 < len(ps); i++ {
+		l, r := ps[i], ps[i+1]
+		if b.idle[l.ID] < b.cfg.MergeIdleSamples || b.idle[r.ID] < b.cfg.MergeIdleSamples {
+			continue
+		}
+		if l.BytesOnDisk+l.MemtableBytes+r.BytesOnDisk+r.MemtableBytes > b.cfg.MergeMaxBytes {
+			continue
+		}
+		b.armed = &ReshardProposal{
+			Kind:   ReshardMerge,
+			Shard:  i,
+			Reason: fmt.Sprintf("shards %d+%d idle %d samples", i, i+1, b.cfg.MergeIdleSamples),
+		}
+		// Reset the pair's idle history so a failed merge does not re-arm
+		// every tick.
+		b.idle[l.ID], b.idle[r.ID] = 0, 0
+		b.proposals++
+		return
+	}
+}
+
+// BalancerStats is a point-in-time view of the policy's activity.
+type BalancerStats struct {
+	Proposals int64
+	Failures  int64
+	Armed     bool
+	InFlight  bool
+	LastErr   error
+}
+
+// Stats reports the policy's activity counters.
+func (b *Balancer) Stats() BalancerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BalancerStats{
+		Proposals: b.proposals,
+		Failures:  b.failures,
+		Armed:     b.armed != nil,
+		InFlight:  b.inFlight,
+		LastErr:   b.lastErr,
+	}
+}

@@ -48,8 +48,13 @@ type JobKind int
 
 const (
 	// JobFlush drains one sealed memtable to disk. Flushes always schedule
-	// ahead of compactions: a backed-up flush queue stalls writers.
+	// ahead of everything else: a backed-up flush queue stalls writers.
 	JobFlush JobKind = iota
+	// JobReshard splits a hot shard or merges a cold adjacent pair. Reshard
+	// jobs are rare and relieve pressure at the routing layer, so they
+	// schedule ahead of compactions but never displace a flush. They occupy
+	// a compaction slot while running.
+	JobReshard
 	// JobCompaction merges on-disk runs, ordered across shards by Priority.
 	JobCompaction
 )
@@ -153,6 +158,7 @@ type Runtime struct {
 
 	flushJobs      metrics.Counter
 	compactionJobs metrics.Counter
+	reshardJobs    metrics.Counter
 	subcompactions metrics.Counter
 }
 
@@ -382,7 +388,8 @@ func (rt *Runtime) worker(flushOnly bool) {
 			job.Run()
 			rt.mu.Lock()
 			rt.running--
-			if job.Kind == JobCompaction {
+			if job.Kind != JobFlush {
+				// Reshard jobs borrow a compaction slot too.
 				rt.runningCompactions--
 			}
 			rt.mu.Unlock()
@@ -437,10 +444,15 @@ func (rt *Runtime) takeJob(flushOnly bool) *Job {
 		if rt.running > rt.maxRunning {
 			rt.maxRunning = rt.running
 		}
-		if job.Kind == JobFlush {
+		switch job.Kind {
+		case JobFlush:
 			rt.flushJobs.Add(1)
-		} else {
-			rt.compactionJobs.Add(1)
+		default:
+			if job.Kind == JobReshard {
+				rt.reshardJobs.Add(1)
+			} else {
+				rt.compactionJobs.Add(1)
+			}
 			rt.runningCompactions++
 			if rt.runningCompactions > rt.maxRunningCompactions {
 				rt.maxRunningCompactions = rt.runningCompactions
@@ -462,10 +474,11 @@ func (rt *Runtime) takeJob(flushOnly bool) *Job {
 	return job
 }
 
-// betterJob orders offers: flushes before compactions, then higher priority.
+// betterJob orders offers by kind rank (flush, then reshard, then
+// compaction — the JobKind ordinal), then higher priority within a kind.
 func betterJob(a, b *Job) bool {
 	if a.Kind != b.Kind {
-		return a.Kind == JobFlush
+		return a.Kind < b.Kind
 	}
 	return a.Priority > b.Priority
 }
@@ -505,9 +518,11 @@ type Stats struct {
 	// QueueDepth estimates the maintenance jobs ready across all shards
 	// that no worker has picked up yet.
 	QueueDepth int
-	// FlushJobs and CompactionJobs count jobs the pool has dispatched.
+	// FlushJobs, CompactionJobs, and ReshardJobs count jobs the pool has
+	// dispatched, by kind.
 	FlushJobs      int64
 	CompactionJobs int64
+	ReshardJobs    int64
 	// SubcompactionsRun counts the bounded key-range merge pipelines run by
 	// jobs that fanned out (a job split K ways adds K; serial merges add
 	// nothing). MaxMergeParallelism is the high-water mark of concurrent
@@ -551,6 +566,7 @@ func (rt *Runtime) Stats() Stats {
 		MaxRunningCompactions: rt.maxRunningCompactions,
 		FlushJobs:             rt.flushJobs.Load(),
 		CompactionJobs:        rt.compactionJobs.Load(),
+		ReshardJobs:           rt.reshardJobs.Load(),
 		SubcompactionsRun:     rt.subcompactions.Load(),
 		MaxMergeParallelism:   rt.maxMergeParallelism,
 	}

@@ -123,50 +123,69 @@ type Iterator struct {
 
 // NewIter returns a streaming iterator over live keys in [start, end) (nil
 // end = unbounded; an empty or inverted range yields an empty iterator).
-// Every overlapping shard's read state is pinned here, in one pass, so the
-// iterator observes a fixed view regardless of concurrent writes; see the
-// Iterator documentation for the contract. The caller must Close it.
+// Every overlapping shard's read state is pinned here, in one pass, against
+// a single routing epoch, so the iterator observes a fixed view regardless
+// of concurrent writes and layout changes — a reshard committing after the
+// pins are taken does not disturb an open iterator; see the Iterator
+// documentation for the contract. The caller must Close it.
 func (db *DB) NewIter(start, end []byte) (*Iterator, error) {
 	if start != nil && end != nil && base.CompareUserKeys(start, end) >= 0 {
 		// Empty range: an exhausted cursor pinning nothing. owned keeps
 		// SeekGE from trying to revive it into shards it never pinned.
 		return &Iterator{exhausted: true, owned: true, cur: 0, hi: -1}, nil
 	}
-	lo, hi := 0, len(db.shards)-1
-	if start != nil || end != nil {
-		lo, hi = shardRange(db.boundaries, start, end)
-	}
-	a := iterAllocPool.Get().(*iterAlloc)
-	if cap(a.snaps) < len(db.shards) {
-		a.snaps = make([]*lsm.Snapshot, len(db.shards))
-	} else {
-		a.snaps = a.snaps[:len(db.shards)]
-		for i := range a.snaps {
-			a.snaps[i] = nil
+	for {
+		if db.closed.Load() {
+			return nil, ErrClosed
 		}
-	}
-	snaps := a.snaps
-	for i := lo; i <= hi; i++ {
-		sn, err := db.shards[i].NewScanSnapshot(start, end)
-		if err != nil {
-			for j := lo; j < i; j++ {
-				snaps[j].Release()
+		t := db.table.Load()
+		lo, hi := 0, len(t.shards)-1
+		if start != nil || end != nil {
+			lo, hi = shardRange(t.boundaries, start, end)
+		}
+		a := iterAllocPool.Get().(*iterAlloc)
+		if cap(a.snaps) < len(t.shards) {
+			a.snaps = make([]*lsm.Snapshot, len(t.shards))
+		} else {
+			a.snaps = a.snaps[:len(t.shards)]
+			for i := range a.snaps {
+				a.snaps[i] = nil
 			}
+		}
+		snaps := a.snaps
+		var err error
+		for i := lo; i <= hi; i++ {
+			var sn *lsm.Snapshot
+			if sn, err = t.shards[i].db.NewScanSnapshot(start, end); err != nil {
+				for j := lo; j < i; j++ {
+					snaps[j].Release()
+					snaps[j] = nil
+				}
+				break
+			}
+			snaps[i] = sn
+		}
+		if err != nil {
 			a.recycle()
+			// A shard retired by a concurrent reshard before we pinned it:
+			// re-resolve against the new table. No pins survive, so the
+			// retry re-pins everything at one epoch.
+			if db.retryRead(err, t) {
+				continue
+			}
 			return nil, err
 		}
-		snaps[i] = sn
+		return &Iterator{
+			a:          a,
+			snaps:      snaps,
+			boundaries: t.boundaries,
+			owned:      true,
+			start:      a.setStart(start),
+			end:        a.setEnd(end),
+			cur:        lo,
+			hi:         hi,
+		}, nil
 	}
-	return &Iterator{
-		a:          a,
-		snaps:      snaps,
-		boundaries: db.boundaries,
-		owned:      true,
-		start:      a.setStart(start),
-		end:        a.setEnd(end),
-		cur:        lo,
-		hi:         hi,
-	}, nil
 }
 
 // CloneBytes returns a copy of b that stays valid indefinitely. Use it to

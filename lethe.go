@@ -32,6 +32,8 @@ package lethe
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lethe/internal/base"
@@ -75,9 +77,12 @@ const (
 //   - ErrReadOnlySnapshot — reads on a Snapshot after Release.
 //   - ErrIteratorClosed — Iterator use after Close (iterator.go).
 //   - ErrCorruption — integrity failures from VerifyTables and reads.
-//   - ErrShardLayout — invalid shard configuration at Open: bad boundary
+//   - ErrShardLayout — invalid shard configuration at Open (bad boundary
 //     keys, a shard count conflicting with the database's recorded layout,
-//     or sharding over an existing unsharded filesystem.
+//     sharding over an existing unsharded filesystem) and invalid reshard
+//     requests (SplitShard/MergeShards with an out-of-range shard, a
+//     boundary outside the shard's key range, or on a synchronous-mode
+//     database, which has no maintenance pool to reshard with).
 //
 // Configuration mistakes caught by Open (missing filesystem, conflicting
 // deprecated aliases) return plain descriptive errors; everything reachable
@@ -88,7 +93,8 @@ var (
 	// ErrReadOnlySnapshot is returned by reads on a released Snapshot: the
 	// view is gone, not merely stale.
 	ErrReadOnlySnapshot = lsm.ErrSnapshotReleased
-	// ErrShardLayout is wrapped by every shard-layout rejection at Open.
+	// ErrShardLayout is wrapped by every shard-layout rejection at Open and
+	// by rejected SplitShard/MergeShards requests.
 	ErrShardLayout = errors.New("lethe: invalid shard layout")
 )
 
@@ -296,6 +302,17 @@ type Options struct {
 	// to the real key distribution for clustered key spaces. Ignored when
 	// reopening (the shard manifest's recorded boundaries win).
 	ShardBoundaries [][]byte
+	// AutoReshard enables the load-driven balancer: a maintenance-pool
+	// policy that samples per-shard pressure (write stalls, memtable bytes,
+	// on-disk footprint) on the runtime's tick and splits a persistently
+	// stalling shard at a delete-tile boundary — or merges an adjacent pair
+	// of idle, small shards — through the same job scheduler compactions
+	// use. Splits are sstable-level handoffs: only files straddling the cut
+	// are rewritten. Ignored in synchronous mode (which always keeps its
+	// layout) and off by default; DB.SplitShard/DB.MergeShards and the
+	// `lethe reshard` subcommand reshard manually either way. See
+	// "Resharding" in tuning.go.
+	AutoReshard bool
 }
 
 // DB is a Lethe database handle. It is safe for concurrent use.
@@ -327,17 +344,177 @@ type Options struct {
 // partitioning key). Everything above holds per shard; cross-shard
 // operations are not atomic as a unit — each shard's guarantees apply to
 // its portion.
+//
+// The shard layout is mutable at runtime (SplitShard, MergeShards, the
+// balancer behind Options.AutoReshard): routing goes through an
+// epoch-stamped table swapped atomically when the layout changes. Per-shard
+// atomicity semantics during a reshard: point operations and per-shard
+// sub-batches remain atomic — a write either lands entirely in the shard
+// that owned its key when it was admitted, or (if that shard froze first)
+// waits and lands entirely in the epoch-N+1 shard that owns it after the
+// swap; it is never torn across epochs. Cross-shard fan-outs (RangeDelete,
+// SecondaryRangeDelete, Apply) that collide with a concurrent layout swap
+// restart against the new table, re-applying only idempotent or
+// not-yet-applied portions, so each point op still applies exactly once.
+// Iterators and snapshots opened before a swap finish on the table they
+// pinned — a reshard moves sstables between directories without touching
+// their contents, and the donor shard's files outlive its retirement for as
+// long as any reader pins them.
 type DB struct {
-	// shards holds the range-partitioned engine instances, always at least
-	// one. boundaries has len(shards)-1 keys: shard i spans
-	// [boundaries[i-1], boundaries[i]).
-	shards     []*lsm.DB
-	boundaries [][]byte
+	// table is the current routing epoch: boundaries plus one handle per
+	// shard. Swapped atomically by reshard.go; readers Load it once per
+	// operation and never observe a mix of epochs.
+	table atomic.Pointer[routingTable]
+	// closed latches on Close. The table is never swapped afterwards, which
+	// is what lets read retry loops distinguish "shard retired by reshard"
+	// (table changed — retry) from "database closed" (give up).
+	closed atomic.Bool
+	// reshardMu serializes layout changes (splits, merges, Close) without
+	// touching any per-operation path.
+	reshardMu sync.Mutex
+	// layout is the persistent layout behind table; nil when the database
+	// is a single instance rooted at the filesystem root. Guarded by
+	// reshardMu.
+	layout *shardLayout
+	// rootFS/remoteFS are the database-root filesystems (not
+	// shard-prefixed); reshard moves files across shard directories through
+	// them. makeInner builds a child instance's options for a given pair of
+	// shard-prefixed filesystems.
+	rootFS    vfs.FS
+	remoteFS  vfs.FS
+	makeInner func(shardFS, shardRemoteFS vfs.FS) lsm.Options
 	// rt is the shared maintenance runtime every shard registers with: one
 	// worker pool, page cache, memory budget, and I/O rate limiter for the
 	// whole database. Nil in synchronous mode, where maintenance runs
-	// inline in the writing goroutine.
+	// inline in the writing goroutine and the layout is immutable.
 	rt *runtime.Runtime
+	// sharedCache is the explicit shared page cache used only when a
+	// sharded database reopens in synchronous mode (rt == nil); child
+	// instances opened by a reshard must share it too.
+	sharedCache *sstable.PageCache
+	// balancer is the AutoReshard policy registered with rt, nil unless
+	// enabled; balancerID is its runtime source ID for Deregister.
+	balancer   *runtime.Balancer
+	balancerID int
+
+	reshardStats reshardCounters
+}
+
+// reshardCounters accumulates reshard work; see ReshardStats.
+type reshardCounters struct {
+	splits                atomic.Int64
+	merges                atomic.Int64
+	filesHandedOff        atomic.Int64
+	straddlerRewrites     atomic.Int64
+	straddlerRewriteBytes atomic.Int64
+	manifestOps           atomic.Int64
+}
+
+// routingTable is one immutable routing epoch: shard i owns
+// [boundaries[i-1], boundaries[i]). A single-instance database is a
+// one-shard table with no boundaries.
+type routingTable struct {
+	epoch      uint64
+	boundaries [][]byte
+	shards     []*shardHandle
+}
+
+// index routes a key to its owning shard position.
+func (t *routingTable) index(key []byte) int {
+	if len(t.shards) == 1 {
+		return 0
+	}
+	return shardIndex(t.boundaries, key)
+}
+
+// Handle lifecycle states, held in the high half of shardHandle.word.
+const (
+	shardActive uint32 = iota
+	// shardFrozen: a reshard is draining the shard; new writes wait for the
+	// next routing table instead of entering.
+	shardFrozen
+	// shardRetired: the shard's data has been handed off and its instance
+	// is closing. Only reached after a successful layout swap.
+	shardRetired
+)
+
+// shardHandle pairs one engine instance with its routing identity and a
+// write gate. word packs the lifecycle state (high 32 bits) with the count
+// of in-flight write operations (low 32 bits), so freezing the shard and
+// draining its writers is one atomic protocol with no per-write lock.
+// Reads bypass the gate entirely: they pin LSM read state internally, and a
+// read that loses the race with retirement observes ErrClosed and retries
+// on the new table.
+type shardHandle struct {
+	// id is the persistent shard identity (directory shard-<id>/), -1 for a
+	// single instance rooted at the filesystem root.
+	id     int
+	prefix string
+	db     *lsm.DB
+	word   atomic.Uint64
+}
+
+// enter admits a write; false means the shard is frozen or retired and the
+// caller should reload the routing table.
+func (h *shardHandle) enter() bool {
+	for {
+		w := h.word.Load()
+		if uint32(w>>32) != shardActive {
+			return false
+		}
+		if h.word.CompareAndSwap(w, w+1) {
+			return true
+		}
+	}
+}
+
+// exit releases enter.
+func (h *shardHandle) exit() { h.word.Add(^uint64(0)) }
+
+// setState replaces the lifecycle state, preserving the writer count.
+func (h *shardHandle) setState(s uint32) {
+	for {
+		w := h.word.Load()
+		if h.word.CompareAndSwap(w, uint64(s)<<32|(w&0xffffffff)) {
+			return
+		}
+	}
+}
+
+// waitWriters blocks until every admitted write has exited. Writes are
+// short (a WAL append plus a memtable insert, or a stall bounded by the
+// flush lane, which keeps running during a reshard), so this spins gently.
+func (h *shardHandle) waitWriters() {
+	for h.word.Load()&0xffffffff != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// waitTableChange is the backoff between routing-table reload attempts for
+// writes aimed at a frozen shard.
+func waitTableChange() { time.Sleep(200 * time.Microsecond) }
+
+// enterWrite routes key to its owning shard and admits a write, retrying
+// across layout swaps. The caller must h.exit() after the write.
+func (db *DB) enterWrite(key []byte) (*shardHandle, error) {
+	for {
+		if db.closed.Load() {
+			return nil, ErrClosed
+		}
+		t := db.table.Load()
+		h := t.shards[t.index(key)]
+		if h.enter() {
+			return h, nil
+		}
+		waitTableChange()
+	}
+}
+
+// retryRead reports whether a failed per-shard read should be retried on a
+// fresh routing table: the shard was retired by a reshard (table changed)
+// rather than the database being closed.
+func (db *DB) retryRead(err error, t *routingTable) bool {
+	return errors.Is(err, ErrClosed) && !db.closed.Load() && db.table.Load() != t
 }
 
 // resolveStorage merges the Storage group with the deprecated flat aliases.
@@ -393,7 +570,7 @@ func Open(opts Options) (*DB, error) {
 	if mode == ModeBaseline && opts.Dth > 0 {
 		mode = ModeLethe
 	}
-	boundaries, _, err := resolveShardLayout(fs, opts)
+	layout, err := resolveShardLayout(fs, storage.RemoteFS, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -421,7 +598,7 @@ func Open(opts Options) (*DB, error) {
 	// through; give the shards one shared cache directly so CacheBytes
 	// stays a whole-database budget in that corner too.
 	var sharedCache *sstable.PageCache
-	if rt == nil && len(boundaries) > 0 {
+	if rt == nil && layout != nil {
 		sharedCache = sstable.NewPageCache(storage.CacheBytes)
 	}
 	innerOpts := func(shardFS, shardRemoteFS vfs.FS) lsm.Options {
@@ -455,56 +632,77 @@ func Open(opts Options) (*DB, error) {
 			Cache:                        sharedCache,
 		}
 	}
-	if len(boundaries) == 0 {
+	db := &DB{
+		rootFS:      fs,
+		remoteFS:    storage.RemoteFS,
+		makeInner:   innerOpts,
+		rt:          rt,
+		sharedCache: sharedCache,
+		layout:      layout,
+	}
+	var handles []*shardHandle
+	if layout == nil {
 		// Single instance: the engine owns the filesystem root directly,
-		// byte-identical to the unsharded layout.
+		// byte-identical to the unsharded layout. It still routes through a
+		// one-handle table so SplitShard can shard it online.
 		inner, err := lsm.Open(innerOpts(fs, storage.RemoteFS))
 		if err != nil {
 			closeRT()
 			return nil, err
 		}
-		return &DB{shards: []*lsm.DB{inner}, rt: rt}, nil
-	}
-	shards := make([]*lsm.DB, 0, len(boundaries)+1)
-	for i := 0; i <= len(boundaries); i++ {
-		// The remote tier mirrors the local shard layout: each instance
-		// gets the same shard-directory prefix over the remote filesystem.
-		var shardRemote vfs.FS
-		if storage.RemoteFS != nil {
-			shardRemote = vfs.NewPrefix(storage.RemoteFS, shardDirPrefix(i))
-		}
-		inner, err := lsm.Open(innerOpts(vfs.NewPrefix(fs, shardDirPrefix(i)), shardRemote))
-		if err != nil {
-			for _, s := range shards {
-				s.Close()
+		handles = []*shardHandle{{id: -1, prefix: "", db: inner}}
+		db.table.Store(&routingTable{epoch: 0, shards: handles})
+	} else {
+		handles = make([]*shardHandle, 0, len(layout.ids))
+		for _, id := range layout.ids {
+			prefix := shardDirPrefix(id)
+			// The remote tier mirrors the local shard layout: each instance
+			// gets the same shard-directory prefix over the remote
+			// filesystem.
+			var shardRemote vfs.FS
+			if storage.RemoteFS != nil {
+				shardRemote = vfs.NewPrefix(storage.RemoteFS, prefix)
 			}
-			closeRT()
-			return nil, err
+			inner, err := lsm.Open(innerOpts(vfs.NewPrefix(fs, prefix), shardRemote))
+			if err != nil {
+				for _, h := range handles {
+					h.db.Close()
+				}
+				closeRT()
+				return nil, err
+			}
+			handles = append(handles, &shardHandle{id: id, prefix: prefix, db: inner})
 		}
-		shards = append(shards, inner)
+		db.table.Store(&routingTable{
+			epoch:      layout.epoch,
+			boundaries: layout.boundaries,
+			shards:     handles,
+		})
 	}
-	return &DB{shards: shards, boundaries: boundaries, rt: rt}, nil
-}
-
-// shardFor routes a sort key to its owning shard.
-func (db *DB) shardFor(key []byte) *lsm.DB {
-	if len(db.shards) == 1 {
-		return db.shards[0]
+	if rt != nil && opts.AutoReshard {
+		db.balancer = runtime.NewBalancer(&reshardController{db: db}, runtime.BalancerConfig{})
+		db.balancerID = rt.Register(db.balancer)
 	}
-	return db.shards[shardIndex(db.boundaries, key)]
+	return db, nil
 }
 
 // ShardCount returns the number of range shards (1 when unsharded).
-func (db *DB) ShardCount() int { return len(db.shards) }
+func (db *DB) ShardCount() int { return len(db.table.Load().shards) }
+
+// ShardEpoch returns the current routing epoch: 0 for a single instance
+// rooted at the filesystem root, otherwise the SHARDS manifest epoch, which
+// increments on every split or merge.
+func (db *DB) ShardEpoch() uint64 { return db.table.Load().epoch }
 
 // ShardBoundaries returns a copy of the boundary keys partitioning the
 // shards (nil when unsharded).
 func (db *DB) ShardBoundaries() [][]byte {
-	if len(db.boundaries) == 0 {
+	t := db.table.Load()
+	if len(t.boundaries) == 0 {
 		return nil
 	}
-	out := make([][]byte, len(db.boundaries))
-	for i, b := range db.boundaries {
+	out := make([][]byte, len(t.boundaries))
+	for i, b := range t.boundaries {
 		out[i] = append([]byte(nil), b...)
 	}
 	return out
@@ -512,37 +710,72 @@ func (db *DB) ShardBoundaries() [][]byte {
 
 // Put inserts or updates key with the given secondary delete key and value.
 func (db *DB) Put(key []byte, dkey DeleteKey, value []byte) error {
-	return db.shardFor(key).Put(key, dkey, value)
+	h, err := db.enterWrite(key)
+	if err != nil {
+		return err
+	}
+	defer h.exit()
+	return h.db.Put(key, dkey, value)
 }
 
 // Get returns the value stored for key, or ErrNotFound.
 func (db *DB) Get(key []byte) ([]byte, error) {
-	v, _, err := db.shardFor(key).Get(key)
+	v, _, err := db.GetWithDeleteKey(key)
 	return v, err
 }
 
 // GetWithDeleteKey also returns the entry's secondary delete key.
 func (db *DB) GetWithDeleteKey(key []byte) ([]byte, DeleteKey, error) {
-	return db.shardFor(key).Get(key)
+	for {
+		t := db.table.Load()
+		v, dk, err := t.shards[t.index(key)].db.Get(key)
+		if err != nil && db.retryRead(err, t) {
+			continue
+		}
+		return v, dk, err
+	}
 }
 
 // Delete removes key (a point delete on the sort key).
-func (db *DB) Delete(key []byte) error { return db.shardFor(key).Delete(key) }
+func (db *DB) Delete(key []byte) error {
+	h, err := db.enterWrite(key)
+	if err != nil {
+		return err
+	}
+	defer h.exit()
+	return h.db.Delete(key)
+}
 
 // RangeDelete removes every key in [start, end) (a primary range delete).
 // On a sharded database the tombstone is applied per overlapping shard in
-// key order; each shard's portion is atomic, the whole is not.
+// key order; each shard's portion is atomic, the whole is not. A layout
+// swap mid-fan-out restarts the delete against the new table — re-applying
+// a range tombstone is idempotent, so the restart only re-covers keys.
 func (db *DB) RangeDelete(start, end []byte) error {
-	if len(db.shards) == 1 {
-		return db.shards[0].RangeDelete(start, end)
-	}
-	lo, hi := shardRange(db.boundaries, start, end)
-	for i := lo; i <= hi; i++ {
-		if err := db.shards[i].RangeDelete(start, end); err != nil {
-			return err
+	for {
+		if db.closed.Load() {
+			return ErrClosed
 		}
+		t := db.table.Load()
+		lo, hi := shardRange(t.boundaries, start, end)
+		stale := false
+		for i := lo; i <= hi; i++ {
+			h := t.shards[i]
+			if !h.enter() {
+				stale = true
+				break
+			}
+			err := h.db.RangeDelete(start, end)
+			h.exit()
+			if err != nil {
+				return err
+			}
+		}
+		if !stale {
+			return nil
+		}
+		waitTableChange()
 	}
-	return nil
 }
 
 // SecondaryRangeDelete removes every entry whose delete key lies in
@@ -561,27 +794,44 @@ func (db *DB) RangeDelete(start, end []byte) error {
 // fan-out got (one entry per shard reached, the last carrying the error).
 // Re-issuing the same delete after a failure is safe: the operation is
 // idempotent for a fixed [lo, hi).
+//
+// A layout swap mid-fan-out restarts the delete against the new table,
+// resetting the aggregate: shards re-visited after the restart report only
+// residual work (the delete is idempotent), so the returned stats describe
+// the final pass.
 func (db *DB) SecondaryRangeDelete(lo, hi DeleteKey) (SRDStats, error) {
-	var agg SRDStats
-	for i, s := range db.shards {
-		st, err := s.SecondaryRangeDelete(lo, hi)
-		agg.FullPageDrops += st.FullDrops
-		agg.PartialPageDrops += st.PartialDrops
-		agg.EntriesDropped += st.EntriesDropped
-		agg.PagesUntouched += st.PagesUntouched
-		agg.Shards = append(agg.Shards, ShardSRDStats{
-			Shard:            i,
-			FullPageDrops:    st.FullDrops,
-			PartialPageDrops: st.PartialDrops,
-			EntriesDropped:   st.EntriesDropped,
-			PagesUntouched:   st.PagesUntouched,
-			Err:              err,
-		})
-		if err != nil {
-			return agg, err
+restart:
+	for {
+		if db.closed.Load() {
+			return SRDStats{}, ErrClosed
 		}
+		t := db.table.Load()
+		var agg SRDStats
+		for i, h := range t.shards {
+			if !h.enter() {
+				waitTableChange()
+				continue restart
+			}
+			st, err := h.db.SecondaryRangeDelete(lo, hi)
+			h.exit()
+			agg.FullPageDrops += st.FullDrops
+			agg.PartialPageDrops += st.PartialDrops
+			agg.EntriesDropped += st.EntriesDropped
+			agg.PagesUntouched += st.PagesUntouched
+			agg.Shards = append(agg.Shards, ShardSRDStats{
+				Shard:            i,
+				FullPageDrops:    st.FullDrops,
+				PartialPageDrops: st.PartialDrops,
+				EntriesDropped:   st.EntriesDropped,
+				PagesUntouched:   st.PagesUntouched,
+				Err:              err,
+			})
+			if err != nil {
+				return agg, err
+			}
+		}
+		return agg, nil
 	}
-	return agg, nil
 }
 
 // SRDStats reports the work a secondary range delete performed.
@@ -627,8 +877,20 @@ type ShardSRDStats struct {
 // machinery only when the cursor reaches it. For a Get that must agree with
 // a Scan, take a DB.NewSnapshot and issue both against it.
 func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey DeleteKey, value []byte) bool) error {
-	if len(db.shards) == 1 {
-		return db.shards[0].Scan(start, end, fn)
+	for {
+		t := db.table.Load()
+		if len(t.shards) > 1 {
+			break
+		}
+		// Single shard: run directly against the instance. ErrClosed here can
+		// only come from the pin attempt (once the scan's read state is
+		// pinned, retirement cannot revoke it), so a retry never re-visits
+		// keys.
+		err := t.shards[0].db.Scan(start, end, fn)
+		if err != nil && db.retryRead(err, t) {
+			continue
+		}
+		return err
 	}
 	it, err := db.NewIter(start, end)
 	if err != nil {
@@ -649,18 +911,29 @@ func (db *DB) Scan(start, end []byte, fn func(key []byte, dkey DeleteKey, value 
 // key, then sort key — on both the sharded and single-instance paths, so
 // the order never depends on shard layout or fence traversal order.
 func (db *DB) SecondaryRangeScan(lo, hi DeleteKey) ([]Item, error) {
-	var items []Item
-	for _, s := range db.shards {
-		entries, err := s.SecondaryRangeScan(lo, hi)
-		if err != nil {
-			return nil, err
+	for {
+		t := db.table.Load()
+		var items []Item
+		retry := false
+		for _, h := range t.shards {
+			entries, err := h.db.SecondaryRangeScan(lo, hi)
+			if err != nil {
+				if db.retryRead(err, t) {
+					retry = true
+					break
+				}
+				return nil, err
+			}
+			for _, e := range entries {
+				items = append(items, Item{Key: e.Key.UserKey, DKey: e.DKey, Value: e.Value})
+			}
 		}
-		for _, e := range entries {
-			items = append(items, Item{Key: e.Key.UserKey, DKey: e.DKey, Value: e.Value})
+		if retry {
+			continue
 		}
+		sortSecondaryItems(items)
+		return items, nil
 	}
-	sortSecondaryItems(items)
-	return items, nil
 }
 
 // Item is one key-value pair returned by secondary scans.
@@ -670,15 +943,40 @@ type Item struct {
 	Value []byte
 }
 
+// eachShard runs fn on every shard of the current routing table. A shard
+// retired by a concurrent reshard (ErrClosed while the table moved on)
+// restarts the sweep against the new table — fn must be idempotent, which
+// flush and compaction barriers are. Other errors are collected
+// first-error-wins without stopping the sweep.
+func (db *DB) eachShard(fn func(*lsm.DB) error) error {
+	for {
+		if db.closed.Load() {
+			return ErrClosed
+		}
+		t := db.table.Load()
+		var first error
+		stale := false
+		for _, h := range t.shards {
+			if err := fn(h.db); err != nil {
+				if db.retryRead(err, t) {
+					stale = true
+					break
+				}
+				if first == nil {
+					first = err
+				}
+			}
+		}
+		if !stale {
+			return first
+		}
+		waitTableChange()
+	}
+}
+
 // Flush forces every shard's memory buffer to disk.
 func (db *DB) Flush() error {
-	var first error
-	for _, s := range db.shards {
-		if err := s.Flush(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return db.eachShard(func(s *lsm.DB) error { return s.Flush() })
 }
 
 // Maintain runs compactions until no trigger (saturation or TTL expiry)
@@ -687,30 +985,29 @@ func (db *DB) Flush() error {
 // it kicks the workers and blocks until every shard's maintenance pipeline
 // is quiescent — useful as a barrier in tests and batch jobs.
 func (db *DB) Maintain() error {
-	var first error
-	for _, s := range db.shards {
-		if err := s.Maintain(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return db.eachShard(func(s *lsm.DB) error { return s.Maintain() })
 }
 
 // FullTreeCompact merges each shard's entire tree into its last level — the
 // baseline's (expensive) way to persist deletes.
 func (db *DB) FullTreeCompact() error {
-	var first error
-	for _, s := range db.shards {
-		if err := s.FullTreeCompact(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return db.eachShard(func(s *lsm.DB) error { return s.FullTreeCompact() })
 }
 
 // Close flushes and releases every shard, then stops the shared maintenance
-// runtime, returning the first error.
+// runtime, returning the first error. Once closed latches, the routing table
+// never changes again — which is what lets concurrent retry loops terminate.
 func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return ErrClosed
+	}
+	// Serialize with any in-flight reshard; none can start afterwards (both
+	// SplitShard and MergeShards re-check closed under reshardMu).
+	db.reshardMu.Lock()
+	defer db.reshardMu.Unlock()
+	if db.balancer != nil {
+		db.rt.Deregister(db.balancer, db.balancerID)
+	}
 	if db.rt != nil {
 		// Stop pacing maintenance I/O first: each shard's Close drains its
 		// in-flight flushes and compactions, and shutdown must not wait
@@ -718,8 +1015,8 @@ func (db *DB) Close() error {
 		db.rt.ReleaseLimiter()
 	}
 	var first error
-	for _, s := range db.shards {
-		if err := s.Close(); err != nil && first == nil {
+	for _, h := range db.table.Load().shards {
+		if err := h.db.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -745,18 +1042,24 @@ func (db *DB) RuntimeStats() RuntimeStats {
 // frontiers sum, since shards number sequences independently); ShardStats
 // exposes the per-shard breakdown.
 func (db *DB) Stats() lsm.Stats {
-	if len(db.shards) == 1 {
-		return db.shards[0].Stats()
+	t := db.table.Load()
+	if len(t.shards) == 1 {
+		return t.shards[0].db.Stats()
 	}
-	return aggregateStats(db.ShardStats())
+	out := make([]lsm.Stats, len(t.shards))
+	for i, h := range t.shards {
+		out[i] = h.db.Stats()
+	}
+	return aggregateStats(out)
 }
 
 // ShardStats returns each shard's statistics, in shard (key-range) order.
 // For an unsharded database it holds the single instance's stats.
 func (db *DB) ShardStats() []lsm.Stats {
-	out := make([]lsm.Stats, len(db.shards))
-	for i, s := range db.shards {
-		out[i] = s.Stats()
+	t := db.table.Load()
+	out := make([]lsm.Stats, len(t.shards))
+	for i, h := range t.shards {
+		out[i] = h.db.Stats()
 	}
 	return out
 }
@@ -792,8 +1095,9 @@ var ErrCorruption = lsm.ErrCorruption
 func (db *DB) VerifyTables() (VerifyStats, error) {
 	var out VerifyStats
 	var errs []error
-	for i, s := range db.shards {
-		vr, err := s.VerifyTables()
+	t := db.table.Load()
+	for i, h := range t.shards {
+		vr, err := h.db.VerifyTables()
 		out.Files += vr.Files
 		out.Blocks += vr.Blocks
 		out.DroppedBlocks += vr.DroppedBlocks
@@ -812,33 +1116,49 @@ func (db *DB) VerifyTables() (VerifyStats, error) {
 // diagnostic, not a hot-path call). Sharded: the byte totals are summed
 // across shards before forming the ratio.
 func (db *DB) SpaceAmp() (float64, error) {
-	if len(db.shards) == 1 {
-		return db.shards[0].SpaceAmp()
-	}
-	var total, unique int64
-	for _, s := range db.shards {
-		t, u, err := s.SpaceAmpParts()
-		if err != nil {
-			return 0, err
+	for {
+		t := db.table.Load()
+		if len(t.shards) == 1 {
+			a, err := t.shards[0].db.SpaceAmp()
+			if err != nil && db.retryRead(err, t) {
+				continue
+			}
+			return a, err
 		}
-		total += t
-		unique += u
+		var total, unique int64
+		retry := false
+		for _, h := range t.shards {
+			tb, u, err := h.db.SpaceAmpParts()
+			if err != nil {
+				if db.retryRead(err, t) {
+					retry = true
+					break
+				}
+				return 0, err
+			}
+			total += tb
+			unique += u
+		}
+		if retry {
+			continue
+		}
+		if unique == 0 {
+			return 0, nil
+		}
+		return float64(total-unique) / float64(unique), nil
 	}
-	if unique == 0 {
-		return 0, nil
-	}
-	return float64(total-unique) / float64(unique), nil
 }
 
 // TombstoneAges returns the per-file tombstone age distribution across all
 // shards.
 func (db *DB) TombstoneAges() []lsm.TombstoneAgeBucket {
-	if len(db.shards) == 1 {
-		return db.shards[0].TombstoneAges()
+	t := db.table.Load()
+	if len(t.shards) == 1 {
+		return t.shards[0].db.TombstoneAges()
 	}
 	var out []lsm.TombstoneAgeBucket
-	for _, s := range db.shards {
-		out = append(out, s.TombstoneAges()...)
+	for _, h := range t.shards {
+		out = append(out, h.db.TombstoneAges()...)
 	}
 	return out
 }
@@ -847,8 +1167,8 @@ func (db *DB) TombstoneAges() []lsm.TombstoneAgeBucket {
 // database.
 func (db *DB) MaxTombstoneAge() time.Duration {
 	var max time.Duration
-	for _, s := range db.shards {
-		if a := s.MaxTombstoneAge(); a > max {
+	for _, h := range db.table.Load().shards {
+		if a := h.db.MaxTombstoneAge(); a > max {
 			max = a
 		}
 	}
@@ -859,8 +1179,8 @@ func (db *DB) MaxTombstoneAge() time.Duration {
 // when sharded).
 func (db *DB) NumLevels() int {
 	max := 0
-	for _, s := range db.shards {
-		if n := s.NumLevels(); n > max {
+	for _, h := range db.table.Load().shards {
+		if n := h.db.NumLevels(); n > max {
 			max = n
 		}
 	}
@@ -872,8 +1192,8 @@ func (db *DB) NumLevels() int {
 // are returned (level TTLs depend only on Dth, T, and tree height).
 func (db *DB) TTLs() []time.Duration {
 	var out []time.Duration
-	for _, s := range db.shards {
-		if t := s.TTLs(); len(t) > len(out) {
+	for _, h := range db.table.Load().shards {
+		if t := h.db.TTLs(); len(t) > len(out) {
 			out = t
 		}
 	}
@@ -918,14 +1238,17 @@ func (b *Batch) Len() int { return len(b.ops) }
 // each shard's sub-batch is atomic, but a batch spanning shards is not
 // atomic as a whole (a crash can persist one shard's portion and not
 // another's).
+//
+// A batch admitted on routing epoch N that collides with a layout swap
+// (a shard frozen mid-fan-out) resumes against epoch N+1 applying only the
+// not-yet-applied remainder: point operations carry an applied bit, and a
+// range delete carries a watermark — shards apply in ascending key order, so
+// its unapplied portion is exactly the keys at or above the first shard that
+// refused admission. The watermark matters for correctness, not just
+// economy: re-applying a range delete over a same-batch Put that already
+// landed would give the tombstone a higher sequence number and wrongly
+// delete the Put.
 func (db *DB) Apply(b *Batch) error {
-	if len(db.shards) == 1 {
-		err := db.shards[0].ApplyBatch(b.ops)
-		if err == nil {
-			b.ops = b.ops[:0]
-		}
-		return err
-	}
 	// Pre-validate every op so deterministic rejections (the same ones
 	// lsm.ApplyBatch raises) surface before any shard's sub-batch commits —
 	// otherwise a bad op in a later shard would leave earlier shards
@@ -941,33 +1264,162 @@ func (db *DB) Apply(b *Batch) error {
 			return fmt.Errorf("lethe: unsupported batch op kind %v", op.Kind)
 		}
 	}
-	split := make([][]lsm.BatchOp, len(db.shards))
-	for _, op := range b.ops {
-		if op.Kind == base.KindRangeDelete {
-			var start, end []byte
-			if len(op.Key) > 0 {
-				start = op.Key
-			}
-			if len(op.EndKey) > 0 {
-				end = op.EndKey
-			}
-			lo, hi := shardRange(db.boundaries, start, end)
-			for i := lo; i <= hi; i++ {
-				split[i] = append(split[i], op)
-			}
-			continue
+	// applied marks point ops done (exactly-once across retries); watermark
+	// is a range-delete op's resume key (nil = none applied yet); rdDone
+	// marks a range delete fully applied.
+	var (
+		applied   []bool
+		watermark [][]byte
+		rdDone    []bool
+	)
+	for {
+		if db.closed.Load() {
+			return ErrClosed
 		}
-		i := shardIndex(db.boundaries, op.Key)
-		split[i] = append(split[i], op)
-	}
-	for i, ops := range split {
-		if len(ops) == 0 {
-			continue
-		}
-		if err := db.shards[i].ApplyBatch(ops); err != nil {
+		t := db.table.Load()
+		n := len(t.shards)
+		if n == 1 && applied == nil {
+			// Common case: one shard, no partial progress — hand the batch
+			// over whole.
+			h := t.shards[0]
+			if !h.enter() {
+				waitTableChange()
+				continue
+			}
+			err := h.db.ApplyBatch(b.ops)
+			h.exit()
+			if err == nil {
+				b.ops = b.ops[:0]
+			}
 			return err
 		}
+		if applied == nil {
+			applied = make([]bool, len(b.ops))
+			watermark = make([][]byte, len(b.ops))
+			rdDone = make([]bool, len(b.ops))
+		}
+		split := make([][]lsm.BatchOp, n)
+		members := make([][]int, n)
+		rdHi := make([]int, len(b.ops))
+		pending := false
+		for j, op := range b.ops {
+			if op.Kind == base.KindRangeDelete {
+				if rdDone[j] {
+					continue
+				}
+				start := op.Key
+				if len(start) == 0 {
+					start = nil
+				}
+				if watermark[j] != nil && base.CompareUserKeys(watermark[j], start) > 0 {
+					start = watermark[j]
+				}
+				end := op.EndKey
+				if base.CompareUserKeys(start, end) >= 0 {
+					rdDone[j] = true
+					continue
+				}
+				clipped := op
+				clipped.Key = start
+				lo, hi := shardRange(t.boundaries, start, end)
+				rdHi[j] = hi
+				for i := lo; i <= hi; i++ {
+					split[i] = append(split[i], clipped)
+					members[i] = append(members[i], j)
+				}
+				pending = true
+				continue
+			}
+			if applied[j] {
+				continue
+			}
+			i := t.index(op.Key)
+			split[i] = append(split[i], op)
+			members[i] = append(members[i], j)
+			pending = true
+		}
+		if !pending {
+			b.ops = b.ops[:0]
+			return nil
+		}
+		stale := false
+		for i := 0; i < n; i++ {
+			if len(split[i]) == 0 {
+				continue
+			}
+			h := t.shards[i]
+			if !h.enter() {
+				stale = true
+				break
+			}
+			err := h.db.ApplyBatch(split[i])
+			h.exit()
+			if err != nil {
+				return err
+			}
+			for _, j := range members[i] {
+				if b.ops[j].Kind == base.KindRangeDelete {
+					if i == rdHi[j] {
+						rdDone[j] = true
+					} else {
+						watermark[j] = t.boundaries[i]
+					}
+				} else {
+					applied[j] = true
+				}
+			}
+		}
+		if !stale {
+			b.ops = b.ops[:0]
+			return nil
+		}
+		waitTableChange()
 	}
-	b.ops = b.ops[:0]
-	return nil
+}
+
+// ReshardStats summarizes online reshard activity since Open. Epoch is the
+// current routing epoch; the counters accumulate across every split and
+// merge this handle executed.
+type ReshardStats struct {
+	// Epoch is the live routing epoch (0 for a single instance rooted at the
+	// filesystem root).
+	Epoch uint64
+	// Splits and Merges count completed layout changes.
+	Splits int64
+	Merges int64
+	// FilesHandedOff counts sstables moved between shard directories without
+	// a rewrite; StraddlerRewrites/StraddlerRewriteBytes count the files that
+	// straddled a cut and the bytes written re-clipping them.
+	FilesHandedOff        int64
+	StraddlerRewrites     int64
+	StraddlerRewriteBytes int64
+	// ManifestOps counts durable manifest commits (child MANIFESTs plus the
+	// SHARDS swap) — the fixed cost of a reshard.
+	ManifestOps int64
+}
+
+// ReshardStats reports reshard activity; see ReshardStats (type).
+func (db *DB) ReshardStats() ReshardStats {
+	return ReshardStats{
+		Epoch:                 db.table.Load().epoch,
+		Splits:                db.reshardStats.splits.Load(),
+		Merges:                db.reshardStats.merges.Load(),
+		FilesHandedOff:        db.reshardStats.filesHandedOff.Load(),
+		StraddlerRewrites:     db.reshardStats.straddlerRewrites.Load(),
+		StraddlerRewriteBytes: db.reshardStats.straddlerRewriteBytes.Load(),
+		ManifestOps:           db.reshardStats.manifestOps.Load(),
+	}
+}
+
+// ShardPressure is one shard's load sample: write stalls, memtable
+// footprint, disk footprint, and space-amplification operands. It is the
+// balancer's input; `lethe stats` prints one line per shard from it.
+type ShardPressure = runtime.ShardPressure
+
+// ShardPressures samples every shard's pressure, in shard (key-range)
+// order, including the space-amplification operands (which cost a tree scan
+// per shard — this is the diagnostic path; the balancer's periodic sampling
+// skips them).
+func (db *DB) ShardPressures() []ShardPressure {
+	return db.shardPressures(true)
 }

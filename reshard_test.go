@@ -1,0 +1,793 @@
+package lethe
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lethe/internal/vfs"
+)
+
+// writeShardManifestRaw installs a crafted SHARDS file.
+func writeShardManifestRaw(t *testing.T, fs vfs.FS, m interface{}) {
+	t.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create(shardManifestName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardManifestRejectsCorrupt: every structural defect in a SHARDS file
+// must surface as ErrShardLayout at load, not as a nonsense routing table.
+func TestShardManifestRejectsCorrupt(t *testing.T) {
+	cases := []struct {
+		name string
+		m    shardManifest
+	}{
+		{"unknown version", shardManifest{Version: 99, Boundaries: [][]byte{{0x80}}}},
+		{"unsorted boundaries", shardManifest{Version: 1, Boundaries: [][]byte{{0x80}, {0x40}}}},
+		{"duplicate boundaries", shardManifest{Version: 1, Boundaries: [][]byte{{0x80}, {0x80}}}},
+		{"empty boundary", shardManifest{Version: 1, Boundaries: [][]byte{{}}}},
+		{"epoch zero", shardManifest{Version: 2, ShardIDs: []int{0, 1}, NextShardID: 2, Boundaries: [][]byte{{0x80}}}},
+		{"id arity mismatch", shardManifest{Version: 2, Epoch: 3, ShardIDs: []int{0}, NextShardID: 1, Boundaries: [][]byte{{0x80}}}},
+		{"duplicate ids", shardManifest{Version: 2, Epoch: 3, ShardIDs: []int{1, 1}, NextShardID: 2, Boundaries: [][]byte{{0x80}}}},
+		{"id out of range", shardManifest{Version: 2, Epoch: 3, ShardIDs: []int{0, 7}, NextShardID: 2, Boundaries: [][]byte{{0x80}}}},
+	}
+	for _, c := range cases {
+		fs := vfs.NewMem()
+		writeShardManifestRaw(t, fs, c.m)
+		if _, _, err := loadShardManifest(fs); !errors.Is(err, ErrShardLayout) {
+			t.Errorf("%s: err = %v, want ErrShardLayout", c.name, err)
+		}
+		// The same defect must also refuse a full Open.
+		if _, err := Open(Options{Storage: StorageOptions{FS: fs}}); !errors.Is(err, ErrShardLayout) {
+			t.Errorf("%s: Open err = %v, want ErrShardLayout", c.name, err)
+		}
+	}
+
+	// Garbage bytes are a decode error, not a layout.
+	fs := vfs.NewMem()
+	f, err := fs.Create(shardManifestName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, _, err := loadShardManifest(fs); err == nil {
+		t.Error("garbage manifest loaded without error")
+	}
+}
+
+func fillShards(t testing.TB, db *DB, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := db.Put(shardKey(i), DeleteKey(i), shardVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func checkShards(t testing.TB, db *DB, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		v, err := db.Get(shardKey(i))
+		if err != nil || !bytes.Equal(v, shardVal(i)) {
+			t.Fatalf("key %d: %q %v", i, v, err)
+		}
+	}
+}
+
+// TestSplitShardBasic: split a loaded shard, verify routing, epoch, stats,
+// continued writability, and a clean reopen on the new layout.
+func TestSplitShardBasic(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSharded(t, fs, 2)
+	defer db.Close()
+	const n = 2500
+	fillShards(t, db, n)
+
+	epoch := db.ShardEpoch()
+	if err := db.SplitShard(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.ShardCount(); got != 3 {
+		t.Fatalf("ShardCount = %d, want 3", got)
+	}
+	if got := db.ShardEpoch(); got != epoch+1 {
+		t.Fatalf("ShardEpoch = %d, want %d", got, epoch+1)
+	}
+	rs := db.ReshardStats()
+	if rs.Splits != 1 || rs.Epoch != epoch+1 {
+		t.Fatalf("ReshardStats = %+v", rs)
+	}
+	if rs.FilesHandedOff == 0 && rs.StraddlerRewrites == 0 {
+		t.Fatal("split moved nothing")
+	}
+	// No leftover intent, and no stale root engine files.
+	if fileExists(fs, reshardIntentName) {
+		t.Fatal("RESHARD intent survived a completed split")
+	}
+	checkShards(t, db, n)
+
+	// The new layout accepts writes and routes them correctly.
+	for i := 0; i < n; i++ {
+		if err := db.Put(shardKey(i), DeleteKey(i), []byte(fmt.Sprintf("v2-%06d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Storage: StorageOptions{FS: fs}, BufferBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.ShardCount(); got != 3 {
+		t.Fatalf("reopened ShardCount = %d, want 3", got)
+	}
+	if got := db2.ShardEpoch(); got != epoch+1 {
+		t.Fatalf("reopened ShardEpoch = %d, want %d", got, epoch+1)
+	}
+	for i := 0; i < n; i++ {
+		v, err := db2.Get(shardKey(i))
+		if err != nil || string(v) != fmt.Sprintf("v2-%06d", i) {
+			t.Fatalf("key %d after reopen: %q %v", i, v, err)
+		}
+	}
+}
+
+// TestRootedSplit: splitting a database opened without Shards converts it
+// online from the root-directory layout into a sharded one.
+func TestRootedSplit(t *testing.T) {
+	fs := vfs.NewMem()
+	db, err := Open(Options{Storage: StorageOptions{FS: fs}, BufferBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 1500
+	fillShards(t, db, n)
+	if db.ShardCount() != 1 || db.ShardEpoch() != 0 {
+		t.Fatalf("unsharded baseline: count=%d epoch=%d", db.ShardCount(), db.ShardEpoch())
+	}
+
+	if err := db.SplitShard(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.ShardCount(); got != 2 {
+		t.Fatalf("ShardCount = %d, want 2", got)
+	}
+	if got := db.ShardEpoch(); got != 1 {
+		t.Fatalf("ShardEpoch = %d, want 1", got)
+	}
+	checkShards(t, db, n)
+	// The root engine files must be gone: the data lives in shard dirs now.
+	if fileExists(fs, "MANIFEST") {
+		t.Fatal("root MANIFEST survived the rooted split")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Storage: StorageOptions{FS: fs}, BufferBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.ShardCount(); got != 2 {
+		t.Fatalf("reopened ShardCount = %d, want 2", got)
+	}
+	checkShards(t, db2, n)
+}
+
+// TestMergeShardsBasic: merge adjacent shards repeatedly down to one,
+// verifying data and reopen at each layout.
+func TestMergeShardsBasic(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSharded(t, fs, 4)
+	defer db.Close()
+	const n = 400
+	fillShards(t, db, n)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	epoch := db.ShardEpoch()
+	for want := 3; want >= 1; want-- {
+		if err := db.MergeShards(0); err != nil {
+			t.Fatal(err)
+		}
+		if got := db.ShardCount(); got != want {
+			t.Fatalf("ShardCount = %d, want %d", got, want)
+		}
+		checkShards(t, db, n)
+	}
+	if got := db.ShardEpoch(); got != epoch+3 {
+		t.Fatalf("ShardEpoch = %d, want %d", got, epoch+3)
+	}
+	rs := db.ReshardStats()
+	if rs.Merges != 3 {
+		t.Fatalf("Merges = %d, want 3", rs.Merges)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Storage: StorageOptions{FS: fs}, BufferBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := db2.ShardCount(); got != 1 {
+		t.Fatalf("reopened ShardCount = %d, want 1", got)
+	}
+	checkShards(t, db2, n)
+}
+
+// TestSplitHandoffNoRewrite: a split whose cut falls between whole sstables
+// hands every file off by rename — zero straddler rewrites. This is the
+// tile-aligned fast path the design promises.
+func TestSplitHandoffNoRewrite(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSharded(t, fs, 2)
+	defer db.Close()
+	// Two flushed files in shard 0, key-disjoint around 0x20.
+	low := func(i int) []byte { return []byte{0x10, byte(i)} }
+	high := func(i int) []byte { return []byte{0x30, byte(i)} }
+	for i := 0; i < 50; i++ {
+		if err := db.Put(low(i), DeleteKey(i), shardVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := db.Put(high(i), DeleteKey(i), shardVal(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.SplitShard(0, []byte{0x20}); err != nil {
+		t.Fatal(err)
+	}
+	rs := db.ReshardStats()
+	if rs.StraddlerRewrites != 0 || rs.StraddlerRewriteBytes != 0 {
+		t.Fatalf("aligned split rewrote %d files (%d bytes); want pure handoff",
+			rs.StraddlerRewrites, rs.StraddlerRewriteBytes)
+	}
+	if rs.FilesHandedOff < 2 {
+		t.Fatalf("FilesHandedOff = %d, want >= 2", rs.FilesHandedOff)
+	}
+	for i := 0; i < 50; i++ {
+		if v, err := db.Get(low(i)); err != nil || !bytes.Equal(v, shardVal(i)) {
+			t.Fatalf("low %d: %q %v", i, v, err)
+		}
+		if v, err := db.Get(high(i)); err != nil || !bytes.Equal(v, shardVal(i)) {
+			t.Fatalf("high %d: %q %v", i, v, err)
+		}
+	}
+}
+
+// TestRangeDeleteAcrossReshard: primary and secondary range deletes keep
+// their semantics across layout changes — tombstones laid down before a
+// split still shadow across the cut, and deletes issued on the new layout
+// span the new boundaries.
+func TestRangeDeleteAcrossReshard(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSharded(t, fs, 2)
+	defer db.Close()
+	const n = 1500
+	fillShards(t, db, n)
+
+	// A range delete crossing what will become the split cut.
+	if err := db.RangeDelete([]byte{0x20}, []byte{0x60}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SplitShard(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	inPrimary := func(i int) bool { b := byte(i * 37); return b >= 0x20 && b < 0x60 }
+	for i := 0; i < n; i++ {
+		v, err := db.Get(shardKey(i))
+		if inPrimary(i) {
+			if err != ErrNotFound {
+				t.Fatalf("key %d should be range-deleted: %q %v", i, v, err)
+			}
+		} else if err != nil || !bytes.Equal(v, shardVal(i)) {
+			t.Fatalf("key %d: %q %v", i, v, err)
+		}
+	}
+
+	// A secondary range delete issued on the post-split layout.
+	if _, err := db.SecondaryRangeDelete(100, 200); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, err := db.Get(shardKey(i))
+		if inPrimary(i) || (i >= 100 && i < 200) {
+			if err != ErrNotFound {
+				t.Fatalf("key %d should be deleted: %q %v", i, v, err)
+			}
+		} else if err != nil || !bytes.Equal(v, shardVal(i)) {
+			t.Fatalf("key %d: %q %v", i, v, err)
+		}
+	}
+
+	// And a primary range delete crossing the new cut, then a merge back.
+	if err := db.RangeDelete([]byte{0x60}, []byte{0x90}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.MergeShards(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		b := byte(i * 37)
+		v, err := db.Get(shardKey(i))
+		if inPrimary(i) || (i >= 100 && i < 200) || (b >= 0x60 && b < 0x90) {
+			if err != ErrNotFound {
+				t.Fatalf("key %d should be deleted after merge: %q %v", i, v, err)
+			}
+		} else if err != nil || !bytes.Equal(v, shardVal(i)) {
+			t.Fatalf("key %d after merge: %q %v", i, v, err)
+		}
+	}
+}
+
+// TestBatchAcrossEpochChange: a batch admitted on epoch N that collides
+// with a layout swap must apply exactly once — never half against epoch N,
+// half re-applied against N+1. Each batch range-deletes the whole space and
+// rewrites every key; after Apply returns, every key must carry that
+// batch's value, whatever resharding happened mid-flight.
+func TestBatchAcrossEpochChange(t *testing.T) {
+	fs := vfs.NewMem()
+	db := openSharded(t, fs, 2)
+	defer db.Close()
+	// Filler spread across the key space gives the concurrent splits real
+	// tile boundaries to cut at; its integrity is not checked here (the
+	// batches' range deletes overlap some of it).
+	fillShards(t, db, 2000)
+	const nk = 24
+	keys := make([][]byte, nk)
+	for i := range keys {
+		keys[i] = []byte{byte(i * 255 / nk), byte(i)}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Churn the layout; individual failures (nothing to split at,
+			// bounds raced) are fine — the epoch still advances often.
+			if c := db.ShardCount(); c < 5 {
+				_ = db.SplitShard(i%c, nil)
+			} else {
+				_ = db.MergeShards(0)
+			}
+		}
+	}()
+
+	for r := 0; r < 40; r++ {
+		b := NewBatch()
+		b.RangeDelete([]byte{0x00}, []byte{0xff, 0xff})
+		val := []byte(fmt.Sprintf("round-%03d", r))
+		for i, k := range keys {
+			b.Put(k, DeleteKey(i), val)
+		}
+		if err := db.Apply(b); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		for i, k := range keys {
+			v, err := db.Get(k)
+			if err != nil || !bytes.Equal(v, val) {
+				t.Fatalf("round %d key %d: %q %v (half-applied batch)", r, i, v, err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestReshardCrashSafety sweeps a fault point across every filesystem
+// operation of a shard split: after the "crash" (all subsequent I/O fails,
+// the handle is abandoned), reopening the underlying store must land on
+// exactly the old or the new layout — never between — with every key
+// readable.
+func TestReshardCrashSafety(t *testing.T) {
+	errInjected := errors.New("injected reshard fault")
+	const n = 600
+	for fault := int64(1); fault < 3000; fault++ {
+		mem := vfs.NewMem()
+		var armed atomic.Bool
+		var ops atomic.Int64
+		inj := vfs.NewInject(mem, func(op vfs.Op, name string) error {
+			if !armed.Load() {
+				return nil
+			}
+			if ops.Add(1) > fault {
+				return errInjected
+			}
+			return nil
+		})
+		db, err := Open(Options{Storage: StorageOptions{FS: inj}, Shards: 2, BufferBytes: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillShards(t, db, n)
+		oldEpoch := db.ShardEpoch()
+		armed.Store(true)
+		splitErr := db.SplitShard(0, nil)
+		fired := ops.Load() > fault
+		// Crash: abandon the handle with the disk dead (armed stays true, so
+		// the zombie instance can never touch mem again), reopen the store.
+		db2, err := Open(Options{Storage: StorageOptions{FS: mem}, BufferBytes: 16 << 10})
+		if err != nil {
+			t.Fatalf("fault=%d: reopen after crash: %v (split err: %v)", fault, err, splitErr)
+		}
+		epoch, count := db2.ShardEpoch(), db2.ShardCount()
+		switch {
+		case epoch == oldEpoch && count == 2: // rolled back
+		case epoch == oldEpoch+1 && count == 3: // rolled forward
+		default:
+			t.Fatalf("fault=%d: recovered to epoch %d with %d shards (old epoch %d); split err: %v",
+				fault, epoch, count, oldEpoch, splitErr)
+		}
+		if fileExists(mem, reshardIntentName) {
+			t.Fatalf("fault=%d: RESHARD intent survived recovery", fault)
+		}
+		for i := 0; i < n; i++ {
+			v, err := db2.Get(shardKey(i))
+			if err != nil || !bytes.Equal(v, shardVal(i)) {
+				t.Fatalf("fault=%d: key %d after recovery: %q %v", fault, i, v, err)
+			}
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatalf("fault=%d: close: %v", fault, err)
+		}
+		if splitErr == nil && !fired {
+			// The whole split ran fault-free: the sweep has covered every
+			// operation the protocol performs.
+			return
+		}
+	}
+	t.Fatal("fault sweep never reached a fault-free split")
+}
+
+// TestReshardTransientFaultRollback sweeps a one-shot fault (the disk heals
+// immediately after) across the split protocol's cross-directory effects:
+// the in-process rollback must undo the partial split, leave the handle on
+// the old epoch with every key readable and writable, and a retry must then
+// succeed.
+func TestReshardTransientFaultRollback(t *testing.T) {
+	errInjected := errors.New("injected transient fault")
+	const n = 600
+	for fault := int64(1); fault < 500; fault++ {
+		mem := vfs.NewMem()
+		var armed atomic.Bool
+		var ops atomic.Int64
+		// Count only the split's own cross-directory effects: the intent and
+		// SHARDS records, anything in the (deterministically numbered) child
+		// directories shard-2/ and shard-3/, and file moves out of the
+		// donors. Donor-internal maintenance is left alone so the fault
+		// cannot poison the donor engine itself.
+		inj := vfs.NewInject(mem, func(op vfs.Op, name string) error {
+			if !armed.Load() {
+				return nil
+			}
+			interesting := strings.HasPrefix(name, "shard-2/") || strings.HasPrefix(name, "shard-3/") ||
+				strings.HasPrefix(name, "SHARDS") || strings.HasPrefix(name, "RESHARD") ||
+				(op == vfs.OpRename && strings.HasSuffix(name, ".sst"))
+			if !interesting {
+				return nil
+			}
+			if ops.Add(1) == fault {
+				return errInjected
+			}
+			return nil
+		})
+		db, err := Open(Options{Storage: StorageOptions{FS: inj}, Shards: 2, BufferBytes: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillShards(t, db, n)
+		oldEpoch := db.ShardEpoch()
+		armed.Store(true)
+		splitErr := db.SplitShard(0, nil)
+		armed.Store(false)
+		if splitErr == nil {
+			// Either the fault landed in the post-commit cleanup phase, where
+			// failures are tolerated (the intent stays and the next Open
+			// finishes the cleanup), or it never fired at all — in which case
+			// the sweep has covered every operation.
+			fired := ops.Load() >= fault
+			if got := db.ShardCount(); got != 3 {
+				t.Fatalf("fault=%d: split succeeded with ShardCount %d", fault, got)
+			}
+			checkShards(t, db, n)
+			if err := db.Close(); err != nil {
+				t.Fatalf("fault=%d: close: %v", fault, err)
+			}
+			if !fired {
+				return
+			}
+			continue
+		}
+		if !errors.Is(splitErr, errInjected) {
+			t.Fatalf("fault=%d: split failed with %v, want the injected fault", fault, splitErr)
+		}
+		if epoch, count := db.ShardEpoch(), db.ShardCount(); epoch != oldEpoch || count != 2 {
+			t.Fatalf("fault=%d: rollback left epoch %d with %d shards", fault, epoch, count)
+		}
+		checkShards(t, db, n)
+		if err := db.Put(shardKey(0), 0, shardVal(0)); err != nil {
+			t.Fatalf("fault=%d: write after rollback: %v", fault, err)
+		}
+		// The disk is healthy again (one-shot fault): a retry must succeed.
+		if err := db.SplitShard(0, nil); err != nil {
+			t.Fatalf("fault=%d: retry split: %v", fault, err)
+		}
+		if got := db.ShardCount(); got != 3 {
+			t.Fatalf("fault=%d: retry ShardCount = %d", fault, got)
+		}
+		checkShards(t, db, n)
+		if err := db.Close(); err != nil {
+			t.Fatalf("fault=%d: close: %v", fault, err)
+		}
+	}
+	t.Fatal("fault sweep never reached a fault-free split")
+}
+
+// TestReshardStress: concurrent puts, gets, and scans race repeated splits
+// and merges. Run under -race in CI with -count=10.
+func TestReshardStress(t *testing.T) {
+	fs := vfs.NewMem()
+	db, err := Open(Options{Storage: StorageOptions{FS: fs}, Shards: 2, BufferBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const n = 2000
+	fillShards(t, db, n)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i*7 + w*13) % n
+				switch i % 3 {
+				case 0:
+					if err := db.Put(shardKey(k), DeleteKey(k), shardVal(k)); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 1:
+					if v, err := db.Get(shardKey(k)); err != nil || !bytes.Equal(v, shardVal(k)) {
+						t.Errorf("get %d: %q %v", k, v, err)
+						return
+					}
+				case 2:
+					it, err := db.NewIter(nil, nil)
+					if err != nil {
+						t.Errorf("iter: %v", err)
+						return
+					}
+					for j := 0; j < 20 && it.Next(); j++ {
+					}
+					if err := it.Close(); err != nil {
+						t.Errorf("iter close: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	reshards := 0
+	for round := 0; round < 4 && !t.Failed(); round++ {
+		for s := 0; s < db.ShardCount(); s++ {
+			if db.SplitShard(s, nil) == nil {
+				reshards++
+				break
+			}
+		}
+		if db.ShardCount() > 1 && db.MergeShards(0) == nil {
+			reshards++
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if reshards < 2 {
+		t.Fatalf("only %d reshards completed", reshards)
+	}
+	checkShards(t, db, n)
+}
+
+// TestReshardRejectedInSyncMode: without a maintenance pool there is no one
+// to run the protocol; the layout is fixed.
+func TestReshardRejectedInSyncMode(t *testing.T) {
+	db, err := Open(Options{Storage: StorageOptions{FS: vfs.NewMem()}, DisableBackgroundMaintenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.SplitShard(0, nil); !errors.Is(err, ErrShardLayout) {
+		t.Fatalf("sync split: %v, want ErrShardLayout", err)
+	}
+	if err := db.MergeShards(0); !errors.Is(err, ErrShardLayout) {
+		t.Fatalf("sync merge: %v, want ErrShardLayout", err)
+	}
+}
+
+// TestAutoReshardSplitsHotShard: with AutoReshard on, sustained write
+// pressure (tiny buffer, single immutable slot) must stall writers, trip
+// the balancer's stall-delta signal, and split the hot shard without any
+// manual call.
+func TestAutoReshardSplitsHotShard(t *testing.T) {
+	fs := vfs.NewMem()
+	db, err := Open(Options{
+		Storage:             StorageOptions{FS: fs},
+		BufferBytes:         4 << 10,
+		MaxImmutableBuffers: 1,
+		AutoReshard:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	deadline := time.Now().Add(30 * time.Second)
+	i := 0
+	for db.ShardCount() == 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no automatic split after %d writes; pressures: %+v, stats: %+v",
+				i, db.ShardPressures(), db.ReshardStats())
+		}
+		k := i % 4096
+		if err := db.Put(shardKey(k), DeleteKey(k), shardVal(k)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}
+	if rs := db.ReshardStats(); rs.Splits < 1 || rs.Epoch < 1 {
+		t.Fatalf("ReshardStats after auto split: %+v", rs)
+	}
+	// The freshly split database still reads its own writes.
+	for k := 0; k < 4096 && k < i; k++ {
+		if v, err := db.Get(shardKey(k)); err != nil || !bytes.Equal(v, shardVal(k)) {
+			t.Fatalf("key %d after auto split: %q %v", k, v, err)
+		}
+	}
+}
+
+// BenchmarkReshardConvergence starts one overloaded shard under AutoReshard
+// and drives skewed writes until the balancer has split its way out, then
+// compares the post-convergence write throughput against the same workload
+// on a statically provisioned 4-shard database. converged-pct is the ratio
+// (100 = parity with static); splits, rewrite bytes, and manifest ops show
+// that split cost is dominated by manifest operations, not data rewriting.
+func BenchmarkReshardConvergence(b *testing.B) {
+	const (
+		writers = 4
+		valSize = 64
+		runFor  = 3 * time.Second
+		tail    = time.Second
+	)
+	val := bytes.Repeat([]byte{0xab}, valSize)
+	// Skewed keys: 80% of writes land in the hot quarter of the key space.
+	key := func(r *rand.Rand, buf []byte) []byte {
+		hi := byte(r.Intn(256))
+		if r.Intn(5) > 0 {
+			hi = byte(r.Intn(64))
+		}
+		buf[0], buf[1], buf[2] = hi, byte(r.Intn(256)), byte(r.Intn(256))
+		return buf
+	}
+	// run drives the skewed workload for runFor and returns the number of
+	// puts completed in the final tail window — the post-convergence rate.
+	run := func(db *DB) int64 {
+		var total atomic.Int64
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(int64(42 + w)))
+				buf := make([]byte, 3)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := db.Put(key(r, buf), DeleteKey(r.Intn(1000)), val); err != nil {
+						b.Error(err)
+						return
+					}
+					total.Add(1)
+				}
+			}(w)
+		}
+		time.Sleep(runFor - tail)
+		before := total.Load()
+		time.Sleep(tail)
+		tailOps := total.Load() - before
+		close(stop)
+		wg.Wait()
+		return tailOps
+	}
+
+	for i := 0; i < b.N; i++ {
+		auto, err := Open(Options{
+			Storage:             StorageOptions{FS: vfs.NewMem()},
+			BufferBytes:         8 << 10,
+			MaxImmutableBuffers: 1,
+			AutoReshard:         true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		autoTail := run(auto)
+		rs := auto.ReshardStats()
+		shards := auto.ShardCount()
+		auto.Close()
+
+		static, err := Open(Options{
+			Storage:             StorageOptions{FS: vfs.NewMem()},
+			BufferBytes:         8 << 10,
+			MaxImmutableBuffers: 1,
+			Shards:              4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		staticTail := run(static)
+		static.Close()
+
+		if staticTail > 0 {
+			b.ReportMetric(100*float64(autoTail)/float64(staticTail), "converged-pct")
+		}
+		b.ReportMetric(float64(shards), "final-shards")
+		b.ReportMetric(float64(rs.Splits), "splits")
+		b.ReportMetric(float64(rs.StraddlerRewriteBytes), "straddle-rewrite-B")
+		b.ReportMetric(float64(rs.ManifestOps), "manifest-ops")
+	}
+}

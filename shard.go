@@ -1,20 +1,33 @@
-// Range sharding: a sharded DB is a router over Options.Shards independent
-// LSM instances, each with its own memory buffer, WAL directory, manifest,
-// version set, and flush/compaction/commit pipeline. The sort-key space is
-// partitioned by Shards-1 boundary keys: shard i holds every key in
-// [boundary[i-1], boundary[i]) (the first and last ranges are unbounded
-// below and above). Point operations route to exactly one shard, so under
-// concurrency the shards' write pipelines and maintenance workers proceed
-// independently; range scans merge the per-shard streams lazily
-// (iterator.go); secondary range deletes and scans fan out to every shard,
-// because the delete key D is not part of the partitioning key.
+// Range sharding: a sharded DB is a router over independent LSM instances,
+// each with its own memory buffer, WAL directory, manifest, version set, and
+// flush/compaction/commit pipeline. The sort-key space is partitioned by
+// boundary keys: shard i holds every key in [boundary[i-1], boundary[i]) (the
+// first and last ranges are unbounded below and above). Point operations
+// route to exactly one shard, so under concurrency the shards' write
+// pipelines and maintenance workers proceed independently; range scans merge
+// the per-shard streams lazily (iterator.go); secondary range deletes and
+// scans fan out to every shard, because the delete key D is not part of the
+// partitioning key.
 //
-// The boundaries are chosen once, when the database is created — by
-// Options.ShardBoundaries, or DefaultShardBoundaries when unset — and are
-// recorded in a shard manifest (the SHARDS file) at the filesystem root so a
-// reopen routes exactly as the writer did. Resharding an existing database
-// is not supported: reopening with a conflicting explicit shard count is an
-// error.
+// The layout is a first-class, versioned, mutable object. Each layout carries
+// an epoch; the in-memory router (lethe.go's routingTable) is swapped
+// atomically when the layout changes, and in-flight iterators and snapshots
+// finish on the epoch they started on, exactly as readers finish on a pinned
+// LSM version. On disk the layout lives in the SHARDS manifest at the
+// filesystem root, replaced via temp+rename; shard directories are named by
+// persistent shard IDs (shard-<id>/), never reused across epochs, so an old
+// and a new layout never collide on disk. A split or merge (reshard.go)
+// writes a RESHARD intent record before moving any file and deletes it after
+// the new SHARDS manifest commits; recoverReshard below rolls an interrupted
+// reshard forward or back at Open, so a crash anywhere in the protocol
+// reopens as exactly the old or exactly the new epoch.
+//
+// The initial boundaries come from Options.ShardBoundaries (or
+// DefaultShardBoundaries); afterwards the layout evolves online via
+// DB.SplitShard/DB.MergeShards, the `lethe reshard` subcommand, or the
+// automatic balancer (Options.AutoReshard). Reopening with a conflicting
+// explicit Options.Shards count is still an error — the manifest, not the
+// options, owns the layout.
 package lethe
 
 import (
@@ -32,26 +45,69 @@ import (
 )
 
 // shardManifestName is the file at the root of a sharded database recording
-// its partitioning. Single-shard databases never create it, so their on-disk
-// layout is unchanged from the unsharded engine.
+// its partitioning. Single-shard databases created with Shards <= 1 never
+// create it, so their on-disk layout is unchanged from the unsharded engine;
+// a database merged down to one shard keeps it (the data lives in a shard
+// directory, not at the root).
 const shardManifestName = "SHARDS"
 
-// maxShards bounds Options.Shards: beyond a few dozen shards per process the
-// per-shard buffers and worker goroutines cost more than the parallelism
+// reshardIntentName is the write-ahead record for an in-flight shard split
+// or merge (see reshard.go and recoverReshard).
+const reshardIntentName = "RESHARD"
+
+// maxShards bounds the shard count: beyond a few dozen shards per process
+// the per-shard buffers and worker goroutines cost more than the parallelism
 // returns (see the guidance in tuning.go).
 const maxShards = 256
 
-// shardManifest is the persisted form of the partitioning. Boundaries are
-// JSON-encoded (base64 for the raw key bytes), matching the engine
-// manifest's encoding choice.
+// shardManifestVersion is the current SHARDS encoding. Version 1 (PR 8)
+// recorded only boundaries; version 2 adds the layout epoch and persistent
+// shard IDs. Version-1 files are still readable: they decode as epoch 1 with
+// IDs equal to routing positions, which matches how their directories were
+// named.
+const shardManifestVersion = 2
+
+// shardManifest is the persisted form of the partitioning. Keys are
+// JSON-encoded (base64 for the raw bytes), matching the engine manifest's
+// encoding choice.
 type shardManifest struct {
-	Version    int
-	Boundaries [][]byte
+	Version int
+	// Epoch increments on every layout change; readers of the routing table
+	// observe it via DB.ShardEpoch.
+	Epoch uint64 `json:",omitempty"`
+	// ShardIDs[i] is the persistent identity of the shard at routing
+	// position i; its directory is shard-<id>/. NextShardID is the lowest
+	// never-allocated ID.
+	ShardIDs    []int `json:",omitempty"`
+	NextShardID int   `json:",omitempty"`
+	Boundaries  [][]byte
 }
 
-// loadShardManifest reads the SHARDS file; the boolean reports whether one
-// existed.
-func loadShardManifest(fs vfs.FS) (*shardManifest, bool, error) {
+// shardLayout is the decoded, validated layout: len(ids) == len(boundaries)+1
+// shards in routing order.
+type shardLayout struct {
+	epoch       uint64
+	nextShardID int
+	ids         []int
+	boundaries  [][]byte
+}
+
+func (l *shardLayout) manifest() *shardManifest {
+	return &shardManifest{
+		Version:     shardManifestVersion,
+		Epoch:       l.epoch,
+		ShardIDs:    l.ids,
+		NextShardID: l.nextShardID,
+		Boundaries:  l.boundaries,
+	}
+}
+
+// loadShardManifest reads and validates the SHARDS file; the boolean reports
+// whether one existed. Every structural defect — unknown version, unsorted,
+// duplicate or empty boundary keys, ID/boundary arity mismatch, out-of-range
+// or duplicate IDs — is rejected with ErrShardLayout rather than installed
+// as a nonsense routing table.
+func loadShardManifest(fs vfs.FS) (*shardLayout, bool, error) {
 	f, err := fs.Open(shardManifestName)
 	if errors.Is(err, vfs.ErrNotExist) {
 		return nil, false, nil
@@ -77,13 +133,56 @@ func loadShardManifest(fs vfs.FS) (*shardManifest, bool, error) {
 	if err := validateBoundaries(m.Boundaries); err != nil {
 		return nil, false, fmt.Errorf("%w (shard manifest): %w", ErrShardLayout, err)
 	}
-	return &m, true, nil
+	if len(m.Boundaries)+1 > maxShards {
+		return nil, false, fmt.Errorf("%w (shard manifest): %d shards exceeds the maximum %d",
+			ErrShardLayout, len(m.Boundaries)+1, maxShards)
+	}
+	l := &shardLayout{boundaries: m.Boundaries}
+	switch m.Version {
+	case 1:
+		// Version 1 predates epochs and persistent IDs: directories were
+		// named by routing position, so position == identity.
+		n := len(m.Boundaries) + 1
+		l.epoch = 1
+		l.nextShardID = n
+		l.ids = make([]int, n)
+		for i := range l.ids {
+			l.ids[i] = i
+		}
+	case 2:
+		if len(m.ShardIDs) != len(m.Boundaries)+1 {
+			return nil, false, fmt.Errorf("%w (shard manifest): %d shard IDs for %d boundaries",
+				ErrShardLayout, len(m.ShardIDs), len(m.Boundaries))
+		}
+		if m.Epoch == 0 {
+			return nil, false, fmt.Errorf("%w (shard manifest): epoch 0", ErrShardLayout)
+		}
+		seen := make(map[int]bool, len(m.ShardIDs))
+		for _, id := range m.ShardIDs {
+			if id < 0 || id >= m.NextShardID {
+				return nil, false, fmt.Errorf("%w (shard manifest): shard ID %d outside [0, %d)",
+					ErrShardLayout, id, m.NextShardID)
+			}
+			if seen[id] {
+				return nil, false, fmt.Errorf("%w (shard manifest): duplicate shard ID %d", ErrShardLayout, id)
+			}
+			seen[id] = true
+		}
+		l.epoch = m.Epoch
+		l.nextShardID = m.NextShardID
+		l.ids = m.ShardIDs
+	default:
+		return nil, false, fmt.Errorf("%w (shard manifest): unknown version %d", ErrShardLayout, m.Version)
+	}
+	return l, true, nil
 }
 
 // saveShardManifest writes the SHARDS file via temp + rename, the same
-// atomic-replace pattern the engine manifest uses.
-func saveShardManifest(fs vfs.FS, m *shardManifest) error {
-	data, err := json.Marshal(m)
+// atomic-replace pattern the engine manifest uses. This is the commit point
+// of a reshard: a crash strictly before the rename reopens on the old
+// layout, strictly after on the new one.
+func saveShardManifest(fs vfs.FS, l *shardLayout) error {
+	data, err := json.Marshal(l.manifest())
 	if err != nil {
 		return fmt.Errorf("lethe: encode shard manifest: %w", err)
 	}
@@ -128,7 +227,9 @@ func validateBoundaries(boundaries [][]byte) error {
 // bytes are uniformly distributed (hashed or random prefixes). Keys
 // clustered under a common prefix (e.g. all starting with "user-") land in
 // one shard under this split; pass Options.ShardBoundaries matched to the
-// real key distribution instead (see the sharding guidance in tuning.go).
+// real key distribution instead (see the sharding guidance in tuning.go), or
+// let the balancer split the hot shard at a tile boundary once traffic
+// reveals the distribution.
 func DefaultShardBoundaries(n int) [][]byte {
 	if n <= 1 {
 		return nil
@@ -219,6 +320,7 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 		agg.PartialPageDrops += s.PartialPageDrops
 		agg.SRDEntriesDropped += s.SRDEntriesDropped
 		agg.ImmutableBuffers += s.ImmutableBuffers
+		agg.MemtableBytes += s.MemtableBytes
 		agg.WriteStalls += s.WriteStalls
 		agg.WriteStallTime += s.WriteStallTime
 		agg.BackgroundFlushes += s.BackgroundFlushes
@@ -279,59 +381,65 @@ func aggregateStats(per []lsm.Stats) lsm.Stats {
 	return agg
 }
 
-// resolveShardLayout decides the partitioning at Open time: an existing
-// shard manifest wins (the database reopens exactly as it was written, even
-// if Options now asks for synchronous mode); otherwise the requested count
-// and boundaries apply, with sharding forced off under a manual clock or
+// resolveShardLayout decides the partitioning at Open time: after rolling an
+// interrupted reshard forward or back, an existing shard manifest wins (the
+// database reopens exactly as it was written, even if Options now asks for
+// synchronous mode); otherwise the requested count and boundaries apply,
+// with sharding forced off under a manual clock or
 // DisableBackgroundMaintenance so the paper harness's deterministic
-// single-instance execution is preserved bit-for-bit.
-func resolveShardLayout(fs vfs.FS, opts Options) (boundaries [][]byte, fromManifest bool, err error) {
-	m, ok, err := loadShardManifest(fs)
+// single-instance execution is preserved bit-for-bit. A nil layout means the
+// database is (and stays) a single instance rooted at the filesystem root.
+func resolveShardLayout(fs, remoteFS vfs.FS, opts Options) (*shardLayout, error) {
+	if err := recoverReshard(fs, remoteFS); err != nil {
+		return nil, err
+	}
+	l, ok, err := loadShardManifest(fs)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	if ok {
-		if opts.Shards > 1 && opts.Shards != len(m.Boundaries)+1 {
-			return nil, false, fmt.Errorf(
-				"%w: database has %d shards, Options.Shards asks for %d (resharding is not supported)",
-				ErrShardLayout, len(m.Boundaries)+1, opts.Shards)
+		if opts.Shards > 1 && opts.Shards != len(l.ids) {
+			return nil, fmt.Errorf(
+				"%w: database has %d shards, Options.Shards asks for %d (the manifest owns the layout; use online resharding via SplitShard/MergeShards)",
+				ErrShardLayout, len(l.ids), opts.Shards)
 		}
-		return m.Boundaries, true, nil
+		return l, nil
 	}
 	n := opts.Shards
 	if n <= 1 {
-		return nil, false, nil
+		return nil, nil
 	}
 	if n > maxShards {
-		return nil, false, fmt.Errorf("%w: Options.Shards %d exceeds the maximum %d", ErrShardLayout, n, maxShards)
+		return nil, fmt.Errorf("%w: Options.Shards %d exceeds the maximum %d", ErrShardLayout, n, maxShards)
 	}
 	_, manual := opts.Clock.(*base.ManualClock)
 	if manual || opts.DisableBackgroundMaintenance {
 		// Synchronous mode is the deterministic single-instance execution
 		// model; a router over n pipelines has nothing to pipeline there.
-		return nil, false, nil
+		return nil, nil
 	}
 	// A single-instance database never writes a SHARDS manifest, so "no
 	// manifest" alone cannot distinguish a fresh filesystem from an
 	// existing unsharded one — and opening the latter sharded would shadow
-	// all of its root-level data behind empty shard directories. Refuse.
+	// all of its root-level data behind empty shard directories. Refuse;
+	// open it unsharded and use SplitShard to shard it online.
 	if exists, err := unshardedEngineExists(fs); err != nil {
-		return nil, false, err
+		return nil, err
 	} else if exists {
-		return nil, false, fmt.Errorf(
-			"%w: filesystem holds an unsharded database; Options.Shards > 1 would shadow it (resharding is not supported)",
+		return nil, fmt.Errorf(
+			"%w: filesystem holds an unsharded database; Options.Shards > 1 would shadow it (open unsharded and use online resharding via SplitShard)",
 			ErrShardLayout)
 	}
-	boundaries = opts.ShardBoundaries
+	boundaries := opts.ShardBoundaries
 	if boundaries == nil {
 		boundaries = DefaultShardBoundaries(n)
 	}
 	if len(boundaries) != n-1 {
-		return nil, false, fmt.Errorf("%w: Options.ShardBoundaries has %d keys, want Shards-1 = %d",
+		return nil, fmt.Errorf("%w: Options.ShardBoundaries has %d keys, want Shards-1 = %d",
 			ErrShardLayout, len(boundaries), n-1)
 	}
 	if err := validateBoundaries(boundaries); err != nil {
-		return nil, false, fmt.Errorf("%w: %w", ErrShardLayout, err)
+		return nil, fmt.Errorf("%w: %w", ErrShardLayout, err)
 	}
 	// Deep-copy before persisting so later caller mutations can't skew
 	// routing.
@@ -339,14 +447,18 @@ func resolveShardLayout(fs vfs.FS, opts Options) (boundaries [][]byte, fromManif
 	for i, b := range boundaries {
 		cp[i] = append([]byte(nil), b...)
 	}
-	if err := saveShardManifest(fs, &shardManifest{Version: 1, Boundaries: cp}); err != nil {
-		return nil, false, err
+	l = &shardLayout{epoch: 1, nextShardID: n, ids: make([]int, n), boundaries: cp}
+	for i := range l.ids {
+		l.ids[i] = i
 	}
-	return cp, false, nil
+	if err := saveShardManifest(fs, l); err != nil {
+		return nil, err
+	}
+	return l, nil
 }
 
-// shardDirPrefix names shard i's directory inside the root filesystem.
-func shardDirPrefix(i int) string { return fmt.Sprintf("shard-%d/", i) }
+// shardDirPrefix names the directory of the shard with persistent ID id.
+func shardDirPrefix(id int) string { return fmt.Sprintf("shard-%d/", id) }
 
 // unshardedEngineExists reports whether the filesystem's root holds files
 // of a single-instance engine (manifest, sstables, or WAL segments outside
@@ -365,4 +477,206 @@ func unshardedEngineExists(fs vfs.FS) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// ---------------------------------------------------------------------------
+// Reshard intent record and crash recovery
+
+// reshardMove is one planned cross-directory file rename. Remote moves
+// happen on the remote filesystem (the slow tier mirrors the shard-directory
+// structure).
+type reshardMove struct {
+	From, To string
+	Remote   bool
+}
+
+// reshardIntent is the write-ahead record of a split or merge. It is written
+// (temp+rename) before the first cross-directory effect and removed after
+// the post-commit cleanup, so at any crash point it describes every file
+// that may have moved and every directory that may hold partial output.
+// Recovery decides direction by comparing the SHARDS epoch on disk against
+// NewEpoch: the layout swap is the commit point.
+type reshardIntent struct {
+	Version  int
+	Kind     string // "split" or "merge", informational
+	NewEpoch uint64
+	Moves    []reshardMove
+	// NewDirs are the child directory prefixes (rollback deletes their
+	// contents); OldDirs are the donor prefixes (roll-forward deletes
+	// theirs). "" means the filesystem root, where only engine files —
+	// MANIFEST, sstables, WAL segments — are touched.
+	NewDirs []string
+	OldDirs []string
+}
+
+func saveReshardIntent(fs vfs.FS, in *reshardIntent) error {
+	data, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("lethe: encode reshard intent: %w", err)
+	}
+	tmp := reshardIntentName + ".tmp"
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("lethe: create reshard intent: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("lethe: write reshard intent: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("lethe: sync reshard intent: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("lethe: close reshard intent: %w", err)
+	}
+	if err := fs.Rename(tmp, reshardIntentName); err != nil {
+		return fmt.Errorf("lethe: install reshard intent: %w", err)
+	}
+	return nil
+}
+
+func loadReshardIntent(fs vfs.FS) (*reshardIntent, bool, error) {
+	f, err := fs.Open(reshardIntentName)
+	if errors.Is(err, vfs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("lethe: open reshard intent: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Size()
+	if err != nil {
+		return nil, false, fmt.Errorf("lethe: reshard intent size: %w", err)
+	}
+	data := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(data, 0); err != nil && err != io.EOF {
+			return nil, false, fmt.Errorf("lethe: read reshard intent: %w", err)
+		}
+	}
+	var in reshardIntent
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, false, fmt.Errorf("lethe: decode reshard intent: %w", err)
+	}
+	if in.NewEpoch == 0 && len(in.Moves) == 0 && len(in.NewDirs) == 0 {
+		// A zero record (e.g. truncated-to-empty temp caught mid-crash)
+		// carries no effects to undo; treat as absent after removal.
+		if err := fs.Remove(reshardIntentName); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			return nil, false, err
+		}
+		return nil, false, nil
+	}
+	return &in, true, nil
+}
+
+// fileExists probes fs for name.
+func fileExists(fs vfs.FS, name string) bool {
+	f, err := fs.Open(name)
+	if err != nil {
+		return false
+	}
+	f.Close()
+	return true
+}
+
+// removeEngineFiles deletes the engine files under dirPrefix — every file
+// when dirPrefix names a shard directory, or only root-level engine files
+// (MANIFEST, *.sst, *.wal and their temps; never SHARDS or RESHARD) when
+// dirPrefix is "". Missing files are fine: recovery re-runs this.
+func removeEngineFiles(fs vfs.FS, dirPrefix string) error {
+	names, err := fs.List()
+	if err != nil {
+		return fmt.Errorf("lethe: list filesystem: %w", err)
+	}
+	for _, n := range names {
+		if dirPrefix == "" {
+			if strings.ContainsRune(n, '/') {
+				continue
+			}
+			base := n
+			if !(base == "MANIFEST" || base == "MANIFEST.tmp" ||
+				strings.HasSuffix(base, ".sst") || strings.HasSuffix(base, ".wal")) {
+				continue
+			}
+		} else if !strings.HasPrefix(n, dirPrefix) {
+			continue
+		}
+		if err := fs.Remove(n); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			return fmt.Errorf("lethe: remove %s: %w", n, err)
+		}
+	}
+	if dirPrefix != "" {
+		// With its files gone, drop the per-shard directory itself.
+		// Best-effort only: MemFS has no directory entries, and a real
+		// directory holding a stray foreign file is left in place rather
+		// than failing the retirement.
+		_ = fs.Remove(strings.TrimSuffix(dirPrefix, "/"))
+	}
+	return nil
+}
+
+// recoverReshard completes or undoes a reshard interrupted by a crash. The
+// SHARDS manifest is the commit point: if its epoch has reached the
+// intent's NewEpoch the reshard happened and only donor-side cleanup can be
+// missing (roll forward); otherwise the new layout never committed, so any
+// renames are reversed and child-directory output deleted (roll back).
+// Every step is idempotent — a crash during recovery just recovers again.
+func recoverReshard(fs, remoteFS vfs.FS) error {
+	in, ok, err := loadReshardIntent(fs)
+	if err != nil || !ok {
+		return err
+	}
+	var curEpoch uint64
+	if l, ok, err := loadShardManifest(fs); err != nil {
+		return err
+	} else if ok {
+		curEpoch = l.epoch
+	}
+	if curEpoch >= in.NewEpoch {
+		// Roll forward: the new layout is live; finish deleting the donors'
+		// leftovers (straddler sources, old MANIFEST and WAL).
+		for _, dir := range in.OldDirs {
+			if err := removeEngineFiles(fs, dir); err != nil {
+				return err
+			}
+			if remoteFS != nil {
+				if err := removeEngineFiles(remoteFS, dir); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		// Roll back: reverse whichever renames happened, then delete the
+		// partial child output.
+		for i := len(in.Moves) - 1; i >= 0; i-- {
+			mv := in.Moves[i]
+			mfs := fs
+			if mv.Remote {
+				if remoteFS == nil {
+					return fmt.Errorf("%w: reshard intent moves remote files but no remote filesystem is configured", ErrShardLayout)
+				}
+				mfs = remoteFS
+			}
+			if fileExists(mfs, mv.To) && !fileExists(mfs, mv.From) {
+				if err := mfs.Rename(mv.To, mv.From); err != nil {
+					return fmt.Errorf("lethe: reshard rollback rename %s: %w", mv.To, err)
+				}
+			}
+		}
+		for _, dir := range in.NewDirs {
+			if err := removeEngineFiles(fs, dir); err != nil {
+				return err
+			}
+			if remoteFS != nil {
+				if err := removeEngineFiles(remoteFS, dir); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := fs.Remove(reshardIntentName); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+		return err
+	}
+	return nil
 }

@@ -33,27 +33,50 @@ import (
 // A Snapshot is safe for concurrent reads; Release must not race other
 // method calls.
 type Snapshot struct {
-	db       *DB
-	shards   []*lsm.Snapshot
-	released atomic.Bool
+	db     *DB
+	shards []*lsm.Snapshot
+	// boundaries is the routing geometry captured at pin time. A snapshot
+	// outlives routing epochs: a split or merge committing after creation
+	// must not change which pinned shard serves a key, so reads route by
+	// this frozen copy, never by the live table.
+	boundaries [][]byte
+	released   atomic.Bool
 }
 
-// NewSnapshot pins the current read state of every shard, in one pass, and
-// returns a consistent point-in-time view served by the Snapshot's Get,
-// Scan, NewIter, and SecondaryRangeScan. The caller must Release it.
+// NewSnapshot pins the current read state of every shard, in one pass
+// against a single routing epoch, and returns a consistent point-in-time
+// view served by the Snapshot's Get, Scan, NewIter, and SecondaryRangeScan.
+// A concurrent shard split or merge neither blocks this call nor disturbs
+// the returned snapshot — it keeps reading the epoch it pinned. The caller
+// must Release it.
 func (db *DB) NewSnapshot() (*Snapshot, error) {
-	shards := make([]*lsm.Snapshot, len(db.shards))
-	for i, s := range db.shards {
-		sn, err := s.NewSnapshot()
+	for {
+		if db.closed.Load() {
+			return nil, ErrClosed
+		}
+		t := db.table.Load()
+		shards := make([]*lsm.Snapshot, len(t.shards))
+		var err error
+		for i, h := range t.shards {
+			var sn *lsm.Snapshot
+			if sn, err = h.db.NewSnapshot(); err != nil {
+				for j := 0; j < i; j++ {
+					shards[j].Release()
+				}
+				break
+			}
+			shards[i] = sn
+		}
 		if err != nil {
-			for j := 0; j < i; j++ {
-				shards[j].Release()
+			// A shard retired mid-pin by a concurrent reshard: no pins
+			// survive, so retry pins everything against the new epoch.
+			if db.retryRead(err, t) {
+				continue
 			}
 			return nil, err
 		}
-		shards[i] = sn
+		return &Snapshot{db: db, shards: shards, boundaries: t.boundaries}, nil
 	}
-	return &Snapshot{db: db, shards: shards}, nil
 }
 
 // Get returns the value stored for key as of the snapshot, or ErrNotFound.
@@ -69,7 +92,7 @@ func (s *Snapshot) GetWithDeleteKey(key []byte) ([]byte, DeleteKey, error) {
 	}
 	i := 0
 	if len(s.shards) > 1 {
-		i = shardIndex(s.db.boundaries, key)
+		i = shardIndex(s.boundaries, key)
 	}
 	return s.shards[i].Get(key)
 }
@@ -103,13 +126,13 @@ func (s *Snapshot) NewIter(start, end []byte) (*Iterator, error) {
 	}
 	lo, hi := 0, len(s.shards)-1
 	if start != nil || end != nil {
-		lo, hi = shardRange(s.db.boundaries, start, end)
+		lo, hi = shardRange(s.boundaries, start, end)
 	}
 	a := iterAllocPool.Get().(*iterAlloc)
 	return &Iterator{
 		a:          a,
 		snaps:      s.shards, // borrowed: never recycled into a
-		boundaries: s.db.boundaries,
+		boundaries: s.boundaries,
 		owned:      false,
 		start:      a.setStart(start),
 		end:        a.setEnd(end),

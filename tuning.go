@@ -88,11 +88,56 @@
 // more shards; write-heavy multi-tenant traffic wants shards plus a
 // MemoryBudget.
 //
-// Boundaries are fixed at creation and recorded in the shard manifest.
+// Boundaries are set at creation and recorded in the shard manifest.
 // DefaultShardBoundaries assumes uniformly distributed leading key bytes;
-// clustered key spaces (common prefixes, zero-padded counters) must pass
+// clustered key spaces (common prefixes, zero-padded counters) should pass
 // Options.ShardBoundaries quantiles of the real distribution, or every key
-// lands in one shard and the others idle.
+// lands in one shard and the others idle. When the initial guess is wrong —
+// or the distribution drifts after creation — the layout is not a life
+// sentence: see the next section.
+//
+// # Resharding: SplitShard, MergeShards, and Options.AutoReshard
+//
+// The shard layout is a versioned object, not a creation-time constant. A
+// split freezes one shard, flushes it, and partitions its key range at a
+// delete-tile fence; a merge is the inverse. Both commit through an
+// epoch-stamped routing table swapped atomically under readers: in-flight
+// iterators and snapshots finish on the epoch they pinned, new operations
+// route by the new one, and a crash at any point recovers to exactly the
+// old or the new layout (reshard_test.go sweeps every fault offset).
+//
+// The cost model is what makes resharding cheap enough to do online.
+// Sstables whose key range lies entirely on one side of the cut are handed
+// off by rename — manifest operations, no data movement — so a split's
+// cost is a handful of manifest commits plus a bounded rewrite of only the
+// files that straddle the cut (at most one per level run, clipped to each
+// side). ReshardStats reports the split: FilesHandedOff versus
+// StraddlerRewrites/StraddlerRewriteBytes tells you how much of the shard
+// moved by pointer versus by copy, and ManifestOps counts the commits.
+// Because the cut lands on a tile fence, a well-aged shard splits with
+// zero rewrites (TestSplitHandoffNoRewrite); the worst case rewrites one
+// file per run.
+//
+// When to reach for it manually (`lethe -path DIR reshard split/merge`):
+// split when one shard absorbs a disproportionate share of writes —
+// ShardPressures shows per-shard WriteStalls, memtable backlog, and disk
+// bytes, and `lethe stats` prints the same lines — and merge when
+// neighboring shards sit idle, since each shard costs a memory buffer and
+// a WAL stream even when cold. Pass an explicit boundary to pre-split for
+// load you know is coming; pass none to cut at the median tile fence.
+//
+// Options.AutoReshard runs that judgment as a background policy: the
+// balancer samples ShardPressures on the maintenance runtime's tick,
+// splits a shard whose write stalls keep climbing while peers' do not,
+// and merges the two smallest adjacent shards after a sustained idle
+// streak, within [1, 8] shards by default. It is deliberately
+// conservative — a split costs a freeze and a flush, so the policy
+// requires a persistent signal, not one bad sample. Leave it off for
+// benchmarking fixed layouts or when shard count is part of the
+// operational contract; BenchmarkReshardConvergence measures how quickly
+// an auto-resharded database catches a hand-tuned static layout under
+// skew. Synchronous mode (DisableBackgroundMaintenance) keeps Shards=1
+// and rejects resharding: a layout change needs the background machinery.
 //
 // # Compaction parallelism: Options.Subcompactions
 //
